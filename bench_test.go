@@ -1,0 +1,319 @@
+// Benchmarks regenerating the paper's evaluation (one per table plus
+// the litmus experiment), micro-benchmarks of the individual engines,
+// and ablation benchmarks for the design choices called out in
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem -timeout 0
+//
+// Table benches use the Quick configuration (smaller thread sweeps,
+// short per-tool timeouts) so a full -bench=. pass stays tractable; the
+// full paper-sized sweeps are produced by cmd/ratables.
+package ravbmc_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ravbmc"
+	"ravbmc/internal/benchmarks"
+	"ravbmc/internal/core"
+	"ravbmc/internal/lang"
+	"ravbmc/internal/lcs"
+	"ravbmc/internal/pcp"
+	"ravbmc/internal/ra"
+	"ravbmc/internal/sc"
+	"ravbmc/internal/smc"
+	"ravbmc/internal/tables"
+)
+
+func quickCfg() tables.Config {
+	return tables.Config{Quick: true, Timeout: 10 * time.Second}
+}
+
+func benchTable(b *testing.B, gen func(tables.Config) tables.Table) {
+	cfg := quickCfg()
+	for i := 0; i < b.N; i++ {
+		t := gen(cfg)
+		if i == 0 {
+			b.Log("\n" + t.Render())
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: unfenced mutex protocols
+// (UNSAFE under RA), K=2, L=2, all four tools.
+func BenchmarkTable1(b *testing.B) { benchTable(b, tables.Table1) }
+
+// BenchmarkTable2 regenerates Table 2: all-but-one-fenced Peterson and
+// Szymanski with growing thread counts.
+func BenchmarkTable2(b *testing.B) { benchTable(b, tables.Table2) }
+
+// BenchmarkTable3 regenerates Table 3: fenced Peterson, bug in the
+// first thread.
+func BenchmarkTable3(b *testing.B) { benchTable(b, tables.Table3) }
+
+// BenchmarkTable4 regenerates Table 4: fenced Peterson, bug in the last
+// thread.
+func BenchmarkTable4(b *testing.B) { benchTable(b, tables.Table4) }
+
+// BenchmarkTable5 regenerates Table 5: fenced Szymanski, bug in a fixed
+// thread.
+func BenchmarkTable5(b *testing.B) { benchTable(b, tables.Table5) }
+
+// BenchmarkTable6 regenerates Table 6: SAFE fenced protocols, L=1.
+func BenchmarkTable6(b *testing.B) { benchTable(b, tables.Table6) }
+
+// BenchmarkTable7 regenerates Table 7: SAFE fenced protocols, L=2.
+func BenchmarkTable7(b *testing.B) { benchTable(b, tables.Table7) }
+
+// BenchmarkTable8 regenerates Table 8: SAFE fenced protocols, L=4.
+func BenchmarkTable8(b *testing.B) { benchTable(b, tables.Table8) }
+
+// BenchmarkLitmusSuite regenerates the litmus experiment: VBMC vs the
+// RA oracle over the classic shapes plus a slice of the generated
+// corpus (full corpus: cmd/ratables -table litmus -stride 1).
+func BenchmarkLitmusSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sum := tables.LitmusSweep(3, 101, 5)
+		if sum.Agree != sum.Total {
+			b.Fatalf("litmus disagreement: %s", sum.Render())
+		}
+		if i == 0 {
+			b.Log("\n" + sum.Render())
+		}
+	}
+}
+
+// BenchmarkPCPReduction measures the Theorem 4.1 pipeline: build the
+// Fig. 3 program for a solvable instance and find the terminating run.
+func BenchmarkPCPReduction(b *testing.B) {
+	ins := pcp.Instance{U: []string{"a"}, V: []string{"a"}}
+	for i := 0; i < b.N; i++ {
+		prog, err := ins.Reduction()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys := ra.NewSystem(lang.MustCompile(prog))
+		res := sys.Explore(ra.Options{
+			ViewBound: -1, MaxSteps: 120, MaxStates: 1_000_000,
+			TargetLabels: pcp.TargetLabels(),
+		})
+		if !res.TargetReached {
+			b.Fatal("solvable instance must reach term")
+		}
+	}
+}
+
+// BenchmarkLCS measures the Theorem 4.3 substrate: WSTS backward
+// reachability on lossy channel systems, plus the RA lossy-channel
+// encoding explored under RA.
+func BenchmarkLCS(b *testing.B) {
+	b.Run("backward", func(b *testing.B) {
+		s := &lcs.System{
+			Init:     "s",
+			States:   []string{"s", "r1", "r2", "r3", "done"},
+			Channels: []string{"c"},
+			Rules: []lcs.Rule{
+				{From: "s", Op: lcs.Send, Ch: "c", Sym: 'a', To: "s"},
+				{From: "s", Op: lcs.Send, Ch: "c", Sym: 'b', To: "s"},
+				{From: "s", Op: lcs.Recv, Ch: "c", Sym: 'a', To: "r1"},
+				{From: "r1", Op: lcs.Recv, Ch: "c", Sym: 'b', To: "r2"},
+				{From: "r2", Op: lcs.Recv, Ch: "c", Sym: 'a', To: "r3"},
+				{From: "r3", Op: lcs.Nop, To: "done"},
+			},
+		}
+		for i := 0; i < b.N; i++ {
+			ok, err := s.Reachable("done")
+			if err != nil || !ok {
+				b.Fatalf("reachable=%v err=%v", ok, err)
+			}
+		}
+	})
+	b.Run("ra-encoding", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := lcs.SequencedChannelProgram("abcd", "bd")
+			sys := ra.NewSystem(lang.MustCompile(p))
+			res := sys.Explore(ra.Options{
+				ViewBound:    -1,
+				TargetLabels: map[string]string{"consumer": "got"},
+			})
+			if !res.TargetReached {
+				b.Fatal("subword must be receivable")
+			}
+		}
+	})
+}
+
+// Micro-benchmarks of the individual engines.
+
+// BenchmarkTranslate measures the code-to-code translation [[.]]_K.
+func BenchmarkTranslate(b *testing.B) {
+	prog, err := benchmarks.ByName("peterson_0(3)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	unrolled := lang.Unroll(prog, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Translate(unrolled, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRAExplorer measures the exhaustive RA explorer on the MP
+// litmus program.
+func BenchmarkRAExplorer(b *testing.B) {
+	prog := ravbmc.MustParse(`
+program mp
+var x y
+proc p0
+  x = 1
+  y = 1
+end
+proc p1
+  reg a b
+  $a = y
+  $b = x
+end
+`)
+	cp := lang.MustCompile(prog)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := ra.NewSystem(cp)
+		res := sys.Explore(ra.Options{ViewBound: -1, StopOnViolation: true})
+		if res.Violation {
+			b.Fatal("MP has no assertions")
+		}
+	}
+}
+
+// BenchmarkSCChecker measures the context-bounded SC backend on the
+// translated sim_dekker program.
+func BenchmarkSCChecker(b *testing.B) {
+	prog, err := benchmarks.ByName("sim_dekker")
+	if err != nil {
+		b.Fatal(err)
+	}
+	translated, err := core.Translate(lang.Unroll(prog, 2), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp := lang.MustCompile(translated)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sc.NewSystem(cp).Check(sc.Options{MaxContexts: 4})
+		if !res.Violation {
+			b.Fatal("sim_dekker is unsafe under RA")
+		}
+	}
+}
+
+// BenchmarkSMCAlgorithms compares the three stateless baselines on the
+// unfenced 2-thread Peterson bug.
+func BenchmarkSMCAlgorithms(b *testing.B) {
+	prog, err := benchmarks.ByName("peterson_0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, alg := range []smc.Algorithm{smc.AlgorithmTracer, smc.AlgorithmCDS, smc.AlgorithmRCMC} {
+		alg := alg
+		b.Run(alg.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := smc.Check(prog, smc.Options{Algorithm: alg, Unroll: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Violation {
+					b.Fatal("peterson_0 is unsafe under RA")
+				}
+			}
+		})
+	}
+}
+
+// Ablation benchmarks for the design choices in DESIGN.md.
+
+// BenchmarkAblationContextBound compares the paper's K+n context bound
+// against an unbounded backend on the same query (both are sound and
+// complete for the K-bounded problem; the bound is a performance
+// device).
+func BenchmarkAblationContextBound(b *testing.B) {
+	prog, err := benchmarks.ByName("peterson_0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		ctx  int
+	}{{"K+n", 0}, {"unbounded", -1}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(prog, core.Options{K: 2, Unroll: 2, MaxContexts: tc.ctx})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Verdict != core.Unsafe {
+					b.Fatalf("got %v", res.Verdict)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationViewBound sweeps K on the same program: the cost of
+// raising the view budget, and the K at which the bug appears.
+func BenchmarkAblationViewBound(b *testing.B) {
+	prog, err := benchmarks.ByName("sim_dekker")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{0, 1, 2, 3} {
+		k := k
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(prog, core.Options{K: k, Unroll: 2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGranularity compares the instruction-level baseline
+// (CDSChecker-style) against the macro-step one (Tracer-style) on a
+// SAFE program, isolating the effect of the macro-step reduction.
+func BenchmarkAblationGranularity(b *testing.B) {
+	prog := ravbmc.MustParse(`
+program safe3
+var x y
+proc p0
+  x = 1
+  x = 2
+end
+proc p1
+  reg a
+  $a = x
+  $a = y
+end
+proc p2
+  y = 1
+end
+`)
+	for _, alg := range []smc.Algorithm{smc.AlgorithmCDS, smc.AlgorithmTracer} {
+		alg := alg
+		b.Run(alg.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := smc.Check(prog, smc.Options{Algorithm: alg})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Violation {
+					b.Fatal("program has no assertions")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,129 @@
+// Command raexplore runs a program directly under the RA operational
+// semantics: either the exhaustive (optionally view-bounded) explorer,
+// or one of the stateless-model-checking baselines (tracer, cdsc, rcmc,
+// random).
+//
+// Usage:
+//
+//	raexplore -file prog.ra -mode exhaustive [-view-bound 2]
+//	raexplore -bench peterson_0 -mode tracer -l 2 -timeout 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ravbmc"
+	"ravbmc/internal/benchmarks"
+)
+
+func main() {
+	var (
+		file    = flag.String("file", "", "program source file")
+		bench   = flag.String("bench", "", "built-in benchmark name")
+		mode    = flag.String("mode", "exhaustive", "exhaustive | tracer | cdsc | rcmc | random | robust")
+		vb      = flag.Int("view-bound", -1, "view-switch bound for exhaustive mode (-1 = unbounded)")
+		l       = flag.Int("l", 2, "loop unrolling bound")
+		timeout = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
+		showTr  = flag.Bool("trace", false, "print the counterexample trace")
+		walks   = flag.Int("walks", 1000, "random mode: number of walks")
+	)
+	flag.Parse()
+
+	prog, err := load(*file, *bench)
+	if err != nil {
+		fail(err)
+	}
+
+	if *mode == "robust" {
+		res, err := ravbmc.CheckRobustness(prog, *l)
+		if err != nil {
+			fail(err)
+		}
+		if res.Robust {
+			fmt.Printf("%s: ROBUST (%d outcomes under RA and SC)\n", prog.Name, res.SCOutcomes)
+			return
+		}
+		fmt.Printf("%s: NOT ROBUST (%d RA vs %d SC outcomes)\n", prog.Name, res.RAOutcomes, res.SCOutcomes)
+		for _, o := range res.WeakOutcomes {
+			fmt.Println("  weak:", o)
+		}
+		os.Exit(1)
+	}
+
+	if *mode == "exhaustive" {
+		src := ravbmc.Unroll(prog, *l)
+		opts := ravbmc.ExploreOptions{ViewBound: *vb, StopOnViolation: true}
+		if *timeout > 0 {
+			opts.Deadline = time.Now().Add(*timeout)
+		}
+		res, err := ravbmc.ExploreRA(src, opts)
+		if err != nil {
+			fail(err)
+		}
+		report(prog.Name, res.Violation, res.Exhausted, res.TimedOut, res.States, int64(res.Transitions))
+		if res.Violation && *showTr && res.Trace != nil {
+			fmt.Print(res.Trace)
+		}
+		return
+	}
+
+	alg, ok := map[string]ravbmc.SMCAlgorithm{
+		"tracer": ravbmc.AlgorithmTracer,
+		"cdsc":   ravbmc.AlgorithmCDS,
+		"rcmc":   ravbmc.AlgorithmRCMC,
+		"random": ravbmc.AlgorithmRandom,
+	}[*mode]
+	if !ok {
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+	res, err := ravbmc.SMC(prog, ravbmc.SMCOptions{
+		Algorithm: alg, Unroll: *l, Timeout: *timeout, Walks: *walks,
+	})
+	if err != nil {
+		fail(err)
+	}
+	report(prog.Name, res.Violation, res.Exhausted, res.TimedOut, res.Executions, res.Transitions)
+	if res.Violation && *showTr && res.Trace != nil {
+		fmt.Print(res.Trace)
+	}
+}
+
+func report(name string, violation, exhausted, timedOut bool, states int, transitions int64) {
+	verdict := "SAFE"
+	switch {
+	case violation:
+		verdict = "UNSAFE"
+	case timedOut:
+		verdict = "T.O"
+	case !exhausted:
+		verdict = "INCONCLUSIVE"
+	}
+	fmt.Printf("%s: %s (%d states/executions, %d transitions)\n", name, verdict, states, transitions)
+	if violation {
+		os.Exit(1)
+	}
+}
+
+func load(file, bench string) (*ravbmc.Program, error) {
+	switch {
+	case file != "" && bench != "":
+		return nil, fmt.Errorf("give either -file or -bench, not both")
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return ravbmc.Parse(string(src))
+	case bench != "":
+		return benchmarks.ByName(bench)
+	}
+	return nil, fmt.Errorf("one of -file or -bench is required")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "raexplore:", err)
+	os.Exit(3)
+}

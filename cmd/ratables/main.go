@@ -1,0 +1,55 @@
+// Command ratables regenerates the paper's evaluation tables (Sec. 7).
+//
+// Usage:
+//
+//	ratables -table 1            # one table
+//	ratables -table all          # tables 1-8
+//	ratables -table litmus       # the litmus agreement sweep
+//	ratables -quick -timeout 20s # smaller sweeps, shorter per-run budget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"ravbmc/internal/tables"
+)
+
+func main() {
+	var (
+		table   = flag.String("table", "all", "1..8, litmus, or all")
+		quick   = flag.Bool("quick", false, "smaller sweeps (fast regeneration)")
+		timeout = flag.Duration("timeout", 60*time.Second, "per tool-run budget (paper: 3600s)")
+		stride  = flag.Int("stride", 17, "litmus: run every stride-th generated program")
+		k       = flag.Int("k", 5, "litmus: view bound")
+	)
+	flag.Parse()
+
+	cfg := tables.Config{Timeout: *timeout, Quick: *quick}
+	gens := tables.All()
+
+	switch *table {
+	case "all":
+		keys := make([]string, 0, len(gens))
+		for k := range gens {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			fmt.Println(gens[key](cfg).Render())
+		}
+		fmt.Println(tables.LitmusSweep(3, *stride, *k).Render())
+	case "litmus":
+		fmt.Println(tables.LitmusSweep(3, *stride, *k).Render())
+	default:
+		gen, ok := gens[*table]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ratables: unknown table %q\n", *table)
+			os.Exit(2)
+		}
+		fmt.Println(gen(cfg).Render())
+	}
+}

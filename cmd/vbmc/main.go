@@ -1,0 +1,110 @@
+// Command vbmc is the view-bounded model checker of the paper: it takes
+// a concurrent program in the language of internal/lang (or the name of
+// a built-in benchmark), translates it to SC under the view bound K, and
+// model-checks the translation with the context-bounded backend.
+//
+// Usage:
+//
+//	vbmc -k 2 -l 2 -file prog.ra [-trace] [-contexts N] [-timeout 60s]
+//	vbmc -k 2 -l 2 -bench peterson_0(3)
+//
+// The exit code is 1 for UNSAFE, 2 for INCONCLUSIVE, 0 for SAFE.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ravbmc"
+	"ravbmc/internal/benchmarks"
+	"ravbmc/internal/core"
+)
+
+func main() {
+	var (
+		k        = flag.Int("k", 2, "view-switch budget K")
+		l        = flag.Int("l", 2, "loop unrolling bound L")
+		file     = flag.String("file", "", "program source file")
+		bench    = flag.String("bench", "", "built-in benchmark name, e.g. peterson_1(4)")
+		showTr   = flag.Bool("trace", false, "print the full counterexample trace")
+		summary  = flag.Bool("summary", false, "print the RA-level summary of the counterexample")
+		contexts = flag.Int("contexts", 0, "SC context bound (0 = K+n, negative = unbounded)")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
+		emit     = flag.Bool("emit", false, "print the translated SC program instead of checking")
+		autoK    = flag.Int("auto-k", -1, "search for the minimal K up to this bound instead of using -k")
+	)
+	flag.Parse()
+
+	prog, err := load(*file, *bench)
+	if err != nil {
+		fail(err)
+	}
+	if *emit {
+		unrolled := ravbmc.Unroll(prog, *l)
+		translated, err := ravbmc.Translate(unrolled, *k)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(translated)
+		return
+	}
+	start := time.Now()
+	var res ravbmc.VBMCResult
+	if *autoK >= 0 {
+		var kFound int
+		kFound, res, err = core.FindMinK(prog, *autoK, ravbmc.VBMCOptions{
+			Unroll: *l, MaxContexts: *contexts, Timeout: *timeout,
+		})
+		if err != nil {
+			fail(err)
+		}
+		*k = kFound
+	} else {
+		res, err = ravbmc.VBMC(prog, ravbmc.VBMCOptions{
+			K: *k, Unroll: *l, MaxContexts: *contexts, Timeout: *timeout,
+		})
+		if err != nil {
+			fail(err)
+		}
+	}
+	fmt.Printf("%s: %s (K=%d, L=%d, contexts<=%d, %d states, %d transitions, %.3fs)\n",
+		prog.Name, res.Verdict, *k, *l, res.ContextBound, res.States, res.Transitions,
+		time.Since(start).Seconds())
+	if res.Verdict == ravbmc.Unsafe && res.Trace != nil {
+		if *summary {
+			fmt.Print(core.SummarizeTrace(res.Trace))
+		}
+		if *showTr {
+			fmt.Print(res.Trace)
+		}
+	}
+	switch res.Verdict {
+	case ravbmc.Unsafe:
+		os.Exit(1)
+	case ravbmc.Inconclusive:
+		os.Exit(2)
+	}
+}
+
+func load(file, bench string) (*ravbmc.Program, error) {
+	switch {
+	case file != "" && bench != "":
+		return nil, fmt.Errorf("give either -file or -bench, not both")
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return ravbmc.Parse(string(src))
+	case bench != "":
+		return benchmarks.ByName(bench)
+	}
+	return nil, fmt.Errorf("one of -file or -bench is required")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vbmc:", err)
+	os.Exit(3)
+}

@@ -1,0 +1,80 @@
+// Message passing under release-acquire: this example exercises the RA
+// semantics engine directly, demonstrating which weak behaviours RA
+// allows (store buffering, IRIW) and which it forbids (message passing,
+// coherence violations), and how the view-switch bound carves out an
+// under-approximation.
+//
+//	go run ./examples/messagepassing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ravbmc"
+	"ravbmc/internal/litmus"
+)
+
+func main() {
+	fmt.Println("Classic litmus shapes under RA (oracle = exhaustive explorer):")
+	fmt.Println()
+	for _, tc := range litmus.Classic() {
+		weak := litmus.Oracle(tc)
+		status := "forbidden"
+		if weak {
+			status = "allowed  "
+		}
+		fmt.Printf("  %-10s weak outcome %s (literature agrees: %v)\n",
+			tc.Name, status, weak == tc.Unsafe)
+	}
+
+	// The message-passing guarantee, step by step: p1 reading the flag
+	// y=1 acquires p0's view, so the subsequent read of x cannot be
+	// stale. We check it at increasing view bounds with the explorer.
+	fmt.Println("\nmessage passing at bounded view switches:")
+	mp := ravbmc.MustParse(`
+program mp
+var x y
+proc p0
+  x = 1
+  y = 1
+end
+proc p1
+  reg a b
+  $a = y
+  $b = x
+  assert(!($a == 1 && $b == 0))
+end
+`)
+	for k := 0; k <= 2; k++ {
+		res, err := ravbmc.ExploreRA(mp, ravbmc.ExploreOptions{ViewBound: k, StopOnViolation: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  K=%d: violation=%v states=%d (MP is RA-safe at every bound)\n",
+			k, res.Violation, res.States)
+	}
+
+	// Store buffering IS observable — and needs exactly one view switch
+	// to see the other process's write... none at all, in fact: reading
+	// the stale initial value requires no switch.
+	fmt.Println("\nstore buffering (stale reads need no view switch):")
+	sb := ravbmc.MustParse(`
+program sb
+var x y
+proc p0
+  reg a
+  x = 1
+  $a = y
+  assert($a == 1)
+end
+proc p1
+  y = 1
+end
+`)
+	res, err := ravbmc.ExploreRA(sb, ravbmc.ExploreOptions{ViewBound: 0, StopOnViolation: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  K=0: violation=%v (p0 reads y=0 although p1 wrote 1)\n", res.Violation)
+}

@@ -1,0 +1,55 @@
+// Package examples_test checks that the sample programs shipped for the
+// CLI parse, validate, and have the verdicts their comments promise.
+package examples_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ravbmc"
+)
+
+func load(t *testing.T, name string) *ravbmc.Program {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("programs", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ravbmc.Parse(string(src))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return p
+}
+
+func TestSampleProgramsVerdicts(t *testing.T) {
+	cases := []struct {
+		file    string
+		k       int
+		verdict ravbmc.Verdict
+	}{
+		{"sb.ra", 2, ravbmc.Unsafe},
+		{"mp.ra", 3, ravbmc.Safe},
+		{"spinlock.ra", 2, ravbmc.Safe},
+	}
+	for _, c := range cases {
+		p := load(t, c.file)
+		res, err := ravbmc.VBMC(p, ravbmc.VBMCOptions{K: c.k, Unroll: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", c.file, err)
+		}
+		if res.Verdict != c.verdict {
+			t.Errorf("%s at K=%d: got %v, want %v", c.file, c.k, res.Verdict, c.verdict)
+		}
+	}
+}
+
+func TestSampleProgramsRoundTrip(t *testing.T) {
+	for _, f := range []string{"sb.ra", "mp.ra", "spinlock.ra"} {
+		p := load(t, f)
+		if _, err := ravbmc.Parse(p.String()); err != nil {
+			t.Errorf("%s: printed form does not reparse: %v", f, err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Robustness analysis: which programs behave identically under RA and
+// SC? Non-robust programs exhibit weak behaviours and need fences (or
+// RMWs); robust ones are already correct as written. This example runs
+// the robustness checker on litmus shapes and on the simplified Dekker
+// protocol, and shows the weak outcomes that witness non-robustness.
+//
+//	go run ./examples/robustness
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ravbmc"
+	"ravbmc/internal/benchmarks"
+)
+
+func main() {
+	fmt.Println("Litmus shapes:")
+	for _, tc := range []struct {
+		name string
+		src  string
+	}{
+		{"store buffering (SB)", `
+var x y
+proc p0
+  reg a
+  x = 1
+  $a = y
+end
+proc p1
+  reg b
+  y = 1
+  $b = x
+end`},
+		{"message passing (MP)", `
+var x y
+proc p0
+  x = 1
+  y = 1
+end
+proc p1
+  reg a b
+  $a = y
+  $b = x
+end`},
+		{"SB with fences", `
+var x y
+proc p0
+  reg a
+  x = 1
+  fence
+  $a = y
+end
+proc p1
+  reg b
+  y = 1
+  fence
+  $b = x
+end`},
+	} {
+		p, err := ravbmc.Parse(tc.src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(tc.name, p, 0)
+	}
+
+	fmt.Println("\nProtocols (unrolled, L=1):")
+	for _, name := range []string{"sim_dekker", "sim_dekker_4"} {
+		p, err := benchmarks.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(name, p, 1)
+	}
+}
+
+func report(name string, p *ravbmc.Program, unroll int) {
+	res, err := ravbmc.CheckRobustness(p, unroll)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Robust {
+		fmt.Printf("  %-22s robust (%d outcomes under both models)\n", name, res.SCOutcomes)
+		return
+	}
+	fmt.Printf("  %-22s NOT robust: %d RA outcomes vs %d SC outcomes\n",
+		name, res.RAOutcomes, res.SCOutcomes)
+	for i, o := range res.WeakOutcomes {
+		if i == 3 {
+			fmt.Printf("      ... and %d more weak outcomes\n", len(res.WeakOutcomes)-3)
+			break
+		}
+		fmt.Printf("      weak: %s\n", o)
+	}
+}

@@ -1,0 +1,3 @@
+module ravbmc
+
+go 1.24

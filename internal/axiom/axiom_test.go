@@ -1,0 +1,213 @@
+package axiom
+
+import (
+	"fmt"
+	"testing"
+
+	"ravbmc/internal/lang"
+	"ravbmc/internal/litmus"
+	"ravbmc/internal/ra"
+)
+
+// outcomes computes the axiomatic outcome set over the given observer
+// registers ("proc.reg=value;" tuples, matching the operational oracle).
+func outcomes(t *testing.T, p *lang.Program, obs [][2]string) map[string]bool {
+	t.Helper()
+	cp := lang.MustCompile(p)
+	procIdx := map[string]int{}
+	regIdx := make([]map[string]int, len(cp.Procs))
+	for i, pr := range cp.Procs {
+		procIdx[pr.Name] = i
+		regIdx[i] = map[string]int{}
+		for j, r := range pr.Regs {
+			regIdx[i][r] = j
+		}
+	}
+	e, err := NewEnumerator(cp, func(regs [][]lang.Value) string {
+		s := ""
+		for _, o := range obs {
+			pi := procIdx[o[0]]
+			s += fmt.Sprintf("%s.%s=%d;", o[0], o[1], regs[pi][regIdx[pi][o[1]]])
+		}
+		return s
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := e.Outcomes()
+	if e.Truncated {
+		t.Fatalf("enumeration truncated")
+	}
+	return out
+}
+
+func TestAxiomaticMPForbidden(t *testing.T) {
+	p := lang.NewProgram("mp", "x", "y")
+	p.AddProc("p0").Add(lang.WriteC("x", 1), lang.WriteC("y", 1))
+	p.AddProc("p1", "a", "b").Add(lang.ReadS("a", "y"), lang.ReadS("b", "x"))
+	got := outcomes(t, p, [][2]string{{"p1", "a"}, {"p1", "b"}})
+	if got["p1.a=1;p1.b=0;"] {
+		t.Error("axiomatic model must forbid the MP weak outcome")
+	}
+	for _, want := range []string{"p1.a=0;p1.b=0;", "p1.a=0;p1.b=1;", "p1.a=1;p1.b=1;"} {
+		if !got[want] {
+			t.Errorf("missing outcome %s", want)
+		}
+	}
+}
+
+func TestAxiomaticSBAllowed(t *testing.T) {
+	p := lang.NewProgram("sb", "x", "y")
+	p.AddProc("p0", "a").Add(lang.WriteC("x", 1), lang.ReadS("a", "y"))
+	p.AddProc("p1", "b").Add(lang.WriteC("y", 1), lang.ReadS("b", "x"))
+	got := outcomes(t, p, [][2]string{{"p0", "a"}, {"p1", "b"}})
+	if !got["p0.a=0;p1.b=0;"] {
+		t.Error("axiomatic model must allow the SB weak outcome")
+	}
+	if len(got) != 4 {
+		t.Errorf("SB should have 4 outcomes, got %v", got)
+	}
+}
+
+func TestAxiomaticCoherence(t *testing.T) {
+	p := lang.NewProgram("corr", "x")
+	p.AddProc("p0").Add(lang.WriteC("x", 1), lang.WriteC("x", 2))
+	p.AddProc("p1", "a", "b").Add(lang.ReadS("a", "x"), lang.ReadS("b", "x"))
+	got := outcomes(t, p, [][2]string{{"p1", "a"}, {"p1", "b"}})
+	if got["p1.a=2;p1.b=1;"] {
+		t.Error("coherence violated: read 2 then 1")
+	}
+	if len(got) != 6 {
+		t.Errorf("CoRR should have 6 outcomes, got %v", got)
+	}
+}
+
+func TestAxiomaticCASExclusive(t *testing.T) {
+	p := lang.NewProgram("cas", "x")
+	p.AddProc("p0", "ok").Add(lang.CASS("x", lang.C(0), lang.C(1)), lang.AssignS("ok", lang.C(1)))
+	p.AddProc("p1", "ok").Add(lang.CASS("x", lang.C(0), lang.C(2)), lang.AssignS("ok", lang.C(1)))
+	// Completion requires both CAS to succeed; atomicity forbids both
+	// reading the initial message, and the second can only match value 0
+	// — so no execution completes and the outcome set is empty.
+	got := outcomes(t, p, [][2]string{{"p0", "ok"}, {"p1", "ok"}})
+	if len(got) != 0 {
+		t.Errorf("two CAS(x,0,_) cannot both succeed; got %v", got)
+	}
+}
+
+func TestAxiomaticFenceSB(t *testing.T) {
+	p := lang.NewProgram("sbf", "x", "y")
+	p.AddProc("p0", "a").Add(lang.WriteC("x", 1), lang.FenceS(), lang.ReadS("a", "y"))
+	p.AddProc("p1", "b").Add(lang.WriteC("y", 1), lang.FenceS(), lang.ReadS("b", "x"))
+	got := outcomes(t, p, [][2]string{{"p0", "a"}, {"p1", "b"}})
+	if got["p0.a=0;p1.b=0;"] {
+		t.Error("fenced SB must forbid the weak outcome")
+	}
+	if len(got) != 3 {
+		t.Errorf("fenced SB should have 3 outcomes, got %v", got)
+	}
+}
+
+// withoutAsserts makes outcome sets comparable between the two oracles
+// (the operational explorer halts violating executions; the axiomatic
+// enumerator has no notion of assertion).
+func withoutAsserts(p *lang.Program) *lang.Program { return lang.StripAsserts(p) }
+
+// allRegObs lists every (proc, reg) pair as observers.
+func allRegObs(p *lang.Program) [][2]string {
+	var obs [][2]string
+	for _, pr := range p.Procs {
+		for _, r := range pr.Regs {
+			obs = append(obs, [2]string{pr.Name, r})
+		}
+	}
+	return obs
+}
+
+// operationalOutcomes runs the internal/ra engine on the same program
+// and renders outcomes identically.
+func operationalOutcomes(t *testing.T, p *lang.Program, obs [][2]string) map[string]bool {
+	t.Helper()
+	sys := ra.NewSystem(lang.MustCompile(p))
+	return sys.ReachableOutcomes(0, func(c *ra.Config) string {
+		s := ""
+		for _, o := range obs {
+			s += fmt.Sprintf("%s.%s=%d;", o[0], o[1], sys.RegValue(c, o[0], o[1]))
+		}
+		return s
+	})
+}
+
+// TestOraclesAgreeOnClassics: the axiomatic and operational oracles
+// compute identical outcome sets on the classic litmus shapes.
+func TestOraclesAgreeOnClassics(t *testing.T) {
+	for _, tc := range litmus.Classic() {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			p := withoutAsserts(tc.Prog)
+			obs := allRegObs(p)
+			ax := outcomes(t, p, obs)
+			op := operationalOutcomes(t, p, obs)
+			compareSets(t, tc.Name, ax, op)
+		})
+	}
+}
+
+// TestOraclesAgreeOnCorpus: differential test over a slice of the
+// generated litmus corpus. The two implementations share no code, so
+// agreement here is strong evidence both implement the RA model.
+func TestOraclesAgreeOnCorpus(t *testing.T) {
+	stride := 23
+	if testing.Short() {
+		stride = 173
+	}
+	corpus := litmus.Generated(2)
+	n := 0
+	for i := 0; i < len(corpus); i += stride {
+		p := withoutAsserts(corpus[i].Prog)
+		obs := allRegObs(p)
+		ax := outcomes(t, p, obs)
+		op := operationalOutcomes(t, p, obs)
+		compareSets(t, corpus[i].Name, ax, op)
+		n++
+	}
+	t.Logf("compared %d corpus programs", n)
+}
+
+func compareSets(t *testing.T, name string, ax, op map[string]bool) {
+	t.Helper()
+	for o := range ax {
+		if !op[o] {
+			t.Errorf("%s: axiomatic allows %s, operational forbids it", name, o)
+		}
+	}
+	for o := range op {
+		if !ax[o] {
+			t.Errorf("%s: operational allows %s, axiomatic forbids it", name, o)
+		}
+	}
+}
+
+func TestConsistentRejectsMalformed(t *testing.T) {
+	// Two events: init write of v0 and a read with a value mismatch.
+	x := &Execution{
+		Events: []Event{
+			{ID: 0, Proc: -1, Kind: KindWrite, Var: 0, ValW: 0},
+			{ID: 1, Proc: 0, Kind: KindRead, Var: 0, ValR: 7},
+		},
+		RF: map[int]int{1: 0},
+		MO: map[int][]int{0: {0}},
+	}
+	if ok, _ := x.Consistent(); ok {
+		t.Error("value-mismatched rf accepted")
+	}
+	x.Events[1].ValR = 0
+	if ok, reason := x.Consistent(); !ok {
+		t.Errorf("well-formed graph rejected: %s", reason)
+	}
+	// A read without an rf source.
+	delete(x.RF, 1)
+	if ok, _ := x.Consistent(); ok {
+		t.Error("read without rf accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package axiom
+
+import "fmt"
+
+// Consistent checks the RA axioms on the execution graph.
+func (x *Execution) Consistent() (bool, string) {
+	n := len(x.Events)
+	po := newRelation(n)
+	rf := newRelation(n)
+	mo := newRelation(n)
+	fr := newRelation(n)
+
+	// po: per process, in index order; init events po-precede everything
+	// of every process (they are hb-before all events via rf from init or
+	// directly — we add them as po-minimal for hb purposes, matching the
+	// convention that initialisation happens before the program starts).
+	byProc := map[int][]int{}
+	for i := range x.Events {
+		e := &x.Events[i]
+		byProc[e.Proc] = append(byProc[e.Proc], e.ID)
+	}
+	for p, ids := range byProc {
+		if p == -1 {
+			continue
+		}
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				po.set(ids[i], ids[j])
+			}
+		}
+	}
+	for _, initID := range byProc[-1] {
+		for i := range x.Events {
+			if x.Events[i].Proc != -1 {
+				po.set(initID, x.Events[i].ID)
+			}
+		}
+	}
+
+	// rf, with well-formedness checks.
+	for r, w := range x.RF {
+		re, we := &x.Events[r], &x.Events[w]
+		if !re.IsRead() || !we.IsWrite() {
+			return false, fmt.Sprintf("rf e%d<-e%d connects non-read/non-write", r, w)
+		}
+		if re.Var != we.Var {
+			return false, fmt.Sprintf("rf e%d<-e%d crosses variables", r, w)
+		}
+		if re.ValR != we.ValW {
+			return false, fmt.Sprintf("rf e%d<-e%d value mismatch", r, w)
+		}
+		rf.set(w, r)
+	}
+	for i := range x.Events {
+		if x.Events[i].IsRead() && x.Events[i].Proc != -1 {
+			if _, ok := x.RF[x.Events[i].ID]; !ok {
+				return false, fmt.Sprintf("read e%d has no rf source", x.Events[i].ID)
+			}
+		}
+	}
+
+	// mo: per-variable total order over that variable's writes.
+	for v, order := range x.MO {
+		seen := map[int]bool{}
+		for i, a := range order {
+			ea := &x.Events[a]
+			if !ea.IsWrite() || ea.Var != v {
+				return false, fmt.Sprintf("mo of v%d contains non-write e%d", v, a)
+			}
+			if seen[a] {
+				return false, fmt.Sprintf("mo of v%d repeats e%d", v, a)
+			}
+			seen[a] = true
+			for _, b := range order[i+1:] {
+				mo.set(a, b)
+			}
+		}
+		// Every write of v must appear.
+		for i := range x.Events {
+			if x.Events[i].IsWrite() && x.Events[i].Var == v && !seen[x.Events[i].ID] {
+				return false, fmt.Sprintf("mo of v%d misses write e%d", v, x.Events[i].ID)
+			}
+		}
+	}
+
+	// fr = rf⁻¹ ; mo.
+	for r, w := range x.RF {
+		for i := range x.Events {
+			if mo.has(w, x.Events[i].ID) {
+				fr.set(r, x.Events[i].ID)
+			}
+		}
+	}
+
+	// ATOMICITY: an update u reading w must be mo-immediately after w:
+	// there is no write w' with w ->mo w' ->mo u.
+	for r, w := range x.RF {
+		if x.Events[r].Kind != KindUpdate {
+			continue
+		}
+		for i := range x.Events {
+			mid := x.Events[i].ID
+			if mo.has(w, mid) && mo.has(mid, r) {
+				return false, fmt.Sprintf("atomicity: e%d between e%d and update e%d", mid, w, r)
+			}
+		}
+	}
+
+	// hb = (po ∪ rf)⁺ — in the RA fragment all reads acquire and all
+	// writes release, so every rf edge synchronises.
+	hb := newRelation(n)
+	hb.union(po)
+	hb.union(rf)
+	hb.closeTransitive()
+
+	// eco = (rf ∪ mo ∪ fr)⁺.
+	eco := newRelation(n)
+	eco.union(rf)
+	eco.union(mo)
+	eco.union(fr)
+	eco.closeTransitive()
+
+	// COHERENCE: hb;eco? irreflexive, i.e. hb irreflexive and hb;eco
+	// irreflexive.
+	if !hb.irreflexive() {
+		return false, "hb is cyclic"
+	}
+	if !hb.compose(eco).irreflexive() {
+		return false, "coherence: hb;eco has a cycle"
+	}
+	return true, ""
+}

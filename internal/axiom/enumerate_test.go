@@ -1,0 +1,183 @@
+package axiom
+
+import (
+	"strings"
+	"testing"
+
+	"ravbmc/internal/lang"
+)
+
+func TestEnumeratorRejectsLoops(t *testing.T) {
+	p := lang.NewProgram("l", "x")
+	p.AddProc("p0", "r").Add(lang.WhileS(lang.Eq(lang.R("r"), lang.C(0)), lang.ReadS("r", "x")))
+	if _, err := NewEnumerator(lang.MustCompile(p), func([][]lang.Value) string { return "" }); err == nil {
+		t.Error("loops must be rejected")
+	}
+}
+
+func TestEnumeratorNondetAndBranches(t *testing.T) {
+	p := lang.NewProgram("nb", "x")
+	p.AddProc("p0", "r", "s").Add(
+		lang.NondetS("r", 0, 2),
+		lang.IfElseS(lang.Eq(lang.R("r"), lang.C(1)),
+			[]lang.Stmt{lang.WriteC("x", 1)},
+			[]lang.Stmt{lang.WriteC("x", 2)},
+		),
+		lang.ReadS("s", "x"),
+	)
+	e, err := NewEnumerator(lang.MustCompile(p), func(regs [][]lang.Value) string {
+		var b strings.Builder
+		b.WriteString("r=")
+		b.WriteString(itoa(regs[0][0]))
+		b.WriteString(";s=")
+		b.WriteString(itoa(regs[0][1]))
+		return b.String()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.Outcomes()
+	// r=1 writes 1 and reads 1 (single process reads its own latest
+	// write by coherence); r=0 and r=2 write 2 and read 2.
+	want := []string{"r=0;s=2", "r=1;s=1", "r=2;s=2"}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("missing outcome %s (got %v)", w, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("outcomes = %v", got)
+	}
+}
+
+func TestEnumeratorAssumePrunes(t *testing.T) {
+	p := lang.NewProgram("ap", "x")
+	p.AddProc("p0", "r").Add(
+		lang.ReadS("r", "x"),
+		lang.AssumeS(lang.Eq(lang.R("r"), lang.C(1))), // never true: only init 0 exists
+	)
+	e, err := NewEnumerator(lang.MustCompile(p), func(regs [][]lang.Value) string { return "done" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Outcomes(); len(got) != 0 {
+		t.Errorf("assume(false) path completed: %v", got)
+	}
+}
+
+func TestExecutionString(t *testing.T) {
+	x := &Execution{
+		Events: []Event{
+			{ID: 0, Proc: -1, Kind: KindWrite, Var: 0},
+			{ID: 1, Proc: 0, Kind: KindUpdate, Var: 0, ValR: 0, ValW: 1},
+		},
+		RF: map[int]int{1: 0},
+		MO: map[int][]int{0: {0, 1}},
+	}
+	s := x.String()
+	for _, frag := range []string{"e0", "U", "rf<-e0", "mo v0"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("execution rendering missing %q:\n%s", frag, s)
+		}
+	}
+	if ok, reason := x.Consistent(); !ok {
+		t.Errorf("update chain must be consistent: %s", reason)
+	}
+}
+
+func TestAtomicityViolationDetected(t *testing.T) {
+	// Update at e2 reads e0 but a write e1 sits between them in mo.
+	x := &Execution{
+		Events: []Event{
+			{ID: 0, Proc: -1, Kind: KindWrite, Var: 0, ValW: 0},
+			{ID: 1, Proc: 0, Kind: KindWrite, Var: 0, ValW: 5},
+			{ID: 2, Proc: 1, Kind: KindUpdate, Var: 0, ValR: 0, ValW: 1},
+		},
+		RF: map[int]int{2: 0},
+		MO: map[int][]int{0: {0, 1, 2}},
+	}
+	ok, reason := x.Consistent()
+	if ok {
+		t.Error("atomicity violation accepted")
+	}
+	if !strings.Contains(reason, "atomicity") {
+		t.Errorf("wrong reason: %s", reason)
+	}
+}
+
+func itoa(v lang.Value) string {
+	if v < 0 {
+		return "-" + itoa(-v)
+	}
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return itoa(v/10) + string(rune('0'+v%10))
+}
+
+func TestSCModeForbidsSB(t *testing.T) {
+	p := lang.NewProgram("sb", "x", "y")
+	p.AddProc("p0", "a").Add(lang.WriteC("x", 1), lang.ReadS("a", "y"))
+	p.AddProc("p1", "b").Add(lang.WriteC("y", 1), lang.ReadS("b", "x"))
+	e, err := NewEnumerator(lang.MustCompile(p), func(regs [][]lang.Value) string {
+		return "a=" + itoa(regs[0][0]) + ";b=" + itoa(regs[1][0])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.UseSC = true
+	got := e.Outcomes()
+	if got["a=0;b=0"] {
+		t.Error("SC must forbid the SB weak outcome")
+	}
+	if len(got) != 3 {
+		t.Errorf("SC SB outcomes = %v, want 3", got)
+	}
+}
+
+func TestSCModeSubsetOfRA(t *testing.T) {
+	// Every SC outcome is an RA outcome, on a handful of shapes.
+	progs := []*lang.Program{}
+	{
+		p := lang.NewProgram("mp", "x", "y")
+		p.AddProc("p0").Add(lang.WriteC("x", 1), lang.WriteC("y", 1))
+		p.AddProc("p1", "a", "b").Add(lang.ReadS("a", "y"), lang.ReadS("b", "x"))
+		progs = append(progs, p)
+	}
+	{
+		p := lang.NewProgram("corr", "x")
+		p.AddProc("p0").Add(lang.WriteC("x", 1), lang.WriteC("x", 2))
+		p.AddProc("p1", "a", "b").Add(lang.ReadS("a", "x"), lang.ReadS("b", "x"))
+		progs = append(progs, p)
+	}
+	for _, p := range progs {
+		render := func(regs [][]lang.Value) string {
+			s := ""
+			for pi := range regs {
+				for ri := range regs[pi] {
+					s += itoa(regs[pi][ri]) + ","
+				}
+			}
+			return s
+		}
+		ra, err := NewEnumerator(lang.MustCompile(p), render)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raOut := ra.Outcomes()
+		sc, err := NewEnumerator(lang.MustCompile(p), render)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.UseSC = true
+		scOut := sc.Outcomes()
+		for o := range scOut {
+			if !raOut[o] {
+				t.Errorf("%s: SC outcome %s not an RA outcome", p.Name, o)
+			}
+		}
+		if len(scOut) == 0 || len(scOut) > len(raOut) {
+			t.Errorf("%s: |SC|=%d |RA|=%d", p.Name, len(scOut), len(raOut))
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package axiom implements the declarative (axiomatic) presentation of
+// the release-acquire memory model, in the style of herd's RC11 axioms
+// restricted to the RA fragment — the presentation the paper's litmus
+// experiment checks VBMC against. An execution is a graph of events
+// with program order (po), reads-from (rf) and per-variable modification
+// order (mo); it is RA-consistent iff
+//
+//	COHERENCE  hb;eco?  is irreflexive, where hb = (po ∪ rf)⁺ and
+//	           eco = (rf ∪ mo ∪ fr)⁺  (fr = rf⁻¹;mo)
+//	ATOMICITY  for every update u: fr(u);mo(u) has no intermediate
+//	           write, i.e. u reads mo-immediately before itself
+//
+// (In the RA fragment every read is an acquire and every write a
+// release, so rf edges synchronise unconditionally and hb needs no
+// sw-composition beyond po ∪ rf.)
+//
+// The package provides an execution enumerator for loop-free programs
+// and an outcome oracle, used as an independent cross-check of the
+// operational semantics in internal/ra: the two implementations share
+// no code, so agreement on thousands of generated programs is strong
+// evidence both are the RA model.
+package axiom
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ravbmc/internal/lang"
+)
+
+// EventKind classifies an event.
+type EventKind int
+
+// Event kinds: plain read, plain write, update (CAS/fence RMW).
+const (
+	KindRead EventKind = iota
+	KindWrite
+	KindUpdate
+)
+
+// Event is a node of an execution graph. Init events (one per variable)
+// have Proc == -1.
+type Event struct {
+	ID   int
+	Proc int // -1 for initialisation events
+	Idx  int // position within the process (po order)
+	Kind EventKind
+	Var  int
+	// ValR is the value read (Read/Update); ValW the value written
+	// (Write/Update).
+	ValR lang.Value
+	ValW lang.Value
+}
+
+// IsWrite reports whether the event writes (Write or Update).
+func (e *Event) IsWrite() bool { return e.Kind != KindRead }
+
+// IsRead reports whether the event reads (Read or Update).
+func (e *Event) IsRead() bool { return e.Kind != KindWrite }
+
+// Execution is a candidate execution graph: events plus rf and mo.
+type Execution struct {
+	Events []Event
+	// RF maps a reading event id to the write event id it reads from.
+	RF map[int]int
+	// MO lists, per variable, the write event ids in modification order
+	// (the init event first).
+	MO map[int][]int
+	// NumProcs is the process count of the source program.
+	NumProcs int
+}
+
+// String renders the execution for debugging.
+func (x *Execution) String() string {
+	var b strings.Builder
+	for i := range x.Events {
+		e := &x.Events[i]
+		kind := map[EventKind]string{KindRead: "R", KindWrite: "W", KindUpdate: "U"}[e.Kind]
+		fmt.Fprintf(&b, "e%-2d p%d %s v%d", e.ID, e.Proc, kind, e.Var)
+		if e.IsRead() {
+			fmt.Fprintf(&b, " r=%d", e.ValR)
+		}
+		if e.IsWrite() {
+			fmt.Fprintf(&b, " w=%d", e.ValW)
+		}
+		if w, ok := x.RF[e.ID]; ok {
+			fmt.Fprintf(&b, " rf<-e%d", w)
+		}
+		b.WriteByte('\n')
+	}
+	var vars []int
+	for v := range x.MO {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
+	for _, v := range vars {
+		fmt.Fprintf(&b, "mo v%d: %v\n", v, x.MO[v])
+	}
+	return b.String()
+}
+
+// relation is a dense boolean adjacency matrix over event ids.
+type relation struct {
+	n   int
+	adj []bool
+}
+
+func newRelation(n int) *relation { return &relation{n: n, adj: make([]bool, n*n)} }
+
+func (r *relation) set(a, b int)      { r.adj[a*r.n+b] = true }
+func (r *relation) has(a, b int) bool { return r.adj[a*r.n+b] }
+
+// closeTransitive computes the transitive closure in place
+// (Floyd–Warshall on booleans; executions are litmus-sized).
+func (r *relation) closeTransitive() {
+	n := r.n
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !r.adj[i*n+k] {
+				continue
+			}
+			row := r.adj[i*n : i*n+n]
+			krow := r.adj[k*n : k*n+n]
+			for j := 0; j < n; j++ {
+				if krow[j] {
+					row[j] = true
+				}
+			}
+		}
+	}
+}
+
+// union merges o into r.
+func (r *relation) union(o *relation) {
+	for i := range r.adj {
+		if o.adj[i] {
+			r.adj[i] = true
+		}
+	}
+}
+
+// irreflexive reports whether no event relates to itself.
+func (r *relation) irreflexive() bool {
+	for i := 0; i < r.n; i++ {
+		if r.adj[i*r.n+i] {
+			return false
+		}
+	}
+	return true
+}
+
+// compose returns r;o.
+func (r *relation) compose(o *relation) *relation {
+	n := r.n
+	out := newRelation(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			if !r.adj[i*n+k] {
+				continue
+			}
+			krow := o.adj[k*n : k*n+n]
+			orow := out.adj[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				if krow[j] {
+					orow[j] = true
+				}
+			}
+		}
+	}
+	return out
+}

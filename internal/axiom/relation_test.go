@@ -1,0 +1,126 @@
+package axiom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomRelation(rng *rand.Rand, n int, density float64) *relation {
+	r := newRelation(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < density {
+				r.set(i, j)
+			}
+		}
+	}
+	return r
+}
+
+func copyRelation(r *relation) *relation {
+	c := newRelation(r.n)
+	copy(c.adj, r.adj)
+	return c
+}
+
+func equalRelation(a, b *relation) bool {
+	if a.n != b.n {
+		return false
+	}
+	for i := range a.adj {
+		if a.adj[i] != b.adj[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestClosureIdempotent (property): closing a closed relation changes
+// nothing, and the closure contains the original.
+func TestClosureIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + rng.Intn(6)
+		r := randomRelation(rng, n, 0.3)
+		orig := copyRelation(r)
+		r.closeTransitive()
+		once := copyRelation(r)
+		r.closeTransitive()
+		if !equalRelation(once, r) {
+			t.Fatal("closure not idempotent")
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if orig.has(i, j) && !r.has(i, j) {
+					t.Fatal("closure lost an edge")
+				}
+			}
+		}
+	}
+}
+
+// TestClosureIsTransitive (property): the result contains every
+// two-step composition.
+func TestClosureIsTransitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + rng.Intn(6)
+		r := randomRelation(rng, n, 0.25)
+		r.closeTransitive()
+		for i := 0; i < n; i++ {
+			for k := 0; k < n; k++ {
+				if !r.has(i, k) {
+					continue
+				}
+				for j := 0; j < n; j++ {
+					if r.has(k, j) && !r.has(i, j) {
+						t.Fatalf("closure misses %d->%d via %d", i, j, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestComposeAgainstDefinition (property): compose matches the naive
+// definition.
+func TestComposeAgainstDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 100; iter++ {
+		n := 2 + rng.Intn(5)
+		a := randomRelation(rng, n, 0.3)
+		b := randomRelation(rng, n, 0.3)
+		c := a.compose(b)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := false
+				for k := 0; k < n; k++ {
+					if a.has(i, k) && b.has(k, j) {
+						want = true
+					}
+				}
+				if c.has(i, j) != want {
+					t.Fatalf("compose wrong at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestUnionAndIrreflexive(t *testing.T) {
+	a := newRelation(3)
+	a.set(0, 1)
+	b := newRelation(3)
+	b.set(1, 2)
+	a.union(b)
+	if !a.has(0, 1) || !a.has(1, 2) {
+		t.Error("union lost edges")
+	}
+	if !a.irreflexive() {
+		t.Error("no self loops yet")
+	}
+	a.set(2, 2)
+	if a.irreflexive() {
+		t.Error("self loop missed")
+	}
+}

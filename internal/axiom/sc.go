@@ -1,0 +1,87 @@
+package axiom
+
+// SCConsistent checks sequential consistency of an execution graph: some
+// total order of all events extends po such that every read reads the
+// latest preceding write of its variable. Only po and rf are consulted
+// (the modification order of an SC execution is the scheduling order
+// itself). It gives the repository a second, declarative implementation
+// of SC, used to differential-test the operational SC engine.
+func (x *Execution) SCConsistent() bool {
+	n := len(x.Events)
+	// Build po successors: events of the same process in index order;
+	// init events precede everything.
+	pred := make([]int, n) // count of unscheduled po-predecessors
+	succ := make([][]int, n)
+	byProc := map[int][]int{}
+	for i := range x.Events {
+		e := &x.Events[i]
+		byProc[e.Proc] = append(byProc[e.Proc], e.ID)
+	}
+	addEdge := func(a, b int) {
+		succ[a] = append(succ[a], b)
+		pred[b]++
+	}
+	for p, ids := range byProc {
+		if p == -1 {
+			continue
+		}
+		for i := 0; i+1 < len(ids); i++ {
+			addEdge(ids[i], ids[i+1])
+		}
+		if len(ids) > 0 {
+			for _, initID := range byProc[-1] {
+				addEdge(initID, ids[0])
+			}
+		}
+	}
+
+	scheduled := make([]bool, n)
+	lastWrite := map[int]int{} // var -> event id of latest scheduled write
+
+	var rec func(done int) bool
+	rec = func(done int) bool {
+		if done == n {
+			return true
+		}
+		for id := 0; id < n; id++ {
+			if scheduled[id] || pred[id] > 0 {
+				continue
+			}
+			e := &x.Events[id]
+			// A read must read the latest scheduled write of its
+			// variable (init events are writes scheduled first).
+			if e.IsRead() && e.Proc != -1 {
+				w, ok := lastWrite[e.Var]
+				if !ok || x.RF[id] != w {
+					continue
+				}
+			}
+			// Schedule id.
+			scheduled[id] = true
+			savedWrite, hadWrite := 0, false
+			if e.IsWrite() {
+				savedWrite, hadWrite = lastWrite[e.Var], func() bool { _, ok := lastWrite[e.Var]; return ok }()
+				lastWrite[e.Var] = id
+			}
+			for _, s := range succ[id] {
+				pred[s]--
+			}
+			if rec(done + 1) {
+				return true
+			}
+			for _, s := range succ[id] {
+				pred[s]++
+			}
+			if e.IsWrite() {
+				if hadWrite {
+					lastWrite[e.Var] = savedWrite
+				} else {
+					delete(lastWrite, e.Var)
+				}
+			}
+			scheduled[id] = false
+		}
+		return false
+	}
+	return rec(0)
+}

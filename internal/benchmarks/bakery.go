@@ -1,0 +1,87 @@
+package benchmarks
+
+import (
+	"fmt"
+
+	"ravbmc/internal/lang"
+)
+
+// Bakery builds Lamport's bakery algorithm for n threads, each entering
+// the critical section once (ticket values are therefore bounded).
+// Shared variables: entering_i and number_i per thread.
+func Bakery(n int, ver Version) *lang.Program {
+	g := newGen("bakery", n, ver)
+	for i := 0; i < n; i++ {
+		g.prog.AddVar(fmt.Sprintf("entering%d", i))
+		g.prog.AddVar(fmt.Sprintf("number%d", i))
+	}
+	for i := 0; i < n; i++ {
+		g.bakeryThread(i)
+	}
+	return g.prog
+}
+
+func (g *gen) bakeryThread(i int) {
+	pr := g.prog.AddProc(fmt.Sprintf("t%d", i), "max", "t", "nj", "ej", "mine")
+	num := func(k int) string { return fmt.Sprintf("number%d", k) }
+	ent := func(k int) string { return fmt.Sprintf("entering%d", k) }
+
+	// Doorway: entering_i = 1; number_i = 1 + max(number_*);
+	// entering_i = 0.
+	g.write(pr, i, ent(i), 1)
+	pr.Add(lang.AssignS("max", lang.C(0)))
+	for k := 0; k < g.n; k++ {
+		pr.Add(
+			lang.ReadS("t", num(k)),
+			lang.IfS(lang.Gt(lang.R("t"), lang.R("max")), lang.AssignS("max", lang.R("t"))),
+		)
+	}
+	pr.Add(lang.AssignS("mine", lang.Add(lang.R("max"), lang.C(1))))
+	pr.Add(lang.WriteS(num(i), lang.R("mine")))
+	g.f(pr, i)
+	g.write(pr, i, ent(i), 0)
+
+	// For each other thread: wait until it is not choosing and its
+	// ticket does not precede ours. The buggy thread skips the last
+	// ticket gate.
+	for k := 0; k < g.n; k++ {
+		if k == i {
+			continue
+		}
+		// await entering_k == 0
+		g.spinUntil(pr, i, false,
+			[]lang.Stmt{lang.ReadS("ej", ent(k))},
+			lang.Eq(lang.R("ej"), lang.C(0)))
+		// await number_k == 0 || (number_k, k) > (number_i, i)
+		skip := g.buggy(i) && k == lastOther(i, g.n)
+		cond := lang.Or(
+			lang.Eq(lang.R("nj"), lang.C(0)),
+			lang.Or(
+				lang.Gt(lang.R("nj"), lang.R("mine")),
+				lang.And(lang.Eq(lang.R("nj"), lang.R("mine")), lang.C(truthVal(k > i))),
+			),
+		)
+		g.spinUntil(pr, i, skip,
+			[]lang.Stmt{lang.ReadS("nj", num(k))},
+			cond)
+	}
+
+	g.critical(pr, i)
+	g.write(pr, i, num(i), 0)
+	pr.Add(lang.TermS())
+}
+
+// lastOther returns the largest thread id different from i.
+func lastOther(i, n int) int {
+	if i == n-1 {
+		return n - 2
+	}
+	return n - 1
+}
+
+func truthVal(b bool) lang.Value {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,82 @@
+package benchmarks
+
+import (
+	"fmt"
+
+	"ravbmc/internal/lang"
+)
+
+// Burns builds Burns' n-thread mutual-exclusion algorithm: a thread
+// raises its flag, restarts if any lower-id thread also shows a flag,
+// then waits for every higher-id flag to drop.
+func Burns(n int, ver Version) *lang.Program {
+	g := newGen("burns", n, ver)
+	for i := 0; i < n; i++ {
+		g.prog.AddVar(fmt.Sprintf("flag%d", i))
+	}
+	for i := 0; i < n; i++ {
+		g.burnsThread(i)
+	}
+	return g.prog
+}
+
+func (g *gen) burnsThread(i int) {
+	pr := g.prog.AddProc(fmt.Sprintf("t%d", i), "ok", "fv", "again")
+	flag := func(k int) string { return fmt.Sprintf("flag%d", k) }
+
+	// Restart loop: flag_i = 0; if no lower flag is up, flag_i = 1 and
+	// re-check; leave once both checks pass.
+	lowCheck := func() []lang.Stmt {
+		out := []lang.Stmt{lang.AssignS("ok", lang.C(1))}
+		for k := 0; k < i; k++ {
+			out = append(out,
+				lang.ReadS("fv", flag(k)),
+				lang.IfS(lang.Eq(lang.R("fv"), lang.C(1)), lang.AssignS("ok", lang.C(0))),
+			)
+		}
+		return out
+	}
+
+	var body []lang.Stmt
+	body = append(body, lang.WriteC(flag(i), 0))
+	if g.fenced(i) {
+		body = append(body, lang.FenceS())
+	}
+	body = append(body, lowCheck()...)
+	raise := []lang.Stmt{lang.WriteC(flag(i), 1)}
+	if g.fenced(i) {
+		raise = append(raise, lang.FenceS())
+	}
+	raise = append(raise, lowCheck()...)
+	raise = append(raise,
+		lang.IfS(lang.Eq(lang.R("ok"), lang.C(1)), lang.AssignS("again", lang.C(0))),
+	)
+	body = append(body, lang.IfS(lang.Eq(lang.R("ok"), lang.C(1)), raise...))
+
+	// The buggy thread's one-line change skips the whole restart loop
+	// when it is the last thread (whose higher-id gate below is empty);
+	// otherwise it skips the higher-id gate.
+	againInit := lang.Value(1)
+	if g.buggy(i) && i == g.n-1 {
+		againInit = 0
+	}
+	pr.Add(
+		lang.AssignS("again", lang.C(againInit)),
+		lang.WhileS(lang.Eq(lang.R("again"), lang.C(1)), body...),
+	)
+
+	// Wait for all higher-id flags to drop.
+	skip := g.buggy(i) && i < g.n-1
+	gate := []lang.Stmt{lang.AssignS("ok", lang.C(1))}
+	for k := i + 1; k < g.n; k++ {
+		gate = append(gate,
+			lang.ReadS("fv", flag(k)),
+			lang.IfS(lang.Eq(lang.R("fv"), lang.C(1)), lang.AssignS("ok", lang.C(0))),
+		)
+	}
+	g.spinUntil(pr, i, skip, gate, lang.Eq(lang.R("ok"), lang.C(1)))
+
+	g.critical(pr, i)
+	g.write(pr, i, flag(i), 0)
+	pr.Add(lang.TermS())
+}

@@ -1,0 +1,104 @@
+package benchmarks
+
+import (
+	"fmt"
+
+	"ravbmc/internal/lang"
+)
+
+// Dekker builds the classic two-thread Dekker algorithm with flags and a
+// turn variable.
+func Dekker(ver Version) *lang.Program {
+	g := newGen("dekker", 2, ver)
+	g.prog.AddVar("flag0")
+	g.prog.AddVar("flag1")
+	g.prog.AddVar("turn")
+	for i := 0; i < 2; i++ {
+		g.dekkerThread(i)
+	}
+	return g.prog
+}
+
+func (g *gen) dekkerThread(i int) {
+	j := 1 - i
+	pr := g.prog.AddProc(fmt.Sprintf("t%d", i), "fj", "tr")
+	myFlag := fmt.Sprintf("flag%d", i)
+	otherFlag := fmt.Sprintf("flag%d", j)
+
+	g.write(pr, i, myFlag, 1)
+
+	// while flag_j == 1: if turn != i { flag_i = 0; await turn == i;
+	// flag_i = 1 }. The buggy thread skips the contention loop.
+	backOff := []lang.Stmt{lang.WriteC(myFlag, 0)}
+	if g.fenced(i) {
+		backOff = append(backOff, lang.FenceS())
+	}
+	// await turn == i
+	awaitBody := []lang.Stmt{lang.ReadS("tr", "turn")}
+	if g.fenced(i) {
+		awaitBody = append([]lang.Stmt{lang.FenceS()}, awaitBody...)
+	}
+	backOff = append(backOff,
+		lang.WhileS(lang.Ne(lang.R("tr"), lang.C(lang.Value(i))), awaitBody...),
+		lang.WriteC(myFlag, 1),
+	)
+	if g.fenced(i) {
+		backOff = append(backOff, lang.FenceS())
+	}
+
+	contention := []lang.Stmt{}
+	if g.fenced(i) {
+		contention = append(contention, lang.FenceS())
+	}
+	contention = append(contention,
+		lang.ReadS("tr", "turn"),
+		lang.IfS(lang.Ne(lang.R("tr"), lang.C(lang.Value(i))), backOff...),
+		lang.ReadS("fj", otherFlag),
+	)
+
+	if g.fenced(i) {
+		pr.Add(lang.FenceS())
+	}
+	pr.Add(lang.ReadS("fj", otherFlag))
+	if g.buggy(i) {
+		// One-line change: pretend the other flag is down.
+		pr.Add(lang.AssignS("fj", lang.C(0)))
+	}
+	pr.Add(lang.WhileS(lang.Eq(lang.R("fj"), lang.C(1)), contention...))
+
+	g.critical(pr, i)
+
+	g.write(pr, i, "turn", lang.Value(j))
+	g.write(pr, i, myFlag, 0)
+	pr.Add(lang.TermS())
+}
+
+// SimDekker builds the simplified (try-lock) Dekker: flags only, one
+// attempt. It is correct under SC (the store-buffering argument: at
+// least one thread sees the other's flag) but buggy under RA, where both
+// threads may read the stale 0.
+func SimDekker(ver Version) *lang.Program {
+	g := newGen("sim_dekker", 2, ver)
+	g.prog.AddVar("flag0")
+	g.prog.AddVar("flag1")
+	for i := 0; i < 2; i++ {
+		j := 1 - i
+		pr := g.prog.AddProc(fmt.Sprintf("t%d", i), "fj")
+		g.write(pr, i, fmt.Sprintf("flag%d", i), 1)
+		pr.Add(lang.ReadS("fj", fmt.Sprintf("flag%d", j)))
+		if g.buggy(i) {
+			pr.Add(lang.AssignS("fj", lang.C(0)))
+		}
+		cs := []lang.Stmt{
+			lang.WriteC("cs", lang.Value(i+1)),
+			lang.ReadS("csr", "cs"),
+			lang.AssertS(lang.Eq(lang.R("csr"), lang.C(lang.Value(i+1)))),
+			lang.WriteC("cs", 0),
+		}
+		pr.AddReg("csr")
+		pr.Add(lang.IfS(lang.Eq(lang.R("fj"), lang.C(0)), cs...))
+		g.write(pr, i, fmt.Sprintf("flag%d", i), 0)
+		pr.Add(lang.TermS())
+	}
+	return g.prog
+}

@@ -1,0 +1,62 @@
+package benchmarks
+
+import (
+	"fmt"
+
+	"ravbmc/internal/lang"
+)
+
+// Filter builds the N-thread filter lock — the textbook level-based
+// generalisation of Peterson's algorithm — as an additional benchmark
+// family beyond the paper's set. Thread i climbs levels 1..n-1; at each
+// level it publishes its level, yields the victim slot, and waits until
+// no other thread is at its level or above, or it is no longer the
+// victim.
+//
+// Compared to the tournament Peterson, the filter lock's fenced-bug
+// counterexamples need view-switch budgets that grow with N (every
+// level races against every other thread), which makes it a useful
+// stress benchmark for the bounded analyses: ByName accepts
+// "filter_0(4)" etc. with the same version scheme as the other
+// protocols.
+func Filter(n int, ver Version) *lang.Program {
+	g := newGen("filter", n, ver)
+	for i := 0; i < n; i++ {
+		g.prog.AddVar(fmt.Sprintf("flevel%d", i))
+	}
+	for l := 1; l < n; l++ {
+		g.prog.AddVar(fmt.Sprintf("fvictim%d", l))
+	}
+	for i := 0; i < n; i++ {
+		g.filterThread(i)
+	}
+	return g.prog
+}
+
+func (g *gen) filterThread(i int) {
+	pr := g.prog.AddProc(fmt.Sprintf("t%d", i), "ok", "lv", "vt")
+	for l := 1; l < g.n; l++ {
+		victim := fmt.Sprintf("fvictim%d", l)
+		g.write(pr, i, fmt.Sprintf("flevel%d", i), lang.Value(l))
+		g.write(pr, i, victim, lang.Value(i+1))
+		// Wait while (∃k≠i: level_k >= l) && victim_l == i+1; the buggy
+		// thread skips its last gate.
+		skip := g.buggy(i) && l == g.n-1
+		round := []lang.Stmt{lang.AssignS("ok", lang.C(1))}
+		for k := 0; k < g.n; k++ {
+			if k == i {
+				continue
+			}
+			round = append(round,
+				lang.ReadS("lv", fmt.Sprintf("flevel%d", k)),
+				lang.IfS(lang.Ge(lang.R("lv"), lang.C(lang.Value(l))), lang.AssignS("ok", lang.C(0))),
+			)
+		}
+		round = append(round, lang.ReadS("vt", victim))
+		exit := lang.Or(lang.Eq(lang.R("ok"), lang.C(1)), lang.Ne(lang.R("vt"), lang.C(lang.Value(i+1))))
+		g.spinUntil(pr, i, skip, round, exit)
+	}
+	g.critical(pr, i)
+	g.write(pr, i, fmt.Sprintf("flevel%d", i), 0)
+	pr.Add(lang.TermS())
+}

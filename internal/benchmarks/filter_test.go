@@ -1,0 +1,56 @@
+package benchmarks
+
+import (
+	"testing"
+
+	"ravbmc/internal/core"
+	"ravbmc/internal/lang"
+	"ravbmc/internal/sc"
+)
+
+func TestFilterGenerators(t *testing.T) {
+	for _, name := range []string{"filter_0", "filter_0(3)", "filter_2(3)", "filter_3(3)", "filter_4(3)"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.ValidateRA(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFilterSCBehaviour(t *testing.T) {
+	// Correct under SC; the one-line bug breaks it under SC too.
+	for _, c := range []struct {
+		name   string
+		unsafe bool
+	}{
+		{"filter_0(3)", false},
+		{"filter_2(3)", true},
+		{"filter_3(3)", true},
+	} {
+		p, err := ByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := sc.NewSystem(lang.MustCompile(lang.Unroll(p, 2))).Check(sc.Options{})
+		if res.Violation != c.unsafe {
+			t.Errorf("%s under SC: violation=%v want %v", c.name, res.Violation, c.unsafe)
+		}
+	}
+}
+
+func TestFilterUnfencedUnsafeUnderRA(t *testing.T) {
+	p, err := ByName("filter_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(p, core.Options{K: 2, Unroll: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != core.Unsafe {
+		t.Errorf("filter_0 must be UNSAFE under RA at K=2, got %v", res.Verdict)
+	}
+}

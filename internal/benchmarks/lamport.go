@@ -1,0 +1,119 @@
+package benchmarks
+
+import (
+	"fmt"
+
+	"ravbmc/internal/lang"
+)
+
+// Lamport builds Lamport's fast mutual-exclusion algorithm (the
+// "splitter"-based fast mutex) for n threads with ids 1..n. Shared
+// variables: x, y and a flag b_i per thread.
+func Lamport(n int, ver Version) *lang.Program {
+	g := newGen("lamport", n, ver)
+	g.prog.AddVar("x")
+	g.prog.AddVar("y")
+	for i := 0; i < n; i++ {
+		g.prog.AddVar(fmt.Sprintf("b%d", i))
+	}
+	for i := 0; i < n; i++ {
+		g.lamportThread(i)
+	}
+	return g.prog
+}
+
+func (g *gen) lamportThread(i int) {
+	id := lang.Value(i + 1)
+	pr := g.prog.AddProc(fmt.Sprintf("t%d", i), "ry", "rx", "bv", "done")
+	b := func(k int) string { return fmt.Sprintf("b%d", k) }
+
+	// Retry loop implementing the goto-based original:
+	//
+	//	start: b_i = 1; x = id
+	//	       if y != 0 { b_i = 0; await y == 0; retry }
+	//	       y = id
+	//	       if x != id {
+	//	           b_i = 0; for all j: await b_j == 0
+	//	           if y != id { await y == 0; retry }
+	//	       }
+	//	       CS
+	//	       y = 0; b_i = 0
+	var attempt []lang.Stmt
+	attempt = append(attempt, lang.WriteC(b(i), 1))
+	if g.fenced(i) {
+		attempt = append(attempt, lang.FenceS())
+	}
+	attempt = append(attempt, lang.WriteS("x", lang.C(id)))
+	if g.fenced(i) {
+		attempt = append(attempt, lang.FenceS())
+	}
+	attempt = append(attempt, lang.ReadS("ry", "y"))
+
+	// Fast-path failure: y busy.
+	busy := []lang.Stmt{lang.WriteC(b(i), 0)}
+	if g.fenced(i) {
+		busy = append(busy, lang.FenceS())
+	}
+	awaitY0 := []lang.Stmt{lang.ReadS("ry", "y")}
+	if g.fenced(i) {
+		awaitY0 = append([]lang.Stmt{lang.FenceS()}, awaitY0...)
+	}
+	busy = append(busy, lang.WhileS(lang.Ne(lang.R("ry"), lang.C(0)), awaitY0...))
+
+	// Slow path when the splitter was contended.
+	slow := []lang.Stmt{lang.WriteC(b(i), 0)}
+	if g.fenced(i) {
+		slow = append(slow, lang.FenceS())
+	}
+	for j := 0; j < g.n; j++ {
+		if j == i {
+			continue
+		}
+		awaitB := []lang.Stmt{lang.ReadS("bv", b(j))}
+		if g.fenced(i) {
+			awaitB = append([]lang.Stmt{lang.FenceS()}, awaitB...)
+		}
+		slow = append(slow,
+			lang.ReadS("bv", b(j)),
+			lang.WhileS(lang.Eq(lang.R("bv"), lang.C(1)), awaitB...),
+		)
+	}
+	slow = append(slow, lang.ReadS("ry", "y"))
+	slowRetry := append([]lang.Stmt{}, lang.WhileS(lang.Ne(lang.R("ry"), lang.C(0)), awaitY0...))
+	slow = append(slow,
+		lang.IfElseS(lang.Ne(lang.R("ry"), lang.C(id)),
+			slowRetry, // y stolen: wait and retry
+			[]lang.Stmt{lang.AssignS("done", lang.C(1))},
+		),
+	)
+
+	enter := []lang.Stmt{lang.WriteS("y", lang.C(id))}
+	if g.fenced(i) {
+		enter = append(enter, lang.FenceS())
+	}
+	enter = append(enter, lang.ReadS("rx", "x"))
+	if g.buggy(i) {
+		// One-line change: pretend the splitter is uncontended.
+		enter = append(enter, lang.AssignS("rx", lang.C(id)))
+	}
+	enter = append(enter,
+		lang.IfElseS(lang.Ne(lang.R("rx"), lang.C(id)),
+			slow,
+			[]lang.Stmt{lang.AssignS("done", lang.C(1))},
+		),
+	)
+
+	attempt = append(attempt,
+		lang.IfElseS(lang.Ne(lang.R("ry"), lang.C(0)), busy, enter),
+	)
+
+	pr.Add(
+		lang.AssignS("done", lang.C(0)),
+		lang.WhileS(lang.Eq(lang.R("done"), lang.C(0)), attempt...),
+	)
+
+	g.critical(pr, i)
+	g.write(pr, i, "y", 0)
+	g.write(pr, i, b(i), 0)
+	pr.Add(lang.TermS())
+}

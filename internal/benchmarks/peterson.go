@@ -1,0 +1,108 @@
+package benchmarks
+
+import (
+	"fmt"
+
+	"ravbmc/internal/lang"
+)
+
+// Peterson builds the N-thread Peterson protocol as a tournament of
+// classic two-thread Peterson locks: threads are leaves of a binary
+// tree (padded to a power of two with phantom opponents that never
+// compete), and a thread acquires the locks on the path from its leaf
+// to the root before entering the critical section, releasing them in
+// reverse order on exit. For n=2 this is exactly the classic two-thread
+// Peterson algorithm.
+//
+// Each tree node v carries flag_v_0, flag_v_1 and turn_v. The entry
+// protocol on node v from side s is
+//
+//	flag_v_s = 1; turn_v = 1-s
+//	wait until flag_v_(1-s) == 0 || turn_v == s
+//
+// In the fenced versions a thread's turn update is strengthened to an
+// atomic exchange (a CAS with a guessed expected value): RMWs on turn
+// are totally ordered and merge views both ways, which is the placement
+// known to restore Peterson's correctness under RA (Lahav et al.,
+// "Taming release-acquire consistency"). It also keeps the fenced-bug
+// counterexamples within a small view-switch budget, since only the two
+// finalists need to synchronise.
+//
+// The one-line bug (versions _2/_3) makes the buggy thread skip the
+// wait at its root-node lock. Under the bounded analyses this keeps the
+// counterexample local to the two finalists: the other threads can
+// simply stay parked, so the view-switch budget needed to expose the
+// bug does not grow with N.
+func Peterson(n int, ver Version) *lang.Program {
+	g := newGen("peterson", n, ver)
+	depth := 0
+	for 1<<depth < n {
+		depth++
+	}
+	// Declare variables for every node with at least one real thread on
+	// each side-path; phantom-only nodes are never touched but a simple
+	// over-approximation (declare all nodes) keeps the code direct.
+	for d := 1; d <= depth; d++ {
+		for v := 0; v < 1<<(depth-d); v++ {
+			g.prog.AddVar(nodeVar("flag", d, v, 0))
+			g.prog.AddVar(nodeVar("flag", d, v, 1))
+			g.prog.AddVar(nodeVar("turn", d, v))
+		}
+	}
+	for i := 0; i < n; i++ {
+		g.petersonThread(i, depth)
+	}
+	return g.prog
+}
+
+// nodeVar names a tournament variable: d is the round (1 = leaf level),
+// v the node index within the round.
+func nodeVar(kind string, d, v int, side ...int) string {
+	if len(side) > 0 {
+		return fmt.Sprintf("%s_%d_%d_%d", kind, d, v, side[0])
+	}
+	return fmt.Sprintf("%s_%d_%d", kind, d, v)
+}
+
+func (g *gen) petersonThread(i, depth int) {
+	pr := g.prog.AddProc(fmt.Sprintf("t%d", i), "fo", "tn", "tg")
+	// Acquire from leaf to root.
+	for d := 1; d <= depth; d++ {
+		node := i >> d
+		side := (i >> (d - 1)) & 1
+		myFlag := nodeVar("flag", d, node, side)
+		otherFlag := nodeVar("flag", d, node, 1-side)
+		turn := nodeVar("turn", d, node)
+
+		pr.Add(lang.WriteC(myFlag, 1))
+		if g.fenced(i) {
+			// Atomic exchange: guess the current value, CAS it to 1-s.
+			pr.Add(
+				lang.NondetS("tg", 0, 1),
+				lang.CASS(turn, lang.R("tg"), lang.C(lang.Value(1-side))),
+			)
+		} else {
+			pr.Add(lang.WriteC(turn, lang.Value(1-side)))
+		}
+		// wait until otherFlag == 0 || turn == side. The buggy thread
+		// skips the wait at the root.
+		skip := g.buggy(i) && d == depth
+		round := []lang.Stmt{
+			lang.ReadS("fo", otherFlag),
+			lang.ReadS("tn", turn),
+		}
+		exit := lang.Or(
+			lang.Eq(lang.R("fo"), lang.C(0)),
+			lang.Eq(lang.R("tn"), lang.C(lang.Value(side))),
+		)
+		g.spinPlain(pr, skip, round, exit)
+	}
+	g.critical(pr, i)
+	// Release from root to leaf.
+	for d := depth; d >= 1; d-- {
+		node := i >> d
+		side := (i >> (d - 1)) & 1
+		pr.Add(lang.WriteC(nodeVar("flag", d, node, side), 0))
+	}
+	pr.Add(lang.TermS())
+}

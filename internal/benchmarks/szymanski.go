@@ -1,0 +1,128 @@
+package benchmarks
+
+import (
+	"fmt"
+
+	"ravbmc/internal/lang"
+)
+
+// Szymanski builds Szymanski's N-thread mutual-exclusion algorithm.
+// Each thread publishes a phase in flag_i ∈ {0..4}:
+//
+//	0 idle, 1 intent, 2 waiting for the door, 3 in the doorway,
+//	4 through the door.
+func Szymanski(n int, ver Version) *lang.Program {
+	g := newGen("szymanski", n, ver)
+	for i := 0; i < n; i++ {
+		g.prog.AddVar(fmt.Sprintf("flag%d", i))
+	}
+	for i := 0; i < n; i++ {
+		g.szymanskiThread(i)
+	}
+	return g.prog
+}
+
+func (g *gen) szymanskiThread(i int) {
+	pr := g.prog.AddProc(fmt.Sprintf("t%d", i), "ok", "fv", "any")
+	flag := func(k int) string { return fmt.Sprintf("flag%d", k) }
+
+	// flag_i = 1: declare intent.
+	g.write(pr, i, flag(i), 1)
+
+	// Wait until all other flags < 3.
+	g.spinUntil(pr, i, false, g.allFlagsRound(i, func(k int) lang.Expr {
+		return lang.Ge(lang.R("fv"), lang.C(3))
+	}), lang.Eq(lang.R("ok"), lang.C(1)))
+
+	// flag_i = 3: enter the doorway.
+	g.write(pr, i, flag(i), 3)
+
+	// If another thread still shows intent (flag == 1), step back to 2
+	// and wait for somebody through the door (flag == 4).
+	round := []lang.Stmt{lang.AssignS("any", lang.C(0))}
+	for k := 0; k < g.n; k++ {
+		if k == i {
+			continue
+		}
+		round = append(round,
+			lang.ReadS("fv", flag(k)),
+			lang.IfS(lang.Eq(lang.R("fv"), lang.C(1)), lang.AssignS("any", lang.C(1))),
+		)
+	}
+	pr.Add(round...)
+	waitFor4 := []lang.Stmt{lang.AssignS("any", lang.C(0))}
+	for k := 0; k < g.n; k++ {
+		if k == i {
+			continue
+		}
+		waitFor4 = append(waitFor4,
+			lang.ReadS("fv", flag(k)),
+			lang.IfS(lang.Eq(lang.R("fv"), lang.C(4)), lang.AssignS("any", lang.C(1))),
+		)
+	}
+	stepBack := []lang.Stmt{lang.WriteC(flag(i), 2)}
+	if g.fenced(i) {
+		stepBack = append(stepBack, lang.FenceS())
+	}
+	// spin until any == 1 (somebody reached 4)
+	stepBack = append(stepBack,
+		lang.AssignS("spin", lang.C(1)),
+		lang.WhileS(lang.Eq(lang.R("spin"), lang.C(1)),
+			append(append([]lang.Stmt{}, waitFor4...),
+				lang.IfS(lang.Eq(lang.R("any"), lang.C(1)), lang.AssignS("spin", lang.C(0))))...),
+	)
+	pr.AddReg("spin")
+	pr.Add(lang.IfS(lang.Eq(lang.R("any"), lang.C(1)), stepBack...))
+
+	// flag_i = 4: through the door. The buggy thread's one-line change
+	// writes 0 instead, hiding it from every other thread's gates (the
+	// skip-a-gate bug would be vacuous for thread 0, whose own gate
+	// ranges over lower ids only).
+	doorVal := lang.Value(4)
+	if g.buggy(i) {
+		doorVal = 0
+	}
+	g.write(pr, i, flag(i), doorVal)
+
+	// Wait until all lower-id threads are out of the doorway (flag < 2).
+	gate := []lang.Stmt{lang.AssignS("ok", lang.C(1))}
+	for k := 0; k < i; k++ {
+		gate = append(gate,
+			lang.ReadS("fv", flag(k)),
+			lang.IfS(lang.Ge(lang.R("fv"), lang.C(2)), lang.AssignS("ok", lang.C(0))),
+		)
+	}
+	g.spinUntil(pr, i, false, gate, lang.Eq(lang.R("ok"), lang.C(1)))
+
+	g.critical(pr, i)
+
+	// Exit: wait until all higher-id threads are not in {2,3}, then
+	// reset the flag.
+	exitGate := []lang.Stmt{lang.AssignS("ok", lang.C(1))}
+	for k := i + 1; k < g.n; k++ {
+		exitGate = append(exitGate,
+			lang.ReadS("fv", flag(k)),
+			lang.IfS(lang.And(lang.Ge(lang.R("fv"), lang.C(2)), lang.Le(lang.R("fv"), lang.C(3))),
+				lang.AssignS("ok", lang.C(0))),
+		)
+	}
+	g.spinUntil(pr, i, false, exitGate, lang.Eq(lang.R("ok"), lang.C(1)))
+	g.write(pr, i, flag(i), 0)
+	pr.Add(lang.TermS())
+}
+
+// allFlagsRound builds one read round over all other threads' flags,
+// clearing $ok when bad(k) holds for the freshly read value in $fv.
+func (g *gen) allFlagsRound(i int, bad func(k int) lang.Expr) []lang.Stmt {
+	round := []lang.Stmt{lang.AssignS("ok", lang.C(1))}
+	for k := 0; k < g.n; k++ {
+		if k == i {
+			continue
+		}
+		round = append(round,
+			lang.ReadS("fv", fmt.Sprintf("flag%d", k)),
+			lang.IfS(bad(k), lang.AssignS("ok", lang.C(0))),
+		)
+	}
+	return round
+}

@@ -1,0 +1,47 @@
+package benchmarks
+
+import (
+	"fmt"
+
+	"ravbmc/internal/lang"
+)
+
+// TBar builds the thread-barrier benchmark: every thread atomically
+// increments a shared counter with CAS and then spins until the counter
+// reaches n; after the barrier each thread asserts the counter equals n.
+// The property holds under RA (the counter never exceeds n and, once a
+// thread has observed n, coherence pins every later read of the counter
+// to n), so tbar appears only in the SAFE tables of the paper.
+//
+// The buggy versions (one-line change) skip the barrier wait in one
+// thread, which makes the assertion fail even under SC.
+func TBar(n int, ver Version) *lang.Program {
+	g := newGen("tbar", n, ver)
+	g.prog.AddVar("count")
+	for i := 0; i < n; i++ {
+		pr := g.prog.AddProc(fmt.Sprintf("t%d", i), "c", "v")
+		// CAS-increment, exactly once per thread: read the counter and
+		// swing it up by one. The blocking CAS waits until a message
+		// with the read value and a free successor slot is available;
+		// executions where another thread claimed the slot first park
+		// here, and the serialised executions go through.
+		pr.Add(
+			lang.ReadS("c", "count"),
+			lang.CASS("count", lang.R("c"), lang.Add(lang.R("c"), lang.C(1))),
+		)
+		if g.fenced(i) {
+			pr.Add(lang.FenceS())
+		}
+		// Barrier: wait until count == n.
+		g.spinUntil(pr, i, g.buggy(i),
+			[]lang.Stmt{lang.ReadS("v", "count")},
+			lang.Eq(lang.R("v"), lang.C(lang.Value(n))))
+		// After the barrier the counter must read n.
+		pr.Add(
+			lang.ReadS("v", "count"),
+			lang.AssertS(lang.Eq(lang.R("v"), lang.C(lang.Value(n)))),
+			lang.TermS(),
+		)
+	}
+	return g.prog
+}

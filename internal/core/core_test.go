@@ -1,0 +1,334 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"ravbmc/internal/lang"
+	"ravbmc/internal/ra"
+)
+
+// agree checks the paper's main theorem on a concrete program: for each
+// K, the K-bounded view-switching RA reachability verdict (computed by
+// the exhaustive RA explorer) must coincide with the VBMC verdict
+// (translation + bounded SC model checking).
+func agree(t *testing.T, p *lang.Program, maxK int) {
+	t.Helper()
+	raSys := ra.NewSystem(lang.MustCompile(p))
+	for k := 0; k <= maxK; k++ {
+		raRes := raSys.Explore(ra.Options{ViewBound: k, StopOnViolation: true})
+		vb, err := Run(p, Options{K: k})
+		if err != nil {
+			t.Fatalf("%s K=%d: VBMC error: %v", p.Name, k, err)
+		}
+		if vb.Verdict == Inconclusive {
+			t.Fatalf("%s K=%d: VBMC inconclusive", p.Name, k)
+		}
+		raUnsafe := raRes.Violation
+		vbUnsafe := vb.Verdict == Unsafe
+		if raUnsafe != vbUnsafe {
+			t.Errorf("%s K=%d: RA explorer says unsafe=%v but VBMC says %v (states=%d)",
+				p.Name, k, raUnsafe, vb.Verdict, vb.States)
+		}
+		if vbUnsafe && vb.Trace == nil {
+			t.Errorf("%s K=%d: UNSAFE without trace", p.Name, k)
+		}
+	}
+}
+
+// mpSafe asserts the causality MP guarantees under RA.
+func mpSafe() *lang.Program {
+	p := lang.NewProgram("mp_safe", "x", "y")
+	p.AddProc("p0").Add(lang.WriteC("x", 1), lang.WriteC("y", 1))
+	p.AddProc("p1", "a", "b").Add(
+		lang.ReadS("a", "y"),
+		lang.IfS(lang.Eq(lang.R("a"), lang.C(1)),
+			lang.ReadS("b", "x"),
+			lang.AssertS(lang.Eq(lang.R("b"), lang.C(1))),
+		),
+	)
+	return p
+}
+
+// mpObservable fails as soon as p1 can observe y=1 (needs 1 switch).
+func mpObservable() *lang.Program {
+	p := lang.NewProgram("mp_obs", "x", "y")
+	p.AddProc("p0").Add(lang.WriteC("x", 1), lang.WriteC("y", 1))
+	p.AddProc("p1", "a").Add(
+		lang.ReadS("a", "y"),
+		lang.AssertS(lang.Ne(lang.R("a"), lang.C(1))),
+	)
+	return p
+}
+
+// chain2 needs two view switches: p1 forwards x to y, p2 observes y.
+func chain2() *lang.Program {
+	p := lang.NewProgram("chain2", "x", "y")
+	p.AddProc("p0").Add(lang.WriteC("x", 1))
+	p.AddProc("p1", "a").Add(
+		lang.ReadS("a", "x"),
+		lang.IfS(lang.Eq(lang.R("a"), lang.C(1)), lang.WriteC("y", 1)),
+	)
+	p.AddProc("p2", "b").Add(
+		lang.ReadS("b", "y"),
+		lang.AssertS(lang.Ne(lang.R("b"), lang.C(1))),
+	)
+	return p
+}
+
+// sbChecked reports the SB weak outcome through a checker process.
+func sbChecked(fenced bool) *lang.Program {
+	name := "sb_checked"
+	if fenced {
+		name = "sb_checked_fenced"
+	}
+	p := lang.NewProgram(name, "x", "y", "outa", "outb", "flaga", "flagb")
+	add := func(proc *lang.Proc, w, r, out, flag string, reg string) {
+		proc.Add(lang.WriteC(w, 1))
+		if fenced {
+			proc.Add(lang.FenceS())
+		}
+		proc.Add(
+			lang.ReadS(reg, r),
+			lang.WriteS(out, lang.R(reg)),
+			lang.WriteC(flag, 1),
+		)
+	}
+	add(p.AddProc("p0", "a"), "x", "y", "outa", "flaga", "a")
+	add(p.AddProc("p1", "b"), "y", "x", "outb", "flagb", "b")
+	chk := p.AddProc("chk", "fa", "fb", "va", "vb")
+	chk.Add(
+		lang.ReadS("fa", "flaga"), lang.AssumeS(lang.Eq(lang.R("fa"), lang.C(1))),
+		lang.ReadS("fb", "flagb"), lang.AssumeS(lang.Eq(lang.R("fb"), lang.C(1))),
+		lang.ReadS("va", "outa"), lang.ReadS("vb", "outb"),
+		lang.AssertS(lang.Or(lang.Ne(lang.R("va"), lang.C(0)), lang.Ne(lang.R("vb"), lang.C(0)))),
+	)
+	return p
+}
+
+// casExclusive checks CAS atomicity end to end.
+func casExclusive() *lang.Program {
+	p := lang.NewProgram("cas_excl", "x", "w0", "w1")
+	p.AddProc("p0").Add(lang.CASS("x", lang.C(0), lang.C(1)), lang.WriteC("w0", 1))
+	p.AddProc("p1").Add(lang.CASS("x", lang.C(0), lang.C(2)), lang.WriteC("w1", 1))
+	chk := p.AddProc("chk", "a", "b")
+	chk.Add(
+		lang.ReadS("a", "w0"),
+		lang.ReadS("b", "w1"),
+		lang.AssertS(lang.Not(lang.And(lang.Eq(lang.R("a"), lang.C(1)), lang.Eq(lang.R("b"), lang.C(1))))),
+	)
+	return p
+}
+
+// coherence: a reader may never observe x=2 then x=1.
+func coherence() *lang.Program {
+	p := lang.NewProgram("coherence", "x")
+	p.AddProc("p0").Add(lang.WriteC("x", 1), lang.WriteC("x", 2))
+	p.AddProc("p1", "a", "b").Add(
+		lang.ReadS("a", "x"),
+		lang.ReadS("b", "x"),
+		lang.AssertS(lang.Not(lang.And(lang.Eq(lang.R("a"), lang.C(2)), lang.Eq(lang.R("b"), lang.C(1))))),
+	)
+	return p
+}
+
+func TestVBMCMatchesRAExplorer(t *testing.T) {
+	progs := []*lang.Program{
+		mpSafe(),
+		mpObservable(),
+		chain2(),
+		casExclusive(),
+		coherence(),
+	}
+	for _, p := range progs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) { agree(t, p, 3) })
+	}
+}
+
+func TestVBMCMatchesRAExplorerSB(t *testing.T) {
+	// SB with checker has a larger space; limit K to keep the RA side fast.
+	agree(t, sbChecked(false), 3)
+}
+
+func TestVBMCFencedSBSafe(t *testing.T) {
+	// The fenced SB checker program is safe under RA at any bound.
+	for k := 0; k <= 3; k++ {
+		vb, err := Run(sbChecked(true), Options{K: k})
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if vb.Verdict != Safe {
+			t.Errorf("K=%d: fenced SB must be SAFE, got %v", k, vb.Verdict)
+		}
+	}
+}
+
+func TestKThresholds(t *testing.T) {
+	// mpObservable becomes unsafe exactly at K=1; chain2 exactly at K=2.
+	cases := []struct {
+		prog      *lang.Program
+		threshold int
+	}{
+		{mpObservable(), 1},
+		{chain2(), 2},
+	}
+	for _, c := range cases {
+		for k := 0; k <= c.threshold+1; k++ {
+			vb, err := Run(c.prog, Options{K: k})
+			if err != nil {
+				t.Fatalf("%s K=%d: %v", c.prog.Name, k, err)
+			}
+			want := Safe
+			if k >= c.threshold {
+				want = Unsafe
+			}
+			if vb.Verdict != want {
+				t.Errorf("%s K=%d: got %v, want %v", c.prog.Name, k, vb.Verdict, want)
+			}
+		}
+	}
+}
+
+func TestTranslationSizePolynomial(t *testing.T) {
+	p := mpSafe()
+	base, err := Translate(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Translate(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The translated statement count is independent of K (only array
+	// sizes and constants grow), so growth must be zero here.
+	if base.CountStmts() != big.CountStmts() {
+		t.Errorf("statement count changed with K: %d vs %d", base.CountStmts(), big.CountStmts())
+	}
+	if err := big.Validate(); err != nil {
+		t.Fatalf("translated program invalid: %v", err)
+	}
+}
+
+func TestTranslationRejectsNonRAFragment(t *testing.T) {
+	p := lang.NewProgram("bad")
+	p.AddArray("a", 2, 0)
+	p.AddProc("p0", "r").Add(lang.LoadS("r", "a", lang.C(0)))
+	if _, err := Translate(p, 1); err == nil {
+		t.Fatal("translation must reject programs outside the RA fragment")
+	}
+}
+
+func TestRunRequiresUnrollForLoops(t *testing.T) {
+	p := lang.NewProgram("loopy", "x")
+	p.AddProc("p0", "r").Add(lang.WhileS(lang.Eq(lang.R("r"), lang.C(0)), lang.ReadS("r", "x")))
+	if _, err := Run(p, Options{K: 1}); err == nil {
+		t.Fatal("Run must require an unroll bound for loopy programs")
+	}
+	if _, err := Run(p, Options{K: 1, Unroll: 2}); err != nil {
+		t.Fatalf("Run with unroll bound failed: %v", err)
+	}
+}
+
+func TestUnboundedContextsAgree(t *testing.T) {
+	// Ablation sanity: with the context bound removed the verdicts do
+	// not change (the bound is an optimisation, not a soundness device).
+	for _, p := range []*lang.Program{mpObservable(), chain2(), casExclusive()} {
+		for k := 0; k <= 2; k++ {
+			a, err := Run(p, Options{K: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(p, Options{K: k, MaxContexts: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Verdict != b.Verdict {
+				t.Errorf("%s K=%d: bounded=%v unbounded=%v", p.Name, k, a.Verdict, b.Verdict)
+			}
+		}
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	for v, s := range map[Verdict]string{Safe: "SAFE", Unsafe: "UNSAFE", Inconclusive: "INCONCLUSIVE"} {
+		if v.String() != s {
+			t.Errorf("Verdict(%d).String() = %q, want %q", int(v), v.String(), s)
+		}
+	}
+	if got := Verdict(42).String(); got != fmt.Sprintf("verdict(%d)", 42) {
+		t.Errorf("unknown verdict prints %q", got)
+	}
+}
+
+func TestFindMinK(t *testing.T) {
+	k, res, err := FindMinK(chain2(), 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 2 || res.Verdict != Unsafe {
+		t.Errorf("chain2 minimal K = %d (%v), want 2 (UNSAFE)", k, res.Verdict)
+	}
+	k2, res2, err := FindMinK(mpSafe(), 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2 != 2 || res2.Verdict != Safe {
+		t.Errorf("mpSafe: got K=%d %v, want SAFE at maxK", k2, res2.Verdict)
+	}
+}
+
+// fencedMP: MP where the flag handoff happens through fences.
+func fencedMP() *lang.Program {
+	p := lang.NewProgram("fenced_mp", "x", "y")
+	p.AddProc("p0").Add(lang.WriteC("x", 1), lang.FenceS(), lang.WriteC("y", 1))
+	p.AddProc("p1", "a", "b").Add(
+		lang.ReadS("a", "y"),
+		lang.FenceS(),
+		lang.ReadS("b", "x"),
+		lang.AssertS(lang.Not(lang.And(lang.Eq(lang.R("a"), lang.C(1)), lang.Eq(lang.R("b"), lang.C(0))))),
+	)
+	return p
+}
+
+// casHandoff: a CAS-built lock handoff; the second CAS can only follow
+// the first, and the reader behind it must see the data.
+func casHandoff() *lang.Program {
+	p := lang.NewProgram("cas_handoff", "l", "d")
+	p.AddProc("p0").Add(lang.WriteC("d", 7), lang.CASS("l", lang.C(0), lang.C(1)))
+	p.AddProc("p1", "v").Add(
+		lang.CASS("l", lang.C(1), lang.C(2)),
+		lang.ReadS("v", "d"),
+		lang.AssertS(lang.Eq(lang.R("v"), lang.C(7))),
+	)
+	return p
+}
+
+func TestVBMCMatchesRAExplorerSyncShapes(t *testing.T) {
+	for _, p := range []*lang.Program{fencedMP(), casHandoff()} {
+		p := p
+		t.Run(p.Name, func(t *testing.T) { agree(t, p, 3) })
+	}
+}
+
+func TestRunInconclusiveOnTinyCap(t *testing.T) {
+	res, err := Run(sbChecked(false), Options{K: 2, MaxStates: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Inconclusive {
+		// A 50-state cap cannot cover the bounded space; it might still
+		// stumble on the bug, in which case UNSAFE is acceptable.
+		if res.Verdict != Unsafe {
+			t.Errorf("tiny cap: got %v", res.Verdict)
+		}
+	}
+}
+
+func TestFindMinKErrorPropagates(t *testing.T) {
+	p := lang.NewProgram("loopy", "x")
+	p.AddProc("p0", "r").Add(lang.WhileS(lang.Eq(lang.R("r"), lang.C(0)), lang.ReadS("r", "x")))
+	if _, _, err := FindMinK(p, 2, Options{}); err == nil {
+		t.Error("loops without an unroll bound must error")
+	}
+}

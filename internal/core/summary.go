@@ -1,0 +1,42 @@
+package core
+
+import (
+	"strings"
+
+	"ravbmc/internal/trace"
+)
+
+// SummarizeTrace compresses a counterexample trace of the translated
+// program to the events that correspond to RA-level actions: message
+// publications (_ms_* and _messages_used writes), view-switch
+// accounting (_s_RA), CAS stamps claimed on behalf of RMWs, passed
+// assumes on user conditions, and the violation itself. The scratch
+// bookkeeping of the translation (nondet guesses, _avail probing, local
+// view updates) is dropped, which typically shrinks the trace by an
+// order of magnitude while keeping everything a user needs to follow
+// the bug.
+func SummarizeTrace(t *trace.Trace) *trace.Trace {
+	if t == nil {
+		return nil
+	}
+	out := &trace.Trace{}
+	for _, e := range t.Events {
+		switch {
+		case e.Kind == trace.KindViolation:
+			out.Append(e)
+		case e.Kind == trace.KindWrite && strings.Contains(e.Detail, "_ms_"):
+			out.Append(e)
+		case e.Kind == trace.KindWrite && strings.Contains(e.Detail, "_messages_used"):
+			out.Append(e)
+		case e.Kind == trace.KindWrite && strings.Contains(e.Detail, "_s_RA"):
+			ev := e
+			ev.ViewSwitch = true
+			out.Append(ev)
+		case e.Kind == trace.KindAssertOK:
+			out.Append(e)
+		case e.Kind == trace.KindRead && strings.Contains(e.Detail, "_ms_v_"):
+			out.Append(e)
+		}
+	}
+	return out
+}

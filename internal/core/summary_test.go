@@ -1,0 +1,37 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummarizeTraceCompresses(t *testing.T) {
+	res, err := Run(mpObservable(), Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Unsafe || res.Trace == nil {
+		t.Fatalf("expected UNSAFE with trace, got %v", res.Verdict)
+	}
+	sum := SummarizeTrace(res.Trace)
+	if sum.Len() == 0 {
+		t.Fatal("summary empty")
+	}
+	if sum.Len() >= res.Trace.Len() {
+		t.Errorf("summary (%d events) not smaller than raw trace (%d)", sum.Len(), res.Trace.Len())
+	}
+	// The violation and at least one view-switch marker survive.
+	s := sum.String()
+	if !strings.Contains(s, "VIOLATION") {
+		t.Error("summary lost the violation")
+	}
+	if sum.ViewSwitches() == 0 {
+		t.Error("summary lost the view-switch accounting")
+	}
+}
+
+func TestSummarizeTraceNil(t *testing.T) {
+	if SummarizeTrace(nil) != nil {
+		t.Error("nil trace must summarise to nil")
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ravbmc/internal/lang"
+	"ravbmc/internal/sc"
+	"ravbmc/internal/trace"
+)
+
+// Verdict is the outcome of a VBMC run.
+type Verdict int
+
+// Verdicts. Safe means: no assertion fails in any execution with at
+// most K view switches and at most L loop iterations — an
+// under-approximate guarantee, exactly as in the paper (Sec. 6). Unsafe
+// comes with a witness trace.
+const (
+	Safe Verdict = iota
+	Unsafe
+	// Inconclusive is reported when the search hit a state cap before
+	// covering the bounded space.
+	Inconclusive
+)
+
+// String returns SAFE/UNSAFE/INCONCLUSIVE as the tool prints it.
+func (v Verdict) String() string {
+	switch v {
+	case Safe:
+		return "SAFE"
+	case Unsafe:
+		return "UNSAFE"
+	case Inconclusive:
+		return "INCONCLUSIVE"
+	}
+	return fmt.Sprintf("verdict(%d)", int(v))
+}
+
+// Options configures a VBMC run.
+type Options struct {
+	// K is the view-switch budget.
+	K int
+	// Unroll is the loop unrolling bound L. It is required (positive)
+	// when the program has loops, mirroring the CBMC requirement that
+	// all loops be bounded.
+	Unroll int
+	// MaxContexts overrides the SC backend's context bound: 0 selects
+	// the paper's K+n (n = number of processes), a negative value runs
+	// the backend without a context bound (still sound and complete for
+	// the K-bounded problem, used by the ablation benchmarks).
+	MaxContexts int
+	// MaxStates caps the backend search; 0 means unlimited.
+	MaxStates int
+	// Timeout caps wall-clock time (0 = none). The paper's evaluation
+	// uses 3600 s.
+	Timeout time.Duration
+	// NoProbes disables the under-approximate probe ladder (the cheap
+	// forced-tracked / small-stamp-window pass run before the full
+	// translation); used by the ablation benchmarks.
+	NoProbes bool
+}
+
+// Result reports a VBMC verdict with search statistics.
+type Result struct {
+	Verdict Verdict
+	Trace   *trace.Trace
+	// States and Transitions are backend search statistics.
+	States, Transitions int
+	// TranslatedStmts is the statement count of [[prog]]_K, recorded to
+	// exhibit the polynomial size of the translation.
+	TranslatedStmts int
+	// ContextBound is the bound the backend actually used (0 =
+	// unbounded).
+	ContextBound int
+	// TimedOut is true when the Timeout cut the backend search short
+	// (the verdict is then Inconclusive).
+	TimedOut bool
+}
+
+// Run checks the program under RA with at most K view switches by
+// translating it to SC and model-checking the translation: the paper's
+// VBMC pipeline with the explicit-state backend substituted for
+// Lazy CSeq + CBMC.
+//
+// Because the backend is an explicit-state search rather than a SAT
+// solver, the driver layers two goal-directed devices on top of the
+// paper's reduction, neither of which changes the decided problem:
+//
+//   - an under-approximate probe: the translation restricted to tracked
+//     writes with stamps at most 2 above the view is checked first (its
+//     guesses are a subset of the full translation's, so a bug it finds
+//     is genuine);
+//   - iterative context deepening: within each pass, small context
+//     bounds are searched before the full K+n bound.
+func Run(prog *lang.Program, opts Options) (Result, error) {
+	if err := prog.ValidateRA(); err != nil {
+		return Result{}, err
+	}
+	src := prog
+	if lang.MaxLoopDepth(prog) > 0 {
+		if opts.Unroll <= 0 {
+			return Result{}, fmt.Errorf("core: program %q has loops; an unroll bound L is required", prog.Name)
+		}
+		src = lang.Unroll(prog, opts.Unroll)
+	}
+	bound := opts.MaxContexts
+	if bound == 0 {
+		bound = opts.K + len(prog.Procs)
+	}
+	if bound < 0 {
+		bound = 0 // backend: unbounded
+	}
+	deadline := time.Time{}
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
+	out := Result{ContextBound: bound}
+
+	if !opts.NoProbes {
+		tiers := []struct {
+			v         variant
+			maxStates int
+			slice     time.Duration
+		}{
+			// Window 1 is a cheap lottery ticket: it catches bugs whose
+			// modification orders follow the merge order, and costs
+			// little when it does not.
+			{variant{stampWindow: 1, forceTracked: true}, 150_000, opts.Timeout / 8},
+			{variant{stampWindow: 2, forceTracked: true}, 600_000, opts.Timeout / 3},
+		}
+		for _, tier := range tiers {
+			probeProg, err := translateVariant(src, opts.K, tier.v)
+			if err != nil {
+				return Result{}, err
+			}
+			probeOpts := sc.Options{MaxContexts: bound, MaxStates: tier.maxStates}
+			if opts.MaxStates > 0 && opts.MaxStates < probeOpts.MaxStates {
+				probeOpts.MaxStates = opts.MaxStates
+			}
+			if opts.Timeout > 0 {
+				probeOpts.Deadline = time.Now().Add(tier.slice)
+			}
+			res := checkDeepening(probeProg, bound, probeOpts)
+			out.States += res.States
+			out.Transitions += res.Transitions
+			if res.Violation {
+				out.Verdict = Unsafe
+				out.Trace = res.Trace
+				translated, terr := Translate(src, opts.K)
+				if terr == nil {
+					out.TranslatedStmts = translated.CountStmts()
+				}
+				return out, nil
+			}
+		}
+	}
+
+	translated, err := Translate(src, opts.K)
+	if err != nil {
+		return Result{}, err
+	}
+	out.TranslatedStmts = translated.CountStmts()
+	scOpts := sc.Options{MaxContexts: bound, MaxStates: opts.MaxStates, Deadline: deadline}
+	res := checkDeepening(translated, bound, scOpts)
+	out.States += res.States
+	out.Transitions += res.Transitions
+	out.TimedOut = res.TimedOut
+	switch {
+	case res.Violation:
+		out.Verdict = Unsafe
+		out.Trace = res.Trace
+	case res.Exhausted:
+		out.Verdict = Safe
+	default:
+		out.Verdict = Inconclusive
+	}
+	return out, nil
+}
+
+// checkDeepening compiles the translated program and model-checks it
+// with iterative context deepening: counterexamples typically need very
+// few contexts, and the k-context state space is far smaller than the
+// full one, so small bounds are searched first; the final full-bound
+// run still decides SAFE exactly.
+func checkDeepening(translated *lang.Program, bound int, scOpts sc.Options) sc.Result {
+	cp, err := lang.Compile(translated)
+	if err != nil {
+		// The translation always emits well-formed programs; a failure
+		// here is a bug in the translator itself.
+		panic(fmt.Sprintf("core: compiling translation: %v", err))
+	}
+	sys := sc.NewSystem(cp)
+	var res sc.Result
+	var totalStates, totalTransitions int
+	// Restart ladder: rounds pair a context bound (3, then the full
+	// bound) with both process orders (bugs located in different threads
+	// are reached by differently biased searches, cf. the position
+	// sensitivity of RCMC in the paper's Tables 3 and 4). Each round
+	// carries a state budget so that no single bias can starve the
+	// others; budgets escalate geometrically and the final uncapped
+	// full-bound run decides SAFE exactly.
+	var cbs []int
+	for cb := 2; bound > 0 && cb < bound; cb++ {
+		cbs = append(cbs, cb)
+	}
+	for _, cap := range []int{150_000} {
+		if scOpts.MaxStates > 0 && cap > scOpts.MaxStates {
+			cap = scOpts.MaxStates
+		}
+		for _, cb := range cbs {
+			for _, rev := range []bool{false, true} {
+				round := scOpts
+				round.MaxContexts = cb
+				round.ReverseProcs = rev
+				round.MaxStates = cap
+				res = sys.Check(round)
+				totalStates += res.States
+				totalTransitions += res.Transitions
+				if res.Violation || res.TimedOut {
+					res.States, res.Transitions = totalStates, totalTransitions
+					return res
+				}
+			}
+		}
+	}
+	if !res.Violation && !res.TimedOut {
+		res = sys.Check(scOpts)
+		totalStates += res.States
+		totalTransitions += res.Transitions
+	}
+	res.States, res.Transitions = totalStates, totalTransitions
+	return res
+}
+
+// FindMinK runs VBMC with K = 0, 1, ..., maxK and returns the first
+// UNSAFE result together with the K that exposed the bug — the paper's
+// iterative usage ("this subset can be increased iteratively, by
+// increasing K, to find bugs in real world programs"). If every bound
+// up to maxK is SAFE, the result of the final run is returned with
+// k == maxK; opts.K is ignored. The per-run Timeout applies to each
+// bound separately.
+func FindMinK(prog *lang.Program, maxK int, opts Options) (int, Result, error) {
+	var last Result
+	for k := 0; k <= maxK; k++ {
+		opts.K = k
+		res, err := Run(prog, opts)
+		if err != nil {
+			return k, Result{}, err
+		}
+		if res.Verdict == Unsafe {
+			return k, res, nil
+		}
+		last = res
+	}
+	return maxK, last, nil
+}

@@ -1,0 +1,294 @@
+package lang
+
+// Program is a concurrent program: a set of shared variables followed by
+// the code of a set of processes (paper Fig. 1). Shared arrays and the
+// distinguished fence variable are extensions used by the SC target of the
+// code-to-code translation and by the fence encoding respectively.
+type Program struct {
+	Name   string      // human-readable identifier, e.g. "peterson_0(3)"
+	Vars   []string    // shared scalar variables, initialised to 0
+	Arrays []ArrayDecl // shared arrays (SC target only)
+	Procs  []*Proc
+}
+
+// ArrayDecl declares a fixed-size shared array, all cells initialised to
+// the given value (0 unless stated otherwise).
+type ArrayDecl struct {
+	Name string
+	Size int
+	Init Value
+}
+
+// Proc is one process: a declaration of local registers followed by a
+// sequence of statements. Register sets of distinct processes are
+// disjoint by convention; the engines enforce per-process scoping, so
+// reusing a register name across processes is harmless.
+type Proc struct {
+	Name string
+	Regs []string
+	Body []Stmt
+}
+
+// Stmt is a statement of the language. The Lbl field of each statement is
+// the instruction label λ of the paper; empty labels are auto-generated
+// during compilation.
+type Stmt interface {
+	stmt()
+	// StmtLabel returns the user-supplied label, possibly empty.
+	StmtLabel() string
+}
+
+// Read is the acquire read $r = x.
+type Read struct {
+	Lbl string
+	Reg string // destination register
+	Var string // shared variable
+}
+
+// Write is the release write x = e where e is an expression over
+// registers. The paper restricts the right-hand side to a single
+// register; allowing an expression is equivalent (the paper itself uses
+// "x = c" as sugar) and keeps generated programs readable.
+type Write struct {
+	Lbl string
+	Var string
+	Val Expr
+}
+
+// CAS is the atomic compare-and-swap cas(x, old, new): if the chosen
+// readable message of x holds value old, atomically replace the process's
+// view of x with a fresh write of new glued immediately after it
+// (timestamp t+1 in the paper). Old and New are expressions over
+// registers (the paper uses registers $r1, $r2).
+type CAS struct {
+	Lbl string
+	Var string
+	Old Expr
+	New Expr
+}
+
+// Fence is a release-acquire fence. Operationally it behaves as an RMW
+// on a distinguished variable (paper Sec. 6): it reads the current tail
+// of that variable's modification order, merges views, and appends a new
+// glued write. Under SC it is a no-op.
+type Fence struct {
+	Lbl string
+}
+
+// Assign is the internal assignment $r = e.
+type Assign struct {
+	Lbl string
+	Reg string
+	Val Expr
+}
+
+// Nondet assigns to a register a nondeterministically chosen value in
+// the inclusive range [Lo, Hi]. It corresponds to nondet_int of the
+// paper's Algorithms 2 and 4 and to the "$r = v ∈ D" statement of the
+// PCP reduction.
+type Nondet struct {
+	Lbl string
+	Reg string
+	Lo  Value
+	Hi  Value
+}
+
+// Assume blocks the process forever if the condition is false
+// (paper Sec. 3: "the process remains at λ thereafter"). Exploration
+// engines prune the branch instead of spinning.
+type Assume struct {
+	Lbl  string
+	Cond Expr
+}
+
+// Assert reports a violation if the condition is false. Reachability
+// queries are encoded as assertion failures, as in VBMC.
+type Assert struct {
+	Lbl  string
+	Cond Expr
+}
+
+// If is the conditional statement. An absent else branch is an empty
+// slice.
+type If struct {
+	Lbl  string
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// While is the iterative statement.
+type While struct {
+	Lbl  string
+	Cond Expr
+	Body []Stmt
+}
+
+// Term terminates the process. Reaching it is observable: the PCP
+// reduction asks whether all processes reach term.
+type Term struct {
+	Lbl string
+}
+
+// LoadArr is the shared-array read $r = A[idx] (SC target only).
+type LoadArr struct {
+	Lbl   string
+	Reg   string
+	Arr   string
+	Index Expr
+}
+
+// StoreArr is the shared-array write A[idx] = e (SC target only).
+type StoreArr struct {
+	Lbl   string
+	Arr   string
+	Index Expr
+	Val   Expr
+}
+
+// Atomic executes its body without preemption (SC target only). The
+// translation wraps the simulation of each source statement in an atomic
+// block, mirroring Lazy CSeq's statement-granularity scheduling.
+type Atomic struct {
+	Lbl  string
+	Body []Stmt
+}
+
+func (Read) stmt()     {}
+func (Write) stmt()    {}
+func (CAS) stmt()      {}
+func (Fence) stmt()    {}
+func (Assign) stmt()   {}
+func (Nondet) stmt()   {}
+func (Assume) stmt()   {}
+func (Assert) stmt()   {}
+func (If) stmt()       {}
+func (While) stmt()    {}
+func (Term) stmt()     {}
+func (LoadArr) stmt()  {}
+func (StoreArr) stmt() {}
+func (Atomic) stmt()   {}
+
+// StmtLabel implements Stmt.
+func (s Read) StmtLabel() string     { return s.Lbl }
+func (s Write) StmtLabel() string    { return s.Lbl }
+func (s CAS) StmtLabel() string      { return s.Lbl }
+func (s Fence) StmtLabel() string    { return s.Lbl }
+func (s Assign) StmtLabel() string   { return s.Lbl }
+func (s Nondet) StmtLabel() string   { return s.Lbl }
+func (s Assume) StmtLabel() string   { return s.Lbl }
+func (s Assert) StmtLabel() string   { return s.Lbl }
+func (s If) StmtLabel() string       { return s.Lbl }
+func (s While) StmtLabel() string    { return s.Lbl }
+func (s Term) StmtLabel() string     { return s.Lbl }
+func (s LoadArr) StmtLabel() string  { return s.Lbl }
+func (s StoreArr) StmtLabel() string { return s.Lbl }
+func (s Atomic) StmtLabel() string   { return s.Lbl }
+
+// Proc lookup and common accessors.
+
+// ProcNames returns the names of all processes in declaration order.
+func (p *Program) ProcNames() []string {
+	names := make([]string, len(p.Procs))
+	for i, pr := range p.Procs {
+		names[i] = pr.Name
+	}
+	return names
+}
+
+// ProcByName returns the process with the given name, or nil.
+func (p *Program) ProcByName(name string) *Proc {
+	for _, pr := range p.Procs {
+		if pr.Name == name {
+			return pr
+		}
+	}
+	return nil
+}
+
+// HasVar reports whether name is a declared shared scalar variable.
+func (p *Program) HasVar(name string) bool {
+	for _, v := range p.Vars {
+		if v == name {
+			return true
+		}
+	}
+	return false
+}
+
+// HasArray reports whether name is a declared shared array.
+func (p *Program) HasArray(name string) bool {
+	for _, a := range p.Arrays {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the program. Statements are immutable
+// values, so sharing them across clones is safe; only the slices and
+// process structs are copied.
+func (p *Program) Clone() *Program {
+	q := &Program{
+		Name:   p.Name,
+		Vars:   append([]string(nil), p.Vars...),
+		Arrays: append([]ArrayDecl(nil), p.Arrays...),
+	}
+	for _, pr := range p.Procs {
+		q.Procs = append(q.Procs, &Proc{
+			Name: pr.Name,
+			Regs: append([]string(nil), pr.Regs...),
+			Body: cloneStmts(pr.Body),
+		})
+	}
+	return q
+}
+
+func cloneStmts(body []Stmt) []Stmt {
+	out := make([]Stmt, len(body))
+	for i, s := range body {
+		switch t := s.(type) {
+		case If:
+			t.Then = cloneStmts(t.Then)
+			t.Else = cloneStmts(t.Else)
+			out[i] = t
+		case While:
+			t.Body = cloneStmts(t.Body)
+			out[i] = t
+		case Atomic:
+			t.Body = cloneStmts(t.Body)
+			out[i] = t
+		default:
+			out[i] = s
+		}
+	}
+	return out
+}
+
+// CountStmts returns the number of statements in the program, counting
+// the bodies of structured statements recursively. Used to check the
+// polynomial size bound of the translation.
+func (p *Program) CountStmts() int {
+	n := 0
+	for _, pr := range p.Procs {
+		n += countStmts(pr.Body)
+	}
+	return n
+}
+
+func countStmts(body []Stmt) int {
+	n := 0
+	for _, s := range body {
+		n++
+		switch t := s.(type) {
+		case If:
+			n += countStmts(t.Then) + countStmts(t.Else)
+		case While:
+			n += countStmts(t.Body)
+		case Atomic:
+			n += countStmts(t.Body)
+		}
+	}
+	return n
+}

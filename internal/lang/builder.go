@@ -1,0 +1,145 @@
+package lang
+
+// Builder helpers: terse constructors so program generators (benchmarks,
+// litmus tests, PCP reduction, code-to-code translation) read close to
+// the paper's pseudo-code.
+
+// NewProgram returns an empty program with the given name and shared
+// variables.
+func NewProgram(name string, vars ...string) *Program {
+	return &Program{Name: name, Vars: vars}
+}
+
+// AddProc appends a process and returns it for body construction.
+func (p *Program) AddProc(name string, regs ...string) *Proc {
+	pr := &Proc{Name: name, Regs: regs}
+	p.Procs = append(p.Procs, pr)
+	return pr
+}
+
+// AddVar declares an additional shared variable (idempotent).
+func (p *Program) AddVar(name string) {
+	if !p.HasVar(name) {
+		p.Vars = append(p.Vars, name)
+	}
+}
+
+// AddArray declares a shared array.
+func (p *Program) AddArray(name string, size int, init Value) {
+	p.Arrays = append(p.Arrays, ArrayDecl{Name: name, Size: size, Init: init})
+}
+
+// AddReg declares an additional register on the process (idempotent).
+func (pr *Proc) AddReg(name string) {
+	for _, r := range pr.Regs {
+		if r == name {
+			return
+		}
+	}
+	pr.Regs = append(pr.Regs, name)
+}
+
+// Add appends statements to the process body.
+func (pr *Proc) Add(stmts ...Stmt) *Proc {
+	pr.Body = append(pr.Body, stmts...)
+	return pr
+}
+
+// Statement constructors.
+
+// ReadS is $reg = x.
+func ReadS(reg, x string) Stmt { return Read{Reg: reg, Var: x} }
+
+// WriteS is x = e.
+func WriteS(x string, e Expr) Stmt { return Write{Var: x, Val: e} }
+
+// WriteC is x = c for a constant c (the paper's "x = c" sugar).
+func WriteC(x string, c Value) Stmt { return Write{Var: x, Val: C(c)} }
+
+// CASS is cas(x, old, new).
+func CASS(x string, old, new Expr) Stmt { return CAS{Var: x, Old: old, New: new} }
+
+// FenceS is a release-acquire fence.
+func FenceS() Stmt { return Fence{} }
+
+// AssignS is $reg = e.
+func AssignS(reg string, e Expr) Stmt { return Assign{Reg: reg, Val: e} }
+
+// NondetS is $reg = nondet(lo, hi).
+func NondetS(reg string, lo, hi Value) Stmt { return Nondet{Reg: reg, Lo: lo, Hi: hi} }
+
+// AssumeS is assume(e).
+func AssumeS(e Expr) Stmt { return Assume{Cond: e} }
+
+// AssertS is assert(e).
+func AssertS(e Expr) Stmt { return Assert{Cond: e} }
+
+// IfS is if c then ... fi.
+func IfS(c Expr, then ...Stmt) Stmt { return If{Cond: c, Then: then} }
+
+// IfElseS is if c then ... else ... fi.
+func IfElseS(c Expr, then, els []Stmt) Stmt { return If{Cond: c, Then: then, Else: els} }
+
+// WhileS is while c do ... done.
+func WhileS(c Expr, body ...Stmt) Stmt { return While{Cond: c, Body: body} }
+
+// TermS terminates the process.
+func TermS() Stmt { return Term{} }
+
+// LoadS is $reg = arr[idx].
+func LoadS(reg, arr string, idx Expr) Stmt { return LoadArr{Reg: reg, Arr: arr, Index: idx} }
+
+// StoreS is arr[idx] = e.
+func StoreS(arr string, idx, e Expr) Stmt { return StoreArr{Arr: arr, Index: idx, Val: e} }
+
+// AtomicS wraps statements in an atomic section.
+func AtomicS(body ...Stmt) Stmt { return Atomic{Body: body} }
+
+// LabelS attaches a label to a statement.
+func LabelS(label string, s Stmt) Stmt {
+	switch t := s.(type) {
+	case Read:
+		t.Lbl = label
+		return t
+	case Write:
+		t.Lbl = label
+		return t
+	case CAS:
+		t.Lbl = label
+		return t
+	case Fence:
+		t.Lbl = label
+		return t
+	case Assign:
+		t.Lbl = label
+		return t
+	case Nondet:
+		t.Lbl = label
+		return t
+	case Assume:
+		t.Lbl = label
+		return t
+	case Assert:
+		t.Lbl = label
+		return t
+	case If:
+		t.Lbl = label
+		return t
+	case While:
+		t.Lbl = label
+		return t
+	case Term:
+		t.Lbl = label
+		return t
+	case LoadArr:
+		t.Lbl = label
+		return t
+	case StoreArr:
+		t.Lbl = label
+		return t
+	case Atomic:
+		t.Lbl = label
+		return t
+	}
+	return s
+}

@@ -1,0 +1,89 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLabelSAllStatementKinds(t *testing.T) {
+	stmts := []Stmt{
+		ReadS("r", "x"), WriteC("x", 1), CASS("x", C(0), C(1)), FenceS(),
+		AssignS("r", C(1)), NondetS("r", 0, 1), AssumeS(C(1)), AssertS(C(1)),
+		IfS(C(1)), WhileS(C(0)), TermS(),
+		LoadS("r", "a", C(0)), StoreS("a", C(0), C(1)), AtomicS(),
+	}
+	for i, s := range stmts {
+		labelled := LabelS("L", s)
+		if labelled.StmtLabel() != "L" {
+			t.Errorf("statement %d (%T): label not attached", i, s)
+		}
+	}
+}
+
+func TestBuilderIdempotence(t *testing.T) {
+	p := NewProgram("b", "x")
+	p.AddVar("x")
+	p.AddVar("y")
+	p.AddVar("y")
+	if len(p.Vars) != 2 {
+		t.Errorf("AddVar not idempotent: %v", p.Vars)
+	}
+	pr := p.AddProc("p", "r")
+	pr.AddReg("r")
+	pr.AddReg("s")
+	pr.AddReg("s")
+	if len(pr.Regs) != 2 {
+		t.Errorf("AddReg not idempotent: %v", pr.Regs)
+	}
+}
+
+func TestProcNamesAndLookup(t *testing.T) {
+	p := NewProgram("b", "x")
+	p.AddProc("alpha")
+	p.AddProc("beta")
+	names := p.ProcNames()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Errorf("ProcNames = %v", names)
+	}
+	if p.ProcByName("beta") == nil || p.ProcByName("gamma") != nil {
+		t.Error("ProcByName lookup wrong")
+	}
+}
+
+func TestPrintArraysAndAtomic(t *testing.T) {
+	p := NewProgram("pa")
+	p.AddArray("a", 3, 0)
+	p.AddArray("b", 2, 9)
+	p.AddProc("p0", "r").Add(
+		AtomicS(LoadS("r", "a", C(1)), StoreS("b", C(0), R("r"))),
+		LabelS("end", TermS()),
+	)
+	s := p.String()
+	for _, frag := range []string{"array a[3]", "array b[2] init 9", "atomic {", "$r = a[1]", "b[0] = $r", "end: term"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("printed program missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestWriteSAndHelpers(t *testing.T) {
+	w := WriteS("x", Add(R("r"), C(1))).(Write)
+	if w.Var != "x" {
+		t.Errorf("WriteS target %q", w.Var)
+	}
+	ie := IfElseS(C(1), []Stmt{TermS()}, []Stmt{FenceS()}).(If)
+	if len(ie.Then) != 1 || len(ie.Else) != 1 {
+		t.Error("IfElseS branches wrong")
+	}
+}
+
+func TestCloneCopiesArrays(t *testing.T) {
+	p := NewProgram("c")
+	p.AddArray("a", 2, 0)
+	p.AddProc("p0")
+	q := p.Clone()
+	q.Arrays[0].Size = 99
+	if p.Arrays[0].Size != 2 {
+		t.Error("Clone shares the arrays slice")
+	}
+}

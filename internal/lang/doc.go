@@ -1,0 +1,24 @@
+// Package lang defines the concurrent programming language of the paper
+// "Verification of Programs under the Release-Acquire Semantics"
+// (PLDI 2019), Figure 1, together with the extensions needed by the
+// view-bounded translation and the benchmark suite:
+//
+//   - assert(exp): encodes the reachability query as an assertion failure,
+//     as VBMC does for C programs.
+//   - fence: a release-acquire fence, modelled as an RMW on a distinguished
+//     variable (paper Sec. 6, following Lahav et al. POPL'16).
+//   - $r = nondet(lo, hi): nondeterministic integer choice, used by the
+//     translated SC programs (Algorithms 2 and 4 of the paper) and by the
+//     PCP reduction's "$r = v ∈ D" statements.
+//   - shared arrays and atomic blocks: the target features of the
+//     code-to-code translation (message_store, avail_x, atomic init).
+//
+// A Program is a tree-shaped AST. Analysis engines do not interpret the
+// tree directly; they run the flat instruction form produced by Compile,
+// which turns structured control flow into conditional jumps so that a
+// process state is a single program counter (cheap to hash and compare
+// during state-space exploration).
+//
+// The subset of the language accepted by the RA semantics (scalars only,
+// no arrays, no atomic blocks) is checked by ValidateRA.
+package lang

@@ -1,0 +1,307 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoProcProgram() *Program {
+	p := NewProgram("t", "x", "y")
+	p.AddProc("p0", "r").Add(
+		WriteC("x", 1),
+		ReadS("r", "y"),
+		IfS(Eq(R("r"), C(1)), WriteC("x", 2)),
+	)
+	p.AddProc("p1", "s").Add(
+		WhileS(Eq(R("s"), C(0)),
+			ReadS("s", "x"),
+		),
+		WriteC("y", 1),
+	)
+	return p
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := twoProcProgram().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := twoProcProgram().ValidateRA(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		prog func() *Program
+	}{
+		{"no processes", func() *Program { return NewProgram("e", "x") }},
+		{"dup var", func() *Program {
+			p := NewProgram("d", "x", "x")
+			p.AddProc("p")
+			return p
+		}},
+		{"dup proc", func() *Program {
+			p := NewProgram("d", "x")
+			p.AddProc("p")
+			p.Procs = append(p.Procs, &Proc{Name: "p"})
+			return p
+		}},
+		{"undeclared register", func() *Program {
+			p := NewProgram("d", "x")
+			p.AddProc("p").Add(ReadS("r", "x"))
+			return p
+		}},
+		{"undeclared variable", func() *Program {
+			p := NewProgram("d", "x")
+			p.AddProc("p", "r").Add(ReadS("r", "nope"))
+			return p
+		}},
+		{"register in nondet range empty", func() *Program {
+			p := NewProgram("d", "x")
+			p.AddProc("p", "r").Add(NondetS("r", 5, 2))
+			return p
+		}},
+		{"array out of bounds constant", func() *Program {
+			p := NewProgram("d")
+			p.AddArray("a", 2, 0)
+			p.AddProc("p", "r").Add(LoadS("r", "a", C(5)))
+			return p
+		}},
+		{"zero-size array", func() *Program {
+			p := NewProgram("d")
+			p.AddArray("a", 0, 0)
+			p.AddProc("p")
+			return p
+		}},
+		{"dup register", func() *Program {
+			p := NewProgram("d", "x")
+			p.AddProc("p", "r", "r")
+			return p
+		}},
+		{"nil statement", func() *Program {
+			p := NewProgram("d", "x")
+			pr := p.AddProc("p")
+			pr.Body = append(pr.Body, nil)
+			return p
+		}},
+	}
+	for _, c := range cases {
+		if err := c.prog().Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestValidateRARejectsExtensions(t *testing.T) {
+	p := NewProgram("d")
+	p.AddArray("a", 2, 0)
+	p.AddProc("p", "r").Add(LoadS("r", "a", C(0)))
+	if err := p.ValidateRA(); err == nil {
+		t.Error("arrays must be outside the RA fragment")
+	}
+	q := NewProgram("d", "x")
+	q.AddProc("p").Add(AtomicS(WriteC("x", 1)))
+	if err := q.ValidateRA(); err == nil {
+		t.Error("atomic must be outside the RA fragment")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := twoProcProgram()
+	q := p.Clone()
+	q.Procs[0].Body[0] = WriteC("x", 99)
+	q.Vars[0] = "zzz"
+	if w := p.Procs[0].Body[0].(Write); w.Val.(Const).V != 1 {
+		t.Error("clone shares statement slices with the original")
+	}
+	if p.Vars[0] != "x" {
+		t.Error("clone shares the vars slice")
+	}
+}
+
+func TestCountStmts(t *testing.T) {
+	p := twoProcProgram()
+	// p0: write, read, if, write-inside-if = 4; p1: while, read, write = 3.
+	if n := p.CountStmts(); n != 7 {
+		t.Errorf("CountStmts = %d, want 7", n)
+	}
+}
+
+func TestCompileShape(t *testing.T) {
+	cp := MustCompile(twoProcProgram())
+	if len(cp.Procs) != 2 {
+		t.Fatalf("expected 2 compiled procs")
+	}
+	for _, pr := range cp.Procs {
+		last := pr.Code[len(pr.Code)-1]
+		if last.Op != OpTermProc {
+			t.Errorf("proc %s does not end in term", pr.Name)
+		}
+		for i, in := range pr.Code {
+			if in.Op == OpTermProc && (in.Next != i || in.Else != i) {
+				t.Errorf("proc %s: term at %d is not a self-loop", pr.Name, i)
+			}
+			if in.Next < 0 || in.Next >= len(pr.Code) {
+				t.Errorf("proc %s: instr %d jumps out of range (%d)", pr.Name, i, in.Next)
+			}
+			if in.Op == OpCJmp && (in.Else < 0 || in.Else >= len(pr.Code)) {
+				t.Errorf("proc %s: cjmp %d else out of range (%d)", pr.Name, i, in.Else)
+			}
+			if in.Label == "" {
+				t.Errorf("proc %s: instr %d has no label", pr.Name, i)
+			}
+		}
+	}
+}
+
+func TestCompileIfElseTargets(t *testing.T) {
+	p := NewProgram("br", "x")
+	p.AddProc("p", "r").Add(
+		IfElseS(Eq(R("r"), C(0)),
+			[]Stmt{WriteC("x", 1)},
+			[]Stmt{WriteC("x", 2)},
+		),
+		WriteC("x", 3),
+	)
+	cp := MustCompile(p)
+	code := cp.Procs[0].Code
+	br := code[0]
+	if br.Op != OpCJmp {
+		t.Fatalf("expected cjmp first, got %s", br.Op)
+	}
+	// Then branch: write 1 then jump over else.
+	then := code[br.Next]
+	if then.Op != OpWriteVar || then.Val.(Const).V != 1 {
+		t.Errorf("then target wrong: %v", then)
+	}
+	els := code[br.Else]
+	if els.Op != OpWriteVar || els.Val.(Const).V != 2 {
+		t.Errorf("else target wrong: %v", els)
+	}
+}
+
+func TestFindLabelAndHelpers(t *testing.T) {
+	p := NewProgram("lbl", "x")
+	p.AddProc("p").Add(LabelS("start", WriteC("x", 1)), LabelS("fin", TermS()))
+	cp := MustCompile(p)
+	pr := cp.Procs[0]
+	if pc := pr.FindLabel("start"); pc != 0 {
+		t.Errorf("FindLabel(start) = %d", pc)
+	}
+	if pc := pr.FindLabel("fin"); pc != 1 || !pr.Terminated(pc) {
+		t.Errorf("FindLabel(fin) = %d", pc)
+	}
+	if pr.FindLabel("nosuch") != -1 {
+		t.Error("missing label must be -1")
+	}
+	if cp.ProcIndex("p") != 0 || cp.ProcIndex("q") != -1 {
+		t.Error("ProcIndex wrong")
+	}
+}
+
+func TestGloballyVisible(t *testing.T) {
+	p := NewProgram("v", "x")
+	p.AddArray("a", 2, 0)
+	p.AddProc("p", "r").Add(
+		ReadS("r", "x"),
+		WriteC("x", 1),
+		CASS("x", C(0), C(1)),
+		FenceS(),
+		LoadS("r", "a", C(0)),
+		StoreS("a", C(0), C(1)),
+		AssignS("r", C(1)),
+		AssumeS(C(1)),
+		AssertS(C(1)),
+	)
+	cp, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVisible := []bool{true, true, true, true, true, true, false, false, false}
+	for i, want := range wantVisible {
+		if got := cp.Procs[0].Code[i].GloballyVisible(); got != want {
+			t.Errorf("instr %d (%s): visible=%v want %v", i, cp.Procs[0].Code[i].Op, got, want)
+		}
+	}
+}
+
+func TestUnrollBasic(t *testing.T) {
+	p := NewProgram("u", "x")
+	p.AddProc("p", "r").Add(
+		WhileS(Eq(R("r"), C(0)), ReadS("r", "x")),
+	)
+	u2 := Unroll(p, 2)
+	if MaxLoopDepth(u2) != 0 {
+		t.Error("unrolled program must be loop-free")
+	}
+	if err := u2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Shape: if cond { body; if cond { body; assume(!cond) } }.
+	outer, ok := u2.Procs[0].Body[0].(If)
+	if !ok {
+		t.Fatalf("expected if, got %T", u2.Procs[0].Body[0])
+	}
+	if len(outer.Then) != 2 {
+		t.Fatalf("outer then has %d stmts", len(outer.Then))
+	}
+	inner, ok := outer.Then[1].(If)
+	if !ok {
+		t.Fatalf("expected nested if, got %T", outer.Then[1])
+	}
+	if _, ok := inner.Then[1].(Assume); !ok {
+		t.Fatalf("expected unwinding assumption, got %T", inner.Then[1])
+	}
+}
+
+func TestUnrollZeroBound(t *testing.T) {
+	p := NewProgram("u0", "x")
+	p.AddProc("p", "r").Add(WhileS(Eq(R("r"), C(0)), ReadS("r", "x")))
+	u := Unroll(p, 0)
+	if _, ok := u.Procs[0].Body[0].(Assume); !ok {
+		t.Fatalf("bound 0 must leave only the unwinding assumption, got %T", u.Procs[0].Body[0])
+	}
+}
+
+func TestUnrollNested(t *testing.T) {
+	p := NewProgram("un", "x")
+	p.AddProc("p", "r", "s").Add(
+		WhileS(Eq(R("r"), C(0)),
+			WhileS(Eq(R("s"), C(0)), ReadS("s", "x")),
+			ReadS("r", "x"),
+		),
+	)
+	if d := MaxLoopDepth(p); d != 2 {
+		t.Fatalf("MaxLoopDepth = %d, want 2", d)
+	}
+	u := Unroll(p, 3)
+	if MaxLoopDepth(u) != 0 {
+		t.Error("nested unroll left loops behind")
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxLoopDepthThroughBranches(t *testing.T) {
+	p := NewProgram("ml", "x")
+	p.AddProc("p", "r").Add(
+		IfS(Eq(R("r"), C(0)),
+			WhileS(Eq(R("r"), C(0)), ReadS("r", "x")),
+		),
+	)
+	if d := MaxLoopDepth(p); d != 1 {
+		t.Errorf("MaxLoopDepth = %d, want 1", d)
+	}
+}
+
+func TestPrintContainsSyntax(t *testing.T) {
+	p := twoProcProgram()
+	s := p.String()
+	for _, frag := range []string{"program t", "var x y", "proc p0", "reg r", "while", "done", "if", "fi", "end"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("printed program missing %q:\n%s", frag, s)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStmtMarkerMethods(t *testing.T) {
+	// The statement marker methods exist to seal the interface; touch
+	// each statement kind through the interface to keep them honest.
+	stmts := []Stmt{
+		Read{}, Write{}, CAS{}, Fence{}, Assign{}, Nondet{}, Assume{},
+		Assert{}, If{}, While{}, Term{}, LoadArr{}, StoreArr{}, Atomic{},
+	}
+	for _, s := range stmts {
+		s.stmt()
+		_ = s.StmtLabel()
+	}
+}
+
+func TestHasArray(t *testing.T) {
+	p := NewProgram("h")
+	p.AddArray("a", 1, 0)
+	if !p.HasArray("a") || p.HasArray("b") {
+		t.Error("HasArray lookup wrong")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	ops := map[Op]string{
+		OpReadVar: "read", OpWriteVar: "write", OpCASVar: "cas",
+		OpFenceOp: "fence", OpAssignReg: "assign", OpNondetReg: "nondet",
+		OpAssumeCond: "assume", OpAssertCond: "assert", OpJmp: "jmp",
+		OpCJmp: "cjmp", OpTermProc: "term", OpLoadArrEl: "load",
+		OpStoreArrEl: "store", OpAtomicBegin: "atomic{", OpAtomicEnd: "}atomic",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("Op(%d).String() = %q, want %q", int(op), op.String(), want)
+		}
+	}
+	if !strings.Contains(Op(99).String(), "99") {
+		t.Error("unknown op should print its number")
+	}
+}
+
+func TestUnaryString(t *testing.T) {
+	if got := Not(R("a")).(Unary).String(); got != "!$a" {
+		t.Errorf("!$a prints %q", got)
+	}
+	if got := (Unary{Op: OpNeg, X: C(3)}).String(); got != "-3" {
+		t.Errorf("-3 prints %q", got)
+	}
+	if got := (Unary{Op: OpNot, X: Add(R("a"), C(1))}).String(); got != "!($a + 1)" {
+		t.Errorf("nested unary prints %q", got)
+	}
+}
+
+func TestLabelAt(t *testing.T) {
+	p := NewProgram("l", "x")
+	p.AddProc("p").Add(LabelS("here", WriteC("x", 1)))
+	cp := MustCompile(p)
+	if got := cp.Procs[0].LabelAt(0); got != "here" {
+		t.Errorf("LabelAt(0) = %q", got)
+	}
+}
+
+func TestMustCompilePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile must panic on invalid programs")
+		}
+	}()
+	MustCompile(NewProgram("empty"))
+}
+
+func TestPrintFenceAndNondetAndCAS(t *testing.T) {
+	p := NewProgram("pr", "x")
+	p.AddProc("p", "r").Add(
+		FenceS(),
+		NondetS("r", 1, 5),
+		CASS("x", R("r"), Add(R("r"), C(1))),
+		AssumeS(Eq(R("r"), C(1))),
+		AssertS(Ne(R("r"), C(9))),
+	)
+	s := p.String()
+	for _, frag := range []string{"fence", "nondet(1, 5)", "cas(x, $r, $r + 1)", "assume($r == 1)", "assert($r != 9)"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("printed program missing %q:\n%s", frag, s)
+		}
+	}
+}

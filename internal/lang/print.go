@@ -1,0 +1,87 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the program in the concrete syntax accepted by the
+// parser, so that Parse(p.String()) reproduces p (modulo formatting).
+func (p *Program) String() string {
+	var b strings.Builder
+	if p.Name != "" {
+		fmt.Fprintf(&b, "program %s\n", p.Name)
+	}
+	if len(p.Vars) > 0 {
+		fmt.Fprintf(&b, "var %s\n", joinStrings(p.Vars, " "))
+	}
+	for _, a := range p.Arrays {
+		if a.Init != 0 {
+			fmt.Fprintf(&b, "array %s[%d] init %d\n", a.Name, a.Size, a.Init)
+		} else {
+			fmt.Fprintf(&b, "array %s[%d]\n", a.Name, a.Size)
+		}
+	}
+	for _, pr := range p.Procs {
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "proc %s\n", pr.Name)
+		if len(pr.Regs) > 0 {
+			fmt.Fprintf(&b, "  reg %s\n", joinStrings(pr.Regs, " "))
+		}
+		writeStmts(&b, pr.Body, 1)
+		b.WriteString("end\n")
+	}
+	return b.String()
+}
+
+func writeStmts(b *strings.Builder, body []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range body {
+		prefix := ind
+		if l := s.StmtLabel(); l != "" {
+			prefix = ind + l + ": "
+		}
+		switch t := s.(type) {
+		case Read:
+			fmt.Fprintf(b, "%s$%s = %s\n", prefix, t.Reg, t.Var)
+		case Write:
+			fmt.Fprintf(b, "%s%s = %s\n", prefix, t.Var, t.Val)
+		case CAS:
+			fmt.Fprintf(b, "%scas(%s, %s, %s)\n", prefix, t.Var, t.Old, t.New)
+		case Fence:
+			fmt.Fprintf(b, "%sfence\n", prefix)
+		case Assign:
+			fmt.Fprintf(b, "%s$%s = %s\n", prefix, t.Reg, t.Val)
+		case Nondet:
+			fmt.Fprintf(b, "%s$%s = nondet(%d, %d)\n", prefix, t.Reg, t.Lo, t.Hi)
+		case Assume:
+			fmt.Fprintf(b, "%sassume(%s)\n", prefix, t.Cond)
+		case Assert:
+			fmt.Fprintf(b, "%sassert(%s)\n", prefix, t.Cond)
+		case If:
+			fmt.Fprintf(b, "%sif %s then\n", prefix, t.Cond)
+			writeStmts(b, t.Then, depth+1)
+			if len(t.Else) > 0 {
+				fmt.Fprintf(b, "%selse\n", ind)
+				writeStmts(b, t.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%sfi\n", ind)
+		case While:
+			fmt.Fprintf(b, "%swhile %s do\n", prefix, t.Cond)
+			writeStmts(b, t.Body, depth+1)
+			fmt.Fprintf(b, "%sdone\n", ind)
+		case Term:
+			fmt.Fprintf(b, "%sterm\n", prefix)
+		case LoadArr:
+			fmt.Fprintf(b, "%s$%s = %s[%s]\n", prefix, t.Reg, t.Arr, t.Index)
+		case StoreArr:
+			fmt.Fprintf(b, "%s%s[%s] = %s\n", prefix, t.Arr, t.Index, t.Val)
+		case Atomic:
+			fmt.Fprintf(b, "%satomic {\n", prefix)
+			writeStmts(b, t.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+		default:
+			fmt.Fprintf(b, "%s<unknown stmt %T>\n", prefix, s)
+		}
+	}
+}

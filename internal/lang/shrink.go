@@ -1,0 +1,97 @@
+package lang
+
+// Shrink greedily minimises a program while the given property holds,
+// in the style of delta debugging: it repeatedly tries to drop whole
+// processes, then individual statements (innermost first), re-testing
+// the property after each removal, until a fixed point. The property is
+// assumed to hold on the input; the result is 1-minimal in the sense
+// that removing any single remaining statement breaks the property.
+//
+// Shrink never mutates its input. It is used by the differential fuzzer
+// to present small witnesses when two semantics implementations
+// disagree.
+func Shrink(p *Program, holds func(*Program) bool) *Program {
+	cur := p.Clone()
+	for changed := true; changed; {
+		changed = false
+		// Try dropping whole processes (keep at least one).
+		for i := 0; i < len(cur.Procs) && len(cur.Procs) > 1; i++ {
+			cand := cur.Clone()
+			cand.Procs = append(cand.Procs[:i], cand.Procs[i+1:]...)
+			if cand.Validate() == nil && holds(cand) {
+				cur = cand
+				changed = true
+				i--
+			}
+		}
+		// Try dropping single statements at every position.
+		for pi := range cur.Procs {
+			paths := statementPaths(cur.Procs[pi].Body, nil)
+			for _, path := range paths {
+				cand := cur.Clone()
+				cand.Procs[pi].Body = removeAt(cand.Procs[pi].Body, path)
+				if cand.Validate() == nil && holds(cand) {
+					cur = cand
+					changed = true
+					break // paths are stale after a removal
+				}
+			}
+		}
+	}
+	return cur
+}
+
+// statementPaths lists every statement position as an index path into
+// the (possibly nested) body, deepest-first so inner statements are
+// tried before their containers.
+func statementPaths(body []Stmt, prefix []int) [][]int {
+	var out [][]int
+	for i, s := range body {
+		path := append(append([]int(nil), prefix...), i)
+		switch t := s.(type) {
+		case If:
+			out = append(out, statementPaths(t.Then, append(path, 0))...)
+			out = append(out, statementPaths(t.Else, append(path, 1))...)
+		case While:
+			out = append(out, statementPaths(t.Body, append(path, 0))...)
+		case Atomic:
+			out = append(out, statementPaths(t.Body, append(path, 0))...)
+		}
+		out = append(out, path)
+	}
+	return out
+}
+
+// removeAt removes the statement at the index path. Paths into branch
+// bodies interleave an arm selector: [i, arm, j, ...] descends into
+// statement i's arm (0 = then/body, 1 = else) at position j.
+func removeAt(body []Stmt, path []int) []Stmt {
+	i := path[0]
+	if i >= len(body) {
+		return body // stale path; no-op
+	}
+	if len(path) == 1 {
+		out := make([]Stmt, 0, len(body)-1)
+		out = append(out, body[:i]...)
+		out = append(out, body[i+1:]...)
+		return out
+	}
+	arm, rest := path[1], path[2:]
+	out := append([]Stmt(nil), body...)
+	switch t := out[i].(type) {
+	case If:
+		if arm == 0 {
+			t.Then = removeAt(t.Then, rest)
+		} else {
+			t.Else = removeAt(t.Else, rest)
+		}
+		out[i] = t
+	case While:
+		t.Body = removeAt(t.Body, rest)
+		out[i] = t
+	case Atomic:
+		t.Body = removeAt(t.Body, rest)
+		out[i] = t
+	}
+	return out
+}

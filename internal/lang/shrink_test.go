@@ -1,0 +1,81 @@
+package lang
+
+import "testing"
+
+func countWrites(p *Program, v string) int {
+	n := 0
+	var rec func(body []Stmt)
+	rec = func(body []Stmt) {
+		for _, s := range body {
+			switch t := s.(type) {
+			case Write:
+				if t.Var == v {
+					n++
+				}
+			case If:
+				rec(t.Then)
+				rec(t.Else)
+			case While:
+				rec(t.Body)
+			case Atomic:
+				rec(t.Body)
+			}
+		}
+	}
+	for _, pr := range p.Procs {
+		rec(pr.Body)
+	}
+	return n
+}
+
+func TestShrinkToMinimalWitness(t *testing.T) {
+	p := NewProgram("s", "x", "y")
+	p.AddProc("p0", "r").Add(
+		WriteC("y", 5),
+		WriteC("x", 1),
+		ReadS("r", "y"),
+		AssignS("r", C(2)),
+	)
+	p.AddProc("p1", "q").Add(
+		ReadS("q", "x"),
+		WriteC("y", 7),
+	)
+	// Property: the program still writes x at least once.
+	holds := func(q *Program) bool { return countWrites(q, "x") >= 1 }
+	min := Shrink(p, holds)
+	if !holds(min) {
+		t.Fatal("shrinking broke the property")
+	}
+	if got := min.CountStmts(); got != 1 {
+		t.Errorf("minimal witness has %d statements, want exactly the x write:\n%s", got, min)
+	}
+	if len(min.Procs) != 1 {
+		t.Errorf("expected the second process to be dropped, got %d procs", len(min.Procs))
+	}
+	// The input is untouched.
+	if p.CountStmts() != 6 {
+		t.Error("Shrink mutated its input")
+	}
+}
+
+func TestShrinkInsideBranches(t *testing.T) {
+	p := NewProgram("sb", "x")
+	p.AddProc("p0", "r").Add(
+		IfElseS(Eq(R("r"), C(0)),
+			[]Stmt{WriteC("x", 1), WriteC("x", 2)},
+			[]Stmt{WriteC("x", 3)},
+		),
+		WhileS(Lt(R("r"), C(2)),
+			AssignS("r", Add(R("r"), C(1))),
+			WriteC("x", 4),
+		),
+	)
+	holds := func(q *Program) bool { return countWrites(q, "x") >= 2 }
+	min := Shrink(p, holds)
+	if !holds(min) {
+		t.Fatal("shrinking broke the property")
+	}
+	if got := countWrites(min, "x"); got != 2 {
+		t.Errorf("minimal witness keeps %d writes, want 2:\n%s", got, min)
+	}
+}

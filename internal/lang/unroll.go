@@ -1,0 +1,143 @@
+package lang
+
+// Unroll returns a copy of the program in which every while loop is
+// unrolled at most bound times, in the style of bounded model checkers
+// (paper Sec. 6: CBMC "requires that all loops have a finite upper
+// run-time bound ... handled by unrolling each loop L times").
+//
+//	while c do B done
+//
+// becomes bound nested copies of
+//
+//	if c then B ... fi
+//
+// followed by assume(!c): executions that would need more than bound
+// iterations are pruned, exactly as CBMC's unwinding assumptions do.
+// Nested loops are unrolled recursively with the same bound, so the
+// blow-up is bound^depth, matching the tools compared in the paper.
+func Unroll(p *Program, bound int) *Program {
+	if bound < 0 {
+		bound = 0
+	}
+	q := &Program{
+		Name:   p.Name,
+		Vars:   append([]string(nil), p.Vars...),
+		Arrays: append([]ArrayDecl(nil), p.Arrays...),
+	}
+	for _, pr := range p.Procs {
+		q.Procs = append(q.Procs, &Proc{
+			Name: pr.Name,
+			Regs: append([]string(nil), pr.Regs...),
+			Body: unrollStmts(pr.Body, bound),
+		})
+	}
+	return q
+}
+
+func unrollStmts(body []Stmt, bound int) []Stmt {
+	out := make([]Stmt, 0, len(body))
+	for _, s := range body {
+		switch t := s.(type) {
+		case While:
+			out = append(out, unrollWhile(t, bound))
+		case If:
+			t.Then = unrollStmts(t.Then, bound)
+			t.Else = unrollStmts(t.Else, bound)
+			out = append(out, t)
+		case Atomic:
+			t.Body = unrollStmts(t.Body, bound)
+			out = append(out, t)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func unrollWhile(w While, bound int) Stmt {
+	if bound == 0 {
+		return Assume{Lbl: w.Lbl, Cond: Not(w.Cond)}
+	}
+	body := unrollStmts(w.Body, bound)
+	// Innermost: the unwinding assumption.
+	var acc []Stmt = []Stmt{Assume{Cond: Not(w.Cond)}}
+	for i := 0; i < bound; i++ {
+		iter := make([]Stmt, 0, len(body)+1)
+		iter = append(iter, cloneStmts(body)...)
+		iter = append(iter, acc...)
+		acc = []Stmt{If{Cond: w.Cond, Then: iter}}
+	}
+	first := acc[0].(If)
+	first.Lbl = w.Lbl
+	return first
+}
+
+// MaxLoopDepth returns the maximal nesting depth of while loops in the
+// program (0 when loop-free). Loop-free programs can be explored
+// exhaustively without unrolling.
+func MaxLoopDepth(p *Program) int {
+	max := 0
+	for _, pr := range p.Procs {
+		if d := loopDepth(pr.Body); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func loopDepth(body []Stmt) int {
+	max := 0
+	for _, s := range body {
+		d := 0
+		switch t := s.(type) {
+		case While:
+			d = 1 + loopDepth(t.Body)
+		case If:
+			d = loopDepth(t.Then)
+			if e := loopDepth(t.Else); e > d {
+				d = e
+			}
+		case Atomic:
+			d = loopDepth(t.Body)
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// StripAsserts returns a copy of the program with every assert removed.
+// Outcome-set analyses (robustness, oracle differentials) use it so that
+// assertion-violating executions run to completion and their outcomes
+// are counted rather than cut short.
+func StripAsserts(p *Program) *Program {
+	q := p.Clone()
+	for _, pr := range q.Procs {
+		pr.Body = stripAsserts(pr.Body)
+	}
+	return q
+}
+
+func stripAsserts(body []Stmt) []Stmt {
+	out := make([]Stmt, 0, len(body))
+	for _, s := range body {
+		switch t := s.(type) {
+		case Assert:
+			// drop
+		case If:
+			t.Then = stripAsserts(t.Then)
+			t.Else = stripAsserts(t.Else)
+			out = append(out, t)
+		case While:
+			t.Body = stripAsserts(t.Body)
+			out = append(out, t)
+		case Atomic:
+			t.Body = stripAsserts(t.Body)
+			out = append(out, t)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}

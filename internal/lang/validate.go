@@ -1,0 +1,242 @@
+package lang
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate checks static well-formedness of a program: distinct
+// variable/array/process names, registers declared before use, shared
+// names resolved, expressions free of shared variables (they are register
+// expressions by construction of the AST, so only register scoping is
+// checked), and array indices in declared bounds when constant.
+func (p *Program) Validate() error {
+	if len(p.Procs) == 0 {
+		return errors.New("lang: program has no processes")
+	}
+	seen := map[string]string{}
+	for _, v := range p.Vars {
+		if v == "" {
+			return errors.New("lang: empty shared variable name")
+		}
+		if prev, ok := seen[v]; ok {
+			return fmt.Errorf("lang: name %q declared twice (%s and shared var)", v, prev)
+		}
+		seen[v] = "shared var"
+	}
+	for _, a := range p.Arrays {
+		if a.Name == "" {
+			return errors.New("lang: empty array name")
+		}
+		if a.Size <= 0 {
+			return fmt.Errorf("lang: array %q has non-positive size %d", a.Name, a.Size)
+		}
+		if prev, ok := seen[a.Name]; ok {
+			return fmt.Errorf("lang: name %q declared twice (%s and array)", a.Name, prev)
+		}
+		seen[a.Name] = "array"
+	}
+	procSeen := map[string]bool{}
+	for _, pr := range p.Procs {
+		if pr.Name == "" {
+			return errors.New("lang: empty process name")
+		}
+		if procSeen[pr.Name] {
+			return fmt.Errorf("lang: process %q declared twice", pr.Name)
+		}
+		procSeen[pr.Name] = true
+		regs := map[string]bool{}
+		for _, r := range pr.Regs {
+			if r == "" {
+				return fmt.Errorf("lang: process %q declares an empty register name", pr.Name)
+			}
+			if regs[r] {
+				return fmt.Errorf("lang: process %q declares register %q twice", pr.Name, r)
+			}
+			regs[r] = true
+		}
+		v := &validator{prog: p, proc: pr, regs: regs}
+		if err := v.stmts(pr.Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateRA additionally checks that the program stays in the fragment
+// the RA semantics is defined on (paper Fig. 1 plus fence/nondet/assert):
+// no shared arrays, no array accesses, no atomic blocks.
+func (p *Program) ValidateRA() error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if len(p.Arrays) > 0 {
+		return fmt.Errorf("lang: program %q declares arrays; not in the RA fragment", p.Name)
+	}
+	for _, pr := range p.Procs {
+		if err := checkRAFragment(pr.Name, pr.Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkRAFragment(proc string, body []Stmt) error {
+	for _, s := range body {
+		switch t := s.(type) {
+		case LoadArr, StoreArr, Atomic:
+			return fmt.Errorf("lang: process %q uses %T; not in the RA fragment", proc, s)
+		case If:
+			if err := checkRAFragment(proc, t.Then); err != nil {
+				return err
+			}
+			if err := checkRAFragment(proc, t.Else); err != nil {
+				return err
+			}
+		case While:
+			if err := checkRAFragment(proc, t.Body); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+type validator struct {
+	prog *Program
+	proc *Proc
+	regs map[string]bool
+}
+
+func (v *validator) stmts(body []Stmt) error {
+	for _, s := range body {
+		if err := v.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *validator) stmt(s Stmt) error {
+	switch t := s.(type) {
+	case Read:
+		if err := v.reg(t.Reg); err != nil {
+			return err
+		}
+		return v.sharedVar(t.Var)
+	case Write:
+		if err := v.sharedVar(t.Var); err != nil {
+			return err
+		}
+		return v.expr(t.Val)
+	case CAS:
+		if err := v.sharedVar(t.Var); err != nil {
+			return err
+		}
+		if err := v.expr(t.Old); err != nil {
+			return err
+		}
+		return v.expr(t.New)
+	case Fence:
+		return nil
+	case Assign:
+		if err := v.reg(t.Reg); err != nil {
+			return err
+		}
+		return v.expr(t.Val)
+	case Nondet:
+		if err := v.reg(t.Reg); err != nil {
+			return err
+		}
+		if t.Lo > t.Hi {
+			return fmt.Errorf("lang: process %q: nondet range [%d,%d] is empty", v.proc.Name, t.Lo, t.Hi)
+		}
+		return nil
+	case Assume:
+		return v.expr(t.Cond)
+	case Assert:
+		return v.expr(t.Cond)
+	case If:
+		if err := v.expr(t.Cond); err != nil {
+			return err
+		}
+		if err := v.stmts(t.Then); err != nil {
+			return err
+		}
+		return v.stmts(t.Else)
+	case While:
+		if err := v.expr(t.Cond); err != nil {
+			return err
+		}
+		return v.stmts(t.Body)
+	case Term:
+		return nil
+	case LoadArr:
+		if err := v.reg(t.Reg); err != nil {
+			return err
+		}
+		if err := v.array(t.Arr, t.Index); err != nil {
+			return err
+		}
+		return v.expr(t.Index)
+	case StoreArr:
+		if err := v.array(t.Arr, t.Index); err != nil {
+			return err
+		}
+		if err := v.expr(t.Index); err != nil {
+			return err
+		}
+		return v.expr(t.Val)
+	case Atomic:
+		return v.stmts(t.Body)
+	case nil:
+		return fmt.Errorf("lang: process %q contains a nil statement", v.proc.Name)
+	}
+	return fmt.Errorf("lang: process %q: unknown statement type %T", v.proc.Name, s)
+}
+
+func (v *validator) reg(name string) error {
+	if !v.regs[name] {
+		return fmt.Errorf("lang: process %q uses undeclared register $%s", v.proc.Name, name)
+	}
+	return nil
+}
+
+func (v *validator) sharedVar(name string) error {
+	if !v.prog.HasVar(name) {
+		return fmt.Errorf("lang: process %q accesses undeclared shared variable %q", v.proc.Name, name)
+	}
+	return nil
+}
+
+func (v *validator) array(name string, index Expr) error {
+	var decl *ArrayDecl
+	for i := range v.prog.Arrays {
+		if v.prog.Arrays[i].Name == name {
+			decl = &v.prog.Arrays[i]
+			break
+		}
+	}
+	if decl == nil {
+		return fmt.Errorf("lang: process %q accesses undeclared array %q", v.proc.Name, name)
+	}
+	if c, ok := index.(Const); ok {
+		if c.V < 0 || c.V >= Value(decl.Size) {
+			return fmt.Errorf("lang: process %q indexes %s[%d] out of bounds (size %d)",
+				v.proc.Name, name, c.V, decl.Size)
+		}
+	}
+	return nil
+}
+
+func (v *validator) expr(e Expr) error {
+	if e == nil {
+		return fmt.Errorf("lang: process %q contains a nil expression", v.proc.Name)
+	}
+	for _, r := range Regs(e, nil) {
+		if err := v.reg(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package lcs
+
+import "strings"
+
+// ReachableForward decides reachability by forward exploration with the
+// given cap on channel length. It is exact for systems whose reachable
+// channel contents stay within the cap and is used to cross-check the
+// backward (WSTS) algorithm on small systems.
+func (s *System) ReachableForward(target string, maxChanLen int) (bool, error) {
+	if err := s.Validate(); err != nil {
+		return false, err
+	}
+	type conf struct {
+		state string
+		chans map[string]string
+	}
+	key := func(c conf) string {
+		var b strings.Builder
+		b.WriteString(c.state)
+		for _, ch := range sortedKeys(c.chans) {
+			b.WriteByte('|')
+			b.WriteString(c.chans[ch])
+		}
+		return b.String()
+	}
+	init := conf{state: s.Init, chans: emptyChans(s.Channels)}
+	seen := map[string]bool{key(init): true}
+	work := []conf{init}
+	push := func(c conf) bool {
+		if c.state == target {
+			return true
+		}
+		if k := key(c); !seen[k] {
+			seen[k] = true
+			work = append(work, c)
+		}
+		return false
+	}
+	if init.state == target {
+		return true, nil
+	}
+	for len(work) > 0 {
+		c := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, r := range s.Rules {
+			if r.From != c.state {
+				continue
+			}
+			switch r.Op {
+			case Nop:
+				if push(conf{state: r.To, chans: c.chans}) {
+					return true, nil
+				}
+			case Send:
+				// Lossy send: either the message lands or it is lost.
+				if len(c.chans[r.Ch]) < maxChanLen {
+					nc := cloneChans(c.chans)
+					nc[r.Ch] = c.chans[r.Ch] + string(r.Sym)
+					if push(conf{state: r.To, chans: nc}) {
+						return true, nil
+					}
+				}
+				if push(conf{state: r.To, chans: c.chans}) {
+					return true, nil
+				}
+			case Recv:
+				w := c.chans[r.Ch]
+				// Lossy receive: any prefix may be lost before Sym.
+				for i := 0; i < len(w); i++ {
+					if w[i] == r.Sym {
+						nc := cloneChans(c.chans)
+						nc[r.Ch] = w[i+1:]
+						if push(conf{state: r.To, chans: nc}) {
+							return true, nil
+						}
+					}
+				}
+			}
+		}
+	}
+	return false, nil
+}
+
+func cloneChans(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

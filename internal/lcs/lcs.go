@@ -1,0 +1,237 @@
+// Package lcs implements lossy channel systems (LCS) and their decidable
+// control-state reachability, the substrate of the paper's Theorem 4.3:
+// reachability of RA programs without CAS is non-primitive recursive, by
+// reduction from LCS reachability (as for TSO, Atig et al. POPL'10).
+//
+// An LCS is a finite automaton whose transitions send to or receive from
+// unbounded FIFO channels that may lose messages at any time. Control
+// reachability is decidable (Abdulla–Jonsson): configurations are
+// well-quasi-ordered by subword embedding, so backward reachability over
+// upward-closed sets — represented by finite bases of minimal elements —
+// terminates by Higman's lemma.
+//
+// The connection to RA exploited by the theorem is packaged in
+// LossyChannelProgram: an RA reader may skip over messages of a variable
+// (any message at or above its view is readable), so a producer writing
+// a sequence and a consumer reading it realise exactly a lossy FIFO —
+// the received word is always a subword of the sent word, and every
+// subword is receivable.
+package lcs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpKind classifies a transition operation.
+type OpKind int
+
+// Transition operations.
+const (
+	Nop  OpKind = iota
+	Send        // append Sym to channel Ch (may be lost)
+	Recv        // consume Sym from the head of channel Ch
+)
+
+// Rule is one transition of the automaton.
+type Rule struct {
+	From string
+	Op   OpKind
+	Ch   string // channel, for Send/Recv
+	Sym  byte   // symbol, for Send/Recv
+	To   string
+}
+
+// System is a lossy channel system.
+type System struct {
+	Init     string
+	States   []string
+	Channels []string
+	Rules    []Rule
+}
+
+// Validate checks naming consistency.
+func (s *System) Validate() error {
+	st := map[string]bool{}
+	for _, q := range s.States {
+		if q == "" {
+			return fmt.Errorf("lcs: empty state name")
+		}
+		if st[q] {
+			return fmt.Errorf("lcs: duplicate state %q", q)
+		}
+		st[q] = true
+	}
+	if !st[s.Init] {
+		return fmt.Errorf("lcs: initial state %q not declared", s.Init)
+	}
+	ch := map[string]bool{}
+	for _, c := range s.Channels {
+		ch[c] = true
+	}
+	for i, r := range s.Rules {
+		if !st[r.From] || !st[r.To] {
+			return fmt.Errorf("lcs: rule %d uses undeclared state", i)
+		}
+		if r.Op != Nop && !ch[r.Ch] {
+			return fmt.Errorf("lcs: rule %d uses undeclared channel %q", i, r.Ch)
+		}
+	}
+	return nil
+}
+
+// config is an element of the backward-reachability basis: a control
+// state with minimal required channel contents.
+type config struct {
+	state string
+	// chans maps channel name to required content (head first).
+	chans map[string]string
+}
+
+func (c config) key() string {
+	var b strings.Builder
+	b.WriteString(c.state)
+	b.WriteByte('|')
+	for _, ch := range sortedKeys(c.chans) {
+		b.WriteString(ch)
+		b.WriteByte('=')
+		b.WriteString(c.chans[ch])
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// subword reports whether a embeds into b (order-preserving).
+func subword(a, b string) bool {
+	i := 0
+	for j := 0; i < len(a) && j < len(b); j++ {
+		if a[i] == b[j] {
+			i++
+		}
+	}
+	return i == len(a)
+}
+
+// leq is the well-quasi-order on configurations: same control state and
+// per-channel subword embedding.
+func (c config) leq(d config) bool {
+	if c.state != d.state {
+		return false
+	}
+	for ch, w := range c.chans {
+		if !subword(w, d.chans[ch]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Reachable decides whether the target control state is reachable from
+// (Init, all channels empty) under the lossy semantics, by backward
+// reachability: it saturates the basis of the upward closure of
+// {(target, ε⃗)} under predecessor computation and checks whether the
+// initial configuration is covered.
+func (s *System) Reachable(target string) (bool, error) {
+	if err := s.Validate(); err != nil {
+		return false, err
+	}
+	empty := func() map[string]string {
+		m := make(map[string]string, len(s.Channels))
+		for _, c := range s.Channels {
+			m[c] = ""
+		}
+		return m
+	}
+	basis := []config{{state: target, chans: empty()}}
+	seen := map[string]bool{basis[0].key(): true}
+	work := []config{basis[0]}
+
+	addIfMinimal := func(c config) {
+		if seen[c.key()] {
+			return
+		}
+		// Drop c if an existing element is below it (c adds nothing).
+		for _, d := range basis {
+			if d.leq(c) {
+				return
+			}
+		}
+		// Remove elements dominated by c.
+		kept := basis[:0]
+		for _, d := range basis {
+			if !c.leq(d) {
+				kept = append(kept, d)
+			}
+		}
+		basis = append(kept, c)
+		seen[c.key()] = true
+		work = append(work, c)
+	}
+
+	for len(work) > 0 {
+		c := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, r := range s.Rules {
+			if r.To != c.state {
+				continue
+			}
+			p := config{state: r.From, chans: make(map[string]string, len(c.chans))}
+			for ch, w := range c.chans {
+				p.chans[ch] = w
+			}
+			switch r.Op {
+			case Nop:
+			case Send:
+				// After send, channel holds w (up to loss) with Sym
+				// appended (possibly lost). Minimal pre: strip a
+				// trailing Sym if present; otherwise the send was lost
+				// and the requirement is unchanged.
+				w := p.chans[r.Ch]
+				if len(w) > 0 && w[len(w)-1] == r.Sym {
+					p.chans[r.Ch] = w[:len(w)-1]
+				}
+			case Recv:
+				// Before the receive, the channel additionally held Sym
+				// at its head.
+				p.chans[r.Ch] = string(r.Sym) + p.chans[r.Ch]
+			}
+			addIfMinimal(p)
+		}
+		if cv := (config{state: s.Init, chans: empty()}); covered(basis, cv) {
+			return true, nil
+		}
+	}
+	return covered(basis, config{state: s.Init, chans: emptyChans(s.Channels)}), nil
+}
+
+func emptyChans(chs []string) map[string]string {
+	m := make(map[string]string, len(chs))
+	for _, c := range chs {
+		m[c] = ""
+	}
+	return m
+}
+
+// covered reports whether some basis element is ≤ c, i.e. c lies in the
+// upward closure.
+func covered(basis []config, c config) bool {
+	for _, d := range basis {
+		if d.leq(c) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,227 @@
+package lcs
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"ravbmc/internal/lang"
+	"ravbmc/internal/ra"
+)
+
+// pingPong is a system that must round-trip a message: send a on c,
+// receive a from c, reach "done".
+func pingPong() *System {
+	return &System{
+		Init:     "q0",
+		States:   []string{"q0", "q1", "done"},
+		Channels: []string{"c"},
+		Rules: []Rule{
+			{From: "q0", Op: Send, Ch: "c", Sym: 'a', To: "q1"},
+			{From: "q1", Op: Recv, Ch: "c", Sym: 'a', To: "done"},
+		},
+	}
+}
+
+func TestReachableSimple(t *testing.T) {
+	s := pingPong()
+	got, err := s.Reachable("done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("done must be reachable (send then receive)")
+	}
+}
+
+func TestUnreachableWhenRecvFirst(t *testing.T) {
+	// Receiving before anything was sent is impossible even with loss.
+	s := &System{
+		Init:     "q0",
+		States:   []string{"q0", "done"},
+		Channels: []string{"c"},
+		Rules: []Rule{
+			{From: "q0", Op: Recv, Ch: "c", Sym: 'a', To: "done"},
+		},
+	}
+	got, err := s.Reachable("done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("done must be unreachable: channel starts empty")
+	}
+}
+
+func TestLossMakesProtocolsIncomplete(t *testing.T) {
+	// The system must receive a then b, but only ever sends a. With a
+	// second rule sending b guarded behind receiving a twice, loss can
+	// never conjure the b.
+	s := &System{
+		Init:     "q0",
+		States:   []string{"q0", "q1", "q2", "done"},
+		Channels: []string{"c"},
+		Rules: []Rule{
+			{From: "q0", Op: Send, Ch: "c", Sym: 'a', To: "q1"},
+			{From: "q1", Op: Recv, Ch: "c", Sym: 'b', To: "done"},
+		},
+	}
+	got, err := s.Reachable("done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("b was never sent; done must be unreachable")
+	}
+}
+
+func TestLossAllowsSkipping(t *testing.T) {
+	// Send a, send b, then receive b directly: lossiness drops the a.
+	s := &System{
+		Init:     "q0",
+		States:   []string{"q0", "q1", "q2", "done"},
+		Channels: []string{"c"},
+		Rules: []Rule{
+			{From: "q0", Op: Send, Ch: "c", Sym: 'a', To: "q1"},
+			{From: "q1", Op: Send, Ch: "c", Sym: 'b', To: "q2"},
+			{From: "q2", Op: Recv, Ch: "c", Sym: 'b', To: "done"},
+		},
+	}
+	got, err := s.Reachable("done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("lossy semantics must allow dropping the a")
+	}
+}
+
+func TestTwoChannels(t *testing.T) {
+	s := &System{
+		Init:     "q0",
+		States:   []string{"q0", "q1", "q2", "done"},
+		Channels: []string{"c", "d"},
+		Rules: []Rule{
+			{From: "q0", Op: Send, Ch: "c", Sym: 'a', To: "q1"},
+			{From: "q1", Op: Send, Ch: "d", Sym: 'b', To: "q2"},
+			{From: "q2", Op: Recv, Ch: "d", Sym: 'b', To: "q0"},
+			{From: "q2", Op: Recv, Ch: "c", Sym: 'a', To: "done"},
+		},
+	}
+	got, err := s.Reachable("done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("done must be reachable via the c channel")
+	}
+}
+
+func TestBackwardAgreesWithForward(t *testing.T) {
+	// Differential test on a family of small systems: loop systems that
+	// require receiving a specific word.
+	for i, want := range []string{"a", "ab", "ba", "abc", "aa", "cab"} {
+		s := wordSystem("abc", want)
+		back, err := s.Reachable("done")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fwd, err := s.ReachableForward("done", 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != fwd {
+			t.Errorf("case %d (%q): backward=%v forward=%v", i, want, back, fwd)
+		}
+		if !back {
+			t.Errorf("case %d (%q): expected reachable (sender loops over alphabet)", i, want)
+		}
+	}
+}
+
+// wordSystem sends arbitrary words over the alphabet (a loop of sends)
+// and must receive exactly `want`.
+func wordSystem(alphabet, want string) *System {
+	s := &System{Init: "s", Channels: []string{"c"}}
+	s.States = append(s.States, "s")
+	for _, a := range alphabet {
+		s.Rules = append(s.Rules, Rule{From: "s", Op: Send, Ch: "c", Sym: byte(a), To: "s"})
+	}
+	prev := "s"
+	for i := 0; i < len(want); i++ {
+		st := fmt.Sprintf("r%d", i+1)
+		s.States = append(s.States, st)
+		s.Rules = append(s.Rules, Rule{From: prev, Op: Recv, Ch: "c", Sym: want[i], To: st})
+		prev = st
+	}
+	s.States = append(s.States, "done")
+	s.Rules = append(s.Rules, Rule{From: prev, Op: Nop, To: "done"})
+	return s
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []*System{
+		{Init: "x", States: []string{"q"}},
+		{Init: "q", States: []string{"q", "q"}},
+		{Init: "q", States: []string{"q"}, Rules: []Rule{{From: "q", Op: Send, Ch: "c", Sym: 'a', To: "q"}}},
+		{Init: "q", States: []string{"q"}, Rules: []Rule{{From: "q", Op: Nop, To: "nosuch"}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestSubwordProperties(t *testing.T) {
+	if err := quick.Check(func(a, b string) bool {
+		// A word embeds into itself appended to anything.
+		return subword(a, a) && subword(a, a+b) && subword(a, b+a)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if subword("ab", "b") || subword("ab", "ba") || !subword("", "x") {
+		t.Error("subword base cases wrong")
+	}
+}
+
+// TestRAChannelIsLossyFIFO validates the Theorem 4.3 mechanism: the RA
+// program of SequencedChannelProgram can deliver exactly the subwords of
+// the sent word.
+func TestRAChannelIsLossyFIFO(t *testing.T) {
+	sent := "abc"
+	for _, tc := range []struct {
+		want string
+		ok   bool
+	}{
+		{"abc", true}, {"ab", true}, {"ac", true}, {"bc", true},
+		{"a", true}, {"b", true}, {"c", true}, {"", true},
+		{"ba", false}, {"ca", false}, {"cb", false}, {"aa", false},
+		{"abcc", false},
+	} {
+		p := SequencedChannelProgram(sent, tc.want)
+		sys := ra.NewSystem(lang.MustCompile(p))
+		res := sys.Explore(ra.Options{
+			ViewBound:    -1,
+			TargetLabels: map[string]string{"consumer": "got"},
+		})
+		if res.TargetReached != tc.ok {
+			t.Errorf("receive %q from sent %q: got reachable=%v, want %v",
+				tc.want, sent, res.TargetReached, tc.ok)
+		}
+	}
+}
+
+// TestPlainChannelAllowsDuplicates documents why the sequenced variant
+// exists: without sequence numbers a symbol can be re-delivered.
+func TestPlainChannelAllowsDuplicates(t *testing.T) {
+	p := LossyChannelProgram("ab", "aab")
+	sys := ra.NewSystem(lang.MustCompile(p))
+	res := sys.Explore(ra.Options{
+		ViewBound:    -1,
+		TargetLabels: map[string]string{"consumer": "got"},
+	})
+	if !res.TargetReached {
+		t.Error("plain channel should re-deliver the 'a' at the view")
+	}
+}

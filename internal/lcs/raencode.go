@@ -1,0 +1,77 @@
+package lcs
+
+import (
+	"ravbmc/internal/lang"
+)
+
+// LossyChannelProgram builds the RA program at the heart of the
+// Theorem 4.3 reduction: a producer writes the word (symbols encoded as
+// 1-based values) to a single shared variable, and a consumer performs
+// len(want) reads, asserting it observed exactly `want` followed by the
+// end marker. Because an RA read may pick any message at or above the
+// consumer's view, the receivable words are exactly the subwords of the
+// sent word — a lossy FIFO channel. The program is UNSAFE (the
+// assertion can fail... rather: the target label reachable) iff want is
+// a subword of sent; callers decide reachability of the "got" label.
+func LossyChannelProgram(sent, want string) *lang.Program {
+	p := lang.NewProgram("lossy_channel", "ch")
+	prod := p.AddProc("producer")
+	for i := 0; i < len(sent); i++ {
+		prod.Add(lang.WriteC("ch", symVal(sent[i])))
+	}
+	cons := p.AddProc("consumer", "r")
+	for i := 0; i < len(want); i++ {
+		cons.Add(
+			lang.ReadS("r", "ch"),
+			lang.AssumeS(lang.Eq(lang.R("r"), lang.C(symVal(want[i])))),
+		)
+	}
+	cons.Add(lang.LabelS("got", lang.TermS()))
+	return p
+}
+
+func symVal(b byte) lang.Value { return lang.Value(b-'a') + 1 }
+
+// Note on ordering: coherence (the per-variable modification order) and
+// the monotonicity of views make re-reading an old message impossible,
+// so received symbols respect the sent order; skipping ahead models
+// message loss. Together these give exactly the lossy-FIFO semantics —
+// the mechanism the paper's Theorem 4.3 reduction relies on, and the
+// reason reachability without CAS is still non-primitive recursive.
+//
+// One caveat the full reduction must engineer around (with extra
+// handshake variables, as in the TSO construction of Atig et al.): a
+// read may also re-deliver the message at the consumer's current view.
+// ConsumableExactlyOnce shows the standard fix: interleave the payload
+// with strictly increasing sequence numbers so each value can be
+// matched at most once.
+
+// SequencedChannelProgram writes each symbol tagged with its position
+// (value = pos*256 + sym), so every message is distinct and the
+// consumer's assumes accept each sent message at most once. The
+// receivable tag sequences are then exactly the strictly increasing
+// subsequences — a faithful lossy FIFO without duplication.
+func SequencedChannelProgram(sent, want string) *lang.Program {
+	p := lang.NewProgram("lossy_channel_seq", "ch")
+	prod := p.AddProc("producer")
+	pos := map[int][]int{} // symbol -> positions in sent
+	for i := 0; i < len(sent); i++ {
+		prod.Add(lang.WriteC("ch", lang.Value(i+1)*256+symVal(sent[i])))
+		pos[int(symVal(sent[i]))] = append(pos[int(symVal(sent[i]))], i+1)
+	}
+	cons := p.AddProc("consumer", "r", "last")
+	cons.Add(lang.AssignS("last", lang.C(0)))
+	for i := 0; i < len(want); i++ {
+		cons.Add(
+			lang.ReadS("r", "ch"),
+			// The read value must carry the wanted symbol and a strictly
+			// larger sequence number than anything consumed before.
+			lang.AssumeS(lang.Eq(lang.Binary{Op: lang.OpMod, L: lang.R("r"), R: lang.C(256)},
+				lang.C(symVal(want[i])))),
+			lang.AssumeS(lang.Gt(lang.R("r"), lang.R("last"))),
+			lang.AssignS("last", lang.R("r")),
+		)
+	}
+	cons.Add(lang.LabelS("got", lang.TermS()))
+	return p
+}

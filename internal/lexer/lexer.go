@@ -1,0 +1,144 @@
+// Package lexer tokenizes the concrete syntax of the concurrent language
+// of internal/lang. The syntax is line-oriented in style but the token
+// stream is newline-insensitive: statements are self-delimiting, and
+// comments run from '#' or '//' to end of line.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Register // $name
+	Int
+	Punct // operators and punctuation, Text holds the exact spelling
+)
+
+// String returns a human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "end of input"
+	case Ident:
+		return "identifier"
+	case Register:
+		return "register"
+	case Int:
+		return "integer"
+	case Punct:
+		return "punctuation"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Token is one lexical token. Line and Col are 1-based source positions.
+type Token struct {
+	Kind Kind
+	Text string // identifier name, register name (without '$'), digits, or punct spelling
+	Line int
+	Col  int
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "end of input"
+	case Register:
+		return "$" + t.Text
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// puncts lists multi-character operators first so maximal munch applies.
+var puncts = []string{
+	"==", "!=", "<=", ">=", "&&", "||",
+	"(", ")", "[", "]", "{", "}", ",", ":", ";",
+	"+", "-", "*", "/", "%", "<", ">", "=", "!",
+}
+
+// Lex tokenizes src. It returns an error on the first malformed token.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for j := 0; j < n; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+	}
+scan:
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '$':
+			start, l0, c0 := i+1, line, col
+			advance(1)
+			for i < len(src) && isIdentByte(src[i]) {
+				advance(1)
+			}
+			if i == start {
+				return nil, fmt.Errorf("lexer: line %d col %d: '$' not followed by a register name", l0, c0)
+			}
+			toks = append(toks, Token{Kind: Register, Text: src[start:i], Line: l0, Col: c0})
+		case isDigitByte(c):
+			start, l0, c0 := i, line, col
+			for i < len(src) && isDigitByte(src[i]) {
+				advance(1)
+			}
+			toks = append(toks, Token{Kind: Int, Text: src[start:i], Line: l0, Col: c0})
+		case isIdentStartByte(c):
+			start, l0, c0 := i, line, col
+			for i < len(src) && isIdentByte(src[i]) {
+				advance(1)
+			}
+			toks = append(toks, Token{Kind: Ident, Text: src[start:i], Line: l0, Col: c0})
+		default:
+			for _, p := range puncts {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, Token{Kind: Punct, Text: p, Line: line, Col: col})
+					advance(len(p))
+					continue scan
+				}
+			}
+			return nil, fmt.Errorf("lexer: line %d col %d: unexpected character %q", line, col, rune(c))
+		}
+	}
+	toks = append(toks, Token{Kind: EOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func isIdentStartByte(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || isDigitByte(c)
+}
+
+func isDigitByte(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,110 @@
+package lexer
+
+import (
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("proc p0 $r1 = x + 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{Ident, Ident, Register, Punct, Ident, Punct, Int, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count %d, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: kind %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[2].Text != "r1" {
+		t.Errorf("register text = %q", toks[2].Text)
+	}
+}
+
+func TestLexMaximalMunch(t *testing.T) {
+	toks, err := Lex("a==b != c <= d >= e && f || g < h > i = j ! k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var puncts []string
+	for _, tok := range toks {
+		if tok.Kind == Punct {
+			puncts = append(puncts, tok.Text)
+		}
+	}
+	want := []string{"==", "!=", "<=", ">=", "&&", "||", "<", ">", "=", "!"}
+	if len(puncts) != len(want) {
+		t.Fatalf("puncts = %v, want %v", puncts, want)
+	}
+	for i := range want {
+		if puncts[i] != want[i] {
+			t.Errorf("punct %d = %q, want %q", i, puncts[i], want[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("x # whole line\ny // also\nz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 { // x y z EOF
+		t.Fatalf("comments not skipped: %v", toks)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("b at %d:%d", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("a @ b"); err == nil {
+		t.Error("expected error for '@'")
+	}
+	if _, err := Lex("$ x"); err == nil {
+		t.Error("expected error for bare '$'")
+	}
+}
+
+func TestLexUnderscoreIdents(t *testing.T) {
+	toks, err := Lex("_ms_var _avail_x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "_ms_var" || toks[1].Text != "_avail_x" {
+		t.Errorf("underscored identifiers mis-lexed: %v", toks)
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks, _ := Lex("$r x 5 +")
+	if toks[0].String() != "$r" {
+		t.Errorf("register prints %q", toks[0].String())
+	}
+	if toks[3].String() != `"+"` {
+		t.Errorf("punct prints %q", toks[3].String())
+	}
+	if toks[4].String() != "end of input" {
+		t.Errorf("eof prints %q", toks[4].String())
+	}
+}

@@ -1,0 +1,112 @@
+package litmus
+
+import (
+	"fmt"
+
+	"ravbmc/internal/lang"
+)
+
+// opKind is one symbol of the generation alphabet: a write of 1 to x or
+// y, or a read of x or y.
+type opKind int
+
+const (
+	opWx opKind = iota
+	opWy
+	opRx
+	opRy
+	numOps
+)
+
+// Generated systematically enumerates every two-thread program with
+// opsPerThread statements per thread drawn from {x=1, y=1, $r=x, $r=y},
+// the loop-free core of the herd litmus corpus. With opsPerThread=3 this
+// yields 4^6 = 4096 candidate programs, on the order of the paper's 4004
+// litmus tests; candidates without any read are dropped (their outcome
+// space is trivial), as the paper drops tests with address calculation.
+//
+// Each program asserts about the first thread that reads: if it has two
+// or more reads, the assertion is "not both of the first two reads
+// returned 1"; with a single read it is "the read did not return 1".
+// The oracle decides the ground truth for each program.
+func Generated(opsPerThread int) []Test {
+	return GeneratedThreads(2, opsPerThread)
+}
+
+// GeneratedThreads enumerates every program with the given number of
+// threads (2 or 3) and opsPerThread statements per thread drawn from
+// the same alphabet. GeneratedThreads(3, 2) gives the 4^6 = 4096
+// three-thread shapes (IRIW-like and WRC-like patterns appear here).
+func GeneratedThreads(threads, opsPerThread int) []Test {
+	total := 1
+	for i := 0; i < threads*opsPerThread; i++ {
+		total *= int(numOps)
+	}
+	var tests []Test
+	for code := 0; code < total; code++ {
+		ops := decode(code, threads*opsPerThread)
+		perThread := make([][]opKind, threads)
+		for ti := 0; ti < threads; ti++ {
+			perThread[ti] = ops[ti*opsPerThread : (ti+1)*opsPerThread]
+		}
+		p, ok := buildGeneratedN(code, perThread)
+		if !ok {
+			continue
+		}
+		tests = append(tests, Test{Name: p.Name, Prog: p})
+	}
+	return tests
+}
+
+func decode(code, n int) []opKind {
+	out := make([]opKind, n)
+	for i := 0; i < n; i++ {
+		out[i] = opKind(code % int(numOps))
+		code /= int(numOps)
+	}
+	return out
+}
+
+func buildGeneratedN(code int, perThread [][]opKind) (*lang.Program, bool) {
+	p := lang.NewProgram(fmt.Sprintf("lit%05d", code), "x", "y")
+	reads := make([][]string, len(perThread))
+	for ti, ops := range perThread {
+		pr := p.AddProc(fmt.Sprintf("p%d", ti))
+		for oi, op := range ops {
+			reg := fmt.Sprintf("r%d", oi)
+			switch op {
+			case opWx:
+				pr.Add(lang.WriteC("x", 1))
+			case opWy:
+				pr.Add(lang.WriteC("y", 1))
+			case opRx:
+				pr.AddReg(reg)
+				pr.Add(lang.ReadS(reg, "x"))
+				reads[ti] = append(reads[ti], reg)
+			case opRy:
+				pr.AddReg(reg)
+				pr.Add(lang.ReadS(reg, "y"))
+				reads[ti] = append(reads[ti], reg)
+			}
+		}
+	}
+	// Attach the assertion to the first thread that reads.
+	for ti := range reads {
+		rs := reads[ti]
+		if len(rs) == 0 {
+			continue
+		}
+		var cond lang.Expr
+		if len(rs) >= 2 {
+			cond = lang.Not(lang.And(
+				lang.Eq(lang.R(rs[0]), lang.C(1)),
+				lang.Eq(lang.R(rs[1]), lang.C(1)),
+			))
+		} else {
+			cond = lang.Ne(lang.R(rs[0]), lang.C(1))
+		}
+		p.Procs[ti].Add(lang.AssertS(cond))
+		return p, true
+	}
+	return nil, false // no reads anywhere: trivial outcome space
+}

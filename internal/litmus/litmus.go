@@ -1,0 +1,313 @@
+// Package litmus provides litmus tests for the RA semantics: the
+// classic named shapes from the weak-memory literature with their known
+// RA verdicts, and a systematically generated corpus standing in for the
+// 4004 herd litmus files of the paper's evaluation (Sec. 7). Every test
+// is a loop-free program with one assertion; the exhaustive RA explorer
+// plays the role of herd + RA axioms as the oracle, and agreement of
+// VBMC with the oracle for K ≤ 5 reproduces the paper's litmus result.
+package litmus
+
+import (
+	"fmt"
+
+	"ravbmc/internal/core"
+	"ravbmc/internal/lang"
+	"ravbmc/internal/ra"
+)
+
+// Test is a litmus test: a loop-free RA program with one assertion.
+// Unsafe records the expected RA verdict for classic tests (true when
+// the weak outcome is observable, i.e. the assertion can fail); for
+// generated tests it is left unset and the oracle decides.
+type Test struct {
+	Name   string
+	Prog   *lang.Program
+	Unsafe bool
+	// HasExpectation is true for classic tests with a literature verdict.
+	HasExpectation bool
+}
+
+// Oracle decides the test with the exhaustive RA explorer (unbounded
+// view switches), returning true when the assertion can fail.
+func Oracle(t Test) bool {
+	sys := ra.NewSystem(lang.MustCompile(t.Prog))
+	res := sys.Explore(ra.Options{ViewBound: -1, StopOnViolation: true})
+	return res.Violation
+}
+
+// VBMC decides the test with the translation pipeline at view bound k.
+func VBMC(t Test, k int) (bool, error) {
+	res, err := core.Run(t.Prog, core.Options{K: k})
+	if err != nil {
+		return false, err
+	}
+	if res.Verdict == core.Inconclusive {
+		return false, fmt.Errorf("litmus %s: inconclusive at K=%d", t.Name, k)
+	}
+	return res.Verdict == core.Unsafe, nil
+}
+
+// Classic returns the named litmus shapes with their known RA verdicts.
+func Classic() []Test {
+	var tests []Test
+	add := func(name string, unsafe bool, p *lang.Program) {
+		p.Name = name
+		tests = append(tests, Test{Name: name, Prog: p, Unsafe: unsafe, HasExpectation: true})
+	}
+
+	// MP: message passing. RA forbids observing y=1 but stale x=0.
+	{
+		p := lang.NewProgram("", "x", "y")
+		p.AddProc("p0").Add(lang.WriteC("x", 1), lang.WriteC("y", 1))
+		p.AddProc("p1", "a", "b").Add(
+			lang.ReadS("a", "y"),
+			lang.ReadS("b", "x"),
+			lang.AssertS(lang.Not(lang.And(lang.Eq(lang.R("a"), lang.C(1)), lang.Eq(lang.R("b"), lang.C(0))))),
+		)
+		add("MP", false, p)
+	}
+	// MP+na (reversed reads): reading x first loses the guarantee.
+	{
+		p := lang.NewProgram("", "x", "y")
+		p.AddProc("p0").Add(lang.WriteC("x", 1), lang.WriteC("y", 1))
+		p.AddProc("p1", "a", "b").Add(
+			lang.ReadS("b", "x"),
+			lang.ReadS("a", "y"),
+			lang.AssertS(lang.Not(lang.And(lang.Eq(lang.R("b"), lang.C(0)), lang.Eq(lang.R("a"), lang.C(1))))),
+		)
+		add("MP-rev", true, p)
+	}
+	// SB: store buffering. RA allows both stale reads.
+	{
+		p := lang.NewProgram("", "x", "y")
+		p.AddProc("p0", "a").Add(lang.WriteC("x", 1), lang.ReadS("a", "y"),
+			lang.AssertS(lang.Eq(lang.R("a"), lang.C(1))))
+		p.AddProc("p1", "b").Add(lang.WriteC("y", 1), lang.ReadS("b", "x"))
+		add("SB-half", true, p)
+	}
+	// SB with fences: forbidden.
+	{
+		p := lang.NewProgram("", "x", "y", "outa", "outb", "fa", "fb")
+		mk := func(w, r, out, flag, reg string) *lang.Proc {
+			pr := p.AddProc("p"+w, reg)
+			pr.Add(lang.WriteC(w, 1), lang.FenceS(), lang.ReadS(reg, r),
+				lang.WriteS(out, lang.R(reg)), lang.WriteC(flag, 1))
+			return pr
+		}
+		mk("x", "y", "outa", "fa", "a")
+		mk("y", "x", "outb", "fb", "b")
+		chk := p.AddProc("chk", "u", "v", "s", "t")
+		chk.Add(
+			lang.ReadS("u", "fa"), lang.AssumeS(lang.Eq(lang.R("u"), lang.C(1))),
+			lang.ReadS("v", "fb"), lang.AssumeS(lang.Eq(lang.R("v"), lang.C(1))),
+			lang.ReadS("s", "outa"), lang.ReadS("t", "outb"),
+			lang.AssertS(lang.Or(lang.Eq(lang.R("s"), lang.C(1)), lang.Eq(lang.R("t"), lang.C(1)))),
+		)
+		add("SB+fences", false, p)
+	}
+	// LB: load buffering. RA has no promises, so a=1 && b=1 is forbidden.
+	{
+		p := lang.NewProgram("", "x", "y")
+		p.AddProc("p0", "a").Add(lang.ReadS("a", "x"), lang.WriteC("y", 1))
+		p.AddProc("p1", "b").Add(
+			lang.ReadS("b", "y"), lang.WriteC("x", 1),
+			lang.AssertS(lang.Not(lang.And(lang.Eq(lang.R("b"), lang.C(1)), lang.C(1)))),
+		)
+		add("LB-half", true, p) // b=1 alone is observable (p0 runs first)
+	}
+	// LB full: a=1 && b=1 forbidden. Needs cross-thread observation:
+	// each thread writes only after reading 1, so both-read-1 is a cycle.
+	{
+		p := lang.NewProgram("", "x", "y", "oa", "fa")
+		p.AddProc("p0", "a").Add(
+			lang.ReadS("a", "x"),
+			lang.WriteS("oa", lang.R("a")), lang.WriteC("fa", 1),
+			lang.WriteC("y", 1),
+		)
+		p.AddProc("p1", "b", "u", "v").Add(
+			lang.ReadS("b", "y"),
+			lang.WriteC("x", 1),
+			lang.ReadS("u", "fa"),
+			lang.ReadS("v", "oa"),
+			lang.AssertS(lang.Not(lang.ConjoinAll(
+				lang.Eq(lang.R("b"), lang.C(1)),
+				lang.Eq(lang.R("u"), lang.C(1)),
+				lang.Eq(lang.R("v"), lang.C(1)),
+			))),
+		)
+		add("LB", false, p)
+	}
+	// CoRR: coherence of read-read.
+	{
+		p := lang.NewProgram("", "x")
+		p.AddProc("p0").Add(lang.WriteC("x", 1), lang.WriteC("x", 2))
+		p.AddProc("p1", "a", "b").Add(
+			lang.ReadS("a", "x"), lang.ReadS("b", "x"),
+			lang.AssertS(lang.Not(lang.And(lang.Eq(lang.R("a"), lang.C(2)), lang.Eq(lang.R("b"), lang.C(1))))),
+		)
+		add("CoRR", false, p)
+	}
+	// WRC: write-to-read causality, forbidden under RA.
+	{
+		p := lang.NewProgram("", "x", "y")
+		p.AddProc("p0").Add(lang.WriteC("x", 1))
+		p.AddProc("p1", "a").Add(
+			lang.ReadS("a", "x"),
+			lang.IfS(lang.Eq(lang.R("a"), lang.C(1)), lang.WriteC("y", 1)),
+		)
+		p.AddProc("p2", "b", "c").Add(
+			lang.ReadS("b", "y"), lang.ReadS("c", "x"),
+			lang.AssertS(lang.Not(lang.And(lang.Eq(lang.R("b"), lang.C(1)), lang.Eq(lang.R("c"), lang.C(0))))),
+		)
+		add("WRC", false, p)
+	}
+	// RWC: read-to-write causality, allowed under RA (needs SC fences).
+	{
+		p := lang.NewProgram("", "x", "y")
+		p.AddProc("p0").Add(lang.WriteC("x", 1))
+		p.AddProc("p1", "a", "b").Add(
+			lang.ReadS("a", "x"), lang.ReadS("b", "y"),
+			lang.AssertS(lang.Not(lang.And(lang.Eq(lang.R("a"), lang.C(1)), lang.Eq(lang.R("b"), lang.C(0))))),
+		)
+		p.AddProc("p2", "c").Add(
+			lang.WriteC("y", 1), lang.ReadS("c", "x"),
+			lang.AssumeS(lang.Eq(lang.R("c"), lang.C(0))),
+		)
+		add("RWC", true, p)
+	}
+	// IRIW: independent reads of independent writes, allowed under RA.
+	{
+		p := lang.NewProgram("", "x", "y", "o1", "o2", "f1")
+		p.AddProc("w0").Add(lang.WriteC("x", 1))
+		p.AddProc("w1").Add(lang.WriteC("y", 1))
+		p.AddProc("r0", "a", "b").Add(
+			lang.ReadS("a", "x"), lang.ReadS("b", "y"),
+			lang.AssumeS(lang.And(lang.Eq(lang.R("a"), lang.C(1)), lang.Eq(lang.R("b"), lang.C(0)))),
+			lang.WriteC("f1", 1),
+		)
+		p.AddProc("r1", "c", "d", "e").Add(
+			lang.ReadS("c", "y"), lang.ReadS("d", "x"),
+			lang.ReadS("e", "f1"),
+			lang.AssertS(lang.Not(lang.ConjoinAll(
+				lang.Eq(lang.R("c"), lang.C(1)),
+				lang.Eq(lang.R("d"), lang.C(0)),
+				lang.Eq(lang.R("e"), lang.C(1)),
+			))),
+		)
+		add("IRIW", true, p)
+	}
+	// CAS-exclusivity: two CAS on the same message cannot both succeed.
+	{
+		p := lang.NewProgram("", "x", "w0", "w1")
+		p.AddProc("p0").Add(lang.CASS("x", lang.C(0), lang.C(1)), lang.WriteC("w0", 1))
+		p.AddProc("p1").Add(lang.CASS("x", lang.C(0), lang.C(2)), lang.WriteC("w1", 1))
+		p.AddProc("chk", "a", "b").Add(
+			lang.ReadS("a", "w0"), lang.ReadS("b", "w1"),
+			lang.AssertS(lang.Not(lang.And(lang.Eq(lang.R("a"), lang.C(1)), lang.Eq(lang.R("b"), lang.C(1))))),
+		)
+		add("CAS-excl", false, p)
+	}
+	// 2+2W: opposing write pairs. The cross outcome a=1 && b=1 needs
+	// both modification orders inverted against program order — an SC
+	// cycle, but RA allows it (writes may be inserted mid-mo).
+	{
+		p := lang.NewProgram("", "x", "y")
+		p.AddProc("p0", "a").Add(
+			lang.WriteC("x", 1), lang.WriteC("y", 2), lang.ReadS("a", "y"),
+			lang.AssertS(lang.Ne(lang.R("a"), lang.C(1))),
+		)
+		p.AddProc("p1", "b").Add(
+			lang.WriteC("y", 1), lang.WriteC("x", 2), lang.ReadS("b", "x"),
+			lang.AssumeS(lang.Eq(lang.R("b"), lang.C(1))),
+		)
+		add("2+2W", true, p)
+	}
+	// S: the write x=1 is hb-after x=2 through the rf on y, so WW
+	// coherence pins mo(x) to 2 before 1 and no observer can read 1
+	// then 2.
+	{
+		p := lang.NewProgram("", "x", "y")
+		p.AddProc("p0").Add(lang.WriteC("x", 2), lang.WriteC("y", 1))
+		p.AddProc("p1", "a").Add(
+			lang.ReadS("a", "y"),
+			lang.IfS(lang.Eq(lang.R("a"), lang.C(1)), lang.WriteC("x", 1)),
+		)
+		p.AddProc("obs", "b", "c").Add(
+			lang.ReadS("b", "x"), lang.ReadS("c", "x"),
+			lang.AssertS(lang.Not(lang.And(lang.Eq(lang.R("b"), lang.C(1)), lang.Eq(lang.R("c"), lang.C(2))))),
+		)
+		add("S-coh", false, p)
+	}
+	// MP with a CAS flag: the RMW releases like a plain write, so the
+	// causality guarantee is preserved.
+	{
+		p := lang.NewProgram("", "x", "y")
+		p.AddProc("p0").Add(lang.WriteC("x", 1), lang.CASS("y", lang.C(0), lang.C(1)))
+		p.AddProc("p1", "a", "b").Add(
+			lang.ReadS("a", "y"),
+			lang.IfS(lang.Eq(lang.R("a"), lang.C(1)),
+				lang.ReadS("b", "x"),
+				lang.AssertS(lang.Eq(lang.R("b"), lang.C(1))),
+			),
+		)
+		add("MP+cas", false, p)
+	}
+	// A CAS chain 0->1->2 is observable end to end.
+	{
+		p := lang.NewProgram("", "x")
+		p.AddProc("p0").Add(lang.CASS("x", lang.C(0), lang.C(1)))
+		p.AddProc("p1").Add(lang.CASS("x", lang.C(1), lang.C(2)))
+		p.AddProc("obs", "a").Add(
+			lang.ReadS("a", "x"),
+			lang.AssertS(lang.Ne(lang.R("a"), lang.C(2))),
+		)
+		add("CAS-chain", true, p)
+	}
+	// SB with only one side fenced stays weak: both fences are needed.
+	{
+		p := lang.NewProgram("", "x", "y", "oa", "ob", "fa", "fb")
+		p.AddProc("p0", "a").Add(
+			lang.WriteC("x", 1), lang.FenceS(), lang.ReadS("a", "y"),
+			lang.WriteS("oa", lang.R("a")), lang.WriteC("fa", 1))
+		p.AddProc("p1", "b").Add(
+			lang.WriteC("y", 1), lang.ReadS("b", "x"),
+			lang.WriteS("ob", lang.R("b")), lang.WriteC("fb", 1))
+		p.AddProc("chk", "u", "v", "s", "w").Add(
+			lang.ReadS("u", "fa"), lang.AssumeS(lang.Eq(lang.R("u"), lang.C(1))),
+			lang.ReadS("v", "fb"), lang.AssumeS(lang.Eq(lang.R("v"), lang.C(1))),
+			lang.ReadS("s", "oa"), lang.ReadS("w", "ob"),
+			lang.AssertS(lang.Or(lang.Eq(lang.R("s"), lang.C(1)), lang.Eq(lang.R("w"), lang.C(1)))),
+		)
+		add("SB+1fence", true, p)
+	}
+	// CoWR: a process that wrote x cannot read a write that is
+	// mo-before its own.
+	{
+		p := lang.NewProgram("", "x")
+		p.AddProc("p0", "a").Add(
+			lang.WriteC("x", 1),
+			lang.ReadS("a", "x"),
+			lang.AssertS(lang.Ne(lang.R("a"), lang.C(0))),
+		)
+		p.AddProc("p1").Add(lang.WriteC("x", 2))
+		add("CoWR", false, p)
+	}
+	// Fence totality: two fenced writers cannot both miss each other.
+	{
+		p := lang.NewProgram("", "x", "y", "oa", "ob", "fa", "fb")
+		p.AddProc("p0", "a").Add(
+			lang.WriteC("x", 1), lang.FenceS(), lang.ReadS("a", "y"),
+			lang.WriteS("oa", lang.R("a")), lang.WriteC("fa", 1))
+		p.AddProc("p1", "b").Add(
+			lang.WriteC("y", 1), lang.FenceS(), lang.ReadS("b", "x"),
+			lang.WriteS("ob", lang.R("b")), lang.WriteC("fb", 1))
+		p.AddProc("chk", "u", "v", "s", "w").Add(
+			lang.ReadS("u", "fa"), lang.AssumeS(lang.Eq(lang.R("u"), lang.C(1))),
+			lang.ReadS("v", "fb"), lang.AssumeS(lang.Eq(lang.R("v"), lang.C(1))),
+			lang.ReadS("s", "oa"), lang.ReadS("w", "ob"),
+			lang.AssertS(lang.Or(lang.Eq(lang.R("s"), lang.C(1)), lang.Eq(lang.R("w"), lang.C(1)))),
+		)
+		add("2F-SB", false, p)
+	}
+	return tests
+}

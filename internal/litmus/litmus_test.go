@@ -1,0 +1,105 @@
+package litmus
+
+import (
+	"testing"
+)
+
+// TestClassicExpectations: the oracle (exhaustive RA explorer) must
+// reproduce the literature verdict of every classic shape.
+func TestClassicExpectations(t *testing.T) {
+	for _, tc := range Classic() {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			if got := Oracle(tc); got != tc.Unsafe {
+				t.Errorf("oracle says unsafe=%v, literature says %v", got, tc.Unsafe)
+			}
+		})
+	}
+}
+
+// TestClassicVBMCAgreesWithOracle is the paper's litmus experiment in
+// miniature: VBMC at K=5 matches the oracle on every classic shape.
+func TestClassicVBMCAgreesWithOracle(t *testing.T) {
+	for _, tc := range Classic() {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			want := Oracle(tc)
+			got, err := VBMC(tc, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("VBMC(K=5) says unsafe=%v, oracle says %v", got, want)
+			}
+		})
+	}
+}
+
+// TestGeneratedCorpusSize: the systematic corpus has the expected scale.
+func TestGeneratedCorpusSize(t *testing.T) {
+	g2 := Generated(2)
+	// 4^4 = 256 candidates; the 2^4 = 16 write-only ones are dropped.
+	if len(g2) != 256-16 {
+		t.Errorf("Generated(2) = %d tests, want 240", len(g2))
+	}
+	g3 := Generated(3)
+	// 4^6 = 4096 candidates minus 2^6 = 64 write-only ones.
+	if len(g3) != 4096-64 {
+		t.Errorf("Generated(3) = %d tests, want 4032", len(g3))
+	}
+	for _, tc := range g3[:32] {
+		if err := tc.Prog.ValidateRA(); err != nil {
+			t.Fatalf("%s: %v", tc.Name, err)
+		}
+	}
+}
+
+// TestGeneratedSampleAgreement runs a sample of the generated corpus
+// through oracle and VBMC; the full sweep is the litmus benchmark.
+func TestGeneratedSampleAgreement(t *testing.T) {
+	stride := 37
+	if testing.Short() {
+		stride = 331
+	}
+	corpus := Generated(2)
+	checked := 0
+	for i := 0; i < len(corpus); i += stride {
+		tc := corpus[i]
+		want := Oracle(tc)
+		got, err := VBMC(tc, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.Name, err)
+		}
+		if got != want {
+			t.Errorf("%s: VBMC(5)=%v oracle=%v\n%s", tc.Name, got, want, tc.Prog)
+		}
+		checked++
+	}
+	t.Logf("checked %d/%d corpus programs", checked, len(corpus))
+}
+
+func TestGeneratedThreeThreadCorpus(t *testing.T) {
+	g := GeneratedThreads(3, 2)
+	// 4^6 = 4096 candidates minus the 2^6 = 64 write-only ones.
+	if len(g) != 4096-64 {
+		t.Errorf("GeneratedThreads(3,2) = %d tests, want 4032", len(g))
+	}
+	stride := 211
+	if testing.Short() {
+		stride = 997
+	}
+	for i := 0; i < len(g); i += stride {
+		tc := g[i]
+		if err := tc.Prog.ValidateRA(); err != nil {
+			t.Fatalf("%s: %v", tc.Name, err)
+		}
+		want := Oracle(tc)
+		got, err := VBMC(tc, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.Name, err)
+		}
+		if got != want {
+			t.Errorf("%s: VBMC=%v oracle=%v\n%s", tc.Name, got, want, tc.Prog)
+		}
+	}
+}

@@ -1,0 +1,627 @@
+// Package parser builds lang.Program ASTs from the concrete syntax.
+//
+// Grammar (statements are self-delimiting; newlines are insignificant):
+//
+//	program  := ["program" IDENT] {"var" IDENT+} {"array" IDENT "[" INT "]" ["init" INT]} proc+
+//	proc     := "proc" IDENT ["reg" IDENT+] stmt* "end"
+//	stmt     := [IDENT ":"] core
+//	core     := REG "=" "nondet" "(" int "," int ")"
+//	          | REG "=" IDENT                    -- acquire read (IDENT a shared var)
+//	          | REG "=" IDENT "[" expr "]"       -- array load (IDENT an array)
+//	          | REG "=" expr                     -- assignment
+//	          | IDENT "=" expr                   -- release write
+//	          | IDENT "[" expr "]" "=" expr      -- array store
+//	          | "cas" "(" IDENT "," expr "," expr ")"
+//	          | "fence" | "term"
+//	          | "assume" "(" expr ")" | "assert" "(" expr ")"
+//	          | "if" expr "then" stmt* ["else" stmt*] ("fi"|"endif")
+//	          | "while" expr "do" stmt* "done"
+//	          | "atomic" "{" stmt* "}"
+//	expr     := or; or := and {"||" and}; and := cmp {"&&" cmp}
+//	cmp      := sum [("=="|"!="|"<"|"<="|">"|">=") sum]
+//	sum      := prod {("+"|"-") prod}; prod := unary {("*"|"/"|"%") unary}
+//	unary    := ("!"|"-") unary | INT | REG | "(" expr ")"
+//
+// Registers are written with a '$' prefix; bare identifiers in statement
+// head position denote shared variables or arrays. Expressions cannot
+// mention shared variables (paper Sec. 3).
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"ravbmc/internal/lang"
+	"ravbmc/internal/lexer"
+)
+
+var keywords = map[string]bool{
+	"program": true, "var": true, "array": true, "init": true,
+	"proc": true, "reg": true, "end": true,
+	"if": true, "then": true, "else": true, "fi": true, "endif": true,
+	"while": true, "do": true, "done": true,
+	"cas": true, "fence": true, "assume": true, "assert": true,
+	"nondet": true, "term": true, "atomic": true,
+}
+
+// Parse parses and validates a program.
+func Parse(src string) (*lang.Program, error) {
+	toks, err := lexer.Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error, for tests and examples.
+func MustParse(src string) *lang.Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type parser struct {
+	toks []lexer.Token
+	pos  int
+}
+
+func (p *parser) cur() lexer.Token  { return p.toks[p.pos] }
+func (p *parser) peek() lexer.Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+func (p *parser) next() lexer.Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("parser: line %d col %d: %s", t.Line, t.Col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	t := p.cur()
+	return t.Kind == lexer.Ident && t.Text == kw
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.isKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %q, found %s", kw, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	t := p.cur()
+	if t.Kind == lexer.Punct && t.Text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errf("expected %q, found %s", s, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.Kind != lexer.Ident || keywords[t.Text] {
+		return "", p.errf("expected identifier, found %s", t)
+	}
+	p.pos++
+	return t.Text, nil
+}
+
+func (p *parser) intLit() (lang.Value, error) {
+	neg := p.acceptPunct("-")
+	t := p.cur()
+	if t.Kind != lexer.Int {
+		return 0, p.errf("expected integer, found %s", t)
+	}
+	p.pos++
+	v, err := strconv.ParseInt(t.Text, 10, 64)
+	if err != nil {
+		return 0, p.errf("bad integer %q: %v", t.Text, err)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) program() (*lang.Program, error) {
+	prog := &lang.Program{}
+	if p.acceptKeyword("program") {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		prog.Name = name
+	}
+	for {
+		switch {
+		case p.acceptKeyword("var"):
+			// One or more variable names until the next keyword.
+			n := 0
+			for p.cur().Kind == lexer.Ident && !keywords[p.cur().Text] {
+				name, _ := p.ident()
+				prog.Vars = append(prog.Vars, name)
+				n++
+			}
+			if n == 0 {
+				return nil, p.errf("expected variable name after 'var'")
+			}
+		case p.acceptKeyword("array"):
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("["); err != nil {
+				return nil, err
+			}
+			size, err := p.intLit()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			var init lang.Value
+			if p.acceptKeyword("init") {
+				init, err = p.intLit()
+				if err != nil {
+					return nil, err
+				}
+			}
+			prog.Arrays = append(prog.Arrays, lang.ArrayDecl{Name: name, Size: int(size), Init: init})
+		case p.isKeyword("proc"):
+			pr, err := p.proc()
+			if err != nil {
+				return nil, err
+			}
+			prog.Procs = append(prog.Procs, pr)
+		case p.cur().Kind == lexer.EOF:
+			return prog, nil
+		default:
+			return nil, p.errf("expected 'var', 'array' or 'proc', found %s", p.cur())
+		}
+	}
+}
+
+func (p *parser) proc() (*lang.Proc, error) {
+	if err := p.expectKeyword("proc"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	pr := &lang.Proc{Name: name}
+	if p.acceptKeyword("reg") {
+		n := 0
+		for p.cur().Kind == lexer.Ident && !keywords[p.cur().Text] {
+			// Stop if this identifier is a label ("ident :") rather
+			// than a register name.
+			if p.peek().Kind == lexer.Punct && p.peek().Text == ":" {
+				break
+			}
+			// Stop if this identifier begins a statement ("ident =" or
+			// "ident [").
+			if p.peek().Kind == lexer.Punct && (p.peek().Text == "=" || p.peek().Text == "[") {
+				break
+			}
+			r, _ := p.ident()
+			pr.Regs = append(pr.Regs, r)
+			n++
+		}
+		if n == 0 {
+			return nil, p.errf("expected register name after 'reg'")
+		}
+	}
+	body, err := p.stmts(func() bool { return p.isKeyword("end") })
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("end"); err != nil {
+		return nil, err
+	}
+	pr.Body = body
+	return pr, nil
+}
+
+// stmts parses statements until stop() holds or EOF.
+func (p *parser) stmts(stop func() bool) ([]lang.Stmt, error) {
+	var out []lang.Stmt
+	for !stop() {
+		if p.cur().Kind == lexer.EOF {
+			return nil, p.errf("unexpected end of input inside statement block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *parser) stmt() (lang.Stmt, error) {
+	label := ""
+	if t := p.cur(); t.Kind == lexer.Ident && !keywords[t.Text] &&
+		p.peek().Kind == lexer.Punct && p.peek().Text == ":" {
+		label = t.Text
+		p.pos += 2
+	}
+	s, err := p.core()
+	if err != nil {
+		return nil, err
+	}
+	if label != "" {
+		s = lang.LabelS(label, s)
+	}
+	p.acceptPunct(";")
+	return s, nil
+}
+
+func (p *parser) core() (lang.Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == lexer.Register:
+		return p.regStmt()
+	case p.isKeyword("cas"):
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		x, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		old, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		newVal, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return lang.CAS{Var: x, Old: old, New: newVal}, nil
+	case p.acceptKeyword("fence"):
+		return lang.Fence{}, nil
+	case p.acceptKeyword("term"):
+		return lang.Term{}, nil
+	case p.acceptKeyword("assume"):
+		e, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		return lang.Assume{Cond: e}, nil
+	case p.acceptKeyword("assert"):
+		e, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		return lang.Assert{Cond: e}, nil
+	case p.acceptKeyword("if"):
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("then"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmts(func() bool {
+			return p.isKeyword("else") || p.isKeyword("fi") || p.isKeyword("endif")
+		})
+		if err != nil {
+			return nil, err
+		}
+		var els []lang.Stmt
+		if p.acceptKeyword("else") {
+			els, err = p.stmts(func() bool { return p.isKeyword("fi") || p.isKeyword("endif") })
+			if err != nil {
+				return nil, err
+			}
+		}
+		if !p.acceptKeyword("fi") && !p.acceptKeyword("endif") {
+			return nil, p.errf("expected 'fi' or 'endif', found %s", p.cur())
+		}
+		return lang.If{Cond: cond, Then: then, Else: els}, nil
+	case p.acceptKeyword("while"):
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("do"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmts(func() bool { return p.isKeyword("done") })
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("done"); err != nil {
+			return nil, err
+		}
+		return lang.While{Cond: cond, Body: body}, nil
+	case p.acceptKeyword("atomic"):
+		if err := p.expectPunct("{"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmts(func() bool {
+			return p.cur().Kind == lexer.Punct && p.cur().Text == "}"
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("}"); err != nil {
+			return nil, err
+		}
+		return lang.Atomic{Body: body}, nil
+	case t.Kind == lexer.Ident && !keywords[t.Text]:
+		// Write or array store.
+		name, _ := p.ident()
+		if p.acceptPunct("[") {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return lang.StoreArr{Arr: name, Index: idx, Val: val}, nil
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return lang.Write{Var: name, Val: val}, nil
+	}
+	return nil, p.errf("expected statement, found %s", t)
+}
+
+// regStmt parses statements starting with a register: read, load,
+// nondet, or assignment.
+func (p *parser) regStmt() (lang.Stmt, error) {
+	reg := p.next().Text
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if p.acceptKeyword("nondet") {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		lo, err := p.intLit()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		hi, err := p.intLit()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return lang.Nondet{Reg: reg, Lo: lo, Hi: hi}, nil
+	}
+	if t.Kind == lexer.Ident && !keywords[t.Text] {
+		name, _ := p.ident()
+		if p.acceptPunct("[") {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			return lang.LoadArr{Reg: reg, Arr: name, Index: idx}, nil
+		}
+		return lang.Read{Reg: reg, Var: name}, nil
+	}
+	val, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return lang.Assign{Reg: reg, Val: val}, nil
+}
+
+func (p *parser) parenExpr() (lang.Expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Expression parsing with standard precedence.
+
+func (p *parser) expr() (lang.Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (lang.Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptPunct("||") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = lang.Or(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (lang.Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptPunct("&&") {
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = lang.And(l, r)
+	}
+	return l, nil
+}
+
+var cmpOps = map[string]lang.BinOp{
+	"==": lang.OpEq, "!=": lang.OpNe,
+	"<": lang.OpLt, "<=": lang.OpLe, ">": lang.OpGt, ">=": lang.OpGe,
+}
+
+func (p *parser) cmpExpr() (lang.Expr, error) {
+	l, err := p.sumExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == lexer.Punct {
+		if op, ok := cmpOps[t.Text]; ok {
+			p.pos++
+			r, err := p.sumExpr()
+			if err != nil {
+				return nil, err
+			}
+			return lang.Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) sumExpr() (lang.Expr, error) {
+	l, err := p.prodExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptPunct("+"):
+			r, err := p.prodExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = lang.Add(l, r)
+		case p.acceptPunct("-"):
+			r, err := p.prodExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = lang.Sub(l, r)
+		default:
+			return l, nil
+		}
+	}
+}
+
+var prodOps = map[string]lang.BinOp{
+	"*": lang.OpMul, "/": lang.OpDiv, "%": lang.OpMod,
+}
+
+func (p *parser) prodExpr() (lang.Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != lexer.Punct {
+			return l, nil
+		}
+		op, ok := prodOps[t.Text]
+		if !ok {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = lang.Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) unaryExpr() (lang.Expr, error) {
+	switch {
+	case p.acceptPunct("!"):
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return lang.Not(x), nil
+	case p.acceptPunct("-"):
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return lang.Unary{Op: lang.OpNeg, X: x}, nil
+	}
+	t := p.cur()
+	switch t.Kind {
+	case lexer.Int:
+		v, err := p.intLit()
+		if err != nil {
+			return nil, err
+		}
+		return lang.C(v), nil
+	case lexer.Register:
+		p.pos++
+		return lang.R(t.Text), nil
+	case lexer.Punct:
+		if t.Text == "(" {
+			return p.parenExpr()
+		}
+	case lexer.Ident:
+		if !keywords[t.Text] {
+			return nil, p.errf("shared variable %q cannot appear in an expression; read it into a register first", t.Text)
+		}
+	}
+	return nil, p.errf("expected expression, found %s", t)
+}

@@ -1,0 +1,296 @@
+package parser
+
+import (
+	"math/rand"
+	"testing"
+
+	"ravbmc/internal/lang"
+)
+
+func TestParseFullProgram(t *testing.T) {
+	src := `
+program demo
+var x y
+array store[4] init 7
+
+proc p0
+  reg r1 r2
+  start: $r1 = 1 + 2 * 3
+  x = $r1
+  $r2 = y
+  cas(x, $r2, $r1 - 1)
+  fence
+  $r1 = nondet(0, 5)
+  assume($r1 <= 5)
+  assert($r1 >= 0)
+  if $r1 == 3 then
+    x = 3
+  else
+    while $r1 < 3 do
+      $r1 = $r1 + 1
+    done
+  fi
+  $r2 = store[1]
+  store[$r1] = $r2 + 1
+  atomic {
+    x = 0
+    y = 0
+  }
+  term
+end
+
+proc p1
+  reg a
+  $a = x
+end
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "demo" || len(p.Vars) != 2 || len(p.Arrays) != 1 || len(p.Procs) != 2 {
+		t.Fatalf("parsed shape wrong: %+v", p)
+	}
+	if p.Arrays[0].Size != 4 || p.Arrays[0].Init != 7 {
+		t.Errorf("array decl wrong: %+v", p.Arrays[0])
+	}
+	first := p.Procs[0].Body[0]
+	if first.StmtLabel() != "start" {
+		t.Errorf("label lost: %q", first.StmtLabel())
+	}
+	asg, ok := first.(lang.Assign)
+	if !ok {
+		t.Fatalf("expected assign, got %T", first)
+	}
+	if got := asg.Val.Eval(func(string) lang.Value { return 0 }); got != 7 {
+		t.Errorf("precedence broken: 1 + 2 * 3 = %d", got)
+	}
+}
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	src := `
+var x y
+proc p0
+  reg r
+  $r = x
+  y = $r + 1
+  if $r == 0 then
+    $r = 1
+  fi
+  while $r > 0 do
+    $r = $r - 1
+  done
+  cas(x, 0, 1)
+  fence
+  assert($r == 0)
+  term
+end
+`
+	p1 := MustParse(src)
+	p2, err := Parse(p1.String())
+	if err != nil {
+		t.Fatalf("reparse failed: %v\nprinted:\n%s", err, p1.String())
+	}
+	if p1.String() != p2.String() {
+		t.Errorf("round trip not stable:\n--- first ---\n%s\n--- second ---\n%s", p1.String(), p2.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"empty", ""},
+		{"garbage", "blah blah"},
+		{"missing end", "var x\nproc p\nx = 1\n"},
+		{"shared in expr", "var x y\nproc p\nreg r\n$r = x + 1\nend"},
+		{"undeclared var", "var x\nproc p\ny = 1\nend"},
+		{"undeclared reg", "var x\nproc p\n$r = 1\nend"},
+		{"bad cas", "var x\nproc p\ncas(x, 1)\nend"},
+		{"if without fi", "var x\nproc p\nreg r\nif $r == 0 then\nx = 1\nend"},
+		{"while without done", "var x\nproc p\nreg r\nwhile $r == 0 do\nx = 1\nend"},
+		{"empty nondet range", "var x\nproc p\nreg r\n$r = nondet(5, 1)\nend"},
+		{"var after keyword", "var\nproc p\nend"},
+		{"lex error", "var x\nproc p\nx = 1 @ 2\nend"},
+		{"assume missing paren", "var x\nproc p\nassume x == 1\nend"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+		}
+	}
+}
+
+func TestParseNegativeConstants(t *testing.T) {
+	p := MustParse("var x\nproc p\nreg r\n$r = -5\nx = -$r\nend")
+	asg := p.Procs[0].Body[0].(lang.Assign)
+	if v := asg.Val.Eval(func(string) lang.Value { return 0 }); v != -5 {
+		t.Errorf("negative literal = %d", v)
+	}
+}
+
+func TestParseSemicolonsOptional(t *testing.T) {
+	p := MustParse("var x\nproc p\nreg r\n$r = 1; x = $r; term\nend")
+	if len(p.Procs[0].Body) != 3 {
+		t.Errorf("expected 3 statements, got %d", len(p.Procs[0].Body))
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	p := MustParse(`
+var x  # shared counter
+proc p // the only process
+  reg r
+  $r = 1  # load constant
+  x = $r
+end
+`)
+	if len(p.Procs[0].Body) != 2 {
+		t.Errorf("comments mis-lexed: %d stmts", len(p.Procs[0].Body))
+	}
+}
+
+func TestParseOperatorPrecedence(t *testing.T) {
+	cases := []struct {
+		src  string
+		want lang.Value
+	}{
+		{"2 + 3 * 4", 14},
+		{"(2 + 3) * 4", 20},
+		{"10 - 2 - 3", 5}, // left associative
+		{"1 < 2 && 2 < 3", 1},
+		{"0 || 1 && 0", 0},
+		{"!0 && !0", 1},
+		{"10 % 4 + 1", 3},
+		{"-2 * 3", -6},
+	}
+	for _, c := range cases {
+		p := MustParse("var x\nproc p\nreg r\n$r = " + c.src + "\nend")
+		asg := p.Procs[0].Body[0].(lang.Assign)
+		if got := asg.Val.Eval(func(string) lang.Value { return 0 }); got != c.want {
+			t.Errorf("%s = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+// TestRoundTripRandomPrograms (property): printing and reparsing a
+// randomly built program is the identity up to printing.
+func TestRoundTripRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		p := randomProgram(rng)
+		src := p.String()
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("generated program does not reparse: %v\n%s", err, src)
+		}
+		if q.String() != src {
+			t.Fatalf("round trip unstable:\n%s\nvs\n%s", src, q.String())
+		}
+	}
+}
+
+func randomProgram(rng *rand.Rand) *lang.Program {
+	vars := []string{"x", "y"}
+	p := lang.NewProgram("rnd", vars...)
+	for pi := 0; pi < 1+rng.Intn(2); pi++ {
+		pr := p.AddProc([]string{"p0", "p1"}[pi], "r", "s")
+		pr.Body = randomStmts(rng, vars, 3, 2)
+	}
+	return p
+}
+
+func randomStmts(rng *rand.Rand, vars []string, n, depth int) []lang.Stmt {
+	regs := []string{"r", "s"}
+	var out []lang.Stmt
+	for i := 0; i < n; i++ {
+		switch k := rng.Intn(10); {
+		case k < 2:
+			out = append(out, lang.ReadS(regs[rng.Intn(2)], vars[rng.Intn(2)]))
+		case k < 4:
+			out = append(out, lang.WriteC(vars[rng.Intn(2)], lang.Value(rng.Intn(5))))
+		case k < 5:
+			out = append(out, lang.AssignS(regs[rng.Intn(2)], lang.Add(lang.R("r"), lang.C(1))))
+		case k < 6:
+			out = append(out, lang.CASS(vars[rng.Intn(2)], lang.C(0), lang.C(1)))
+		case k < 7:
+			out = append(out, lang.AssumeS(lang.Le(lang.R("r"), lang.C(3))))
+		case k < 8 && depth > 0:
+			out = append(out, lang.IfElseS(lang.Eq(lang.R("s"), lang.C(0)),
+				randomStmts(rng, vars, 2, depth-1),
+				randomStmts(rng, vars, 1, depth-1)))
+		case k < 9 && depth > 0:
+			out = append(out, lang.WhileS(lang.Lt(lang.R("r"), lang.C(2)),
+				randomStmts(rng, vars, 2, depth-1)...))
+		default:
+			out = append(out, lang.FenceS())
+		}
+	}
+	return out
+}
+
+func TestParseMoreErrorPaths(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"array missing bracket", "array a 4\nproc p\nend"},
+		{"array bad size", "array a[x]\nproc p\nend"},
+		{"array missing close", "array a[4\nproc p\nend"},
+		{"program missing name", "program\nvar x\nproc p\nend"},
+		{"proc missing name", "var x\nproc\nend"},
+		{"reg empty", "var x\nproc p\nreg\nend"},
+		{"nondet missing paren", "var x\nproc p\nreg r\n$r = nondet 1, 2\nend"},
+		{"nondet missing comma", "var x\nproc p\nreg r\n$r = nondet(1 2)\nend"},
+		{"nondet bad bounds", "var x\nproc p\nreg r\n$r = nondet(a, 2)\nend"},
+		{"cas missing open", "var x\nproc p\ncas x, 0, 1)\nend"},
+		{"cas missing close", "var x\nproc p\ncas(x, 0, 1\nend"},
+		{"store missing eq", "array a[2]\nproc p\na[0] 5\nend"},
+		{"load missing bracket", "array a[2]\nproc p\nreg r\n$r = a[0\nend"},
+		{"atomic missing brace", "var x\nproc p\natomic x = 1 }\nend"},
+		{"atomic missing close", "var x\nproc p\natomic { x = 1\nend"},
+		{"if missing then", "var x\nproc p\nreg r\nif $r == 0\nx = 1\nfi\nend"},
+		{"while missing do", "var x\nproc p\nreg r\nwhile $r == 0\nx = 1\ndone\nend"},
+		{"dangling expr op", "var x\nproc p\nreg r\n$r = 1 +\nend"},
+		{"keyword as expr", "var x\nproc p\nreg r\n$r = while\nend"},
+		{"negative missing digits", "var x\nproc p\nreg r\n$r = nondet(-, 2)\nend"},
+		{"unclosed paren expr", "var x\nproc p\nreg r\n$r = (1 + 2\nend"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected a parse error", c.name)
+		}
+	}
+}
+
+func TestParseRegStmtVariants(t *testing.T) {
+	p := MustParse(`
+var x
+array tbl[4]
+proc p
+  reg r s
+  $r = x
+  $s = tbl[$r + 1]
+  $r = nondet(-2, 2)
+  $s = -$r + (3 * 2)
+end
+`)
+	body := p.Procs[0].Body
+	if _, ok := body[0].(lang.Read); !ok {
+		t.Errorf("stmt 0 is %T, want Read", body[0])
+	}
+	if _, ok := body[1].(lang.LoadArr); !ok {
+		t.Errorf("stmt 1 is %T, want LoadArr", body[1])
+	}
+	nd, ok := body[2].(lang.Nondet)
+	if !ok || nd.Lo != -2 || nd.Hi != 2 {
+		t.Errorf("stmt 2 = %#v, want nondet(-2,2)", body[2])
+	}
+	if _, ok := body[3].(lang.Assign); !ok {
+		t.Errorf("stmt 3 is %T, want Assign", body[3])
+	}
+}
+
+func TestParseEndifAlias(t *testing.T) {
+	p := MustParse("var x\nproc p\nreg r\nif $r == 0 then\nx = 1\nendif\nend")
+	if _, ok := p.Procs[0].Body[0].(lang.If); !ok {
+		t.Error("endif alias not accepted")
+	}
+}

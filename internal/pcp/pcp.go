@@ -1,0 +1,137 @@
+// Package pcp implements Post's Correspondence Problem and the paper's
+// Theorem 4.1 reduction (Fig. 3): a PCP instance is turned into a
+// four-process RA program that can bring every process to its "term"
+// label if and only if the instance has a solution. The construction
+// demonstrates why reachability under RA is undecidable: processes p1
+// and p2 guess a solution and stream it through shared variables, while
+// p3 and p4 use CAS and the causality of message views to verify that no
+// written symbol was skipped.
+package pcp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Instance is a PCP instance: two equal-length lists of non-empty words
+// over a finite alphabet. A solution is a non-empty index sequence
+// i1..ik with U[i1]+...+U[ik] == V[i1]+...+V[ik].
+type Instance struct {
+	U, V []string
+}
+
+// Validate checks the instance is well-formed.
+func (ins Instance) Validate() error {
+	if len(ins.U) == 0 || len(ins.U) != len(ins.V) {
+		return errors.New("pcp: U and V must be non-empty lists of equal length")
+	}
+	for i := range ins.U {
+		if ins.U[i] == "" || ins.V[i] == "" {
+			return fmt.Errorf("pcp: pair %d has an empty word", i+1)
+		}
+	}
+	return nil
+}
+
+// Alphabet returns the sorted distinct letters of the instance.
+func (ins Instance) Alphabet() []byte {
+	seen := map[byte]bool{}
+	var out []byte
+	for _, w := range append(append([]string{}, ins.U...), ins.V...) {
+		for i := 0; i < len(w); i++ {
+			if !seen[w[i]] {
+				seen[w[i]] = true
+				out = append(out, w[i])
+			}
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Solve searches for a solution of length at most maxLen by iterative
+// deepening over index sequences, returning the 1-based index sequence.
+// PCP is undecidable in general; the bound keeps this reference solver
+// total. It is used to cross-check the reduction on small instances.
+func (ins Instance) Solve(maxLen int) ([]int, bool) {
+	if err := ins.Validate(); err != nil {
+		return nil, false
+	}
+	type state struct {
+		// surplus is the suffix by which one side leads; onU is true
+		// when the U-concatenation is longer.
+		surplus string
+		onU     bool
+	}
+	var path []int
+	var rec func(s state, depth int) bool
+	rec = func(s state, depth int) bool {
+		if s.surplus == "" && len(path) > 0 {
+			return true
+		}
+		if depth == 0 {
+			return false
+		}
+		for i := range ins.U {
+			u, v := ins.U[i], ins.V[i]
+			// Extend both sides and match the overlap.
+			var us, vs string
+			if s.surplus == "" {
+				us, vs = u, v
+			} else if s.onU {
+				us, vs = s.surplus+u, v
+			} else {
+				us, vs = u, s.surplus+v
+			}
+			var ns state
+			switch {
+			case strings.HasPrefix(us, vs):
+				ns = state{surplus: us[len(vs):], onU: true}
+			case strings.HasPrefix(vs, us):
+				ns = state{surplus: vs[len(us):], onU: false}
+			default:
+				continue
+			}
+			path = append(path, i+1)
+			if rec(ns, depth-1) {
+				return true
+			}
+			path = path[:len(path)-1]
+		}
+		return false
+	}
+	for d := 1; d <= maxLen; d++ {
+		path = path[:0]
+		if rec(state{}, d) {
+			return append([]int(nil), path...), true
+		}
+	}
+	return nil, false
+}
+
+// Concat returns the U- and V-concatenations of an index sequence.
+func (ins Instance) Concat(indices []int) (string, string, error) {
+	var u, v strings.Builder
+	for _, i := range indices {
+		if i < 1 || i > len(ins.U) {
+			return "", "", fmt.Errorf("pcp: index %d out of range", i)
+		}
+		u.WriteString(ins.U[i-1])
+		v.WriteString(ins.V[i-1])
+	}
+	return u.String(), v.String(), nil
+}
+
+// IsSolution reports whether the index sequence solves the instance.
+func (ins Instance) IsSolution(indices []int) bool {
+	if len(indices) == 0 {
+		return false
+	}
+	u, v, err := ins.Concat(indices)
+	return err == nil && u == v
+}

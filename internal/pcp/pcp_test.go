@@ -1,0 +1,165 @@
+package pcp
+
+import (
+	"testing"
+
+	"ravbmc/internal/lang"
+	"ravbmc/internal/ra"
+)
+
+func TestSolveFindsKnownSolutions(t *testing.T) {
+	cases := []struct {
+		ins  Instance
+		want []int
+	}{
+		{Instance{U: []string{"a"}, V: []string{"a"}}, []int{1}},
+		{Instance{U: []string{"a", "ba"}, V: []string{"ab", "a"}}, []int{1, 2}},
+		{Instance{U: []string{"ab", "b"}, V: []string{"a", "bb"}}, []int{1, 2}},
+	}
+	for _, c := range cases {
+		got, ok := c.ins.Solve(6)
+		if !ok {
+			t.Errorf("%v: no solution found", c.ins)
+			continue
+		}
+		if !c.ins.IsSolution(got) {
+			t.Errorf("%v: Solve returned non-solution %v", c.ins, got)
+		}
+	}
+}
+
+func TestSolveRejectsUnsolvable(t *testing.T) {
+	cases := []Instance{
+		{U: []string{"a"}, V: []string{"b"}},
+		{U: []string{"ab"}, V: []string{"ba"}},
+		{U: []string{"a"}, V: []string{"aa"}}, // length always lags
+	}
+	for _, ins := range cases {
+		if sol, ok := ins.Solve(8); ok {
+			t.Errorf("%v: unexpected solution %v", ins, sol)
+		}
+	}
+}
+
+func TestIsSolution(t *testing.T) {
+	ins := Instance{U: []string{"a", "ba"}, V: []string{"ab", "a"}}
+	if ins.IsSolution(nil) {
+		t.Error("empty sequence is not a solution")
+	}
+	if ins.IsSolution([]int{2, 1}) {
+		t.Error("[2 1] is not a solution")
+	}
+	if !ins.IsSolution([]int{1, 2}) {
+		t.Error("[1 2] must be a solution")
+	}
+	if ins.IsSolution([]int{3}) {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestAlphabet(t *testing.T) {
+	ins := Instance{U: []string{"ba", "c"}, V: []string{"ab", "ca"}}
+	got := ins.Alphabet()
+	if string(got) != "abc" {
+		t.Errorf("Alphabet = %q, want abc", string(got))
+	}
+}
+
+func TestReductionValidates(t *testing.T) {
+	ins := Instance{U: []string{"a", "ba"}, V: []string{"ab", "a"}}
+	p, err := ins.Reduction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Procs) != 4 {
+		t.Fatalf("reduction must have 4 processes, got %d", len(p.Procs))
+	}
+	if err := p.ValidateRA(); err != nil {
+		t.Fatal(err)
+	}
+	// Every process must carry the term label.
+	cp := lang.MustCompile(p)
+	for _, pr := range cp.Procs {
+		if pr.FindLabel(TermLabel) < 0 {
+			t.Errorf("process %s has no %q label", pr.Name, TermLabel)
+		}
+	}
+}
+
+// TestReductionSolvableReachesTerm: for a solvable instance, the RA
+// explorer finds a run in which all four processes reach term — the
+// "if" direction of Theorem 4.1 on a concrete instance.
+func TestReductionSolvableReachesTerm(t *testing.T) {
+	ins := Instance{U: []string{"a"}, V: []string{"a"}}
+	p, err := ins.Reduction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := ra.NewSystem(lang.MustCompile(p))
+	res := sys.Explore(ra.Options{
+		ViewBound:    -1,
+		MaxSteps:     120,
+		MaxStates:    5_000_000,
+		TargetLabels: TargetLabels(),
+	})
+	if !res.TargetReached {
+		t.Fatalf("solvable instance: term not reached (states=%d, exhausted=%v)",
+			res.States, res.Exhausted)
+	}
+}
+
+// TestReductionUnsolvableDoesNotReachTerm: for an unsolvable instance
+// the bounded search never reaches term (unreachability in general is
+// exactly the undecidable question, but within these bounds the search
+// is exhaustive).
+func TestReductionUnsolvableDoesNotReachTerm(t *testing.T) {
+	ins := Instance{U: []string{"a"}, V: []string{"b"}}
+	p, err := ins.Reduction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := ra.NewSystem(lang.MustCompile(p))
+	// A state cap keeps this conclusive-within-bounds check fast; the
+	// property asserted is the absence of false positives.
+	res := sys.Explore(ra.Options{
+		ViewBound:    -1,
+		MaxSteps:     80,
+		MaxStates:    150_000,
+		TargetLabels: TargetLabels(),
+	})
+	if res.TargetReached {
+		t.Fatalf("unsolvable instance reached term:\n%v", res.Trace)
+	}
+}
+
+func TestReductionRejectsBadInstance(t *testing.T) {
+	if _, err := (Instance{U: []string{"a"}, V: []string{}}).Reduction(); err == nil {
+		t.Error("mismatched lists must be rejected")
+	}
+	if _, err := (Instance{U: []string{""}, V: []string{"a"}}).Reduction(); err == nil {
+		t.Error("empty words must be rejected")
+	}
+}
+
+// TestReductionWithinFourContexts checks the paper's remark after
+// Theorem 4.1: the reduction reaches term even when executions are
+// restricted to 4 contexts (one block per process — the guessers write
+// everything, then the verifiers consume everything).
+func TestReductionWithinFourContexts(t *testing.T) {
+	ins := Instance{U: []string{"a"}, V: []string{"a"}}
+	p, err := ins.Reduction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := ra.NewSystem(lang.MustCompile(p))
+	res := sys.Explore(ra.Options{
+		ViewBound:    -1,
+		ContextBound: 4,
+		MaxSteps:     120,
+		MaxStates:    2_000_000,
+		TargetLabels: TargetLabels(),
+	})
+	if !res.TargetReached {
+		t.Fatalf("term not reachable within 4 contexts (states=%d)", res.States)
+	}
+}

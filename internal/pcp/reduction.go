@@ -1,0 +1,196 @@
+package pcp
+
+import (
+	"ravbmc/internal/lang"
+)
+
+// Value encoding of the paper's data domain D = Σ ⊎ {⊥, 0, 1..n}:
+// 0 is the reset value written by the verifiers, 1 encodes ⊥, letters
+// and indices are shifted up by 2.
+const (
+	resetVal = 0
+	botVal   = 1
+	base     = 2
+)
+
+func (ins Instance) letterVal(b byte) lang.Value {
+	for i, c := range ins.Alphabet() {
+		if c == b {
+			return lang.Value(base + i)
+		}
+	}
+	panic("pcp: letter not in alphabet")
+}
+
+func (ins Instance) indexVal(i int) lang.Value { return lang.Value(base + i - 1) }
+
+// TermLabel is the label of the term instruction of every process of the
+// reduction; reachability of all four simultaneously encodes PCP
+// solvability.
+const TermLabel = "term"
+
+// Reduction builds the paper's Fig. 3 program: processes p1/p2 guess a
+// solution and stream the words (resp. indices) through x1..x4 (resp.
+// y1..y4) in strict alternation; p3 checks with CAS that the two symbol
+// streams agree without skipping, p4 does the same for the index
+// streams. All four processes can reach TermLabel iff the instance has
+// a solution.
+func (ins Instance) Reduction() (*lang.Program, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	p := lang.NewProgram("pcp_reduction",
+		"x1", "x2", "x3", "x4", "y1", "y2", "y3", "y4")
+	ins.guesser(p, 1)
+	ins.guesser(p, 2)
+	ins.verifier(p, 3)
+	ins.verifier(p, 4)
+	if err := p.ValidateRA(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// guesser emits p1 (id=1, words U, streams x1/x2 and y1/y2) or p2
+// (id=2, words V, streams x3/x4 and y3/y4).
+func (ins Instance) guesser(p *lang.Program, id int) {
+	words := ins.U
+	xa, xb := "x1", "x2"
+	ya, yb := "y1", "y2"
+	if id == 2 {
+		words = ins.V
+		xa, xb = "x3", "x4"
+		ya, yb = "y3", "y4"
+	}
+	n := len(words)
+	pr := p.AddProc(procName(id), "aux", "turnx", "turny")
+	pr.Add(
+		lang.AssignS("turnx", lang.C(1)),
+		lang.AssignS("turny", lang.C(1)),
+		// The first guess is a real index: PCP solutions are non-empty.
+		lang.NondetS("aux", base, lang.Value(base+n-1)),
+	)
+
+	// while (aux != ⊥) { if aux == i then Module_i fi ... ; re-guess }
+	var body []lang.Stmt
+	for i := 1; i <= n; i++ {
+		body = append(body,
+			lang.IfS(lang.Eq(lang.R("aux"), lang.C(ins.indexVal(i))),
+				ins.module(words[i-1], ins.indexVal(i), xa, xb, ya, yb)...),
+		)
+	}
+	body = append(body, lang.NondetS("aux", botVal, lang.Value(base+n-1)))
+	pr.Add(lang.WhileS(lang.Ne(lang.R("aux"), lang.C(botVal)), body...))
+
+	// Signal the end of the streams with ⊥ on the current turn variable.
+	pr.Add(
+		lang.IfElseS(lang.Eq(lang.R("turnx"), lang.C(1)),
+			[]lang.Stmt{lang.WriteC(xa, botVal)},
+			[]lang.Stmt{lang.WriteC(xb, botVal)},
+		),
+		lang.IfElseS(lang.Eq(lang.R("turny"), lang.C(1)),
+			[]lang.Stmt{lang.WriteC(ya, botVal)},
+			[]lang.Stmt{lang.WriteC(yb, botVal)},
+		),
+		lang.LabelS(TermLabel, lang.TermS()),
+	)
+}
+
+// module emits Module_i of Fig. 3: write the word's letters to the two
+// x-variables in alternation (in both possible phases), then the index
+// to the y-variables in alternation.
+func (ins Instance) module(word string, idx lang.Value, xa, xb, ya, yb string) []lang.Stmt {
+	phase := func(first, second string) []lang.Stmt {
+		var out []lang.Stmt
+		vars := []string{first, second}
+		for i := 0; i < len(word); i++ {
+			out = append(out, lang.WriteC(vars[i%2], ins.letterVal(word[i])))
+		}
+		// Next turn: 1 if the last letter landed on the "second" slot
+		// of the x1-phase, matching the paper's k_i / k_i'.
+		next := lang.Value(1)
+		if first == xa { // started on xa
+			if len(word)%2 == 1 {
+				next = 2
+			}
+		} else {
+			if len(word)%2 == 0 {
+				next = 2
+			}
+		}
+		out = append(out, lang.AssignS("turnx", lang.C(next)))
+		return out
+	}
+	out := []lang.Stmt{
+		lang.IfElseS(lang.Eq(lang.R("turnx"), lang.C(1)),
+			phase(xa, xb),
+			phase(xb, xa),
+		),
+		lang.IfElseS(lang.Eq(lang.R("turny"), lang.C(1)),
+			[]lang.Stmt{lang.WriteC(ya, idx), lang.AssignS("turny", lang.C(2))},
+			[]lang.Stmt{lang.WriteC(yb, idx), lang.AssignS("turny", lang.C(1))},
+		),
+	}
+	return out
+}
+
+// verifier emits p3 (id=3, checks the x streams with letter guesses) or
+// p4 (id=4, checks the y streams with index guesses).
+func (ins Instance) verifier(p *lang.Program, id int) {
+	va, vb, vc, vd := "x1", "x2", "x3", "x4"
+	lo, hi := lang.Value(base), lang.Value(base+len(ins.Alphabet())-1)
+	if id == 4 {
+		va, vb, vc, vd = "y1", "y2", "y3", "y4"
+		lo, hi = lang.Value(base), lang.Value(base+len(ins.U)-1)
+	}
+	pr := p.AddProc(procName(id), "aux", "turn", "chk")
+
+	// One verification round for the guessed value in $aux:
+	// cas(first, aux, 0); assume(second == 0); cas(third, aux, 0);
+	// assume(fourth == 0) — reading 0 next door certifies, through the
+	// causality of views, that no write was skipped (paper Lemma 4.2).
+	round := func(first, second, third, fourth string) []lang.Stmt {
+		return []lang.Stmt{
+			lang.CASS(first, lang.R("aux"), lang.C(resetVal)),
+			lang.ReadS("chk", second),
+			lang.AssumeS(lang.Eq(lang.R("chk"), lang.C(resetVal))),
+			lang.CASS(third, lang.R("aux"), lang.C(resetVal)),
+			lang.ReadS("chk", fourth),
+			lang.AssumeS(lang.Eq(lang.R("chk"), lang.C(resetVal))),
+		}
+	}
+
+	pr.Add(
+		lang.AssignS("turn", lang.C(1)),
+		// The first guess is a real symbol: PCP solutions are non-empty.
+		lang.NondetS("aux", lo, hi),
+	)
+	body := []lang.Stmt{
+		lang.IfElseS(lang.Eq(lang.R("turn"), lang.C(1)),
+			append(round(va, vb, vc, vd), lang.AssignS("turn", lang.C(2))),
+			append(round(vb, va, vd, vc), lang.AssignS("turn", lang.C(1))),
+		),
+		lang.NondetS("aux", botVal, hi),
+	}
+	pr.Add(lang.WhileS(lang.Ne(lang.R("aux"), lang.C(botVal)), body...))
+
+	// Final round: consume the ⊥ end markers the guessers wrote.
+	pr.Add(
+		lang.AssignS("aux", lang.C(botVal)),
+		lang.IfElseS(lang.Eq(lang.R("turn"), lang.C(1)),
+			round(va, vb, vc, vd),
+			round(vb, va, vd, vc),
+		),
+		lang.LabelS(TermLabel, lang.TermS()),
+	)
+}
+
+func procName(id int) string {
+	return [5]string{"", "p1", "p2", "p3", "p4"}[id]
+}
+
+// TargetLabels returns the reachability query of Theorem 4.1: every
+// process simultaneously at its term instruction.
+func TargetLabels() map[string]string {
+	return map[string]string{"p1": TermLabel, "p2": TermLabel, "p3": TermLabel, "p4": TermLabel}
+}

@@ -1,0 +1,218 @@
+package ra
+
+import (
+	"fmt"
+	"time"
+
+	"ravbmc/internal/trace"
+)
+
+// Options configures exhaustive exploration.
+type Options struct {
+	// ViewBound limits the number of view switches per execution; a
+	// negative bound means unbounded. With a bound, the explorer decides
+	// exactly the K-bounded view-switching reachability problem of the
+	// paper (Sec. 5).
+	ViewBound int
+	// MaxSteps bounds execution length (depth); 0 means a large default.
+	// Needed for programs with loops.
+	MaxSteps int
+	// MaxStates aborts the search (Exhausted=false) after visiting this
+	// many distinct states; 0 means unlimited.
+	MaxStates int
+	// TargetLabels maps process names to instruction labels; the target
+	// is reached when every listed process is simultaneously at its
+	// label. Used by the PCP reduction ("all processes reach term").
+	TargetLabels map[string]string
+	// StopOnViolation stops at the first failed assertion (the default
+	// mode of all tools in the paper's evaluation).
+	StopOnViolation bool
+	// ContextBound limits the number of contexts (maximal blocks of
+	// steps by one process); 0 or negative means unbounded. Used to
+	// check the paper's remark that the Theorem 4.1 reduction works
+	// within 4-context executions. With a bound, the search keys states
+	// exactly by (state, active process, contexts used).
+	ContextBound int
+	// Deadline aborts the search when passed (checked periodically);
+	// zero means none.
+	Deadline time.Time
+}
+
+// Result is the outcome of an exploration.
+type Result struct {
+	// Violation is true if a failing assertion was found.
+	Violation bool
+	// TargetReached is true if the TargetLabels configuration was found.
+	TargetReached bool
+	// Trace witnesses the violation or target, when found.
+	Trace *trace.Trace
+	// States and Transitions count distinct visited states and explored
+	// transitions.
+	States, Transitions int
+	// Exhausted is true if the state space was fully explored within the
+	// given bounds (so "no violation" is conclusive for those bounds).
+	Exhausted bool
+	// TimedOut is true when the Deadline cut the search short.
+	TimedOut bool
+	// PeakMessages is the largest message pool seen.
+	PeakMessages int
+}
+
+// Explore runs a depth-first search over the RA transition system with
+// state dedup. Dedup accounts for the remaining view-switch budget: a
+// state revisited with a smaller number of used switches is re-explored,
+// since more behaviours are reachable from it.
+func (s *System) Explore(opts Options) Result {
+	e := &explorer{
+		sys:     s,
+		opts:    opts,
+		visited: make(map[string]int),
+	}
+	if e.opts.MaxSteps == 0 {
+		e.opts.MaxSteps = 1 << 20
+	}
+	e.exhausted = true
+	e.dfs(s.Init(), 0, 0, -1, 0)
+	e.result.Exhausted = e.exhausted && !e.result.Violation && !e.result.TargetReached
+	return e.result
+}
+
+type explorer struct {
+	sys       *System
+	opts      Options
+	visited   map[string]int // state key -> min view switches used
+	path      []trace.Event
+	result    Result
+	exhausted bool
+}
+
+// dfs returns true when the search is done (violation/target found or
+// state cap hit). last is the process that moved last (-1 initially)
+// and contexts the number of scheduling blocks so far; both are only
+// tracked under a context bound.
+func (e *explorer) dfs(c *Config, switches, depth, last, contexts int) bool {
+	key := e.sys.DedupKey(c)
+	if e.opts.ContextBound > 0 {
+		key = fmt.Sprintf("%s|%d|%d", key, last, contexts)
+	}
+	if prev, ok := e.visited[key]; ok && prev <= switches {
+		return false
+	}
+	e.visited[key] = switches
+	e.result.States++
+	if n := c.MsgCount(); n > e.result.PeakMessages {
+		e.result.PeakMessages = n
+	}
+	if e.opts.MaxStates > 0 && e.result.States >= e.opts.MaxStates {
+		e.exhausted = false
+		return true
+	}
+	if !e.opts.Deadline.IsZero() && e.result.States%1024 == 0 && time.Now().After(e.opts.Deadline) {
+		e.exhausted = false
+		e.result.TimedOut = true
+		return true
+	}
+	if e.targetReached(c) {
+		e.result.TargetReached = true
+		e.result.Trace = &trace.Trace{Events: append([]trace.Event(nil), e.path...)}
+		return true
+	}
+	if depth >= e.opts.MaxSteps {
+		e.exhausted = false
+		return false
+	}
+	for p := 0; p < e.sys.NumProcs(); p++ {
+		nc := contexts
+		if p != last {
+			nc++
+			if e.opts.ContextBound > 0 && nc > e.opts.ContextBound {
+				continue
+			}
+		}
+		for _, succ := range e.sys.Successors(c, p) {
+			e.result.Transitions++
+			if succ.Violation {
+				if !e.opts.StopOnViolation {
+					continue
+				}
+				e.result.Violation = true
+				ev := succ.Event
+				e.result.Trace = &trace.Trace{Events: append(append([]trace.Event(nil), e.path...), ev)}
+				return true
+			}
+			if succ.ViewSwitch && e.opts.ViewBound >= 0 && switches >= e.opts.ViewBound {
+				continue
+			}
+			ns := switches
+			if succ.ViewSwitch {
+				ns++
+			}
+			e.path = append(e.path, succ.Event)
+			done := e.dfs(succ.Config, ns, depth+1, p, nc)
+			e.path = e.path[:len(e.path)-1]
+			if done {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (e *explorer) targetReached(c *Config) bool {
+	if len(e.opts.TargetLabels) == 0 {
+		return false
+	}
+	for name, label := range e.opts.TargetLabels {
+		pi := e.sys.Prog.ProcIndex(name)
+		if pi < 0 {
+			return false
+		}
+		if e.sys.Prog.Procs[pi].LabelAt(c.pcs[pi]) != label {
+			return false
+		}
+	}
+	return true
+}
+
+// ReachableOutcomes exhaustively enumerates, for loop-free programs, the
+// set of final register valuations of terminated executions. It is the
+// litmus-test oracle: the observable outcome of a litmus test is the
+// final content of its observer registers. The map keys are produced by
+// render(regs) where regs gives per-process register files.
+func (s *System) ReachableOutcomes(maxSteps int, render func(c *Config) string) map[string]bool {
+	out := map[string]bool{}
+	if maxSteps == 0 {
+		maxSteps = 1 << 20
+	}
+	visited := map[string]bool{}
+	var rec func(c *Config, depth int)
+	rec = func(c *Config, depth int) {
+		key := c.Key()
+		if visited[key] {
+			return
+		}
+		visited[key] = true
+		allDone := true
+		anyStep := false
+		for p := 0; p < s.NumProcs(); p++ {
+			if !s.Prog.Procs[p].Terminated(c.pcs[p]) {
+				allDone = false
+			}
+			if depth >= maxSteps {
+				continue
+			}
+			for _, succ := range s.Successors(c, p) {
+				if succ.Violation {
+					continue
+				}
+				anyStep = true
+				rec(succ.Config, depth+1)
+			}
+		}
+		if allDone && !anyStep {
+			out[render(c)] = true
+		}
+	}
+	rec(s.Init(), 0)
+	return out
+}

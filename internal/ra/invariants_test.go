@@ -1,0 +1,193 @@
+package ra
+
+import (
+	"math/rand"
+	"testing"
+
+	"ravbmc/internal/lang"
+)
+
+// randomRAProgram builds a small random RA program over two variables
+// with reads, writes, CAS and fences.
+func randomRAProgram(rng *rand.Rand) *lang.Program {
+	p := lang.NewProgram("rnd", "x", "y")
+	nproc := 2 + rng.Intn(2)
+	for pi := 0; pi < nproc; pi++ {
+		pr := p.AddProc([]string{"p0", "p1", "p2"}[pi], "r", "s")
+		nops := 2 + rng.Intn(3)
+		for i := 0; i < nops; i++ {
+			v := []string{"x", "y"}[rng.Intn(2)]
+			switch rng.Intn(6) {
+			case 0, 1:
+				pr.Add(lang.WriteC(v, lang.Value(1+rng.Intn(3))))
+			case 2, 3:
+				pr.Add(lang.ReadS([]string{"r", "s"}[rng.Intn(2)], v))
+			case 4:
+				pr.Add(lang.CASS(v, lang.C(lang.Value(rng.Intn(2))), lang.C(lang.Value(1+rng.Intn(3)))))
+			default:
+				pr.Add(lang.FenceS())
+			}
+		}
+	}
+	return p
+}
+
+// checkInvariants verifies structural invariants of a configuration:
+//   - every message's view points at itself for its own variable;
+//   - message views are coherent: positions are within bounds;
+//   - a glued message is never first in its modification order;
+//   - process views point at existing messages.
+func checkInvariants(t *testing.T, s *System, c *Config) {
+	t.Helper()
+	for v, order := range c.mo {
+		if len(order) == 0 {
+			t.Fatalf("variable %d has no init message", v)
+		}
+		if order[0].Writer != -1 {
+			t.Fatalf("variable %d: first message is not the init message", v)
+		}
+		if order[0].Glued {
+			t.Fatalf("variable %d: init message is glued", v)
+		}
+		for _, m := range order {
+			if m.Var != v {
+				t.Fatalf("message of var %d filed under %d", m.Var, v)
+			}
+			if m.View[v] != m {
+				t.Fatalf("message view does not include itself (var %d)", v)
+			}
+			for w, vm := range m.View {
+				if vm == nil {
+					t.Fatalf("message view has nil entry for var %d", w)
+				}
+				c.pos(vm) // panics if not in its mo
+			}
+		}
+	}
+	for p, view := range c.views {
+		for v, m := range view {
+			if m == nil {
+				t.Fatalf("process %d view has nil entry for %d", p, v)
+			}
+			if m.Var != v {
+				t.Fatalf("process %d view of %d points at var %d", p, v, m.Var)
+			}
+			c.pos(m)
+		}
+	}
+}
+
+// TestInvariantsOnRandomWalks: run random executions of random programs
+// and check the structural invariants at every step, plus monotonicity
+// of each process's view.
+func TestInvariantsOnRandomWalks(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 60; iter++ {
+		prog := randomRAProgram(rng)
+		sys := NewSystem(lang.MustCompile(prog))
+		c := sys.Init()
+		checkInvariants(t, sys, c)
+		for step := 0; step < 24; step++ {
+			var succs []Succ
+			for p := 0; p < sys.NumProcs(); p++ {
+				succs = append(succs, sys.Successors(c, p)...)
+			}
+			if len(succs) == 0 {
+				break
+			}
+			succ := succs[rng.Intn(len(succs))]
+			if succ.Violation {
+				break
+			}
+			d := succ.Config
+			checkInvariants(t, sys, d)
+			// View monotonicity: the stepping process's view never moves
+			// backwards for any variable (compare in the NEW config,
+			// whose mo contains both messages).
+			for v := range c.views[succ.Proc] {
+				oldMsg := c.views[succ.Proc][v]
+				newMsg := d.views[succ.Proc][v]
+				if d.pos(newMsg) < d.pos(oldMsg) {
+					t.Fatalf("process %d view of var %d moved backwards", succ.Proc, v)
+				}
+			}
+			// Other processes' views are untouched.
+			for p := range c.views {
+				if p == succ.Proc {
+					continue
+				}
+				for v := range c.views[p] {
+					if c.views[p][v] != d.views[p][v] {
+						t.Fatalf("process %d view changed by process %d's step", p, succ.Proc)
+					}
+				}
+			}
+			c = d
+		}
+	}
+}
+
+// TestGlueIntegrity: in every reachable configuration of a CAS-heavy
+// program, glued messages immediately follow the message their RMW read
+// — no interloper ever squeezes in.
+func TestGlueIntegrity(t *testing.T) {
+	p := lang.NewProgram("glue2", "x")
+	p.AddProc("p0").Add(lang.CASS("x", lang.C(0), lang.C(1)), lang.WriteC("x", 5))
+	p.AddProc("p1").Add(lang.CASS("x", lang.C(1), lang.C(2)), lang.WriteC("x", 7))
+	sys := NewSystem(lang.MustCompile(p))
+	seen := 0
+	sys.ReachableOutcomes(0, func(c *Config) string {
+		seen++
+		for _, order := range c.mo {
+			for i, m := range order {
+				if m.Glued && i == 0 {
+					t.Fatal("glued message at position 0")
+				}
+			}
+		}
+		return c.Key()
+	})
+	if seen == 0 {
+		t.Fatal("no configurations explored")
+	}
+}
+
+// TestKeyCanonicalAcrossCreationOrder: two interleavings producing the
+// same semantic state have equal keys (message identity replaced by
+// position).
+func TestKeyCanonicalAcrossCreationOrder(t *testing.T) {
+	// p0 writes x, p1 writes y: the two interleavings commute.
+	p := lang.NewProgram("comm", "x", "y")
+	p.AddProc("p0").Add(lang.WriteC("x", 1))
+	p.AddProc("p1").Add(lang.WriteC("y", 1))
+	sys := NewSystem(lang.MustCompile(p))
+	c := sys.Init()
+
+	path1 := sys.Successors(c, 0)[0].Config // x first (append position 1)
+	path1 = sys.Successors(path1, 1)[0].Config
+
+	path2 := sys.Successors(c, 1)[0].Config // y first
+	path2 = sys.Successors(path2, 0)[0].Config
+
+	if path1.Key() != path2.Key() {
+		t.Errorf("commuting writes give different keys:\n%s\nvs\n%s", path1.Key(), path2.Key())
+	}
+}
+
+// TestDedupKeyMasksTerminated: a terminated process's registers do not
+// distinguish states under DedupKey but do under Key.
+func TestDedupKeyMasksTerminated(t *testing.T) {
+	p := lang.NewProgram("mask", "x")
+	p.AddProc("p0", "r").Add(lang.NondetS("r", 0, 1), lang.Term{})
+	p.AddProc("p1", "s").Add(lang.ReadS("s", "x"))
+	sys := NewSystem(lang.MustCompile(p))
+	c := sys.Init()
+	a := sys.Successors(c, 0)[0].Config // r = one value, now at term
+	b := sys.Successors(c, 0)[1].Config // the other value
+	if a.Key() == b.Key() {
+		t.Fatal("full keys should differ (registers differ)")
+	}
+	if sys.DedupKey(a) != sys.DedupKey(b) {
+		t.Error("dedup keys must coincide once p0 terminated")
+	}
+}

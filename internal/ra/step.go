@@ -1,0 +1,242 @@
+package ra
+
+import (
+	"fmt"
+
+	"ravbmc/internal/lang"
+	"ravbmc/internal/trace"
+)
+
+// Succ is one enabled transition: the successor configuration together
+// with the event describing it.
+type Succ struct {
+	Proc   int
+	Config *Config
+	Event  trace.Event
+	// ViewSwitch marks transitions whose read part altered the process
+	// view (paper Sec. 5): the bounded resource of view-bounded analysis.
+	ViewSwitch bool
+	// Violation marks a failed assertion; Config is the configuration at
+	// the point of failure.
+	Violation bool
+}
+
+// Successors enumerates every transition process p can take from c,
+// covering all nondeterminism of the RA semantics: choice of message on
+// reads and CAS, choice of insertion point on writes, and nondet ranges.
+// A terminated process, or one stuck at a false assume, yields none.
+func (s *System) Successors(c *Config, p int) []Succ {
+	pr := s.Prog.Procs[p]
+	in := &pr.Code[c.pcs[p]]
+	env := func(name string) lang.Value {
+		if i, ok := s.RegIdx[p][name]; ok {
+			return c.regs[p][i]
+		}
+		return 0
+	}
+	ev := func(kind trace.Kind, detail string) trace.Event {
+		return trace.Event{Proc: pr.Name, Label: in.Label, Kind: kind, Detail: detail}
+	}
+	local := func(kind trace.Kind, detail string, mutate func(d *Config)) Succ {
+		d := c.clone()
+		d.pcs[p] = in.Next
+		if mutate != nil {
+			mutate(d)
+		}
+		return Succ{Proc: p, Config: d, Event: ev(kind, detail)}
+	}
+
+	switch in.Op {
+	case lang.OpReadVar:
+		return s.readSuccs(c, p, in, ev)
+	case lang.OpWriteVar:
+		return s.writeSuccs(c, p, in, env, ev)
+	case lang.OpCASVar:
+		return s.rmwSuccs(c, p, in, s.VarIdx[in.Var], env, ev, false)
+	case lang.OpFenceOp:
+		if s.FenceVar < 0 {
+			panic("ra: fence instruction but no fence variable allocated")
+		}
+		return s.rmwSuccs(c, p, in, s.FenceVar, env, ev, true)
+	case lang.OpAssignReg:
+		v := in.Val.Eval(env)
+		ri := s.RegIdx[p][in.Reg]
+		return []Succ{local(trace.KindLocal, fmt.Sprintf("$%s = %d", in.Reg, v), func(d *Config) {
+			d.regs[p][ri] = v
+		})}
+	case lang.OpNondetReg:
+		ri := s.RegIdx[p][in.Reg]
+		var out []Succ
+		for v := in.Lo; v <= in.Hi; v++ {
+			v := v
+			out = append(out, local(trace.KindLocal, fmt.Sprintf("$%s = nondet -> %d", in.Reg, v), func(d *Config) {
+				d.regs[p][ri] = v
+			}))
+		}
+		return out
+	case lang.OpAssumeCond:
+		if in.Cond.Eval(env) == 0 {
+			return nil // process remains at λ forever (paper Sec. 3)
+		}
+		return []Succ{local(trace.KindAssume, in.Cond.String(), nil)}
+	case lang.OpAssertCond:
+		if in.Cond.Eval(env) == 0 {
+			return []Succ{{
+				Proc:      p,
+				Config:    c.clone(),
+				Event:     ev(trace.KindViolation, "assert failed: "+in.Cond.String()),
+				Violation: true,
+			}}
+		}
+		return []Succ{local(trace.KindAssertOK, in.Cond.String(), nil)}
+	case lang.OpCJmp:
+		d := c.clone()
+		det := "branch "
+		if in.Cond.Eval(env) != 0 {
+			d.pcs[p] = in.Next
+			det += "taken: "
+		} else {
+			d.pcs[p] = in.Else
+			det += "not taken: "
+		}
+		return []Succ{{Proc: p, Config: d, Event: ev(trace.KindLocal, det+in.Cond.String())}}
+	case lang.OpJmp:
+		d := c.clone()
+		d.pcs[p] = in.Next
+		return []Succ{{Proc: p, Config: d, Event: ev(trace.KindLocal, "goto")}}
+	case lang.OpTermProc:
+		return nil
+	}
+	panic(fmt.Sprintf("ra: instruction %s not in the RA fragment (process %s)", in.Op, pr.Name))
+}
+
+// readSuccs implements the Read rule of Fig. 2: any message of x whose
+// position is at or above the process view can be read; the process view
+// is merged with the message view.
+func (s *System) readSuccs(c *Config, p int, in *lang.Instr, ev func(trace.Kind, string) trace.Event) []Succ {
+	x := s.VarIdx[in.Var]
+	ri := s.RegIdx[p][in.Reg]
+	from := c.pos(c.views[p][x])
+	order := c.mo[x]
+	var out []Succ
+	for j := from; j < len(order); j++ {
+		m := order[j]
+		merged, changed := c.mergeViews(c.views[p], m.View)
+		d := c.clone()
+		d.pcs[p] = in.Next
+		d.views[p] = merged
+		d.regs[p][ri] = m.Val
+		detail := fmt.Sprintf("$%s = %s reads %d (msg #%d, pos %d)", in.Reg, in.Var, m.Val, m.Seq, j)
+		out = append(out, Succ{
+			Proc:       p,
+			Config:     d,
+			Event:      trace.Event{Proc: s.Prog.Procs[p].Name, Label: in.Label, Kind: trace.KindRead, Detail: detail, ViewSwitch: changed},
+			ViewSwitch: changed,
+		})
+	}
+	return out
+}
+
+// writeSuccs implements the Write rule of Fig. 2: the new message may
+// take any free timestamp above the process view, i.e. be inserted into
+// any modification-order gap strictly after the view — except between a
+// message and a glued (CAS-created) successor, which models the occupied
+// t+1 slot.
+func (s *System) writeSuccs(c *Config, p int, in *lang.Instr, env func(string) lang.Value, ev func(trace.Kind, string) trace.Event) []Succ {
+	x := s.VarIdx[in.Var]
+	val := in.Val.Eval(env)
+	from := c.pos(c.views[p][x])
+	order := c.mo[x]
+	var out []Succ
+	for j := from + 1; j <= len(order); j++ {
+		if j < len(order) && order[j].Glued {
+			continue // cannot squeeze between a message and its RMW
+		}
+		newView := make([]*Msg, len(c.views[p]))
+		copy(newView, c.views[p])
+		m := &Msg{Var: x, Val: val, View: newView, Writer: p, Seq: c.nextSeq}
+		newView[x] = m
+		d := c.clone()
+		d.nextSeq++
+		d.pcs[p] = in.Next
+		d.views[p] = newView
+		d.mo[x] = insertAt(d.mo[x], j, m)
+		detail := fmt.Sprintf("%s = %d (msg #%d at pos %d/%d)", in.Var, val, m.Seq, j, len(order))
+		out = append(out, Succ{Proc: p, Config: d, Event: ev(trace.KindWrite, detail)})
+	}
+	return out
+}
+
+// rmwSuccs implements the CAS rule of Fig. 2 and the fence encoding.
+// A CAS may read any message at or above the view whose value matches
+// Old and whose t+1 slot is free (no glued successor); the new message
+// is glued immediately after it. A fence is an unconditional RMW on the
+// distinguished fence variable that writes the read value plus one.
+func (s *System) rmwSuccs(c *Config, p int, in *lang.Instr, x int, env func(string) lang.Value, ev func(trace.Kind, string) trace.Event, isFence bool) []Succ {
+	from := c.pos(c.views[p][x])
+	order := c.mo[x]
+	var out []Succ
+	for j := from; j < len(order); j++ {
+		m := order[j]
+		if !isFence && m.Val != in.Old.Eval(env) {
+			continue
+		}
+		if j+1 < len(order) && order[j+1].Glued {
+			continue // t+1 already occupied by another RMW
+		}
+		var newVal lang.Value
+		if isFence {
+			newVal = m.Val + 1
+		} else {
+			newVal = in.Val.Eval(env)
+		}
+		merged, changed := c.mergeViews(c.views[p], m.View)
+		nm := &Msg{Var: x, Val: newVal, View: merged, Glued: true, Writer: p, Seq: c.nextSeq}
+		merged[x] = nm
+		d := c.clone()
+		d.nextSeq++
+		d.pcs[p] = in.Next
+		d.views[p] = merged
+		d.mo[x] = insertAt(d.mo[x], j+1, nm)
+		kind := trace.KindCAS
+		detail := fmt.Sprintf("cas(%s, %d, %d) on msg #%d (pos %d)", in.Var, m.Val, newVal, m.Seq, j)
+		if isFence {
+			kind = trace.KindFence
+			detail = fmt.Sprintf("fence (rmw #%d -> %d)", m.Seq, newVal)
+		}
+		out = append(out, Succ{
+			Proc:       p,
+			Config:     d,
+			Event:      trace.Event{Proc: s.Prog.Procs[p].Name, Label: in.Label, Kind: kind, Detail: detail, ViewSwitch: changed},
+			ViewSwitch: changed,
+		})
+	}
+	return out
+}
+
+func insertAt(order []*Msg, j int, m *Msg) []*Msg {
+	out := make([]*Msg, 0, len(order)+1)
+	out = append(out, order[:j]...)
+	out = append(out, m)
+	out = append(out, order[j:]...)
+	return out
+}
+
+// AllSuccessors enumerates the transitions of every process.
+func (s *System) AllSuccessors(c *Config) []Succ {
+	var out []Succ
+	for p := range s.Prog.Procs {
+		out = append(out, s.Successors(c, p)...)
+	}
+	return out
+}
+
+// Enabled reports whether process p has at least one transition.
+func (s *System) Enabled(c *Config, p int) bool {
+	// Cheap pre-checks before materialising successors.
+	in := &s.Prog.Procs[p].Code[c.pcs[p]]
+	if in.Op == lang.OpTermProc {
+		return false
+	}
+	return len(s.Successors(c, p)) > 0
+}

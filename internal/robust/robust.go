@@ -1,0 +1,123 @@
+// Package robust decides observational robustness of loop-free programs
+// against the release-acquire semantics: a program is RA-robust when the
+// set of reachable final outcomes under RA equals the set under
+// sequential consistency. Robust programs need no fences; non-robust
+// ones exhibit genuine weak behaviours, and the witness outcome tells
+// the developer what an RA execution can observe that no SC execution
+// can.
+//
+// Robustness is the property the paper's fenced benchmark versions
+// restore, and this package gives the repository a direct way to
+// demonstrate it: peterson_0 is not robust, peterson_4 is (with respect
+// to the mutual-exclusion outcome).
+package robust
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ravbmc/internal/lang"
+	"ravbmc/internal/ra"
+	"ravbmc/internal/sc"
+)
+
+// Result reports a robustness verdict.
+type Result struct {
+	// Robust is true when RA and SC outcome sets coincide.
+	Robust bool
+	// WeakOutcomes lists outcomes reachable under RA but not under SC
+	// (sorted). Non-empty iff not Robust: RA is a superset of SC for
+	// every program, so the difference can only be on this side.
+	WeakOutcomes []string
+	// RAOutcomes and SCOutcomes count the two sets.
+	RAOutcomes, SCOutcomes int
+}
+
+// Check computes both outcome sets of a loop-free program (or of its
+// unrolling when a positive bound is given) and compares them. The
+// outcome of an execution is the final value of every register of every
+// process. Assertions are stripped first: an assertion-violating weak
+// execution must run to completion so its outcome is counted (otherwise
+// the very executions that make a program non-robust would be cut
+// short).
+func Check(prog *lang.Program, unroll int) (Result, error) {
+	if err := prog.ValidateRA(); err != nil {
+		return Result{}, err
+	}
+	src := lang.StripAsserts(prog)
+	if lang.MaxLoopDepth(src) > 0 {
+		if unroll <= 0 {
+			return Result{}, fmt.Errorf("robust: program %q has loops; an unroll bound is required", prog.Name)
+		}
+		src = lang.Unroll(src, unroll)
+	}
+	cp, err := lang.Compile(src)
+	if err != nil {
+		return Result{}, err
+	}
+
+	raSys := ra.NewSystem(cp)
+	raOut := raSys.ReachableOutcomes(0, func(c *ra.Config) string {
+		return renderRA(raSys, cp, c)
+	})
+
+	scOut := scOutcomes(cp)
+
+	res := Result{RAOutcomes: len(raOut), SCOutcomes: len(scOut)}
+	for o := range raOut {
+		if !scOut[o] {
+			res.WeakOutcomes = append(res.WeakOutcomes, o)
+		}
+	}
+	sort.Strings(res.WeakOutcomes)
+	res.Robust = len(res.WeakOutcomes) == 0
+	return res, nil
+}
+
+func renderRA(sys *ra.System, cp *lang.CompiledProgram, c *ra.Config) string {
+	var b strings.Builder
+	for _, pr := range cp.Procs {
+		for _, reg := range pr.Regs {
+			fmt.Fprintf(&b, "%s.%s=%d;", pr.Name, reg, sys.RegValue(c, pr.Name, reg))
+		}
+	}
+	return b.String()
+}
+
+// scOutcomes enumerates terminal SC outcomes with a plain DFS over the
+// SC engine's macro steps.
+func scOutcomes(cp *lang.CompiledProgram) map[string]bool {
+	sys := sc.NewSystem(cp)
+	out := map[string]bool{}
+	seen := map[string]bool{}
+	var rec func(c *sc.Config)
+	rec = func(c *sc.Config) {
+		key := c.Key()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		progressed := false
+		for p := 0; p < len(cp.Procs); p++ {
+			for _, d := range sys.MacroSteps(c, p) {
+				progressed = true
+				rec(d)
+			}
+		}
+
+		if !progressed && sys.Terminated(c) {
+			var b strings.Builder
+			for _, pr := range cp.Procs {
+				for _, reg := range pr.Regs {
+					fmt.Fprintf(&b, "%s.%s=%d;", pr.Name, reg, sys.RegValue(c, pr.Name, reg))
+				}
+			}
+			out[b.String()] = true
+		}
+	}
+	for _, c := range sys.InitialConfigs() {
+		rec(c)
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package robust
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ravbmc/internal/axiom"
+	"ravbmc/internal/benchmarks"
+	"ravbmc/internal/lang"
+	"ravbmc/internal/parser"
+	"ravbmc/internal/sc"
+)
+
+func TestSBNotRobust(t *testing.T) {
+	p := parser.MustParse(`
+var x y
+proc p0
+  reg a
+  x = 1
+  $a = y
+end
+proc p1
+  reg b
+  y = 1
+  $b = x
+end
+`)
+	res, err := Check(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Robust {
+		t.Fatal("store buffering must not be robust")
+	}
+	found := false
+	for _, o := range res.WeakOutcomes {
+		if strings.Contains(o, "p0.a=0;") && strings.Contains(o, "p1.b=0;") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("weak outcome a=0,b=0 missing: %v", res.WeakOutcomes)
+	}
+}
+
+func TestMPRobust(t *testing.T) {
+	// Message passing: all RA outcomes are SC outcomes (the weak one is
+	// forbidden by RA itself).
+	p := parser.MustParse(`
+var x y
+proc p0
+  x = 1
+  y = 1
+end
+proc p1
+  reg a b
+  $a = y
+  $b = x
+end
+`)
+	res, err := Check(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Robust {
+		t.Errorf("MP is RA-robust; weak outcomes: %v", res.WeakOutcomes)
+	}
+	if res.RAOutcomes != res.SCOutcomes {
+		t.Errorf("outcome counts differ: RA=%d SC=%d", res.RAOutcomes, res.SCOutcomes)
+	}
+}
+
+func TestFencedSBRobust(t *testing.T) {
+	p := parser.MustParse(`
+var x y
+proc p0
+  reg a
+  x = 1
+  fence
+  $a = y
+end
+proc p1
+  reg b
+  y = 1
+  fence
+  $b = x
+end
+`)
+	res, err := Check(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Robust {
+		t.Errorf("fenced SB must be robust; weak: %v", res.WeakOutcomes)
+	}
+}
+
+func TestLoopsNeedUnrollBound(t *testing.T) {
+	p := lang.NewProgram("l", "x")
+	p.AddProc("p0", "r").Add(lang.WhileS(lang.Eq(lang.R("r"), lang.C(0)), lang.ReadS("r", "x")))
+	if _, err := Check(p, 0); err == nil {
+		t.Error("loops without a bound must be rejected")
+	}
+	if _, err := Check(p, 2); err != nil {
+		t.Errorf("bounded check failed: %v", err)
+	}
+}
+
+func TestIRIWNotRobust(t *testing.T) {
+	p := parser.MustParse(`
+var x y
+proc w0
+  x = 1
+end
+proc w1
+  y = 1
+end
+proc r0
+  reg a b
+  $a = x
+  $b = y
+end
+proc r1
+  reg c d
+  $c = y
+  $d = x
+end
+`)
+	res, err := Check(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Robust {
+		t.Error("IRIW must not be robust under RA")
+	}
+}
+
+func TestSimDekkerProtocolRobustness(t *testing.T) {
+	// The unfenced try-lock exhibits the both-in-CS weak outcome; the
+	// fenced version does not (assertions are stripped internally, so
+	// the weak executions run to completion and are counted).
+	unfenced, err := benchmarks.ByName("sim_dekker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Check(unfenced, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Robust {
+		t.Error("sim_dekker must not be robust")
+	}
+	if len(res.WeakOutcomes) == 0 {
+		t.Error("non-robust verdict needs witnesses")
+	}
+
+	fenced, err := benchmarks.ByName("sim_dekker_4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Check(fenced, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Robust {
+		t.Errorf("sim_dekker_4 must be robust; weak: %v", res2.WeakOutcomes)
+	}
+}
+
+// TestOperationalSCAgreesWithAxiomaticSC: the SC outcome enumeration
+// used by the robustness checker (built on the operational SC engine)
+// matches the declarative SC oracle (axiom.SCConsistent) on litmus
+// shapes — a differential test for the SC engine itself.
+func TestOperationalSCAgreesWithAxiomaticSC(t *testing.T) {
+	srcs := []string{
+		`var x y
+proc p0
+  reg a
+  x = 1
+  $a = y
+end
+proc p1
+  reg b
+  y = 1
+  $b = x
+end`,
+		`var x
+proc p0
+  x = 1
+  x = 2
+end
+proc p1
+  reg a b
+  $a = x
+  $b = x
+end`,
+		`var x y
+proc p0
+  x = 1
+  y = 1
+end
+proc p1
+  reg a b
+  $a = y
+  $b = x
+end`,
+	}
+	for i, src := range srcs {
+		p := parser.MustParse(src)
+		cp := lang.MustCompile(p)
+		render := func(regs [][]lang.Value) string {
+			s := ""
+			for pi := range regs {
+				for ri := range regs[pi] {
+					s += fmt.Sprintf("%d,", regs[pi][ri])
+				}
+				s += ";"
+			}
+			return s
+		}
+		enum, err := axiom.NewEnumerator(cp, render)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enum.UseSC = true
+		axOut := enum.Outcomes()
+
+		opOut := map[string]bool{}
+		sys := sc.NewSystem(cp)
+		var rec func(c *sc.Config)
+		seen := map[string]bool{}
+		rec = func(c *sc.Config) {
+			k := c.Key()
+			if seen[k] {
+				return
+			}
+			seen[k] = true
+			progressed := false
+			for pi := 0; pi < len(cp.Procs); pi++ {
+				for _, d := range sys.MacroSteps(c, pi) {
+					progressed = true
+					rec(d)
+				}
+			}
+			if !progressed && sys.Terminated(c) {
+				s := ""
+				for pi, pr := range cp.Procs {
+					for _, rg := range pr.Regs {
+						s += fmt.Sprintf("%d,", sys.RegValue(c, pr.Name, rg))
+					}
+					_ = pi
+					s += ";"
+				}
+				opOut[s] = true
+			}
+		}
+		for _, c := range sys.InitialConfigs() {
+			rec(c)
+		}
+
+		if len(axOut) != len(opOut) {
+			t.Errorf("case %d: axiomatic SC %d outcomes vs operational SC %d", i, len(axOut), len(opOut))
+		}
+		for o := range axOut {
+			if !opOut[o] {
+				t.Errorf("case %d: axiomatic-only SC outcome %s", i, o)
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package sc
+
+import (
+	"time"
+
+	"ravbmc/internal/trace"
+)
+
+// Options configures the context-bounded checker.
+type Options struct {
+	// MaxContexts bounds the number of contexts (maximal blocks of steps
+	// by one process); 0 or negative means unbounded. The paper's
+	// reduction needs K+n contexts for a K-view-bounded RA run of an
+	// n-process program.
+	MaxContexts int
+	// MaxStates aborts the search after visiting this many distinct
+	// quiescent states (Exhausted=false); 0 means unlimited.
+	MaxStates int
+	// TargetLabels maps process names to labels; reached when all listed
+	// processes are simultaneously at their labels.
+	TargetLabels map[string]string
+	// Deadline aborts the search when passed (checked periodically);
+	// zero means none. An aborted search reports Exhausted=false and
+	// TimedOut=true.
+	Deadline time.Time
+	// ReverseProcs flips the process iteration order of the scheduler.
+	// Searches biased towards different processes find bugs located in
+	// different threads; the VBMC driver alternates both orders.
+	ReverseProcs bool
+}
+
+// Result is the outcome of a bounded SC model-checking run.
+type Result struct {
+	Violation     bool
+	TargetReached bool
+	Trace         *trace.Trace
+	States        int
+	Transitions   int
+	// Exhausted is true if every quiescent state reachable within the
+	// context bound was covered, so "no violation" is conclusive for
+	// that bound.
+	Exhausted bool
+	// TimedOut is true when the Deadline cut the search short.
+	TimedOut bool
+}
+
+// Check explores the SC transition system of the program at macro-step
+// granularity under the context bound.
+func (s *System) Check(opts Options) Result {
+	e := &scChecker{sys: s, opts: opts, visited: map[string]int{}}
+	e.exhausted = true
+	for _, oc := range s.initClosure(s.Init()) {
+		if oc.violation {
+			e.result.Violation = true
+			e.result.Trace = &trace.Trace{Events: oc.events}
+			break
+		}
+		e.path = append(e.path[:0], oc.events...)
+		if e.dfs(oc.cfg, 0) {
+			break
+		}
+	}
+	e.result.Exhausted = e.exhausted && !e.result.Violation && !e.result.TargetReached
+	return e.result
+}
+
+type scChecker struct {
+	sys       *System
+	opts      Options
+	visited   map[string]int // state key -> min contexts used
+	path      []trace.Event
+	keyBuf    []byte
+	result    Result
+	exhausted bool
+}
+
+// dfs returns true when the search should stop (violation/target found
+// or state cap hit). contexts counts completed+current scheduling blocks.
+func (e *scChecker) dfs(c *Config, contexts int) bool {
+	e.keyBuf = e.sys.DedupKey(c, e.keyBuf[:0])
+	key := string(e.keyBuf)
+	if prev, ok := e.visited[key]; ok && prev <= contexts {
+		return false
+	}
+	e.visited[key] = contexts
+	e.result.States++
+	if e.opts.MaxStates > 0 && e.result.States >= e.opts.MaxStates {
+		e.exhausted = false
+		return true
+	}
+	if !e.opts.Deadline.IsZero() && e.result.States%1024 == 0 && time.Now().After(e.opts.Deadline) {
+		e.exhausted = false
+		e.result.TimedOut = true
+		return true
+	}
+	if e.targetReached(c) {
+		e.result.TargetReached = true
+		e.result.Trace = &trace.Trace{Events: append([]trace.Event(nil), e.path...)}
+		return true
+	}
+	// Try the process holding the context first: near-serial schedules
+	// are explored before heavily preempted ones, so counterexamples
+	// that deviate from a serial run in few, late places (the typical
+	// shape of mutual-exclusion bugs) are found early.
+	order := make([]int, 0, len(e.sys.Prog.Procs))
+	if c.cur >= 0 {
+		order = append(order, c.cur)
+	}
+	n := len(e.sys.Prog.Procs)
+	for i := 0; i < n; i++ {
+		p := i
+		if e.opts.ReverseProcs {
+			p = n - 1 - i
+		}
+		if p != c.cur {
+			order = append(order, p)
+		}
+	}
+	for _, p := range order {
+		if e.sys.status(c, p) != statusReady {
+			continue
+		}
+		nc := contexts
+		if c.cur != p {
+			nc++
+			if e.opts.MaxContexts > 0 && nc > e.opts.MaxContexts {
+				continue
+			}
+		}
+		for _, oc := range e.sys.macroStep(c, p) {
+			e.result.Transitions++
+			if oc.violation {
+				e.result.Violation = true
+				evs := append(append([]trace.Event(nil), e.path...), oc.events...)
+				e.result.Trace = &trace.Trace{Events: evs}
+				return true
+			}
+			n := len(e.path)
+			e.path = append(e.path, oc.events...)
+			done := e.dfs(oc.cfg, nc)
+			e.path = e.path[:n]
+			if done {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (e *scChecker) targetReached(c *Config) bool {
+	if len(e.opts.TargetLabels) == 0 {
+		return false
+	}
+	for name, label := range e.opts.TargetLabels {
+		pi := e.sys.Prog.ProcIndex(name)
+		if pi < 0 {
+			return false
+		}
+		if e.sys.Prog.Procs[pi].LabelAt(c.pcs[pi]) != label {
+			return false
+		}
+	}
+	return true
+}

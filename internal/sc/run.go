@@ -1,0 +1,187 @@
+package sc
+
+import (
+	"fmt"
+
+	"ravbmc/internal/lang"
+	"ravbmc/internal/trace"
+)
+
+// outcome is the result of one macro step: the configuration at the next
+// quiescent point of the stepped process (or at a violation), plus the
+// events performed.
+type outcome struct {
+	cfg       *Config
+	events    []trace.Event
+	violation bool
+}
+
+// maxLocalSteps bounds a single macro step, guarding against local-only
+// infinite loops in non-unrolled programs.
+const maxLocalSteps = 1 << 16
+
+// macroStep executes one visible operation of process p followed by the
+// maximal run of local operations, branching on nondeterminism. Branches
+// that fail an assume inside an atomic section are discarded (the atomic
+// transition does not exist for those guesses); a failed assume outside
+// an atomic section leaves the process parked at the assume.
+func (s *System) macroStep(c *Config, p int) []outcome {
+	d := c.clone()
+	d.cur = p
+	var out []outcome
+	s.run(d, p, 0, true, nil, &out, 0)
+	return out
+}
+
+// initClosure runs the local prefix of every process (before the first
+// visible operation), branching on nondeterminism. It returns the set of
+// quiescent initial configurations.
+func (s *System) initClosure(c *Config) []outcome {
+	configs := []outcome{{cfg: c.clone()}}
+	for p := range s.Prog.Procs {
+		var next []outcome
+		for _, oc := range configs {
+			if oc.violation {
+				next = append(next, oc)
+				continue
+			}
+			var sub []outcome
+			s.run(oc.cfg, p, 0, false, oc.events, &sub, 0)
+			next = append(next, sub...)
+		}
+		configs = next
+	}
+	return configs
+}
+
+// run interprets process p on the owned configuration c until the next
+// quiescent point. firstStep grants permission to execute one visible
+// instruction; afterwards any visible instruction outside an atomic
+// section is a quiescent point.
+func (s *System) run(c *Config, p int, atomicDepth int, firstStep bool, events []trace.Event, out *[]outcome, steps int) {
+	for ; steps < maxLocalSteps; steps++ {
+		pr := s.Prog.Procs[p]
+		in := &pr.Code[c.pcs[p]]
+		ev := func(kind trace.Kind, detail string) trace.Event {
+			return trace.Event{Proc: pr.Name, Label: in.Label, Kind: kind, Detail: detail}
+		}
+		if !firstStep && atomicDepth == 0 && in.GloballyVisible() {
+			*out = append(*out, outcome{cfg: c, events: events})
+			return
+		}
+		env := s.env(c, p)
+		switch in.Op {
+		case lang.OpTermProc:
+			*out = append(*out, outcome{cfg: c, events: events})
+			return
+		case lang.OpReadVar:
+			v := c.mem[s.VarIdx[in.Var]]
+			c.regs[s.reg(p, s.RegIdx[p][in.Reg])] = v
+			events = append(events, ev(trace.KindRead, fmt.Sprintf("$%s = %s reads %d", in.Reg, in.Var, v)))
+			c.pcs[p] = in.Next
+		case lang.OpWriteVar:
+			v := in.Val.Eval(env)
+			c.mem[s.VarIdx[in.Var]] = v
+			events = append(events, ev(trace.KindWrite, fmt.Sprintf("%s = %d", in.Var, v)))
+			c.pcs[p] = in.Next
+		case lang.OpCASVar:
+			old := in.Old.Eval(env)
+			xi := s.VarIdx[in.Var]
+			if c.mem[xi] != old {
+				if atomicDepth > 0 || firstStep {
+					return // transition does not exist under these guesses
+				}
+				// Park at the CAS; it may become enabled later.
+				*out = append(*out, outcome{cfg: c, events: events})
+				return
+			}
+			nv := in.Val.Eval(env)
+			c.mem[xi] = nv
+			events = append(events, ev(trace.KindCAS, fmt.Sprintf("cas(%s, %d, %d)", in.Var, old, nv)))
+			c.pcs[p] = in.Next
+		case lang.OpFenceOp:
+			// A release-acquire fence is a no-op under SC.
+			events = append(events, ev(trace.KindFence, "fence (no-op under SC)"))
+			c.pcs[p] = in.Next
+		case lang.OpLoadArrEl:
+			ai := s.ArrIdx[in.Var]
+			idx := in.Index.Eval(env)
+			if idx < 0 || int(idx) >= s.Arrays[ai].Size {
+				events = append(events, ev(trace.KindViolation, fmt.Sprintf("%s[%d] out of bounds", in.Var, idx)))
+				*out = append(*out, outcome{cfg: c, events: events, violation: true})
+				return
+			}
+			v := c.arr[s.arrOff[ai]+int(idx)]
+			c.regs[s.reg(p, s.RegIdx[p][in.Reg])] = v
+			events = append(events, ev(trace.KindRead, fmt.Sprintf("$%s = %s[%d] reads %d", in.Reg, in.Var, idx, v)))
+			c.pcs[p] = in.Next
+		case lang.OpStoreArrEl:
+			ai := s.ArrIdx[in.Var]
+			idx := in.Index.Eval(env)
+			if idx < 0 || int(idx) >= s.Arrays[ai].Size {
+				events = append(events, ev(trace.KindViolation, fmt.Sprintf("%s[%d] out of bounds", in.Var, idx)))
+				*out = append(*out, outcome{cfg: c, events: events, violation: true})
+				return
+			}
+			v := in.Val.Eval(env)
+			c.arr[s.arrOff[ai]+int(idx)] = v
+			events = append(events, ev(trace.KindWrite, fmt.Sprintf("%s[%d] = %d", in.Var, idx, v)))
+			c.pcs[p] = in.Next
+		case lang.OpAtomicBegin:
+			atomicDepth++
+			c.pcs[p] = in.Next
+		case lang.OpAtomicEnd:
+			atomicDepth--
+			c.pcs[p] = in.Next
+		case lang.OpAssignReg:
+			c.regs[s.reg(p, s.RegIdx[p][in.Reg])] = in.Val.Eval(env)
+			c.pcs[p] = in.Next
+		case lang.OpNondetReg:
+			ri := s.reg(p, s.RegIdx[p][in.Reg])
+			next := in.Next
+			// High-to-low: in translated programs the "interesting"
+			// guesses (view-altering read, tracked write, publish) are
+			// the high values, and trying them first reaches weak
+			// behaviours — and therefore bugs — much earlier in the DFS.
+			for v := in.Hi; v >= in.Lo; v-- {
+				d := c.clone()
+				d.regs[ri] = v
+				d.pcs[p] = next
+				evs := append(append([]trace.Event(nil), events...),
+					ev(trace.KindLocal, fmt.Sprintf("$%s = nondet -> %d", in.Reg, v)))
+				s.run(d, p, atomicDepth, false, evs, out, steps+1)
+			}
+			return
+		case lang.OpAssumeCond:
+			if in.Cond.Eval(env) == 0 {
+				if atomicDepth > 0 {
+					return // infeasible guess: discard the atomic branch
+				}
+				*out = append(*out, outcome{cfg: c, events: events})
+				return
+			}
+			c.pcs[p] = in.Next
+		case lang.OpAssertCond:
+			if in.Cond.Eval(env) == 0 {
+				events = append(events, ev(trace.KindViolation, "assert failed: "+in.Cond.String()))
+				*out = append(*out, outcome{cfg: c, events: events, violation: true})
+				return
+			}
+			c.pcs[p] = in.Next
+		case lang.OpCJmp:
+			if in.Cond.Eval(env) != 0 {
+				c.pcs[p] = in.Next
+			} else {
+				c.pcs[p] = in.Else
+			}
+		case lang.OpJmp:
+			c.pcs[p] = in.Next
+		default:
+			panic(fmt.Sprintf("sc: unknown opcode %s", in.Op))
+		}
+		firstStep = false
+	}
+	// Local divergence: treat as stuck (drop the branch) — only possible
+	// for non-unrolled programs with local-only loops.
+	*out = append(*out, outcome{cfg: c, events: events})
+}

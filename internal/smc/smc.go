@@ -1,0 +1,346 @@
+// Package smc implements stateless-model-checking baselines over the RA
+// semantics, standing in for the three tools the paper compares VBMC
+// against (Sec. 7): Tracer (Abdulla et al. OOPSLA'18), CDSChecker
+// (Norris & Demsky) and RCMC (Kokologiannakis et al.). All three
+// enumerate executions of the program directly under RA and stop at the
+// first assertion failure; they differ in granularity and search order,
+// which reproduces the qualitative behaviour observed in the paper:
+//
+//   - AlgorithmCDS explores at instruction granularity with no
+//     reduction — the most executions, the steepest blow-up in the loop
+//     bound L and thread count N.
+//   - AlgorithmTracer explores at macro-step granularity (one visible
+//     operation plus the following local run), a partial-order-style
+//     reduction, with a round-robin bias — fast on bug-dense programs,
+//     still exponential on SAFE instances.
+//   - AlgorithmRCMC explores at macro-step granularity with a
+//     run-to-completion bias (it keeps scheduling the process that moved
+//     last): it commits to one execution before backtracking, which
+//     makes it very fast when the bug lies along the committed path
+//     (paper Table 3) and poor when the bug is moved to the last thread
+//     (paper Table 4).
+//   - AlgorithmRandom is the stochastic simulation the paper mentions:
+//     repeated random walks, effective exactly when the ratio of buggy
+//     to total executions is high (paper's discussion of Table 1).
+//
+// Unlike VBMC these searches are exact for the unrolled program (no view
+// bounding): if they terminate without a violation, the program is safe
+// for that unrolling.
+package smc
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ravbmc/internal/lang"
+	"ravbmc/internal/ra"
+	"ravbmc/internal/trace"
+)
+
+// Algorithm selects a baseline search strategy.
+type Algorithm int
+
+// Baseline algorithms.
+const (
+	AlgorithmCDS Algorithm = iota
+	AlgorithmTracer
+	AlgorithmRCMC
+	AlgorithmRandom
+)
+
+// String returns the tool-style name of the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgorithmCDS:
+		return "cdsc"
+	case AlgorithmTracer:
+		return "tracer"
+	case AlgorithmRCMC:
+		return "rcmc"
+	case AlgorithmRandom:
+		return "random"
+	}
+	return fmt.Sprintf("algorithm(%d)", int(a))
+}
+
+// Options configures a baseline run.
+type Options struct {
+	Algorithm Algorithm
+	// Unroll is the loop bound L; required when the program has loops.
+	Unroll int
+	// MaxTransitions caps the total explored transitions (0 = none).
+	MaxTransitions int64
+	// Timeout caps wall-clock time (0 = none). The paper uses 3600s.
+	Timeout time.Duration
+	// Seed and Walks configure AlgorithmRandom: number of random walks
+	// and the PRNG seed.
+	Seed  int64
+	Walks int
+}
+
+// Result reports the outcome of a baseline run.
+type Result struct {
+	Violation   bool
+	Trace       *trace.Trace
+	Executions  int   // completed (maximal) executions enumerated
+	Transitions int64 // explored transitions
+	TimedOut    bool
+	// Exhausted is true when the full execution space was covered, so
+	// "no violation" is conclusive for the given unrolling.
+	Exhausted bool
+}
+
+// Check runs the selected baseline on the program.
+func Check(prog *lang.Program, opts Options) (Result, error) {
+	if err := prog.ValidateRA(); err != nil {
+		return Result{}, err
+	}
+	src := prog
+	if lang.MaxLoopDepth(prog) > 0 {
+		if opts.Unroll <= 0 {
+			return Result{}, fmt.Errorf("smc: program %q has loops; an unroll bound is required", prog.Name)
+		}
+		src = lang.Unroll(prog, opts.Unroll)
+	}
+	sys := ra.NewSystem(lang.MustCompile(src))
+	r := &runner{sys: sys, opts: opts}
+	if opts.Timeout > 0 {
+		r.deadline = time.Now().Add(opts.Timeout)
+	}
+	switch opts.Algorithm {
+	case AlgorithmCDS:
+		r.exhausted = true
+		r.dfsInstr(sys.Init())
+	case AlgorithmTracer:
+		r.exhausted = true
+		r.dfsMacro(sys.Init(), 0, orderRoundRobin)
+	case AlgorithmRCMC:
+		r.exhausted = true
+		r.dfsMacro(sys.Init(), 0, orderRunToCompletion)
+	case AlgorithmRandom:
+		r.randomWalks()
+	default:
+		return Result{}, fmt.Errorf("smc: unknown algorithm %v", opts.Algorithm)
+	}
+	r.result.Exhausted = r.exhausted && !r.result.Violation
+	return r.result, nil
+}
+
+type runner struct {
+	sys       *ra.System
+	opts      Options
+	deadline  time.Time
+	path      []trace.Event
+	result    Result
+	exhausted bool
+}
+
+// stop reports whether a resource cap was hit, and records it.
+func (r *runner) stop() bool {
+	if r.opts.MaxTransitions > 0 && r.result.Transitions >= r.opts.MaxTransitions {
+		r.exhausted = false
+		return true
+	}
+	// Checking the clock on every transition is measurable; sample it.
+	if !r.deadline.IsZero() && r.result.Transitions%1024 == 0 && time.Now().After(r.deadline) {
+		r.result.TimedOut = true
+		r.exhausted = false
+		return true
+	}
+	return false
+}
+
+func (r *runner) found(extra trace.Event) {
+	r.result.Violation = true
+	r.result.Trace = &trace.Trace{Events: append(append([]trace.Event(nil), r.path...), extra)}
+}
+
+// dfsInstr is the CDSChecker-style search: stateless DFS at instruction
+// granularity over every process interleaving and read choice.
+func (r *runner) dfsInstr(c *ra.Config) bool {
+	if r.stop() {
+		return true
+	}
+	progressed := false
+	for p := 0; p < r.sys.NumProcs(); p++ {
+		succs := r.sys.Successors(c, p)
+		reverse(succs) // newest-first: SC-like executions come first
+		for _, succ := range succs {
+			r.result.Transitions++
+			if succ.Violation {
+				r.found(succ.Event)
+				return true
+			}
+			progressed = true
+			r.path = append(r.path, succ.Event)
+			done := r.dfsInstr(succ.Config)
+			r.path = r.path[:len(r.path)-1]
+			if done {
+				return true
+			}
+		}
+	}
+	if !progressed {
+		r.result.Executions++
+	}
+	return false
+}
+
+// scheduleOrder produces the order in which processes are tried from a
+// scheduling point; last is the process that moved last (-1 initially).
+type scheduleOrder func(n, last int) []int
+
+func orderRoundRobin(n, last int) []int {
+	out := make([]int, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, (last+i)%n)
+	}
+	return out
+}
+
+func orderRunToCompletion(n, last int) []int {
+	out := make([]int, 0, n)
+	if last >= 0 {
+		out = append(out, last)
+	}
+	for i := 0; i < n; i++ {
+		if i != last {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// dfsMacro explores at macro-step granularity: each scheduling decision
+// runs one visible RA operation of a process followed by its maximal
+// local run.
+func (r *runner) dfsMacro(c *ra.Config, last int, order scheduleOrder) bool {
+	if r.stop() {
+		return true
+	}
+	progressed := false
+	for _, p := range order(r.sys.NumProcs(), last) {
+		for _, succ := range r.macroSuccs(c, p) {
+			r.result.Transitions++
+			if succ.Violation {
+				r.found(succ.Event)
+				return true
+			}
+			progressed = true
+			n := len(r.path)
+			r.path = append(r.path, succ.Event)
+			done := r.dfsMacro(succ.Config, p, order)
+			r.path = r.path[:n]
+			if done {
+				return true
+			}
+		}
+	}
+	if !progressed {
+		r.result.Executions++
+	}
+	return false
+}
+
+// macroSuccs runs process p for one visible operation plus the following
+// local operations (branching on nondeterminism). A violation inside the
+// local run is reported as a violating successor. The Event of each
+// returned successor is the event of its visible operation.
+//
+// Successors are explored newest-message-first (reversed), so the most
+// SC-like execution is enumerated first and weak behaviours come later —
+// matching the real SMC tools, for which the ratio of buggy to explored
+// executions drives detection time (paper Sec. 7).
+func (r *runner) macroSuccs(c *ra.Config, p int) []ra.Succ {
+	firsts := r.sys.Successors(c, p)
+	reverse(firsts)
+	var out []ra.Succ
+	for _, s := range firsts {
+		r.extendLocal(s, p, &out)
+	}
+	return out
+}
+
+func reverse(s []ra.Succ) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// extendLocal advances s through local instructions of p until the next
+// visible instruction (or termination/blocking), appending the reached
+// quiescent successors to out.
+func (r *runner) extendLocal(s ra.Succ, p int, out *[]ra.Succ) {
+	for {
+		if s.Violation {
+			*out = append(*out, s)
+			return
+		}
+		in := &r.sys.Prog.Procs[p].Code[s.Config.PC(p)]
+		if in.GloballyVisible() || in.Op == lang.OpTermProc {
+			*out = append(*out, s)
+			return
+		}
+		nexts := r.sys.Successors(s.Config, p)
+		if len(nexts) == 0 { // stuck at a false assume
+			*out = append(*out, s)
+			return
+		}
+		if len(nexts) == 1 {
+			n := nexts[0]
+			if !n.Violation {
+				n.Event = s.Event // keep the visible event as the step label
+			}
+			n.ViewSwitch = n.ViewSwitch || s.ViewSwitch
+			s = n
+			continue
+		}
+		// Nondeterministic local step (nondet): branch.
+		for _, n := range nexts {
+			if !n.Violation {
+				n.Event = s.Event
+			}
+			n.ViewSwitch = n.ViewSwitch || s.ViewSwitch
+			r.extendLocal(n, p, out)
+		}
+		return
+	}
+}
+
+// randomWalks performs repeated random executions (macro-step
+// granularity) until a violation, the walk budget, or the deadline.
+func (r *runner) randomWalks() {
+	walks := r.opts.Walks
+	if walks <= 0 {
+		walks = 1000
+	}
+	rng := rand.New(rand.NewSource(r.opts.Seed))
+	for w := 0; w < walks; w++ {
+		if r.stop() {
+			return
+		}
+		c := r.sys.Init()
+		r.path = r.path[:0]
+		for {
+			var all []ra.Succ
+			for p := 0; p < r.sys.NumProcs(); p++ {
+				all = append(all, r.macroSuccs(c, p)...)
+			}
+			if len(all) == 0 {
+				break
+			}
+			succ := all[rng.Intn(len(all))]
+			r.result.Transitions++
+			if succ.Violation {
+				r.found(succ.Event)
+				return
+			}
+			r.path = append(r.path, succ.Event)
+			c = succ.Config
+		}
+		r.result.Executions++
+	}
+	// Random walking is never exhaustive.
+	r.exhausted = false
+}

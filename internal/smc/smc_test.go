@@ -1,0 +1,232 @@
+package smc
+
+import (
+	"testing"
+	"time"
+
+	"ravbmc/internal/lang"
+)
+
+// mpBug: simple observable weak behaviour every algorithm must find.
+func mpBug() *lang.Program {
+	p := lang.NewProgram("mp_bug", "x", "y")
+	p.AddProc("p0").Add(lang.WriteC("x", 1), lang.WriteC("y", 1))
+	p.AddProc("p1", "a", "b").Add(
+		lang.ReadS("a", "y"),
+		lang.ReadS("b", "x"),
+		lang.AssertS(lang.Not(lang.And(lang.Eq(lang.R("a"), lang.C(1)), lang.Eq(lang.R("b"), lang.C(0))))),
+	)
+	// Make it failable: swap the reads so the weak outcome is allowed.
+	q := lang.NewProgram("mp_bug", "x", "y")
+	q.AddProc("p0").Add(lang.WriteC("x", 1), lang.WriteC("y", 1))
+	q.AddProc("p1", "a", "b").Add(
+		lang.ReadS("b", "x"),
+		lang.ReadS("a", "y"),
+		lang.AssertS(lang.Not(lang.And(lang.Eq(lang.R("a"), lang.C(1)), lang.Eq(lang.R("b"), lang.C(0))))),
+	)
+	return q
+}
+
+// mpSafe: the RA-guaranteed message-passing property.
+func mpSafe() *lang.Program {
+	p := lang.NewProgram("mp_safe", "x", "y")
+	p.AddProc("p0").Add(lang.WriteC("x", 1), lang.WriteC("y", 1))
+	p.AddProc("p1", "a", "b").Add(
+		lang.ReadS("a", "y"),
+		lang.ReadS("b", "x"),
+		lang.AssertS(lang.Not(lang.And(lang.Eq(lang.R("a"), lang.C(1)), lang.Eq(lang.R("b"), lang.C(0))))),
+	)
+	return p
+}
+
+func allAlgorithms() []Algorithm {
+	return []Algorithm{AlgorithmCDS, AlgorithmTracer, AlgorithmRCMC, AlgorithmRandom}
+}
+
+func TestAllAlgorithmsFindBug(t *testing.T) {
+	for _, alg := range allAlgorithms() {
+		res, err := Check(mpBug(), Options{Algorithm: alg, Walks: 5000})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if !res.Violation {
+			t.Errorf("%v: must find the MP-rev weak outcome", alg)
+		}
+		if res.Trace == nil || res.Trace.Len() == 0 {
+			t.Errorf("%v: violation without trace", alg)
+		}
+	}
+}
+
+func TestExhaustiveAlgorithmsProveSafe(t *testing.T) {
+	for _, alg := range []Algorithm{AlgorithmCDS, AlgorithmTracer, AlgorithmRCMC} {
+		res, err := Check(mpSafe(), Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if res.Violation {
+			t.Errorf("%v: MP is safe under RA, got violation:\n%v", alg, res.Trace)
+		}
+		if !res.Exhausted {
+			t.Errorf("%v: search must be exhaustive on this tiny program", alg)
+		}
+		if res.Executions == 0 {
+			t.Errorf("%v: expected at least one complete execution", alg)
+		}
+	}
+}
+
+func TestRandomIsNeverExhaustive(t *testing.T) {
+	res, err := Check(mpSafe(), Options{Algorithm: AlgorithmRandom, Walks: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exhausted {
+		t.Error("random walks cannot prove exhaustion")
+	}
+	if res.Executions == 0 {
+		t.Error("random walks should complete executions")
+	}
+}
+
+func TestMacroGranularityReducesWork(t *testing.T) {
+	// Tracer (macro steps) must explore fewer transitions than CDS
+	// (instruction granularity) on the same safe program.
+	cds, err := Check(mpSafe(), Options{Algorithm: AlgorithmCDS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer, err := Check(mpSafe(), Options{Algorithm: AlgorithmTracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tracer.Transitions >= cds.Transitions {
+		t.Errorf("macro-step search (%d transitions) should beat instruction-level (%d)",
+			tracer.Transitions, cds.Transitions)
+	}
+}
+
+func TestLoopsRequireUnrollBound(t *testing.T) {
+	p := lang.NewProgram("loopy", "x")
+	p.AddProc("p0", "r").Add(lang.WhileS(lang.Eq(lang.R("r"), lang.C(0)), lang.ReadS("r", "x")))
+	if _, err := Check(p, Options{Algorithm: AlgorithmTracer}); err == nil {
+		t.Error("loopy program without unroll bound must be rejected")
+	}
+	if _, err := Check(p, Options{Algorithm: AlgorithmTracer, Unroll: 2}); err != nil {
+		t.Errorf("with unroll bound: %v", err)
+	}
+}
+
+func TestTransitionCapTruncates(t *testing.T) {
+	res, err := Check(mpSafe(), Options{Algorithm: AlgorithmCDS, MaxTransitions: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exhausted {
+		t.Error("capped run must not claim exhaustion")
+	}
+}
+
+func TestTimeoutRespected(t *testing.T) {
+	// A big safe program with a tiny timeout must stop quickly.
+	p := lang.NewProgram("big", "x", "y", "z")
+	for _, name := range []string{"p0", "p1", "p2"} {
+		pr := p.AddProc(name, "r")
+		for i := 0; i < 4; i++ {
+			pr.Add(lang.WriteC("x", lang.Value(i)), lang.ReadS("r", "y"), lang.WriteC("z", lang.Value(i)))
+		}
+	}
+	start := time.Now()
+	res, err := Check(p, Options{Algorithm: AlgorithmCDS, Timeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut && res.Exhausted {
+		// Either it finished genuinely fast, or it must report timeout.
+		if time.Since(start) > 2*time.Second {
+			t.Error("run neither finished promptly nor reported timeout")
+		}
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Errorf("timeout not respected: ran %v", time.Since(start))
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	want := map[Algorithm]string{
+		AlgorithmCDS: "cdsc", AlgorithmTracer: "tracer",
+		AlgorithmRCMC: "rcmc", AlgorithmRandom: "random",
+	}
+	for a, s := range want {
+		if a.String() != s {
+			t.Errorf("%d.String() = %q want %q", int(a), a.String(), s)
+		}
+	}
+}
+
+func TestSchedulingOrders(t *testing.T) {
+	rr := orderRoundRobin(3, 1)
+	if len(rr) != 3 || rr[0] != 2 || rr[1] != 0 || rr[2] != 1 {
+		t.Errorf("round robin after 1 over 3 procs = %v", rr)
+	}
+	rtc := orderRunToCompletion(3, 1)
+	if len(rtc) != 3 || rtc[0] != 1 {
+		t.Errorf("run-to-completion must retry the last process first: %v", rtc)
+	}
+	first := orderRunToCompletion(3, -1)
+	if len(first) != 3 || first[0] != 0 {
+		t.Errorf("initial order = %v", first)
+	}
+}
+
+func TestSCLikeExecutionsExploredFirst(t *testing.T) {
+	// The baselines enumerate the most SC-like execution first: on a
+	// program whose only bug is a stale (weak) read, the first complete
+	// execution is bug-free, so the violation is found only after
+	// backtracking — more transitions than the program has instructions.
+	p := mpBug()
+	res, err := Check(p, Options{Algorithm: AlgorithmTracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violation {
+		t.Fatal("bug must be found eventually")
+	}
+	// One complete execution of mpBug is 5 macro steps; the violation
+	// may only appear after backtracking past the first (SC-like) one.
+	if res.Transitions <= 5 {
+		t.Errorf("weak bug found on the first execution (%d transitions): SC-first ordering broken?", res.Transitions)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	// The exhaustive baselines are deterministic: identical statistics
+	// across runs.
+	for _, alg := range []Algorithm{AlgorithmCDS, AlgorithmTracer, AlgorithmRCMC} {
+		a, err := Check(mpSafe(), Options{Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Check(mpSafe(), Options{Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Transitions != b.Transitions || a.Executions != b.Executions {
+			t.Errorf("%v: nondeterministic statistics", alg)
+		}
+	}
+}
+
+func TestRandomSeedReproducible(t *testing.T) {
+	a, err := Check(mpBug(), Options{Algorithm: AlgorithmRandom, Seed: 42, Walks: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Check(mpBug(), Options{Algorithm: AlgorithmRandom, Seed: 42, Walks: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Violation != b.Violation || a.Transitions != b.Transitions {
+		t.Error("same seed must reproduce the same walk")
+	}
+}

@@ -1,0 +1,57 @@
+package tables
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ravbmc/internal/litmus"
+)
+
+// LitmusSummary reports the litmus experiment of Sec. 7: VBMC agreement
+// with the RA oracle (the herd substitute) across the corpus.
+type LitmusSummary struct {
+	Total, Agree int
+	K            int
+	Seconds      float64
+	Mismatches   []string
+}
+
+// LitmusSweep runs the classic shapes plus every stride-th generated
+// program (stride 1 = the full corpus) at view bound k, comparing VBMC
+// against the exhaustive RA oracle.
+func LitmusSweep(opsPerThread, stride, k int) LitmusSummary {
+	if stride < 1 {
+		stride = 1
+	}
+	start := time.Now()
+	sum := LitmusSummary{K: k}
+	tests := litmus.Classic()
+	gen := litmus.Generated(opsPerThread)
+	for i := 0; i < len(gen); i += stride {
+		tests = append(tests, gen[i])
+	}
+	for _, tc := range tests {
+		want := litmus.Oracle(tc)
+		got, err := litmus.VBMC(tc, k)
+		sum.Total++
+		if err == nil && got == want {
+			sum.Agree++
+		} else {
+			sum.Mismatches = append(sum.Mismatches, tc.Name)
+		}
+	}
+	sum.Seconds = time.Since(start).Seconds()
+	return sum
+}
+
+// Render prints the summary in one line plus any mismatches.
+func (s LitmusSummary) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Litmus sweep: %d/%d agree with the RA oracle at K=%d (%.1fs)\n",
+		s.Agree, s.Total, s.K, s.Seconds)
+	for _, m := range s.Mismatches {
+		fmt.Fprintf(&b, "  MISMATCH: %s\n", m)
+	}
+	return b.String()
+}

@@ -1,0 +1,254 @@
+// Package tables regenerates the paper's evaluation (Sec. 7, Tables
+// 1-8 plus the litmus experiment): for each table it runs VBMC and the
+// three stateless-model-checking baselines on the same benchmark
+// programs and reports wall-clock seconds or T.O, in the same row format
+// as the paper. Absolute numbers differ from the paper (the backends
+// are explicit-state Go, not SAT/C), but the comparison shape — which
+// tool wins where, and how each scales in N and L — is the
+// reproduction target (see EXPERIMENTS.md).
+package tables
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ravbmc/internal/benchmarks"
+	"ravbmc/internal/core"
+	"ravbmc/internal/lang"
+	"ravbmc/internal/smc"
+)
+
+// Config controls a table run.
+type Config struct {
+	// Timeout per tool invocation; the paper uses 3600 s. Zero selects
+	// 60 s, a scale suited to the explicit-state backends.
+	Timeout time.Duration
+	// Quick shrinks the thread-count sweeps so a full table regeneration
+	// fits in a benchmark run; the full sweeps match the paper's.
+	Quick bool
+}
+
+func (c Config) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return 60 * time.Second
+	}
+	return c.Timeout
+}
+
+// Cell is one tool's result on one benchmark.
+type Cell struct {
+	Tool    string
+	Seconds float64
+	Verdict string // UNSAFE, SAFE, T.O, ERR
+}
+
+// Row is one benchmark line of a table.
+type Row struct {
+	Bench string
+	K, L  int
+	Cells []Cell
+}
+
+// Table is a rendered paper table.
+type Table struct {
+	Name    string
+	Caption string
+	Tools   []string
+	Rows    []Row
+}
+
+// Tools compared in every table, in the paper's column order.
+var toolColumns = []string{"VBMC", "Tracer", "Cdsc", "Rcmc"}
+
+// runAll runs all four tools on the named benchmark.
+func runAll(cfg Config, name string, k, l int) Row {
+	row := Row{Bench: name, K: k, L: l}
+	prog, err := benchmarks.ByName(name)
+	if err != nil {
+		for _, tool := range toolColumns {
+			row.Cells = append(row.Cells, Cell{Tool: tool, Verdict: "ERR"})
+		}
+		return row
+	}
+	row.Cells = append(row.Cells, runVBMC(cfg, prog, k, l))
+	for _, alg := range []smc.Algorithm{smc.AlgorithmTracer, smc.AlgorithmCDS, smc.AlgorithmRCMC} {
+		row.Cells = append(row.Cells, runSMC(cfg, prog, alg, l))
+	}
+	return row
+}
+
+func runVBMC(cfg Config, prog *lang.Program, k, l int) Cell {
+	start := time.Now()
+	res, err := core.Run(prog, core.Options{K: k, Unroll: l, Timeout: cfg.timeout()})
+	cell := Cell{Tool: "VBMC", Seconds: time.Since(start).Seconds()}
+	switch {
+	case err != nil:
+		cell.Verdict = "ERR"
+	case res.TimedOut:
+		cell.Verdict = "T.O"
+	default:
+		cell.Verdict = res.Verdict.String()
+	}
+	return cell
+}
+
+func runSMC(cfg Config, prog *lang.Program, alg smc.Algorithm, l int) Cell {
+	start := time.Now()
+	res, err := smc.Check(prog, smc.Options{Algorithm: alg, Unroll: l, Timeout: cfg.timeout()})
+	name := map[smc.Algorithm]string{
+		smc.AlgorithmTracer: "Tracer", smc.AlgorithmCDS: "Cdsc", smc.AlgorithmRCMC: "Rcmc",
+	}[alg]
+	cell := Cell{Tool: name, Seconds: time.Since(start).Seconds()}
+	switch {
+	case err != nil:
+		cell.Verdict = "ERR"
+	case res.TimedOut:
+		cell.Verdict = "T.O"
+	case res.Violation:
+		cell.Verdict = "UNSAFE"
+	case res.Exhausted:
+		cell.Verdict = "SAFE"
+	default:
+		cell.Verdict = "T.O" // capped without conclusion
+	}
+	return cell
+}
+
+// Table1 is the paper's Table 1: the original unfenced mutual-exclusion
+// protocols (UNSAFE under RA), K=2, L=2.
+func Table1(cfg Config) Table {
+	names := []string{
+		"bakery", "burns", "dekker", "lamport",
+		"peterson_0", "peterson_0(3)", "sim_dekker", "szymanski_0",
+	}
+	if cfg.Quick {
+		names = []string{"dekker", "peterson_0", "sim_dekker"}
+	}
+	t := Table{
+		Name:    "Table 1",
+		Caption: "Unfenced mutual exclusion protocols (UNSAFE), K=2, L=2",
+		Tools:   toolColumns,
+	}
+	for _, n := range names {
+		t.Rows = append(t.Rows, runAll(cfg, n, 2, 2))
+	}
+	return t
+}
+
+// Table2 is the paper's Table 2: all threads but one fenced,
+// peterson_1(i) with K=4 and szymanski_1(i) with K=2, L=2.
+func Table2(cfg Config) Table {
+	sizes := []int{4, 6, 8, 10}
+	if cfg.Quick {
+		sizes = []int{3, 4}
+	}
+	t := Table{
+		Name:    "Table 2",
+		Caption: "All-but-one-fenced Peterson (K=4) and Szymanski (K=2), L=2",
+		Tools:   toolColumns,
+	}
+	for _, n := range sizes {
+		t.Rows = append(t.Rows, runAll(cfg, fmt.Sprintf("peterson_1(%d)", n), 4, 2))
+	}
+	for _, n := range sizes {
+		t.Rows = append(t.Rows, runAll(cfg, fmt.Sprintf("szymanski_1(%d)", n), 2, 2))
+	}
+	return t
+}
+
+// Table3 is the paper's Table 3: fenced Peterson with a one-line bug in
+// a fixed (first) thread, K=2, L=2.
+func Table3(cfg Config) Table { return bugTable(cfg, "Table 3", "peterson_2") }
+
+// Table4 is the paper's Table 4: the same bug moved to the last thread.
+func Table4(cfg Config) Table { return bugTable(cfg, "Table 4", "peterson_3") }
+
+// Table5 is the paper's Table 5: fenced Szymanski with the bug in a
+// fixed thread.
+func Table5(cfg Config) Table { return bugTable(cfg, "Table 5", "szymanski_2") }
+
+func bugTable(cfg Config, name, proto string) Table {
+	sizes := []int{3, 4, 5, 6, 7}
+	if cfg.Quick {
+		sizes = []int{3, 4}
+	}
+	t := Table{
+		Name:    name,
+		Caption: fmt.Sprintf("Fenced %s with a one-line bug, K=2, L=2", proto),
+		Tools:   toolColumns,
+	}
+	for _, n := range sizes {
+		t.Rows = append(t.Rows, runAll(cfg, fmt.Sprintf("%s(%d)", proto, n), 2, 2))
+	}
+	return t
+}
+
+// Table6 is the paper's Table 6 (SAFE fenced protocols, K=2, L=1);
+// Table7 and Table8 raise L to 2 and 4.
+func Table6(cfg Config) Table { return safeTable(cfg, "Table 6", 1) }
+
+// Table7 is the L=2 SAFE table.
+func Table7(cfg Config) Table { return safeTable(cfg, "Table 7", 2) }
+
+// Table8 is the L=4 SAFE table.
+func Table8(cfg Config) Table { return safeTable(cfg, "Table 8", 4) }
+
+func safeTable(cfg Config, name string, l int) Table {
+	names := []string{
+		"bakery_4", "lamport_4", "tbar_4", "tbar_4(3)",
+		"peterson_4(2)", "peterson_4(3)",
+	}
+	if cfg.Quick {
+		names = []string{"tbar_4", "peterson_4(2)"}
+	}
+	t := Table{
+		Name:    name,
+		Caption: fmt.Sprintf("Fenced (SAFE) protocols, K=2, L=%d", l),
+		Tools:   toolColumns,
+	}
+	for _, n := range names {
+		t.Rows = append(t.Rows, runAll(cfg, n, 2, l))
+	}
+	return t
+}
+
+// All returns every table generator keyed by the paper's numbering.
+func All() map[string]func(Config) Table {
+	return map[string]func(Config) Table{
+		"1": Table1, "2": Table2, "3": Table3, "4": Table4,
+		"5": Table5, "6": Table6, "7": Table7, "8": Table8,
+	}
+}
+
+// Render prints the table in the paper's layout.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s. %s\n", t.Name, t.Caption)
+	fmt.Fprintf(&b, "%-18s", "Program")
+	for _, tool := range t.Tools {
+		fmt.Fprintf(&b, " %12s", tool)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-18s", r.Bench)
+		for _, c := range r.Cells {
+			b.WriteString(" " + renderCell(c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func renderCell(c Cell) string {
+	switch c.Verdict {
+	case "T.O":
+		return fmt.Sprintf("%12s", "T.O")
+	case "ERR":
+		return fmt.Sprintf("%12s", "ERR")
+	case "SAFE":
+		return fmt.Sprintf("%10.2fs*", c.Seconds)
+	default:
+		return fmt.Sprintf("%11.2fs", c.Seconds)
+	}
+}

@@ -1,0 +1,93 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func tinyCfg() Config {
+	return Config{Quick: true, Timeout: 5 * time.Second}
+}
+
+func TestTable1QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all four tools")
+	}
+	tab := Table1(tinyCfg())
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tab.Rows {
+		if len(row.Cells) != 4 {
+			t.Fatalf("row %s has %d cells", row.Bench, len(row.Cells))
+		}
+		// Table 1 benches are UNSAFE under RA; every tool that finishes
+		// within the budget must agree.
+		for _, c := range row.Cells {
+			if c.Verdict != "UNSAFE" && c.Verdict != "T.O" {
+				t.Errorf("%s/%s: verdict %s", row.Bench, c.Tool, c.Verdict)
+			}
+		}
+	}
+	out := tab.Render()
+	for _, frag := range []string{"Table 1", "VBMC", "Tracer", "Cdsc", "Rcmc"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q", frag)
+		}
+	}
+}
+
+func TestAllRegistryComplete(t *testing.T) {
+	gens := All()
+	for _, key := range []string{"1", "2", "3", "4", "5", "6", "7", "8"} {
+		if gens[key] == nil {
+			t.Errorf("table %s missing from registry", key)
+		}
+	}
+}
+
+func TestRunAllUnknownBenchmark(t *testing.T) {
+	row := runAll(tinyCfg(), "definitely_not_a_benchmark", 2, 2)
+	for _, c := range row.Cells {
+		if c.Verdict != "ERR" {
+			t.Errorf("unknown benchmark: verdict %s", c.Verdict)
+		}
+	}
+}
+
+func TestLitmusSweepAgreesOnSample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs VBMC on dozens of programs")
+	}
+	sum := LitmusSweep(2, 29, 5)
+	if sum.Total == 0 {
+		t.Fatal("empty sweep")
+	}
+	if sum.Agree != sum.Total {
+		t.Fatalf("disagreement: %s", sum.Render())
+	}
+	if !strings.Contains(sum.Render(), "agree with the RA oracle") {
+		t.Error("render format changed")
+	}
+}
+
+func TestRenderCellFormats(t *testing.T) {
+	cases := map[string]Cell{
+		"T.O": {Verdict: "T.O"},
+		"ERR": {Verdict: "ERR"},
+	}
+	for want, c := range cases {
+		if got := renderCell(c); !strings.Contains(got, want) {
+			t.Errorf("renderCell(%v) = %q", c, got)
+		}
+	}
+	safe := renderCell(Cell{Verdict: "SAFE", Seconds: 1.5})
+	if !strings.Contains(safe, "1.50s*") {
+		t.Errorf("safe cell = %q", safe)
+	}
+	unsafe := renderCell(Cell{Verdict: "UNSAFE", Seconds: 2.25})
+	if !strings.Contains(unsafe, "2.25s") || strings.Contains(unsafe, "*") {
+		t.Errorf("unsafe cell = %q", unsafe)
+	}
+}

@@ -1,0 +1,104 @@
+// Package trace represents counterexample executions produced by the
+// analysis engines: a sequence of events, each attributed to a process
+// and an instruction label, with a human-readable detail string.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	KindRead Kind = iota
+	KindWrite
+	KindCAS
+	KindFence
+	KindLocal     // assignment, nondet, jumps
+	KindAssume    // a passed assume
+	KindAssertOK  // a passed assert
+	KindViolation // a failed assert
+	KindSwitch    // a context switch (SC) or view switch (RA) marker
+)
+
+// String returns a short tag for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindRead:
+		return "read"
+	case KindWrite:
+		return "write"
+	case KindCAS:
+		return "cas"
+	case KindFence:
+		return "fence"
+	case KindLocal:
+		return "local"
+	case KindAssume:
+		return "assume"
+	case KindAssertOK:
+		return "assert"
+	case KindViolation:
+		return "VIOLATION"
+	case KindSwitch:
+		return "switch"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one step of a counterexample execution.
+type Event struct {
+	Proc   string
+	Label  string
+	Kind   Kind
+	Detail string
+	// ViewSwitch marks RA events whose read altered the process view via
+	// another process's write (the bounded resource of the paper).
+	ViewSwitch bool
+}
+
+// Trace is an execution fragment witnessing a verdict.
+type Trace struct {
+	Events []Event
+}
+
+// Append adds an event and returns the trace for chaining.
+func (t *Trace) Append(e Event) *Trace {
+	t.Events = append(t.Events, e)
+	return t
+}
+
+// Len returns the number of events.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// ViewSwitches counts the view-switching events in the trace.
+func (t *Trace) ViewSwitches() int {
+	n := 0
+	for _, e := range t.Events {
+		if e.ViewSwitch {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the trace, one event per line.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for i, e := range t.Events {
+		mark := ""
+		if e.ViewSwitch {
+			mark = " [view-switch]"
+		}
+		fmt.Fprintf(&b, "%3d. %-8s %-10s %-8s %s%s\n", i+1, e.Proc, e.Label, e.Kind, e.Detail, mark)
+	}
+	return b.String()
+}
+
+// Clone returns an independent copy of the trace.
+func (t *Trace) Clone() *Trace {
+	return &Trace{Events: append([]Event(nil), t.Events...)}
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Trace {
+	t := &Trace{}
+	t.Append(Event{Proc: "p0", Label: "l1", Kind: KindWrite, Detail: "x = 1"})
+	t.Append(Event{Proc: "p1", Label: "l2", Kind: KindRead, Detail: "$r = x reads 1", ViewSwitch: true})
+	t.Append(Event{Proc: "p1", Label: "l3", Kind: KindViolation, Detail: "assert failed"})
+	return t
+}
+
+func TestAppendAndLen(t *testing.T) {
+	tr := sample()
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestViewSwitchCount(t *testing.T) {
+	if n := sample().ViewSwitches(); n != 1 {
+		t.Errorf("ViewSwitches = %d", n)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := sample().String()
+	for _, frag := range []string{"p0", "p1", "write", "read", "VIOLATION", "[view-switch]", "x = 1"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("rendered trace missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	tr := sample()
+	cp := tr.Clone()
+	cp.Events[0].Proc = "zzz"
+	if tr.Events[0].Proc != "p0" {
+		t.Error("Clone shares the event slice")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindRead: "read", KindWrite: "write", KindCAS: "cas", KindFence: "fence",
+		KindLocal: "local", KindAssume: "assume", KindAssertOK: "assert",
+		KindViolation: "VIOLATION", KindSwitch: "switch",
+	} {
+		if k.String() != want {
+			t.Errorf("kind %d prints %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package ravbmc_test
+
+import (
+	"strings"
+	"testing"
+
+	"ravbmc"
+)
+
+const mpSrc = `
+program mp
+var x y
+proc p0
+  x = 1
+  y = 1
+end
+proc p1
+  reg a b
+  $a = y
+  $b = x
+  assert(!($a == 1 && $b == 0))
+end
+`
+
+const sbSrc = `
+program sb
+var x y
+proc p0
+  reg a
+  x = 1
+  $a = y
+  assert($a == 1)
+end
+proc p1
+  y = 1
+end
+`
+
+func TestPublicParseAndVBMC(t *testing.T) {
+	prog, err := ravbmc.Parse(mpSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ravbmc.VBMC(prog, ravbmc.VBMCOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != ravbmc.Safe {
+		t.Errorf("MP must be SAFE under RA, got %v", res.Verdict)
+	}
+
+	sb := ravbmc.MustParse(sbSrc)
+	res, err = ravbmc.VBMC(sb, ravbmc.VBMCOptions{K: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != ravbmc.Unsafe {
+		t.Errorf("SB stale read needs no view switch; got %v", res.Verdict)
+	}
+	if res.Trace == nil || res.Trace.Len() == 0 {
+		t.Error("UNSAFE without a trace")
+	}
+}
+
+func TestPublicExploreRA(t *testing.T) {
+	prog := ravbmc.MustParse(sbSrc)
+	res, err := ravbmc.ExploreRA(prog, ravbmc.ExploreOptions{ViewBound: -1, StopOnViolation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violation {
+		t.Error("explorer must find the SB stale read")
+	}
+}
+
+func TestPublicSMC(t *testing.T) {
+	prog := ravbmc.MustParse(sbSrc)
+	for _, alg := range []ravbmc.SMCAlgorithm{
+		ravbmc.AlgorithmTracer, ravbmc.AlgorithmCDS, ravbmc.AlgorithmRCMC,
+	} {
+		res, err := ravbmc.SMC(prog, ravbmc.SMCOptions{Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Violation {
+			t.Errorf("%v: must find the SB stale read", alg)
+		}
+	}
+}
+
+func TestPublicTranslateEmitsSC(t *testing.T) {
+	prog := ravbmc.MustParse(mpSrc)
+	out, err := ravbmc.Translate(prog, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{"_ms_var", "_messages_used", "_s_RA", "atomic"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("translated program missing %q", frag)
+		}
+	}
+}
+
+func TestPublicUnroll(t *testing.T) {
+	prog := ravbmc.MustParse(`
+var x
+proc p
+  reg r
+  while $r == 0 do
+    $r = x
+  done
+end
+`)
+	u := ravbmc.Unroll(prog, 3)
+	if got := u.String(); strings.Contains(got, "while") {
+		t.Errorf("unrolled program still has a loop:\n%s", got)
+	}
+}
+
+func TestPublicParseError(t *testing.T) {
+	if _, err := ravbmc.Parse("not a program"); err == nil {
+		t.Error("expected parse error")
+	}
+}

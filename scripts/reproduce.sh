@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Regenerates every artifact recorded in EXPERIMENTS.md.
+#
+# Usage: sh scripts/reproduce.sh [timeout-per-tool-run]
+# The default 45s budget reproduces the shapes on a laptop-class core in
+# about an hour; raise it towards the paper's 3600s for wider coverage.
+set -e
+TIMEOUT="${1:-45s}"
+
+echo "== build and test =="
+go build ./...
+go test ./...
+
+echo "== paper tables (timeout $TIMEOUT per tool run) =="
+go run ./cmd/ratables -table 1 -timeout "$TIMEOUT"
+for t in 2 3 4 5 6 7 8; do
+  go run ./cmd/ratables -table "$t" -timeout "$TIMEOUT"
+done
+
+echo "== litmus sweep (every 17th generated program; -stride 1 for all) =="
+go run ./cmd/ratables -table litmus -stride 17 -k 5
+
+echo "== theorem artifacts =="
+go run ./cmd/pcpgen -u a -v a -run
+go run ./cmd/pcpgen -u ab -v ba -run || true   # unsolvable: exit 1 expected
+
+echo "== differential fuzzing =="
+go run ./cmd/rafuzz -n 300 -seed 1
+
+echo "== quick benchmark pass =="
+go test -run XXX -bench . -benchmem -timeout 0 .
