@@ -6,29 +6,82 @@
 //	ratables -table all          # tables 1-8
 //	ratables -table litmus       # the litmus agreement sweep
 //	ratables -quick -timeout 20s # smaller sweeps, shorter per-run budget
+//	ratables -table 1 -progress  # live per-run snapshots on stderr
+//	ratables -table 1 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
+	"ravbmc/internal/obs"
 	"ravbmc/internal/tables"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main with an exit code, so deferred profile writers run before
+// the process exits.
+func run() int {
 	var (
-		table   = flag.String("table", "all", "1..8, litmus, or all")
-		quick   = flag.Bool("quick", false, "smaller sweeps (fast regeneration)")
-		timeout = flag.Duration("timeout", 60*time.Second, "per tool-run budget (paper: 3600s)")
-		stride  = flag.Int("stride", 17, "litmus: run every stride-th generated program")
-		k       = flag.Int("k", 5, "litmus: view bound")
+		table      = flag.String("table", "all", "1..8, litmus, or all")
+		quick      = flag.Bool("quick", false, "smaller sweeps (fast regeneration)")
+		timeout    = flag.Duration("timeout", 60*time.Second, "per tool-run budget (paper: 3600s)")
+		stride     = flag.Int("stride", 17, "litmus: run every stride-th generated program")
+		k          = flag.Int("k", 5, "litmus: view bound")
+		progress   = flag.Bool("progress", false, "print live per-run progress snapshots to stderr")
+		progressIv = flag.Duration("progress-interval", time.Second, "interval between -progress snapshots")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ratables:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ratables:", err)
+			}
+		}()
+	}
+
 	cfg := tables.Config{Timeout: *timeout, Quick: *quick}
+	if *progress {
+		// Tool runs are sequential, so one printer at a time suffices:
+		// the hook retires the previous run's printer and starts a fresh
+		// one against the new run's recorder.
+		var cur *obs.Progress
+		cfg.Obs = func(bench, tool string) *obs.Recorder {
+			cur.Stop()
+			fmt.Fprintf(os.Stderr, "== %s / %s\n", bench, tool)
+			rec := obs.New()
+			cur = obs.NewProgress(os.Stderr, rec, *progressIv)
+			return rec
+		}
+		defer func() { cur.Stop() }()
+	}
 	gens := tables.All()
 
 	switch *table {
@@ -48,8 +101,14 @@ func main() {
 		gen, ok := gens[*table]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "ratables: unknown table %q\n", *table)
-			os.Exit(2)
+			return 2
 		}
 		fmt.Println(gen(cfg).Render())
 	}
+	return 0
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "ratables:", err)
+	return 2
 }

@@ -7,71 +7,145 @@
 //
 //	vbmc -k 2 -l 2 -file prog.ra [-trace] [-contexts N] [-timeout 60s]
 //	vbmc -k 2 -l 2 -bench peterson_0(3)
+//	vbmc -k 2 -l 2 -bench peterson_0(3) -json          # machine-readable run report
+//	vbmc -k 2 -l 2 -bench peterson_0(3) -progress      # live snapshots on stderr
+//	vbmc -k 2 -l 2 -bench peterson_0(3) -cpuprofile cpu.pprof
 //
-// The exit code is 1 for UNSAFE, 2 for INCONCLUSIVE, 0 for SAFE.
+// Exit codes:
+//
+//	0  SAFE
+//	1  UNSAFE
+//	2  INCONCLUSIVE (state cap or timeout hit before covering the space)
+//	3  usage or input error (bad flags, unreadable file, parse or
+//	   validation failure)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"ravbmc"
 	"ravbmc/internal/benchmarks"
 	"ravbmc/internal/core"
+	"ravbmc/internal/obs"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main with an exit code, so deferred profile writers run before
+// the process exits.
+func run() int {
 	var (
-		k        = flag.Int("k", 2, "view-switch budget K")
-		l        = flag.Int("l", 2, "loop unrolling bound L")
-		file     = flag.String("file", "", "program source file")
-		bench    = flag.String("bench", "", "built-in benchmark name, e.g. peterson_1(4)")
-		showTr   = flag.Bool("trace", false, "print the full counterexample trace")
-		summary  = flag.Bool("summary", false, "print the RA-level summary of the counterexample")
-		contexts = flag.Int("contexts", 0, "SC context bound (0 = K+n, negative = unbounded)")
-		timeout  = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
-		emit     = flag.Bool("emit", false, "print the translated SC program instead of checking")
-		autoK    = flag.Int("auto-k", -1, "search for the minimal K up to this bound instead of using -k")
+		k          = flag.Int("k", 2, "view-switch budget K")
+		l          = flag.Int("l", 2, "loop unrolling bound L")
+		file       = flag.String("file", "", "program source file")
+		bench      = flag.String("bench", "", "built-in benchmark name, e.g. peterson_1(4)")
+		showTr     = flag.Bool("trace", false, "print the full counterexample trace")
+		summary    = flag.Bool("summary", false, "print the RA-level summary of the counterexample")
+		contexts   = flag.Int("contexts", 0, "SC context bound (0 = K+n, negative = unbounded)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
+		emit       = flag.Bool("emit", false, "print the translated SC program instead of checking")
+		autoK      = flag.Int("auto-k", -1, "search for the minimal K up to this bound instead of using -k")
+		jsonOut    = flag.Bool("json", false, "emit a JSON run report on stdout instead of the summary line")
+		progress   = flag.Bool("progress", false, "print periodic live progress snapshots to stderr")
+		progressIv = flag.Duration("progress-interval", time.Second, "interval between -progress snapshots")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
-	flag.Parse()
+	// Parse manually so flag errors exit 3 (usage error) rather than the
+	// flag package's default 2, which would collide with INCONCLUSIVE.
+	flag.CommandLine.Init(os.Args[0], flag.ContinueOnError)
+	if err := flag.CommandLine.Parse(os.Args[1:]); err == flag.ErrHelp {
+		return 0
+	} else if err != nil {
+		return 3
+	}
 
 	prog, err := load(*file, *bench)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	if *emit {
 		unrolled := ravbmc.Unroll(prog, *l)
 		translated, err := ravbmc.Translate(unrolled, *k)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		fmt.Print(translated)
-		return
+		return 0
 	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vbmc:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "vbmc:", err)
+			}
+		}()
+	}
+
+	rec := obs.New()
+	if *progress {
+		p := obs.NewProgress(os.Stderr, rec, *progressIv)
+		rec.SetSink(p) // phase transitions print immediately, not just on ticks
+		defer p.Stop()
+	}
+
 	start := time.Now()
+	opts := ravbmc.VBMCOptions{
+		K: *k, Unroll: *l, MaxContexts: *contexts, Timeout: *timeout, Obs: rec,
+	}
 	var res ravbmc.VBMCResult
 	if *autoK >= 0 {
 		var kFound int
-		kFound, res, err = core.FindMinK(prog, *autoK, ravbmc.VBMCOptions{
-			Unroll: *l, MaxContexts: *contexts, Timeout: *timeout,
-		})
+		kFound, res, err = core.FindMinK(prog, *autoK, opts)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		*k = kFound
 	} else {
-		res, err = ravbmc.VBMC(prog, ravbmc.VBMCOptions{
-			K: *k, Unroll: *l, MaxContexts: *contexts, Timeout: *timeout,
-		})
+		res, err = ravbmc.VBMC(prog, opts)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 	}
-	fmt.Printf("%s: %s (K=%d, L=%d, contexts<=%d, %d states, %d transitions, %.3fs)\n",
-		prog.Name, res.Verdict, *k, *l, res.ContextBound, res.States, res.Transitions,
-		time.Since(start).Seconds())
+
+	if *jsonOut {
+		rep := res.Report
+		if rep == nil {
+			rep = rec.Report()
+			rep.Verdict = res.Verdict.String()
+			rep.K, rep.L = *k, *l
+		}
+		rep.Tool = "vbmc"
+		rep.Bench = prog.Name
+		os.Stdout.Write(append(rep.JSON(), '\n'))
+	} else {
+		fmt.Printf("%s: %s (K=%d, L=%d, contexts<=%d, %d states, %d transitions, %.3fs)\n",
+			prog.Name, res.Verdict, *k, *l, res.ContextBound, res.States, res.Transitions,
+			time.Since(start).Seconds())
+	}
 	if res.Verdict == ravbmc.Unsafe && res.Trace != nil {
 		if *summary {
 			fmt.Print(core.SummarizeTrace(res.Trace))
@@ -82,10 +156,11 @@ func main() {
 	}
 	switch res.Verdict {
 	case ravbmc.Unsafe:
-		os.Exit(1)
+		return 1
 	case ravbmc.Inconclusive:
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 func load(file, bench string) (*ravbmc.Program, error) {
@@ -104,7 +179,7 @@ func load(file, bench string) (*ravbmc.Program, error) {
 	return nil, fmt.Errorf("one of -file or -bench is required")
 }
 
-func fail(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "vbmc:", err)
-	os.Exit(3)
+	return 3
 }

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ravbmc/internal/benchmarks"
+	"ravbmc/internal/lang"
+	"ravbmc/internal/obs"
+)
+
+// TestRunTimedOutInconclusive: an expired deadline must yield
+// Verdict=Inconclusive with TimedOut=true — never a spurious SAFE —
+// whether the program is actually safe or buggy.
+func TestRunTimedOutInconclusive(t *testing.T) {
+	for _, p := range []*lang.Program{mpSafe(), sbChecked(false)} {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			res, err := Run(p, Options{K: 2, Timeout: time.Nanosecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Verdict != Inconclusive || !res.TimedOut {
+				t.Errorf("expired deadline: got verdict=%v timedOut=%v, want INCONCLUSIVE with TimedOut",
+					res.Verdict, res.TimedOut)
+			}
+		})
+	}
+}
+
+// hasPhase reports whether the report timed the named phase.
+func hasPhase(rep *obs.Report, name string) bool {
+	for _, ph := range rep.Phases {
+		if ph.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TestObsCountersMatchResult: the recorder's backend counters must
+// agree with the hand-threaded Result statistics, and the report must
+// carry the run identity.
+func TestObsCountersMatchResult(t *testing.T) {
+	rec := obs.New()
+	res, err := Run(sbChecked(false), Options{K: 2, Obs: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	if rep == nil {
+		t.Fatal("instrumented run returned no report")
+	}
+	if rep.Verdict != res.Verdict.String() {
+		t.Errorf("report verdict %q != result verdict %q", rep.Verdict, res.Verdict)
+	}
+	if got := rep.Counters["sc.states"]; got != int64(res.States) {
+		t.Errorf("sc.states counter = %d, Result.States = %d", got, res.States)
+	}
+	if got := rep.Counters["sc.transitions"]; got != int64(res.Transitions) {
+		t.Errorf("sc.transitions counter = %d, Result.Transitions = %d", got, res.Transitions)
+	}
+	if hits, misses := rep.Counters["sc.dedup_hits"], rep.Counters["sc.dedup_misses"]; misses != int64(res.States) {
+		t.Errorf("dedup misses = %d (hits %d), want one miss per visited state %d", misses, hits, res.States)
+	}
+	if !hasPhase(rep, "validate") || !hasPhase(rep, "translate") {
+		t.Errorf("report phases missing driver phases: %+v", rep.Phases)
+	}
+}
+
+// TestUninstrumentedRunHasNoReport: without a recorder the result stays
+// lean.
+func TestUninstrumentedRunHasNoReport(t *testing.T) {
+	res, err := Run(mpObservable(), Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report != nil {
+		t.Errorf("uninstrumented run carries a report: %+v", res.Report)
+	}
+}
+
+// TestObsProbeTierOutcomes: a probe-tier hit is recorded iff a probe
+// found the bug — on a SAFE program both probes miss and no hit or tier
+// is recorded; on a probe-caught bug exactly one hit is recorded with
+// its tier and the driver never reaches the final full-bound search.
+func TestObsProbeTierOutcomes(t *testing.T) {
+	rec := obs.New()
+	res, err := Run(mpSafe(), Options{K: 2, Obs: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Safe {
+		t.Fatalf("mp_safe: got %v", res.Verdict)
+	}
+	c := res.Report.Counters
+	if c["core.probes_run"] != 2 || c["core.probe_misses"] != 2 || c["core.probe_hits"] != 0 {
+		t.Errorf("safe run probe counters = run:%d hit:%d miss:%d, want 2/0/2",
+			c["core.probes_run"], c["core.probe_hits"], c["core.probe_misses"])
+	}
+	if tier := res.Report.Gauges["core.probe_hit_tier"]; tier != 0 {
+		t.Errorf("safe run recorded probe hit tier %d", tier)
+	}
+	if !hasPhase(res.Report, "final.search") {
+		t.Errorf("safe verdict requires the final full-bound search; phases = %+v", res.Report.Phases)
+	}
+
+	prog, err := benchmarks.ByName("peterson_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = obs.New()
+	res, err = Run(prog, Options{K: 2, Unroll: 2, Obs: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Unsafe {
+		t.Fatalf("peterson_0: got %v", res.Verdict)
+	}
+	c = res.Report.Counters
+	if c["core.probe_hits"]+c["core.probe_misses"] != c["core.probes_run"] {
+		t.Errorf("probe outcomes don't partition runs: hit:%d miss:%d run:%d",
+			c["core.probe_hits"], c["core.probe_misses"], c["core.probes_run"])
+	}
+	tier := res.Report.Gauges["core.probe_hit_tier"]
+	if (c["core.probe_hits"] == 1) != (tier >= 1 && tier <= 2) {
+		t.Errorf("hit tier gauge %d inconsistent with probe_hits %d", tier, c["core.probe_hits"])
+	}
+	if c["core.probe_hits"] == 1 && hasPhase(res.Report, "final.compile") {
+		t.Error("probe hit recorded, but the driver still ran the final pass")
+	}
+	if c["core.probe_hits"] == 0 && !hasPhase(res.Report, "final.compile") {
+		t.Error("no probe hit recorded, but the final pass never ran")
+	}
+	if c["core.probe_hits"] != 1 {
+		t.Errorf("peterson_0 bug is probe-reachable, want exactly one probe hit, got %d", c["core.probe_hits"])
+	}
+}

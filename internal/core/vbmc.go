@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ravbmc/internal/lang"
+	"ravbmc/internal/obs"
 	"ravbmc/internal/sc"
 	"ravbmc/internal/trace"
 )
@@ -59,6 +60,16 @@ type Options struct {
 	// forced-tracked / small-stamp-window pass run before the full
 	// translation); used by the ablation benchmarks.
 	NoProbes bool
+	// Obs, when non-nil, instruments the run: the driver records
+	// per-phase spans (validate, unroll, per-probe translate / compile /
+	// deepen / search, the full translate, and the final compile /
+	// deepen / search), per-probe outcome counters ("core.probes_run",
+	// "core.probe_hits", "core.probe_misses", gauge
+	// "core.probe_hit_tier"), and the SC backend adds its own search
+	// counters against the same recorder. The Result then carries
+	// Obs.Report(). A nil recorder disables all of it at the cost of a
+	// nil-check per instrument event.
+	Obs *obs.Recorder
 }
 
 // Result reports a VBMC verdict with search statistics.
@@ -76,6 +87,10 @@ type Result struct {
 	// TimedOut is true when the Timeout cut the backend search short
 	// (the verdict is then Inconclusive).
 	TimedOut bool
+	// Report is the structured observability report (per-phase wall
+	// times, engine counters, derived rates); nil unless Options.Obs
+	// was set.
+	Report *obs.Report
 }
 
 // Run checks the program under RA with at most K view switches by
@@ -94,7 +109,11 @@ type Result struct {
 //   - iterative context deepening: within each pass, small context
 //     bounds are searched before the full K+n bound.
 func Run(prog *lang.Program, opts Options) (Result, error) {
-	if err := prog.ValidateRA(); err != nil {
+	rec := opts.Obs
+	span := rec.StartPhase("validate")
+	err := prog.ValidateRA()
+	span.End()
+	if err != nil {
 		return Result{}, err
 	}
 	src := prog
@@ -102,7 +121,9 @@ func Run(prog *lang.Program, opts Options) (Result, error) {
 		if opts.Unroll <= 0 {
 			return Result{}, fmt.Errorf("core: program %q has loops; an unroll bound L is required", prog.Name)
 		}
+		span = rec.StartPhase("unroll")
 		src = lang.Unroll(prog, opts.Unroll)
+		span.End()
 	}
 	bound := opts.MaxContexts
 	if bound == 0 {
@@ -116,6 +137,17 @@ func Run(prog *lang.Program, opts Options) (Result, error) {
 		deadline = time.Now().Add(opts.Timeout)
 	}
 	out := Result{ContextBound: bound}
+	// finish stamps the observability report onto a successful result.
+	finish := func(out Result) Result {
+		if rec != nil {
+			rep := rec.Report()
+			rep.Verdict = out.Verdict.String()
+			rep.K = opts.K
+			rep.L = opts.Unroll
+			out.Report = rep
+		}
+		return out
+	}
 
 	if !opts.NoProbes {
 		tiers := []struct {
@@ -129,40 +161,53 @@ func Run(prog *lang.Program, opts Options) (Result, error) {
 			{variant{stampWindow: 1, forceTracked: true}, 150_000, opts.Timeout / 8},
 			{variant{stampWindow: 2, forceTracked: true}, 600_000, opts.Timeout / 3},
 		}
-		for _, tier := range tiers {
+		for i, tier := range tiers {
+			phase := fmt.Sprintf("probe%d", i+1)
+			rec.Counter("core.probes_run").Inc()
+			span = rec.StartPhase(phase + ".translate")
 			probeProg, err := translateVariant(src, opts.K, tier.v)
+			span.End()
 			if err != nil {
 				return Result{}, err
 			}
-			probeOpts := sc.Options{MaxContexts: bound, MaxStates: tier.maxStates}
+			probeOpts := sc.Options{MaxContexts: bound, MaxStates: tier.maxStates, Obs: rec}
 			if opts.MaxStates > 0 && opts.MaxStates < probeOpts.MaxStates {
 				probeOpts.MaxStates = opts.MaxStates
 			}
 			if opts.Timeout > 0 {
 				probeOpts.Deadline = time.Now().Add(tier.slice)
 			}
-			res := checkDeepening(probeProg, bound, probeOpts)
+			res := checkDeepening(probeProg, bound, probeOpts, rec, phase)
 			out.States += res.States
 			out.Transitions += res.Transitions
 			if res.Violation {
+				rec.Counter("core.probe_hits").Inc()
+				rec.Gauge("core.probe_hit_tier").Set(int64(i + 1))
 				out.Verdict = Unsafe
 				out.Trace = res.Trace
+				span = rec.StartPhase("translate")
 				translated, terr := Translate(src, opts.K)
+				span.End()
 				if terr == nil {
 					out.TranslatedStmts = translated.CountStmts()
+					rec.Gauge("translate.stmts").Set(int64(out.TranslatedStmts))
 				}
-				return out, nil
+				return finish(out), nil
 			}
+			rec.Counter("core.probe_misses").Inc()
 		}
 	}
 
+	span = rec.StartPhase("translate")
 	translated, err := Translate(src, opts.K)
+	span.End()
 	if err != nil {
 		return Result{}, err
 	}
 	out.TranslatedStmts = translated.CountStmts()
-	scOpts := sc.Options{MaxContexts: bound, MaxStates: opts.MaxStates, Deadline: deadline}
-	res := checkDeepening(translated, bound, scOpts)
+	rec.Gauge("translate.stmts").Set(int64(out.TranslatedStmts))
+	scOpts := sc.Options{MaxContexts: bound, MaxStates: opts.MaxStates, Deadline: deadline, Obs: rec}
+	res := checkDeepening(translated, bound, scOpts, rec, "final")
 	out.States += res.States
 	out.Transitions += res.Transitions
 	out.TimedOut = res.TimedOut
@@ -175,16 +220,26 @@ func Run(prog *lang.Program, opts Options) (Result, error) {
 	default:
 		out.Verdict = Inconclusive
 	}
-	return out, nil
+	return finish(out), nil
 }
+
+// ladderCap is the per-round state budget of the restart ladder: no
+// single scheduling bias may starve the others, and the final uncapped
+// full-bound run still decides SAFE exactly.
+const ladderCap = 150_000
 
 // checkDeepening compiles the translated program and model-checks it
 // with iterative context deepening: counterexamples typically need very
 // few contexts, and the k-context state space is far smaller than the
 // full one, so small bounds are searched first; the final full-bound
-// run still decides SAFE exactly.
-func checkDeepening(translated *lang.Program, bound int, scOpts sc.Options) sc.Result {
+// run still decides SAFE exactly. Phase timings are recorded against
+// rec under the given phase prefix (phase+".compile", one
+// phase+".deepen" span per ladder round, phase+".search" for the final
+// full-bound run).
+func checkDeepening(translated *lang.Program, bound int, scOpts sc.Options, rec *obs.Recorder, phase string) sc.Result {
+	span := rec.StartPhase(phase + ".compile")
 	cp, err := lang.Compile(translated)
+	span.End()
 	if err != nil {
 		// The translation always emits well-formed programs; a failure
 		// here is a bug in the translator itself.
@@ -193,39 +248,39 @@ func checkDeepening(translated *lang.Program, bound int, scOpts sc.Options) sc.R
 	sys := sc.NewSystem(cp)
 	var res sc.Result
 	var totalStates, totalTransitions int
-	// Restart ladder: rounds pair a context bound (3, then the full
-	// bound) with both process orders (bugs located in different threads
-	// are reached by differently biased searches, cf. the position
-	// sensitivity of RCMC in the paper's Tables 3 and 4). Each round
-	// carries a state budget so that no single bias can starve the
-	// others; budgets escalate geometrically and the final uncapped
-	// full-bound run decides SAFE exactly.
-	var cbs []int
-	for cb := 2; bound > 0 && cb < bound; cb++ {
-		cbs = append(cbs, cb)
+	// Restart ladder: each round pairs a small context bound (2 up to
+	// one below the full bound) with one of the two process orders —
+	// bugs located in different threads are reached by differently
+	// biased searches, cf. the position sensitivity of RCMC in the
+	// paper's Tables 3 and 4. Each round carries the ladderCap state
+	// budget so that no single bias can starve the others; the final
+	// uncapped full-bound run decides SAFE exactly.
+	budget := ladderCap
+	if scOpts.MaxStates > 0 && budget > scOpts.MaxStates {
+		budget = scOpts.MaxStates
 	}
-	for _, cap := range []int{150_000} {
-		if scOpts.MaxStates > 0 && cap > scOpts.MaxStates {
-			cap = scOpts.MaxStates
-		}
-		for _, cb := range cbs {
-			for _, rev := range []bool{false, true} {
-				round := scOpts
-				round.MaxContexts = cb
-				round.ReverseProcs = rev
-				round.MaxStates = cap
-				res = sys.Check(round)
-				totalStates += res.States
-				totalTransitions += res.Transitions
-				if res.Violation || res.TimedOut {
-					res.States, res.Transitions = totalStates, totalTransitions
-					return res
-				}
+	for cb := 2; bound > 0 && cb < bound; cb++ {
+		for _, rev := range []bool{false, true} {
+			rec.Counter("core.deepen_rounds").Inc()
+			round := scOpts
+			round.MaxContexts = cb
+			round.ReverseProcs = rev
+			round.MaxStates = budget
+			span := rec.StartPhase(phase + ".deepen")
+			res = sys.Check(round)
+			span.End()
+			totalStates += res.States
+			totalTransitions += res.Transitions
+			if res.Violation || res.TimedOut {
+				res.States, res.Transitions = totalStates, totalTransitions
+				return res
 			}
 		}
 	}
 	if !res.Violation && !res.TimedOut {
+		span := rec.StartPhase(phase + ".search")
 		res = sys.Check(scOpts)
+		span.End()
 		totalStates += res.States
 		totalTransitions += res.Transitions
 	}
@@ -239,7 +294,9 @@ func checkDeepening(translated *lang.Program, bound int, scOpts sc.Options) sc.R
 // increasing K, to find bugs in real world programs"). If every bound
 // up to maxK is SAFE, the result of the final run is returned with
 // k == maxK; opts.K is ignored. The per-run Timeout applies to each
-// bound separately.
+// bound separately. When opts.Obs is set, phase timings and counters
+// accumulate across the whole K sweep and the returned Result's Report
+// reflects the totals.
 func FindMinK(prog *lang.Program, maxK int, opts Options) (int, Result, error) {
 	var last Result
 	for k := 0; k <= maxK; k++ {
@@ -248,6 +305,7 @@ func FindMinK(prog *lang.Program, maxK int, opts Options) (int, Result, error) {
 		if err != nil {
 			return k, Result{}, err
 		}
+		opts.Obs.Gauge("core.mink_last_k").Set(int64(k))
 		if res.Verdict == Unsafe {
 			return k, res, nil
 		}

@@ -1,0 +1,281 @@
+// Package obs is the engine-wide observability layer: counters, gauges,
+// phase timers, progress snapshots and structured run reports for the
+// VBMC driver, the SC backend, the RA oracle and the SMC baselines.
+//
+// The design goal is zero cost when disabled. Engines do not hold a
+// recorder on their hot paths; they resolve named instruments once per
+// search:
+//
+//	states := opts.Obs.Counter("sc.states") // nil recorder -> nil handle
+//	...
+//	states.Inc() // nil handle: a nil-check, not a lock
+//
+// Every method of Counter, Gauge, Span, Recorder and Progress is safe on
+// a nil receiver and does nothing, so the disabled path through the
+// search loops is a single pointer comparison. When enabled, counters
+// and gauges are atomics, so a Progress goroutine can snapshot a live
+// search without stalling it.
+//
+// Instrument names are dotted, prefixed by the engine that owns them
+// ("sc.states", "ra.revisits", "core.probe_hits"); Report derives rates
+// (dedup hit rate, states/sec, branching factors) from the well-known
+// names so every surface — the -json run report, the -progress ticker,
+// the tables harness — agrees on meaning.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The nil *Counter is the
+// disabled instrument: Inc and Add are no-ops.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds delta.
+func (c *Counter) Add(delta int64) {
+	if c != nil {
+		c.v.Add(delta)
+	}
+}
+
+// Value returns the current count (0 on the nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time metric: Set records the last value, SetMax
+// keeps a high-water mark. The nil *Gauge is the disabled instrument.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set records v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// SetMax records v if it exceeds the current value.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on the nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Sink observes phase events of a Recorder as they happen; it is the
+// hook point for live displays and external exporters. The no-op
+// default is the nil Sink — dispatch is a nil-check, not a lock.
+// Implementations must be cheap: they run inline on the engine thread,
+// once per phase transition (never per state or transition).
+type Sink interface {
+	// PhaseStart fires when a span opens.
+	PhaseStart(name string)
+	// PhaseEnd fires when a span closes, with its duration.
+	PhaseEnd(name string, d time.Duration)
+}
+
+// phase accumulates the total duration and activation count of one
+// named phase across all its spans.
+type phase struct {
+	name  string
+	total atomic.Int64 // nanoseconds
+	count atomic.Int64
+}
+
+// Recorder collects the instruments of one run. The zero value is not
+// usable; construct with New or NewWithSink. A nil *Recorder is the
+// disabled recorder: Counter, Gauge and StartPhase return nil handles.
+type Recorder struct {
+	start time.Time
+	sink  Sink
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	phases   []*phase // in creation order, for stable reports
+	byName   map[string]*phase
+	open     []*phase // stack of open spans; top is the current phase
+}
+
+// New returns an empty recorder with no sink.
+func New() *Recorder { return NewWithSink(nil) }
+
+// NewWithSink returns an empty recorder whose phase events are also
+// delivered to sink (nil for none).
+func NewWithSink(sink Sink) *Recorder {
+	return &Recorder{
+		start:    time.Now(),
+		sink:     sink,
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		byName:   map[string]*phase{},
+	}
+}
+
+// SetSink installs (or clears) the sink.
+func (r *Recorder) SetSink(sink Sink) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sink = sink
+	r.mu.Unlock()
+}
+
+// Counter returns the named counter, creating it on first use. Repeated
+// calls return the same handle, so restarted searches accumulate. On
+// the nil recorder it returns the nil (disabled) counter.
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. On the nil
+// recorder it returns the nil (disabled) gauge.
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Span is one open activation of a phase; close it with End. Spans
+// nest: the innermost open span is the "current phase" reported by
+// Snapshot.
+type Span struct {
+	r     *Recorder
+	ph    *phase
+	start time.Time
+}
+
+// StartPhase opens a span of the named phase and reports it to the
+// sink. On the nil recorder it returns the nil (disabled) span.
+func (r *Recorder) StartPhase(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ph, ok := r.byName[name]
+	if !ok {
+		ph = &phase{name: name}
+		r.byName[name] = ph
+		r.phases = append(r.phases, ph)
+	}
+	r.open = append(r.open, ph)
+	sink := r.sink
+	r.mu.Unlock()
+	if sink != nil {
+		sink.PhaseStart(name)
+	}
+	return &Span{r: r, ph: ph, start: time.Now()}
+}
+
+// End closes the span, accumulating its duration into the phase. Safe
+// on the nil span; calling End twice records the span twice.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.ph.total.Add(int64(d))
+	s.ph.count.Add(1)
+	r := s.r
+	r.mu.Lock()
+	// Pop the topmost activation of this phase (spans end LIFO in
+	// practice; tolerate out-of-order ends).
+	for i := len(r.open) - 1; i >= 0; i-- {
+		if r.open[i] == s.ph {
+			r.open = append(r.open[:i], r.open[i+1:]...)
+			break
+		}
+	}
+	sink := r.sink
+	r.mu.Unlock()
+	if sink != nil {
+		sink.PhaseEnd(s.ph.name, d)
+	}
+}
+
+// Snapshot is a point-in-time view of a live run, for progress
+// displays.
+type Snapshot struct {
+	// Elapsed is the wall time since the recorder was created.
+	Elapsed time.Duration
+	// Phase is the innermost open phase ("" when none is open).
+	Phase string
+	// Counters and Gauges are the current instrument values.
+	Counters map[string]int64
+	Gauges   map[string]int64
+}
+
+// Snapshot captures the current instrument values. It is safe to call
+// concurrently with a running search. The nil recorder snapshots empty.
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Elapsed:  time.Since(r.start),
+		Counters: make(map[string]int64, len(r.counters)),
+		Gauges:   make(map[string]int64, len(r.gauges)),
+	}
+	if n := len(r.open); n > 0 {
+		s.Phase = r.open[n-1].name
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	return s
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilRecorderIsInert: the disabled path — a nil recorder and the
+// nil instruments it hands out — must be safe everywhere.
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Errorf("nil counter value = %d", c.Value())
+	}
+	g := r.Gauge("y")
+	g.Set(3)
+	g.SetMax(9)
+	if g.Value() != 0 {
+		t.Errorf("nil gauge value = %d", g.Value())
+	}
+	sp := r.StartPhase("p")
+	sp.End()
+	r.SetSink(nil)
+	if s := r.Snapshot(); s.Phase != "" || len(s.Counters) != 0 {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+	rep := r.Report()
+	if len(rep.Phases) != 0 || len(rep.Counters) != 0 {
+		t.Errorf("nil report = %+v", rep)
+	}
+	if !json.Valid(rep.JSON()) {
+		t.Error("nil report JSON invalid")
+	}
+	var p *Progress
+	p.Stop()
+	p.PhaseStart("x")
+}
+
+func TestCountersAndGauges(t *testing.T) {
+	r := New()
+	c := r.Counter("sc.states")
+	c.Inc()
+	c.Add(9)
+	if got := r.Counter("sc.states").Value(); got != 10 {
+		t.Errorf("counter = %d, want 10 (repeated lookups must share the handle)", got)
+	}
+	g := r.Gauge("depth")
+	g.SetMax(7)
+	g.SetMax(3)
+	if g.Value() != 7 {
+		t.Errorf("SetMax kept %d, want 7", g.Value())
+	}
+	g.Set(2)
+	if g.Value() != 2 {
+		t.Errorf("Set kept %d, want 2", g.Value())
+	}
+}
+
+func TestPhasesNestAndAccumulate(t *testing.T) {
+	r := New()
+	outer := r.StartPhase("outer")
+	inner := r.StartPhase("inner")
+	if got := r.Snapshot().Phase; got != "inner" {
+		t.Errorf("current phase = %q, want inner", got)
+	}
+	inner.End()
+	if got := r.Snapshot().Phase; got != "outer" {
+		t.Errorf("current phase after inner end = %q, want outer", got)
+	}
+	outer.End()
+	r.StartPhase("inner").End() // second activation
+	rep := r.Report()
+	if len(rep.Phases) != 2 {
+		t.Fatalf("phases = %+v, want outer and inner", rep.Phases)
+	}
+	if rep.Phases[0].Name != "outer" || rep.Phases[1].Name != "inner" {
+		t.Errorf("phase order = %+v, want first-activation order", rep.Phases)
+	}
+	if rep.Phases[1].Count != 2 {
+		t.Errorf("inner count = %d, want 2", rep.Phases[1].Count)
+	}
+}
+
+type recordingSink struct{ events []string }
+
+func (s *recordingSink) PhaseStart(name string) { s.events = append(s.events, "start:"+name) }
+func (s *recordingSink) PhaseEnd(name string, _ time.Duration) {
+	s.events = append(s.events, "end:"+name)
+}
+
+func TestSinkReceivesPhaseEvents(t *testing.T) {
+	sink := &recordingSink{}
+	r := NewWithSink(sink)
+	r.StartPhase("a").End()
+	want := []string{"start:a", "end:a"}
+	if len(sink.events) != 2 || sink.events[0] != want[0] || sink.events[1] != want[1] {
+		t.Errorf("sink events = %v, want %v", sink.events, want)
+	}
+}
+
+func TestReportDerivedRates(t *testing.T) {
+	r := New()
+	r.Counter("sc.dedup_hits").Add(30)
+	r.Counter("sc.dedup_misses").Add(70)
+	r.Counter("sc.states").Add(70)
+	r.Counter("ra.branch_points").Add(10)
+	r.Counter("ra.branch_choices").Add(25)
+	rep := r.Report()
+	if got := rep.Derived["sc.dedup_hit_rate"]; got != 0.3 {
+		t.Errorf("dedup hit rate = %v, want 0.3", got)
+	}
+	if got := rep.Derived["ra.branching_factor"]; got != 2.5 {
+		t.Errorf("branching factor = %v, want 2.5", got)
+	}
+	if rep.Derived["sc.states_per_sec"] <= 0 {
+		t.Errorf("states/sec = %v, want > 0", rep.Derived["sc.states_per_sec"])
+	}
+	// The report must round-trip as JSON.
+	var back Report
+	if err := json.Unmarshal(rep.JSON(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if back.Counters["sc.states"] != 70 {
+		t.Errorf("round-tripped states = %d", back.Counters["sc.states"])
+	}
+}
+
+func TestProgressPrintsSnapshots(t *testing.T) {
+	var buf bytes.Buffer
+	r := New()
+	r.Counter("sc.states").Add(1234)
+	sp := r.StartPhase("search")
+	p := NewProgress(&buf, r, 5*time.Millisecond)
+	time.Sleep(40 * time.Millisecond)
+	p.Stop()
+	p.Stop() // idempotent
+	sp.End()
+	out := buf.String()
+	if !strings.Contains(out, "states=1234") {
+		t.Errorf("progress output missing states: %q", out)
+	}
+	if !strings.Contains(out, "phase=search") {
+		t.Errorf("progress output missing phase: %q", out)
+	}
+}
+
+func TestProgressAsSinkPrintsPhaseTransitions(t *testing.T) {
+	var buf bytes.Buffer
+	r := New()
+	p := NewProgress(&buf, r, time.Hour) // ticks never fire
+	r.SetSink(p)
+	r.StartPhase("deepen").End()
+	r.StartPhase("deepen").End() // consecutive duplicate: printed once
+	r.StartPhase("search").End()
+	p.Stop()
+	out := buf.String()
+	if strings.Count(out, "> deepen") != 1 {
+		t.Errorf("duplicate phase lines: %q", out)
+	}
+	if !strings.Contains(out, "> search") {
+		t.Errorf("missing phase line: %q", out)
+	}
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Progress periodically polls a recorder and writes one status line per
+// tick — elapsed time, current phase, search counters and the
+// instantaneous states/sec — to a writer (typically stderr). It backs
+// the -progress flag of cmd/vbmc and cmd/ratables.
+//
+// The printer runs on its own goroutine and reads only atomics/locked
+// snapshots, so it never stalls the search it observes. A nil *Progress
+// is inert, so callers can unconditionally defer Stop.
+type Progress struct {
+	w    io.Writer
+	rec  *Recorder
+	done chan struct{}
+	stop chan struct{}
+
+	// mu serialises writes to w: ticks come from the printer goroutine,
+	// PhaseStart lines from the engine thread.
+	mu        sync.Mutex
+	lastPhase string
+
+	prevStates int64
+	prevTime   time.Time
+}
+
+// NewProgress starts a progress printer over rec, ticking every
+// interval (a non-positive interval selects 1s).
+func NewProgress(w io.Writer, rec *Recorder, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	p := &Progress{
+		w:        w,
+		rec:      rec,
+		done:     make(chan struct{}),
+		stop:     make(chan struct{}),
+		prevTime: time.Now(),
+	}
+	go p.loop(interval)
+	return p
+}
+
+// Stop halts the printer and waits for its goroutine to exit. It is
+// idempotent and safe on the nil printer.
+func (p *Progress) Stop() {
+	if p == nil {
+		return
+	}
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	<-p.done
+}
+
+func (p *Progress) loop(interval time.Duration) {
+	defer close(p.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.tick()
+		}
+	}
+}
+
+// searchStates sums the per-engine visited-state counters; for the
+// stateless baselines (which have no state count) transitions stand in.
+func searchStates(s Snapshot) int64 {
+	if n := s.Counters["sc.states"] + s.Counters["ra.states"]; n > 0 {
+		return n
+	}
+	return s.Counters["smc.transitions"]
+}
+
+func (p *Progress) tick() {
+	s := p.rec.Snapshot()
+	now := time.Now()
+	states := searchStates(s)
+	rate := float64(0)
+	if dt := now.Sub(p.prevTime).Seconds(); dt > 0 {
+		rate = float64(states-p.prevStates) / dt
+	}
+	p.prevStates, p.prevTime = states, now
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%7.1fs]", s.Elapsed.Seconds())
+	if s.Phase != "" {
+		fmt.Fprintf(&b, " phase=%s", s.Phase)
+	}
+	fmt.Fprintf(&b, " states=%d (%.0f/s)", states, rate)
+	if t := s.Counters["sc.transitions"] + s.Counters["ra.transitions"] + s.Counters["smc.transitions"]; t > 0 {
+		fmt.Fprintf(&b, " transitions=%d", t)
+	}
+	if e := s.Counters["smc.executions"]; e > 0 {
+		fmt.Fprintf(&b, " executions=%d", e)
+	}
+	if hits, misses := s.Counters["sc.dedup_hits"], s.Counters["sc.dedup_misses"]; hits+misses > 0 {
+		fmt.Fprintf(&b, " dedup=%.0f%%", 100*float64(hits)/float64(hits+misses))
+	}
+	p.mu.Lock()
+	fmt.Fprintln(p.w, b.String())
+	p.mu.Unlock()
+}
+
+// PhaseStart implements Sink: attaching a Progress as a recorder's sink
+// additionally prints phase transitions the moment they happen (ticks
+// alone would miss short phases). Consecutive spans of the same phase
+// (the context-deepening rounds) print once.
+func (p *Progress) PhaseStart(name string) {
+	if p == nil {
+		return
+	}
+	elapsed := p.rec.Snapshot().Elapsed.Seconds()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if name == p.lastPhase {
+		return
+	}
+	p.lastPhase = name
+	fmt.Fprintf(p.w, "[%7.1fs] > %s\n", elapsed, name)
+}
+
+// PhaseEnd implements Sink; span ends are silent (the next PhaseStart
+// or tick carries the news).
+func (p *Progress) PhaseEnd(string, time.Duration) {}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// PhaseTiming is one phase row of a run report.
+type PhaseTiming struct {
+	Name string `json:"name"`
+	// Seconds is the total wall time accumulated across all spans of
+	// the phase; Count is how many spans there were (e.g. one per
+	// context-deepening round).
+	Seconds float64 `json:"seconds"`
+	Count   int64   `json:"count"`
+}
+
+// Report is the structured, machine-readable summary of one run:
+// identity, verdict, per-phase wall times, all engine counters and
+// gauges, and rates derived from the well-known instrument names. It
+// marshals to the JSON emitted by `vbmc -json` and appended to
+// BENCH_vbmc.json by scripts/bench_snapshot.sh.
+type Report struct {
+	// Tool and Bench identify the run ("vbmc", "tracer", ...); filled
+	// by the caller, not the recorder.
+	Tool  string `json:"tool,omitempty"`
+	Bench string `json:"bench,omitempty"`
+	// Verdict is the engine outcome (SAFE/UNSAFE/INCONCLUSIVE, or the
+	// table verdicts); filled by the caller.
+	Verdict string `json:"verdict,omitempty"`
+	// K and L are the view-switch and unrolling bounds, when relevant.
+	K int `json:"k,omitempty"`
+	L int `json:"l,omitempty"`
+	// Seconds is the wall time from recorder creation to Report().
+	Seconds float64 `json:"seconds"`
+	// Phases lists per-phase wall times in first-activation order.
+	Phases []PhaseTiming `json:"phases"`
+	// Counters and Gauges carry every engine instrument by name.
+	Counters map[string]int64 `json:"counters"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+	// Derived holds rates computed from well-known counters: dedup hit
+	// rate, states/sec, read-choice branching factors.
+	Derived map[string]float64 `json:"derived,omitempty"`
+}
+
+// Report materialises the recorder's current state. It can be called
+// while a search is live (for progress) or after it (for the final
+// report). The nil recorder yields an empty, still-marshalable report.
+func (r *Recorder) Report() *Report {
+	rep := &Report{Counters: map[string]int64{}, Gauges: map[string]int64{}}
+	if r == nil {
+		return rep
+	}
+	r.mu.Lock()
+	rep.Seconds = time.Since(r.start).Seconds()
+	for _, ph := range r.phases {
+		rep.Phases = append(rep.Phases, PhaseTiming{
+			Name:    ph.name,
+			Seconds: time.Duration(ph.total.Load()).Seconds(),
+			Count:   ph.count.Load(),
+		})
+	}
+	for name, c := range r.counters {
+		rep.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		rep.Gauges[name] = g.Value()
+	}
+	r.mu.Unlock()
+	rep.Derived = derive(rep)
+	return rep
+}
+
+// derive computes rates from the well-known instrument names. Missing
+// instruments simply yield no entry, so the map stays meaningful for
+// any engine mix.
+func derive(rep *Report) map[string]float64 {
+	d := map[string]float64{}
+	ratio := func(out, num, den string) {
+		if n, m := rep.Counters[num], rep.Counters[den]; m > 0 {
+			d[out] = float64(n) / float64(m)
+		}
+	}
+	if hits, misses := rep.Counters["sc.dedup_hits"], rep.Counters["sc.dedup_misses"]; hits+misses > 0 {
+		d["sc.dedup_hit_rate"] = float64(hits) / float64(hits+misses)
+	}
+	if rep.Seconds > 0 {
+		for _, eng := range []string{"sc", "ra"} {
+			if s := rep.Counters[eng+".states"]; s > 0 {
+				d[eng+".states_per_sec"] = float64(s) / rep.Seconds
+			}
+		}
+		if t := rep.Counters["smc.transitions"]; t > 0 {
+			d["smc.transitions_per_sec"] = float64(t) / rep.Seconds
+		}
+	}
+	ratio("ra.branching_factor", "ra.branch_choices", "ra.branch_points")
+	ratio("smc.branching_factor", "smc.branch_choices", "smc.branch_points")
+	ratio("ra.revisit_rate", "ra.revisits", "ra.states")
+	if len(d) == 0 {
+		return nil
+	}
+	return d
+}
+
+// JSON renders the report as indented JSON (always valid; never errors
+// since the report contains only marshalable types).
+func (rep *Report) JSON() []byte {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		// All field types are marshalable; this cannot happen.
+		panic(err)
+	}
+	return b
+}

@@ -1,0 +1,58 @@
+package ra
+
+import (
+	"testing"
+	"time"
+
+	"ravbmc/internal/lang"
+	"ravbmc/internal/obs"
+)
+
+// mpProg is the MP litmus program used by the deadline/obs tests.
+func mpProg() *lang.Program {
+	p := lang.NewProgram("mp", "x", "y")
+	p.AddProc("p0").Add(lang.WriteC("x", 1), lang.WriteC("y", 1))
+	p.AddProc("p1", "a", "b").Add(lang.ReadS("a", "y"), lang.ReadS("b", "x"))
+	return p
+}
+
+// TestExploreExpiredDeadline: a deadline already in the past must abort
+// before the first state, mirroring the SC backend's contract.
+func TestExploreExpiredDeadline(t *testing.T) {
+	sys := NewSystem(lang.MustCompile(mpProg()))
+	res := sys.Explore(Options{ViewBound: -1, Deadline: time.Now().Add(-time.Second)})
+	if !res.TimedOut {
+		t.Error("expired deadline: TimedOut not set")
+	}
+	if res.Exhausted {
+		t.Error("expired deadline: search claims exhaustion")
+	}
+	if res.States != 0 {
+		t.Errorf("expired deadline explored %d states", res.States)
+	}
+}
+
+// TestExploreObsCounters: the obs instruments must agree with the
+// Result statistics; MP has a genuine read-choice branch point (p1 can
+// read y=0 or y=1), so the branching instruments must fire.
+func TestExploreObsCounters(t *testing.T) {
+	rec := obs.New()
+	sys := NewSystem(lang.MustCompile(mpProg()))
+	res := sys.Explore(Options{ViewBound: -1, Obs: rec})
+	rep := rec.Report()
+	if got := rep.Counters["ra.states"]; got != int64(res.States) {
+		t.Errorf("ra.states = %d, Result.States = %d", got, res.States)
+	}
+	if got := rep.Counters["ra.transitions"]; got != int64(res.Transitions) {
+		t.Errorf("ra.transitions = %d, Result.Transitions = %d", got, res.Transitions)
+	}
+	if rep.Counters["ra.branch_points"] == 0 || rep.Counters["ra.branch_choices"] == 0 {
+		t.Errorf("read-choice branching not recorded: %+v", rep.Counters)
+	}
+	if got := rep.Gauges["ra.peak_messages"]; got != int64(res.PeakMessages) {
+		t.Errorf("ra.peak_messages = %d, Result.PeakMessages = %d", got, res.PeakMessages)
+	}
+	if rep.Derived["ra.branching_factor"] <= 1 {
+		t.Errorf("ra.branching_factor = %v, want > 1", rep.Derived["ra.branching_factor"])
+	}
+}

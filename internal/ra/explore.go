@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"ravbmc/internal/obs"
 	"ravbmc/internal/trace"
 )
 
@@ -36,6 +37,12 @@ type Options struct {
 	// Deadline aborts the search when passed (checked periodically);
 	// zero means none.
 	Deadline time.Time
+	// Obs, when non-nil, receives the exploration counters
+	// ("ra.states", "ra.transitions", "ra.revisits", and the
+	// read-choice branching instruments "ra.branch_points" /
+	// "ra.branch_choices") and gauges ("ra.max_depth",
+	// "ra.peak_messages").
+	Obs *obs.Recorder
 }
 
 // Result is the outcome of an exploration.
@@ -68,22 +75,45 @@ func (s *System) Explore(opts Options) Result {
 		opts:    opts,
 		visited: make(map[string]int),
 	}
+	e.cStates = opts.Obs.Counter("ra.states")
+	e.cTransitions = opts.Obs.Counter("ra.transitions")
+	e.cRevisits = opts.Obs.Counter("ra.revisits")
+	e.cBranchPoints = opts.Obs.Counter("ra.branch_points")
+	e.cBranchChoices = opts.Obs.Counter("ra.branch_choices")
+	e.gMaxDepth = opts.Obs.Gauge("ra.max_depth")
+	e.gPeakMessages = opts.Obs.Gauge("ra.peak_messages")
 	if e.opts.MaxSteps == 0 {
 		e.opts.MaxSteps = 1 << 20
 	}
 	e.exhausted = true
+	// An already-expired deadline aborts before the first state, so
+	// callers handing out tiny time slices get them honoured.
+	if !opts.Deadline.IsZero() && !time.Now().Before(opts.Deadline) {
+		e.result.TimedOut = true
+		return e.result
+	}
 	e.dfs(s.Init(), 0, 0, -1, 0)
 	e.result.Exhausted = e.exhausted && !e.result.Violation && !e.result.TargetReached
 	return e.result
 }
+
+// deadlineStride is how many DFS entries pass between wall-clock reads.
+// The step counter (unlike the visited-state count, which stalls once
+// dedup saturates) advances on every entry, so the check always fires.
+const deadlineStride = 1024
 
 type explorer struct {
 	sys       *System
 	opts      Options
 	visited   map[string]int // state key -> min view switches used
 	path      []trace.Event
+	steps     int // DFS entries, for deadline sampling
 	result    Result
 	exhausted bool
+
+	cStates, cTransitions, cRevisits *obs.Counter
+	cBranchPoints, cBranchChoices    *obs.Counter
+	gMaxDepth, gPeakMessages         *obs.Gauge
 }
 
 // dfs returns true when the search is done (violation/target found or
@@ -91,25 +121,30 @@ type explorer struct {
 // and contexts the number of scheduling blocks so far; both are only
 // tracked under a context bound.
 func (e *explorer) dfs(c *Config, switches, depth, last, contexts int) bool {
+	e.steps++
+	if !e.opts.Deadline.IsZero() && e.steps%deadlineStride == 0 && time.Now().After(e.opts.Deadline) {
+		e.exhausted = false
+		e.result.TimedOut = true
+		return true
+	}
 	key := e.sys.DedupKey(c)
 	if e.opts.ContextBound > 0 {
 		key = fmt.Sprintf("%s|%d|%d", key, last, contexts)
 	}
 	if prev, ok := e.visited[key]; ok && prev <= switches {
+		e.cRevisits.Inc()
 		return false
 	}
 	e.visited[key] = switches
 	e.result.States++
+	e.cStates.Inc()
+	e.gMaxDepth.SetMax(int64(depth))
 	if n := c.MsgCount(); n > e.result.PeakMessages {
 		e.result.PeakMessages = n
+		e.gPeakMessages.SetMax(int64(n))
 	}
 	if e.opts.MaxStates > 0 && e.result.States >= e.opts.MaxStates {
 		e.exhausted = false
-		return true
-	}
-	if !e.opts.Deadline.IsZero() && e.result.States%1024 == 0 && time.Now().After(e.opts.Deadline) {
-		e.exhausted = false
-		e.result.TimedOut = true
 		return true
 	}
 	if e.targetReached(c) {
@@ -129,8 +164,16 @@ func (e *explorer) dfs(c *Config, switches, depth, last, contexts int) bool {
 				continue
 			}
 		}
-		for _, succ := range e.sys.Successors(c, p) {
+		succs := e.sys.Successors(c, p)
+		// A process with several successors is at a read with several
+		// coherent messages (or a nondet): a read-choice branch point.
+		if len(succs) > 1 {
+			e.cBranchPoints.Inc()
+			e.cBranchChoices.Add(int64(len(succs)))
+		}
+		for _, succ := range succs {
 			e.result.Transitions++
+			e.cTransitions.Inc()
 			if succ.Violation {
 				if !e.opts.StopOnViolation {
 					continue

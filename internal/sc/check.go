@@ -3,6 +3,7 @@ package sc
 import (
 	"time"
 
+	"ravbmc/internal/obs"
 	"ravbmc/internal/trace"
 )
 
@@ -27,6 +28,12 @@ type Options struct {
 	// Searches biased towards different processes find bugs located in
 	// different threads; the VBMC driver alternates both orders.
 	ReverseProcs bool
+	// Obs, when non-nil, receives the search counters ("sc.states",
+	// "sc.transitions", "sc.dedup_hits", "sc.dedup_misses",
+	// "sc.macro_steps") and gauges ("sc.max_depth",
+	// "sc.max_contexts_used"). Repeated Check calls against the same
+	// recorder accumulate, so the VBMC restart ladder reports totals.
+	Obs *obs.Recorder
 }
 
 // Result is the outcome of a bounded SC model-checking run.
@@ -44,11 +51,33 @@ type Result struct {
 	TimedOut bool
 }
 
+// deadlineStride is how many DFS entries pass between wall-clock reads:
+// checking time.Now on every entry is measurable, so it is sampled. The
+// step counter (unlike the visited-state count) advances on every entry
+// including dedup hits, so the check fires even when the search stops
+// discovering new states.
+const deadlineStride = 1024
+
 // Check explores the SC transition system of the program at macro-step
 // granularity under the context bound.
 func (s *System) Check(opts Options) Result {
 	e := &scChecker{sys: s, opts: opts, visited: map[string]int{}}
+	e.cStates = opts.Obs.Counter("sc.states")
+	e.cTransitions = opts.Obs.Counter("sc.transitions")
+	e.cDedupHits = opts.Obs.Counter("sc.dedup_hits")
+	e.cDedupMisses = opts.Obs.Counter("sc.dedup_misses")
+	e.cMacroSteps = opts.Obs.Counter("sc.macro_steps")
+	e.gMaxDepth = opts.Obs.Gauge("sc.max_depth")
+	e.gMaxContexts = opts.Obs.Gauge("sc.max_contexts_used")
 	e.exhausted = true
+	// A deadline that has already passed aborts before the first state:
+	// restart-ladder rounds scheduled after an expired budget must not
+	// burn a deadlineStride of search each.
+	if !opts.Deadline.IsZero() && !time.Now().Before(opts.Deadline) {
+		e.result.TimedOut = true
+		e.result.Exhausted = false
+		return e.result
+	}
 	for _, oc := range s.initClosure(s.Init()) {
 		if oc.violation {
 			e.result.Violation = true
@@ -56,7 +85,7 @@ func (s *System) Check(opts Options) Result {
 			break
 		}
 		e.path = append(e.path[:0], oc.events...)
-		if e.dfs(oc.cfg, 0) {
+		if e.dfs(oc.cfg, 0, 0) {
 			break
 		}
 	}
@@ -70,27 +99,40 @@ type scChecker struct {
 	visited   map[string]int // state key -> min contexts used
 	path      []trace.Event
 	keyBuf    []byte
+	steps     int // DFS entries, for deadline sampling
 	result    Result
 	exhausted bool
+
+	cStates, cTransitions    *obs.Counter
+	cDedupHits, cDedupMisses *obs.Counter
+	cMacroSteps              *obs.Counter
+	gMaxDepth, gMaxContexts  *obs.Gauge
 }
 
 // dfs returns true when the search should stop (violation/target found
-// or state cap hit). contexts counts completed+current scheduling blocks.
-func (e *scChecker) dfs(c *Config, contexts int) bool {
+// or state cap hit). contexts counts completed+current scheduling
+// blocks; depth counts macro-steps on the current path.
+func (e *scChecker) dfs(c *Config, contexts, depth int) bool {
+	e.steps++
+	if !e.opts.Deadline.IsZero() && e.steps%deadlineStride == 0 && time.Now().After(e.opts.Deadline) {
+		e.exhausted = false
+		e.result.TimedOut = true
+		return true
+	}
 	e.keyBuf = e.sys.DedupKey(c, e.keyBuf[:0])
 	key := string(e.keyBuf)
 	if prev, ok := e.visited[key]; ok && prev <= contexts {
+		e.cDedupHits.Inc()
 		return false
 	}
 	e.visited[key] = contexts
 	e.result.States++
+	e.cStates.Inc()
+	e.cDedupMisses.Inc()
+	e.gMaxDepth.SetMax(int64(depth))
+	e.gMaxContexts.SetMax(int64(contexts))
 	if e.opts.MaxStates > 0 && e.result.States >= e.opts.MaxStates {
 		e.exhausted = false
-		return true
-	}
-	if !e.opts.Deadline.IsZero() && e.result.States%1024 == 0 && time.Now().After(e.opts.Deadline) {
-		e.exhausted = false
-		e.result.TimedOut = true
 		return true
 	}
 	if e.targetReached(c) {
@@ -127,8 +169,10 @@ func (e *scChecker) dfs(c *Config, contexts int) bool {
 				continue
 			}
 		}
+		e.cMacroSteps.Inc()
 		for _, oc := range e.sys.macroStep(c, p) {
 			e.result.Transitions++
+			e.cTransitions.Inc()
 			if oc.violation {
 				e.result.Violation = true
 				evs := append(append([]trace.Event(nil), e.path...), oc.events...)
@@ -137,7 +181,7 @@ func (e *scChecker) dfs(c *Config, contexts int) bool {
 			}
 			n := len(e.path)
 			e.path = append(e.path, oc.events...)
-			done := e.dfs(oc.cfg, nc)
+			done := e.dfs(oc.cfg, nc, depth+1)
 			e.path = e.path[:n]
 			if done {
 				return true

@@ -1,0 +1,48 @@
+package smc
+
+import (
+	"testing"
+
+	"ravbmc/internal/lang"
+	"ravbmc/internal/obs"
+)
+
+// sbProg is store buffering without assertions: four executions at
+// macro-step granularity, with genuine read-choice branch points.
+func sbProg() *lang.Program {
+	p := lang.NewProgram("sb", "x", "y")
+	p.AddProc("p0", "a").Add(lang.WriteC("x", 1), lang.ReadS("a", "y"))
+	p.AddProc("p1", "b").Add(lang.WriteC("y", 1), lang.ReadS("b", "x"))
+	return p
+}
+
+// TestCheckObsCounters: the obs instruments must agree with the Result
+// statistics for every baseline.
+func TestCheckObsCounters(t *testing.T) {
+	for _, alg := range []Algorithm{AlgorithmCDS, AlgorithmTracer, AlgorithmRCMC, AlgorithmRandom} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			rec := obs.New()
+			res, err := Check(sbProg(), Options{Algorithm: alg, Obs: rec, Walks: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := rec.Report()
+			if got := rep.Counters["smc.executions"]; got != int64(res.Executions) {
+				t.Errorf("smc.executions = %d, Result.Executions = %d", got, res.Executions)
+			}
+			if got := rep.Counters["smc.transitions"]; got != res.Transitions {
+				t.Errorf("smc.transitions = %d, Result.Transitions = %d", got, res.Transitions)
+			}
+			if res.Executions > 0 && rep.Gauges["smc.max_depth"] == 0 {
+				t.Error("smc.max_depth not recorded")
+			}
+			if alg == AlgorithmRandom && rep.Counters["smc.walks"] != 5 {
+				t.Errorf("smc.walks = %d, want 5", rep.Counters["smc.walks"])
+			}
+			if alg != AlgorithmRandom && rep.Counters["smc.branch_points"] == 0 {
+				t.Errorf("read-choice branching not recorded: %+v", rep.Counters)
+			}
+		})
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"ravbmc/internal/lang"
+	"ravbmc/internal/obs"
 	"ravbmc/internal/ra"
 	"ravbmc/internal/trace"
 )
@@ -77,6 +78,14 @@ type Options struct {
 	// and the PRNG seed.
 	Seed  int64
 	Walks int
+	// Obs, when non-nil, receives the search counters
+	// ("smc.executions", "smc.transitions", "smc.walks", and the
+	// read-choice branching instruments "smc.branch_points" /
+	// "smc.branch_choices") and the "smc.max_depth" gauge. The
+	// stateless searches keep no visited set, so unlike the RA oracle
+	// they report no revisit count — re-exploration is exactly what
+	// their execution count exposes.
+	Obs *obs.Recorder
 }
 
 // Result reports the outcome of a baseline run.
@@ -105,6 +114,12 @@ func Check(prog *lang.Program, opts Options) (Result, error) {
 	}
 	sys := ra.NewSystem(lang.MustCompile(src))
 	r := &runner{sys: sys, opts: opts}
+	r.cExecutions = opts.Obs.Counter("smc.executions")
+	r.cTransitions = opts.Obs.Counter("smc.transitions")
+	r.cWalks = opts.Obs.Counter("smc.walks")
+	r.cBranchPoints = opts.Obs.Counter("smc.branch_points")
+	r.cBranchChoices = opts.Obs.Counter("smc.branch_choices")
+	r.gMaxDepth = opts.Obs.Gauge("smc.max_depth")
 	if opts.Timeout > 0 {
 		r.deadline = time.Now().Add(opts.Timeout)
 	}
@@ -132,8 +147,13 @@ type runner struct {
 	opts      Options
 	deadline  time.Time
 	path      []trace.Event
+	steps     int // stop() calls, for deadline sampling
 	result    Result
 	exhausted bool
+
+	cExecutions, cTransitions, cWalks *obs.Counter
+	cBranchPoints, cBranchChoices     *obs.Counter
+	gMaxDepth                         *obs.Gauge
 }
 
 // stop reports whether a resource cap was hit, and records it.
@@ -142,8 +162,11 @@ func (r *runner) stop() bool {
 		r.exhausted = false
 		return true
 	}
-	// Checking the clock on every transition is measurable; sample it.
-	if !r.deadline.IsZero() && r.result.Transitions%1024 == 0 && time.Now().After(r.deadline) {
+	// Checking the clock on every scheduling point is measurable;
+	// sample it. The dedicated step counter advances by exactly one per
+	// call, so the check fires regardless of how Transitions moves.
+	r.steps++
+	if !r.deadline.IsZero() && r.steps%1024 == 0 && time.Now().After(r.deadline) {
 		r.result.TimedOut = true
 		r.exhausted = false
 		return true
@@ -156,6 +179,13 @@ func (r *runner) found(extra trace.Event) {
 	r.result.Trace = &trace.Trace{Events: append(append([]trace.Event(nil), r.path...), extra)}
 }
 
+// execution records one completed (maximal) execution.
+func (r *runner) execution() {
+	r.result.Executions++
+	r.cExecutions.Inc()
+	r.gMaxDepth.SetMax(int64(len(r.path)))
+}
+
 // dfsInstr is the CDSChecker-style search: stateless DFS at instruction
 // granularity over every process interleaving and read choice.
 func (r *runner) dfsInstr(c *ra.Config) bool {
@@ -166,8 +196,13 @@ func (r *runner) dfsInstr(c *ra.Config) bool {
 	for p := 0; p < r.sys.NumProcs(); p++ {
 		succs := r.sys.Successors(c, p)
 		reverse(succs) // newest-first: SC-like executions come first
+		if len(succs) > 1 {
+			r.cBranchPoints.Inc()
+			r.cBranchChoices.Add(int64(len(succs)))
+		}
 		for _, succ := range succs {
 			r.result.Transitions++
+			r.cTransitions.Inc()
 			if succ.Violation {
 				r.found(succ.Event)
 				return true
@@ -182,7 +217,7 @@ func (r *runner) dfsInstr(c *ra.Config) bool {
 		}
 	}
 	if !progressed {
-		r.result.Executions++
+		r.execution()
 	}
 	return false
 }
@@ -221,8 +256,14 @@ func (r *runner) dfsMacro(c *ra.Config, last int, order scheduleOrder) bool {
 	}
 	progressed := false
 	for _, p := range order(r.sys.NumProcs(), last) {
-		for _, succ := range r.macroSuccs(c, p) {
+		succs := r.macroSuccs(c, p)
+		if len(succs) > 1 {
+			r.cBranchPoints.Inc()
+			r.cBranchChoices.Add(int64(len(succs)))
+		}
+		for _, succ := range succs {
 			r.result.Transitions++
+			r.cTransitions.Inc()
 			if succ.Violation {
 				r.found(succ.Event)
 				return true
@@ -238,7 +279,7 @@ func (r *runner) dfsMacro(c *ra.Config, last int, order scheduleOrder) bool {
 		}
 	}
 	if !progressed {
-		r.result.Executions++
+		r.execution()
 	}
 	return false
 }
@@ -320,6 +361,7 @@ func (r *runner) randomWalks() {
 		if r.stop() {
 			return
 		}
+		r.cWalks.Inc()
 		c := r.sys.Init()
 		r.path = r.path[:0]
 		for {
@@ -330,8 +372,13 @@ func (r *runner) randomWalks() {
 			if len(all) == 0 {
 				break
 			}
+			if len(all) > 1 {
+				r.cBranchPoints.Inc()
+				r.cBranchChoices.Add(int64(len(all)))
+			}
 			succ := all[rng.Intn(len(all))]
 			r.result.Transitions++
+			r.cTransitions.Inc()
 			if succ.Violation {
 				r.found(succ.Event)
 				return
@@ -339,7 +386,7 @@ func (r *runner) randomWalks() {
 			r.path = append(r.path, succ.Event)
 			c = succ.Config
 		}
-		r.result.Executions++
+		r.execution()
 	}
 	// Random walking is never exhaustive.
 	r.exhausted = false

@@ -16,6 +16,7 @@ import (
 	"ravbmc/internal/benchmarks"
 	"ravbmc/internal/core"
 	"ravbmc/internal/lang"
+	"ravbmc/internal/obs"
 	"ravbmc/internal/smc"
 )
 
@@ -27,6 +28,13 @@ type Config struct {
 	// Quick shrinks the thread-count sweeps so a full table regeneration
 	// fits in a benchmark run; the full sweeps match the paper's.
 	Quick bool
+	// Obs, when non-nil, is invoked before every tool invocation with
+	// the benchmark and tool name and returns the recorder to instrument
+	// that run with (nil to leave the run uninstrumented). The run's
+	// obs.Report is attached to its Cell, so table rows carry the engine
+	// counters; cmd/ratables uses the hook to drive its -progress
+	// printer.
+	Obs func(bench, tool string) *obs.Recorder
 }
 
 func (c Config) timeout() time.Duration {
@@ -41,6 +49,9 @@ type Cell struct {
 	Tool    string
 	Seconds float64
 	Verdict string // UNSAFE, SAFE, T.O, ERR
+	// Report carries the run's engine counters and phase timings when
+	// the Config.Obs hook supplied a recorder; nil otherwise.
+	Report *obs.Report
 }
 
 // Row is one benchmark line of a table.
@@ -78,9 +89,31 @@ func runAll(cfg Config, name string, k, l int) Row {
 	return row
 }
 
+// recorder consults the Obs hook for one tool invocation.
+func (c Config) recorder(bench, tool string) *obs.Recorder {
+	if c.Obs == nil {
+		return nil
+	}
+	return c.Obs(bench, tool)
+}
+
+// attach finalises cell with the run's report, identity and verdict.
+func attach(cell *Cell, rec *obs.Recorder, bench string, k, l int) {
+	if rec == nil {
+		return
+	}
+	rep := rec.Report()
+	rep.Tool = cell.Tool
+	rep.Bench = bench
+	rep.Verdict = cell.Verdict
+	rep.K, rep.L = k, l
+	cell.Report = rep
+}
+
 func runVBMC(cfg Config, prog *lang.Program, k, l int) Cell {
+	rec := cfg.recorder(prog.Name, "VBMC")
 	start := time.Now()
-	res, err := core.Run(prog, core.Options{K: k, Unroll: l, Timeout: cfg.timeout()})
+	res, err := core.Run(prog, core.Options{K: k, Unroll: l, Timeout: cfg.timeout(), Obs: rec})
 	cell := Cell{Tool: "VBMC", Seconds: time.Since(start).Seconds()}
 	switch {
 	case err != nil:
@@ -90,15 +123,17 @@ func runVBMC(cfg Config, prog *lang.Program, k, l int) Cell {
 	default:
 		cell.Verdict = res.Verdict.String()
 	}
+	attach(&cell, rec, prog.Name, k, l)
 	return cell
 }
 
 func runSMC(cfg Config, prog *lang.Program, alg smc.Algorithm, l int) Cell {
-	start := time.Now()
-	res, err := smc.Check(prog, smc.Options{Algorithm: alg, Unroll: l, Timeout: cfg.timeout()})
 	name := map[smc.Algorithm]string{
 		smc.AlgorithmTracer: "Tracer", smc.AlgorithmCDS: "Cdsc", smc.AlgorithmRCMC: "Rcmc",
 	}[alg]
+	rec := cfg.recorder(prog.Name, name)
+	start := time.Now()
+	res, err := smc.Check(prog, smc.Options{Algorithm: alg, Unroll: l, Timeout: cfg.timeout(), Obs: rec})
 	cell := Cell{Tool: name, Seconds: time.Since(start).Seconds()}
 	switch {
 	case err != nil:
@@ -112,6 +147,7 @@ func runSMC(cfg Config, prog *lang.Program, alg smc.Algorithm, l int) Cell {
 	default:
 		cell.Verdict = "T.O" // capped without conclusion
 	}
+	attach(&cell, rec, prog.Name, 0, l)
 	return cell
 }
 

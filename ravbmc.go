@@ -37,6 +37,7 @@ import (
 	"ravbmc/internal/axiom"
 	"ravbmc/internal/core"
 	"ravbmc/internal/lang"
+	"ravbmc/internal/obs"
 	"ravbmc/internal/parser"
 	"ravbmc/internal/ra"
 	"ravbmc/internal/robust"
@@ -59,13 +60,35 @@ type (
 // VBMC pipeline types.
 type (
 	// VBMCOptions configures a VBMC run: the view bound K, the loop
-	// unrolling bound, and optional backend limits.
+	// unrolling bound, optional backend limits, and an optional
+	// observability recorder.
 	VBMCOptions = core.Options
-	// VBMCResult carries the verdict, witness trace and statistics.
+	// VBMCResult carries the verdict, witness trace and statistics; when
+	// the run was instrumented it also carries a Report.
 	VBMCResult = core.Result
 	// Verdict is SAFE, UNSAFE or INCONCLUSIVE.
 	Verdict = core.Verdict
 )
+
+// Observability types (internal/obs). Pass a Recorder via
+// VBMCOptions.Obs (or the engine Options' Obs fields) to collect phase
+// timings and search counters; read them back as a Report or live via
+// Snapshot.
+type (
+	// Recorder collects counters, gauges and phase timings for one run.
+	Recorder = obs.Recorder
+	// Report is the structured, JSON-marshalable run summary.
+	Report = obs.Report
+	// ObsSnapshot is a point-in-time view of a live run.
+	ObsSnapshot = obs.Snapshot
+	// ObsSink observes phase events as they happen.
+	ObsSink = obs.Sink
+)
+
+// NewRecorder returns an empty observability recorder. A nil *Recorder
+// is the disabled default: every instrument call on it is a no-op
+// nil-check, so engines can be left permanently instrumented.
+func NewRecorder() *Recorder { return obs.New() }
 
 // Verdicts.
 const (

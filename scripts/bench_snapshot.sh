@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# bench_snapshot.sh — record a VBMC performance trajectory point.
+#
+# Runs `vbmc -json` over the paper's Table 1 benchmarks (the unfenced
+# mutual-exclusion protocols, K=2, L=2) and writes the run reports as a
+# JSON array to BENCH_vbmc.json at the repo root. Each report carries
+# the verdict, per-phase wall times and all engine counters, so future
+# PRs can diff states/sec, dedup hit rate and probe behaviour against
+# this snapshot.
+#
+# Usage:
+#   scripts/bench_snapshot.sh            # 60s per-run budget
+#   VBMC_TIMEOUT=10s scripts/bench_snapshot.sh
+#   VBMC_OUT=/tmp/b.json scripts/bench_snapshot.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${VBMC_OUT:-BENCH_vbmc.json}"
+timeout="${VBMC_TIMEOUT:-60s}"
+benches=(bakery burns dekker lamport peterson_0 'peterson_0(3)' sim_dekker szymanski_0)
+
+go build -o /tmp/vbmc-bench ./cmd/vbmc
+
+{
+  echo '['
+  first=1
+  for b in "${benches[@]}"; do
+    [ "$first" -eq 1 ] || echo ','
+    first=0
+    # vbmc exits 1 for UNSAFE / 2 for INCONCLUSIVE; both still emit a
+    # report, so don't let set -e kill the sweep.
+    /tmp/vbmc-bench -json -k 2 -l 2 -timeout "$timeout" -bench "$b" || true
+  done
+  echo ']'
+} >"$out"
+
+echo "wrote $out ($(grep -c '"tool"' "$out") reports)" >&2
