@@ -7,6 +7,11 @@
 //
 //	raexplore -file prog.ra -mode exhaustive [-view-bound 2]
 //	raexplore -bench peterson_0 -mode tracer -l 2 -timeout 30s
+//	raexplore -bench peterson_0 -mode exhaustive -json
+//	raexplore -bench peterson_0 -trace-out w.jsonl -trace-format jsonl
+//
+// The traces raexplore exports are RA-level already (no translation is
+// involved); -trace-out additionally captures per-event view snapshots.
 package main
 
 import (
@@ -17,18 +22,23 @@ import (
 
 	"ravbmc"
 	"ravbmc/internal/benchmarks"
+	"ravbmc/internal/obs"
+	"ravbmc/internal/trace"
 )
 
 func main() {
 	var (
-		file    = flag.String("file", "", "program source file")
-		bench   = flag.String("bench", "", "built-in benchmark name")
-		mode    = flag.String("mode", "exhaustive", "exhaustive | tracer | cdsc | rcmc | random | robust")
-		vb      = flag.Int("view-bound", -1, "view-switch bound for exhaustive mode (-1 = unbounded)")
-		l       = flag.Int("l", 2, "loop unrolling bound")
-		timeout = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
-		showTr  = flag.Bool("trace", false, "print the counterexample trace")
-		walks   = flag.Int("walks", 1000, "random mode: number of walks")
+		file     = flag.String("file", "", "program source file")
+		bench    = flag.String("bench", "", "built-in benchmark name")
+		mode     = flag.String("mode", "exhaustive", "exhaustive | tracer | cdsc | rcmc | random | robust")
+		vb       = flag.Int("view-bound", -1, "view-switch bound for exhaustive mode (-1 = unbounded)")
+		l        = flag.Int("l", 2, "loop unrolling bound")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
+		showTr   = flag.Bool("trace", false, "print the counterexample trace")
+		walks    = flag.Int("walks", 1000, "random mode: number of walks")
+		jsonOut  = flag.Bool("json", false, "emit a JSON run report on stdout instead of the summary line")
+		traceOut = flag.String("trace-out", "", "write the counterexample trace to this file")
+		traceFmt = flag.String("trace-format", "jsonl", "trace export format: jsonl | chrome | text")
 	)
 	flag.Parse()
 
@@ -36,26 +46,50 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	format, err := trace.ParseFormat(*traceFmt)
+	if err != nil {
+		fail(err)
+	}
+	rec := obs.New()
 
 	if *mode == "robust" {
 		res, err := ravbmc.CheckRobustness(prog, *l)
 		if err != nil {
 			fail(err)
 		}
-		if res.Robust {
+		verdict := "ROBUST"
+		if !res.Robust {
+			verdict = "NOT ROBUST"
+		}
+		if *jsonOut {
+			emitJSON(rec, *mode, prog.Name, verdict, *l)
+		} else if res.Robust {
 			fmt.Printf("%s: ROBUST (%d outcomes under RA and SC)\n", prog.Name, res.SCOutcomes)
-			return
+		} else {
+			fmt.Printf("%s: NOT ROBUST (%d RA vs %d SC outcomes)\n", prog.Name, res.RAOutcomes, res.SCOutcomes)
+			for _, o := range res.WeakOutcomes {
+				fmt.Println("  weak:", o)
+			}
 		}
-		fmt.Printf("%s: NOT ROBUST (%d RA vs %d SC outcomes)\n", prog.Name, res.RAOutcomes, res.SCOutcomes)
-		for _, o := range res.WeakOutcomes {
-			fmt.Println("  weak:", o)
+		if !res.Robust {
+			os.Exit(1)
 		}
-		os.Exit(1)
+		return
 	}
 
+	// View snapshots cost an allocation per successor, so capture them
+	// only when the trace is exported.
+	capture := *traceOut != ""
+
+	var violation, exhausted, timedOut bool
+	var states int
+	var transitions int64
+	var tr *trace.Trace
 	if *mode == "exhaustive" {
 		src := ravbmc.Unroll(prog, *l)
-		opts := ravbmc.ExploreOptions{ViewBound: *vb, StopOnViolation: true}
+		opts := ravbmc.ExploreOptions{
+			ViewBound: *vb, StopOnViolation: true, Obs: rec, CaptureViews: capture,
+		}
 		if *timeout > 0 {
 			opts.Deadline = time.Now().Add(*timeout)
 		}
@@ -63,35 +97,29 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		report(prog.Name, res.Violation, res.Exhausted, res.TimedOut, res.States, int64(res.Transitions))
-		if res.Violation && *showTr && res.Trace != nil {
-			fmt.Print(res.Trace)
+		violation, exhausted, timedOut = res.Violation, res.Exhausted, res.TimedOut
+		states, transitions, tr = res.States, int64(res.Transitions), res.Trace
+	} else {
+		alg, ok := map[string]ravbmc.SMCAlgorithm{
+			"tracer": ravbmc.AlgorithmTracer,
+			"cdsc":   ravbmc.AlgorithmCDS,
+			"rcmc":   ravbmc.AlgorithmRCMC,
+			"random": ravbmc.AlgorithmRandom,
+		}[*mode]
+		if !ok {
+			fail(fmt.Errorf("unknown mode %q", *mode))
 		}
-		return
+		res, err := ravbmc.SMC(prog, ravbmc.SMCOptions{
+			Algorithm: alg, Unroll: *l, Timeout: *timeout, Walks: *walks,
+			Obs: rec, CaptureViews: capture,
+		})
+		if err != nil {
+			fail(err)
+		}
+		violation, exhausted, timedOut = res.Violation, res.Exhausted, res.TimedOut
+		states, transitions, tr = res.Executions, res.Transitions, res.Trace
 	}
 
-	alg, ok := map[string]ravbmc.SMCAlgorithm{
-		"tracer": ravbmc.AlgorithmTracer,
-		"cdsc":   ravbmc.AlgorithmCDS,
-		"rcmc":   ravbmc.AlgorithmRCMC,
-		"random": ravbmc.AlgorithmRandom,
-	}[*mode]
-	if !ok {
-		fail(fmt.Errorf("unknown mode %q", *mode))
-	}
-	res, err := ravbmc.SMC(prog, ravbmc.SMCOptions{
-		Algorithm: alg, Unroll: *l, Timeout: *timeout, Walks: *walks,
-	})
-	if err != nil {
-		fail(err)
-	}
-	report(prog.Name, res.Violation, res.Exhausted, res.TimedOut, res.Executions, res.Transitions)
-	if res.Violation && *showTr && res.Trace != nil {
-		fmt.Print(res.Trace)
-	}
-}
-
-func report(name string, violation, exhausted, timedOut bool, states int, transitions int64) {
 	verdict := "SAFE"
 	switch {
 	case violation:
@@ -101,10 +129,36 @@ func report(name string, violation, exhausted, timedOut bool, states int, transi
 	case !exhausted:
 		verdict = "INCONCLUSIVE"
 	}
-	fmt.Printf("%s: %s (%d states/executions, %d transitions)\n", name, verdict, states, transitions)
+	if *jsonOut {
+		emitJSON(rec, *mode, prog.Name, verdict, *l)
+	} else {
+		fmt.Printf("%s: %s (%d states/executions, %d transitions)\n", prog.Name, verdict, states, transitions)
+	}
+	if violation && tr != nil {
+		if *showTr {
+			fmt.Print(tr)
+		}
+		if *traceOut != "" {
+			meta := trace.Meta{Program: prog.Name, Engine: "ra"}
+			if err := tr.WriteFile(*traceOut, format, meta); err != nil {
+				fail(err)
+			}
+		}
+	}
 	if violation {
 		os.Exit(1)
 	}
+}
+
+// emitJSON prints the structured run report, identified like the vbmc
+// one so BENCH sweeps can mix tools.
+func emitJSON(rec *obs.Recorder, mode, bench, verdict string, l int) {
+	rep := rec.Report()
+	rep.Tool = "raexplore:" + mode
+	rep.Bench = bench
+	rep.Verdict = verdict
+	rep.L = l
+	os.Stdout.Write(append(rep.JSON(), '\n'))
 }
 
 func load(file, bench string) (*ravbmc.Program, error) {

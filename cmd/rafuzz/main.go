@@ -7,7 +7,12 @@
 //
 // Usage:
 //
-//	rafuzz -n 500 -seed 7 -procs 2 -ops 3 [-k 5] [-v]
+//	rafuzz -n 500 -seed 7 -procs 2 -ops 3 [-k 5] [-v] [-json]
+//
+// Every UNSAFE verdict VBMC produces during the fuzz run carries a
+// lifted source-level witness; rafuzz re-validates each one via RA
+// replay and counts a failed validation as a mismatch, so the witness
+// pipeline is fuzzed alongside the verdicts.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"ravbmc"
 	"ravbmc/internal/axiom"
 	"ravbmc/internal/lang"
+	"ravbmc/internal/obs"
 	"ravbmc/internal/ra"
 )
 
@@ -30,36 +36,53 @@ func main() {
 		nops    = flag.Int("ops", 3, "operations per process (1..4)")
 		k       = flag.Int("k", 5, "VBMC view bound")
 		verbose = flag.Bool("v", false, "log every program")
+		jsonOut = flag.Bool("json", false, "emit a JSON run report on stdout instead of the summary line")
 	)
 	flag.Parse()
 	rng := rand.New(rand.NewSource(*seed))
+	rec := obs.New()
 	mismatches := 0
 	for i := 0; i < *n; i++ {
 		prog := randomProgram(rng, *nprocs, *nops)
 		if *verbose {
 			fmt.Printf("=== program %d ===\n%s", i, prog)
 		}
-		if ok, why := agree(prog, *k); !ok {
+		rec.Counter("rafuzz.programs").Inc()
+		if ok, why := agree(prog, *k, rec); !ok {
 			mismatches++
+			rec.Counter("rafuzz.mismatches").Inc()
 			// Present a 1-minimal witness of the disagreement.
 			small := lang.Shrink(prog, func(q *lang.Program) bool {
-				bad, _ := agree(q, *k)
+				bad, _ := agree(q, *k, nil)
 				return !bad
 			})
 			fmt.Printf("MISMATCH on program %d (%s); minimal witness:\n%s\n", i, why, small)
 		}
 	}
+	if *jsonOut {
+		rep := rec.Report()
+		rep.Tool = "rafuzz"
+		rep.Verdict = "AGREE"
+		if mismatches > 0 {
+			rep.Verdict = "MISMATCH"
+		}
+		os.Stdout.Write(append(rep.JSON(), '\n'))
+	} else if mismatches == 0 {
+		fmt.Printf("all %d programs agree across the oracles\n", *n)
+	}
 	if mismatches > 0 {
-		fmt.Printf("%d mismatches out of %d programs\n", mismatches, *n)
+		if !*jsonOut {
+			fmt.Printf("%d mismatches out of %d programs\n", mismatches, *n)
+		}
 		os.Exit(1)
 	}
-	fmt.Printf("all %d programs agree across the oracles\n", *n)
 }
 
 // agree cross-checks operational vs axiomatic outcome sets, and the
-// VBMC verdict of a derived assertion against the operational oracle.
+// VBMC verdict of a derived assertion against the operational oracle;
+// UNSAFE verdicts must additionally carry a replay-validated witness.
 // It returns false with a reason on disagreement.
-func agree(prog *lang.Program, k int) (bool, string) {
+func agree(prog *lang.Program, k int, rec *obs.Recorder) (bool, string) {
 	cp := lang.MustCompile(prog)
 
 	// Outcome comparison (assert-free semantics: the generator emits no
@@ -108,6 +131,13 @@ func agree(prog *lang.Program, k int) (bool, string) {
 		raRes := raSys2(probe, k)
 		if (vb.Verdict == ravbmc.Unsafe) != raRes {
 			return false, fmt.Sprintf("VBMC=%v but RA explorer unsafe=%v at K=%d", vb.Verdict, raRes, k)
+		}
+		if vb.Verdict == ravbmc.Unsafe {
+			rec.Counter("rafuzz.vbmc_unsafe").Inc()
+			if !vb.WitnessValidated {
+				return false, "witness validation failed: " + vb.WitnessErr
+			}
+			rec.Counter("rafuzz.witnesses_validated").Inc()
 		}
 		break
 	}

@@ -8,8 +8,16 @@
 //	vbmc -k 2 -l 2 -file prog.ra [-trace] [-contexts N] [-timeout 60s]
 //	vbmc -k 2 -l 2 -bench peterson_0(3)
 //	vbmc -k 2 -l 2 -bench peterson_0(3) -json          # machine-readable run report
+//	vbmc -k 2 -l 2 -bench dekker -trace-out w.jsonl    # export the validated witness
+//	vbmc -k 2 -l 2 -bench dekker -trace-out w.json -trace-format chrome
 //	vbmc -k 2 -l 2 -bench peterson_0(3) -progress      # live snapshots on stderr
 //	vbmc -k 2 -l 2 -bench peterson_0(3) -cpuprofile cpu.pprof
+//
+// On UNSAFE the witness is the source-level RA trace: the backend's
+// counterexample on the translated program, lifted back to the source
+// statements and re-executed (validated) under the RA operational
+// semantics. -trace prints it, -trace-out exports it (jsonl, chrome
+// trace-event, or text; see docs/WITNESS.md).
 //
 // Exit codes:
 //
@@ -32,6 +40,7 @@ import (
 	"ravbmc/internal/benchmarks"
 	"ravbmc/internal/core"
 	"ravbmc/internal/obs"
+	"ravbmc/internal/trace"
 )
 
 func main() { os.Exit(run()) }
@@ -44,8 +53,10 @@ func run() int {
 		l          = flag.Int("l", 2, "loop unrolling bound L")
 		file       = flag.String("file", "", "program source file")
 		bench      = flag.String("bench", "", "built-in benchmark name, e.g. peterson_1(4)")
-		showTr     = flag.Bool("trace", false, "print the full counterexample trace")
+		showTr     = flag.Bool("trace", false, "print the counterexample witness trace")
 		summary    = flag.Bool("summary", false, "print the RA-level summary of the counterexample")
+		traceOut   = flag.String("trace-out", "", "write the witness trace to this file")
+		traceFmt   = flag.String("trace-format", "jsonl", "witness export format: jsonl | chrome | text")
 		contexts   = flag.Int("contexts", 0, "SC context bound (0 = K+n, negative = unbounded)")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
 		emit       = flag.Bool("emit", false, "print the translated SC program instead of checking")
@@ -140,18 +151,49 @@ func run() int {
 		}
 		rep.Tool = "vbmc"
 		rep.Bench = prog.Name
+		if *traceOut != "" {
+			rep.Config = map[string]string{"trace": "enabled", "trace_format": *traceFmt}
+		}
 		os.Stdout.Write(append(rep.JSON(), '\n'))
 	} else {
 		fmt.Printf("%s: %s (K=%d, L=%d, contexts<=%d, %d states, %d transitions, %.3fs)\n",
 			prog.Name, res.Verdict, *k, *l, res.ContextBound, res.States, res.Transitions,
 			time.Since(start).Seconds())
 	}
-	if res.Verdict == ravbmc.Unsafe && res.Trace != nil {
-		if *summary {
+	if res.Verdict == ravbmc.Unsafe {
+		// Every violation's witness is lifted to a source-level RA trace
+		// and replay-validated; a failure here means the lifted trace did
+		// not re-execute to the violation and the raw SC trace is all we
+		// can offer.
+		if !res.WitnessValidated {
+			fmt.Fprintf(os.Stderr, "vbmc: witness validation failed: %s\n", res.WitnessErr)
+		}
+		witness := res.Witness
+		if witness == nil {
+			witness = res.Trace
+		}
+		if res.Trace != nil && *summary {
 			fmt.Print(core.SummarizeTrace(res.Trace))
 		}
-		if *showTr {
-			fmt.Print(res.Trace)
+		if *showTr && witness != nil {
+			fmt.Print(witness)
+		}
+		if *traceOut != "" && witness != nil {
+			format, err := trace.ParseFormat(*traceFmt)
+			if err != nil {
+				return fail(err)
+			}
+			validated := res.WitnessValidated
+			meta := trace.Meta{
+				Program: prog.Name, Engine: "replay", K: *k,
+				Validated: &validated,
+			}
+			if res.Witness == nil {
+				meta.Engine = "sc"
+			}
+			if err := witness.WriteFile(*traceOut, format, meta); err != nil {
+				return fail(err)
+			}
 		}
 	}
 	switch res.Verdict {

@@ -81,6 +81,6 @@ func printHead(res ravbmc.VBMCResult, n int) {
 			fmt.Printf("     ... (%d more events)\n", len(events)-n)
 			return
 		}
-		fmt.Printf("     %-4s %-9s %s\n", e.Proc, e.Kind, e.Detail)
+		fmt.Printf("     %-4s %-9s %s\n", e.Proc, e.Kind, e.Text())
 	}
 }

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ravbmc/internal/lang"
+	"ravbmc/internal/replay"
+	"ravbmc/internal/trace"
+)
+
+// Lift maps an SC trace of [[src]]_K back to the source program: a
+// sequence of source-level witness actions, one per executed visible
+// source statement, carrying the choices the translated program made
+// (view-altering or not, which published message was read, which
+// time-stamp a tracked write claimed, which message-store slot a
+// publish filled). src must be the program that was translated — after
+// unrolling and lang.EnsureLabels — so that every event label resolves
+// to a source statement.
+//
+// The lifting walks the trace once. Every translated statement is one
+// atomic block whose events all carry the source statement's label
+// (blocks are named after their statement and inner instructions
+// inherit the block label), and every block opens with a "_ch" or "_ns"
+// scratch nondet, so block boundaries are recognisable even when
+// unrolled loop iterations duplicate a label. Scratch events inside a
+// block are folded into the block's action; source-level nondets and
+// the violation pass through as actions of their own.
+func Lift(src *lang.Program, t *trace.Trace) ([]replay.Action, error) {
+	if t == nil || len(t.Events) == 0 {
+		return nil, fmt.Errorf("lift: empty trace")
+	}
+	idx := liftIndex(src)
+	scratch := map[string]bool{}
+	for _, r := range tempRegs {
+		scratch[r] = true
+	}
+	var acts []replay.Action
+	var open *liftBlock
+	closeBlock := func() error {
+		if open == nil {
+			return nil
+		}
+		a, err := open.action()
+		if err != nil {
+			return err
+		}
+		acts = append(acts, a)
+		open = nil
+		return nil
+	}
+	newBlock := func(e *trace.Event) error {
+		info, ok := idx[e.Proc][e.Label]
+		if !ok {
+			return fmt.Errorf("lift: event label %q of process %s names no source statement", e.Label, e.Proc)
+		}
+		open = &liftBlock{proc: e.Proc, label: e.Label, info: info, ch: -1, mn: -1, stamp: -1, pub: -1}
+		return nil
+	}
+
+	for i := range t.Events {
+		e := &t.Events[i]
+		switch {
+		case e.Kind == trace.KindViolation:
+			if err := closeBlock(); err != nil {
+				return nil, err
+			}
+			acts = append(acts, replay.Action{Kind: replay.ActViolation, Proc: e.Proc, Label: e.Label})
+
+		case e.Kind == trace.KindLocal && e.Choice && scratch[e.Reg]:
+			switch e.Reg {
+			case "_ch":
+				if err := closeBlock(); err != nil {
+					return nil, err
+				}
+				if err := newBlock(e); err != nil {
+					return nil, err
+				}
+				open.ch = int(e.Val)
+			case "_ns":
+				// Inside a full-translation write block the stamp guess
+				// follows the tracked-branch choice; otherwise (probe
+				// variants force-track every write) it opens the block.
+				if open != nil && open.proc == e.Proc && open.label == e.Label &&
+					open.info.kind == replay.ActWrite && open.ch == 1 && !open.nsSeen {
+					open.nsSeen = true
+					break
+				}
+				if err := closeBlock(); err != nil {
+					return nil, err
+				}
+				if err := newBlock(e); err != nil {
+					return nil, err
+				}
+				open.nsSeen = true
+			case "_mn":
+				if open == nil || open.proc != e.Proc {
+					return nil, fmt.Errorf("lift: stray _mn guess at %s/%s", e.Proc, e.Label)
+				}
+				open.mn = int(e.Val)
+			default:
+				// _pub and the remaining scratch guesses carry no
+				// information the block events below do not repeat.
+			}
+
+		case e.Kind == trace.KindLocal && e.Choice:
+			// A source-level nondet: its register is not scratch.
+			if err := closeBlock(); err != nil {
+				return nil, err
+			}
+			acts = append(acts, replay.Action{
+				Kind: replay.ActNondet, Proc: e.Proc, Label: e.Label,
+				Reg: e.Reg, Val: lang.Value(e.Val),
+			})
+
+		case strings.HasPrefix(e.Var, "_"):
+			if open == nil || open.proc != e.Proc || open.label != e.Label {
+				return nil, fmt.Errorf("lift: instrumentation event %s %s outside its block at %s/%s",
+					e.Kind, e.Var, e.Proc, e.Label)
+			}
+			switch {
+			case e.Kind == trace.KindWrite && e.HasIdx && strings.HasPrefix(e.Var, "_avail_"):
+				open.stamp = e.Idx
+			case e.Kind == trace.KindWrite && e.HasIdx && e.Var == msVarArr:
+				open.pub = e.Idx
+			}
+
+		default:
+			return nil, fmt.Errorf("lift: unexpected event %s %s at %s/%s", e.Kind, e.Var, e.Proc, e.Label)
+		}
+	}
+	if err := closeBlock(); err != nil {
+		return nil, err
+	}
+	return acts, nil
+}
+
+// stmtInfo is the lifting-relevant shape of one source statement.
+type stmtInfo struct {
+	kind replay.ActionKind
+	v    string // shared variable (read/write/cas)
+	reg  string // destination register (read)
+}
+
+// liftBlock accumulates the scratch events of one translated block.
+type liftBlock struct {
+	proc, label string
+	info        stmtInfo
+	ch          int  // _ch guess, or -1 (probe blocks have none)
+	nsSeen      bool // a _ns stamp guess was consumed
+	mn          int  // designated message-store slot, or -1
+	stamp       int  // claimed time-stamp (_avail_x store index), or -1
+	pub         int  // published message-store slot (_ms_var store index), or -1
+}
+
+// action folds the block into a witness action.
+func (b *liftBlock) action() (replay.Action, error) {
+	a := replay.Action{
+		Kind: b.info.kind, Proc: b.proc, Label: b.label,
+		Var: b.info.v, Reg: b.info.reg,
+		ReadIdx: b.mn, Stamp: b.stamp, PublishIdx: b.pub,
+	}
+	switch b.info.kind {
+	case replay.ActRead, replay.ActCAS, replay.ActFence:
+		a.ViewAltering = b.ch == 1
+		if a.ViewAltering && b.mn < 0 {
+			return a, fmt.Errorf("lift: view-altering %s at %s/%s designates no message", b.info.kind, b.proc, b.label)
+		}
+		if b.info.kind != replay.ActRead && b.stamp < 0 {
+			return a, fmt.Errorf("lift: %s at %s/%s claims no time-stamp", b.info.kind, b.proc, b.label)
+		}
+	case replay.ActWrite:
+		a.Tracked = b.stamp >= 0
+	default:
+		return a, fmt.Errorf("lift: block at %s/%s lifted from non-visible statement %v", b.proc, b.label, b.info.kind)
+	}
+	return a, nil
+}
+
+// liftIndex maps (process, label) to the shape of the source statement,
+// for every statement a translated block can be named after. Unrolled
+// loop iterations duplicate labels; the copies are identical statements,
+// so overwriting is harmless.
+func liftIndex(src *lang.Program) map[string]map[string]stmtInfo {
+	out := map[string]map[string]stmtInfo{}
+	for _, pr := range src.Procs {
+		m := map[string]stmtInfo{}
+		var rec func(body []lang.Stmt)
+		rec = func(body []lang.Stmt) {
+			for _, s := range body {
+				switch t := s.(type) {
+				case lang.Read:
+					m[t.Lbl] = stmtInfo{kind: replay.ActRead, v: t.Var, reg: t.Reg}
+				case lang.Write:
+					m[t.Lbl] = stmtInfo{kind: replay.ActWrite, v: t.Var}
+				case lang.CAS:
+					m[t.Lbl] = stmtInfo{kind: replay.ActCAS, v: t.Var}
+				case lang.Fence:
+					m[t.Lbl] = stmtInfo{kind: replay.ActFence}
+				case lang.If:
+					rec(t.Then)
+					rec(t.Else)
+				case lang.While:
+					rec(t.Body)
+				}
+			}
+		}
+		rec(pr.Body)
+		out[pr.Name] = m
+	}
+	return out
+}

@@ -24,17 +24,17 @@ func SummarizeTrace(t *trace.Trace) *trace.Trace {
 		switch {
 		case e.Kind == trace.KindViolation:
 			out.Append(e)
-		case e.Kind == trace.KindWrite && strings.Contains(e.Detail, "_ms_"):
+		case e.Kind == trace.KindWrite && strings.HasPrefix(e.Var, "_ms_"):
 			out.Append(e)
-		case e.Kind == trace.KindWrite && strings.Contains(e.Detail, "_messages_used"):
+		case e.Kind == trace.KindWrite && e.Var == msgsUsedVar:
 			out.Append(e)
-		case e.Kind == trace.KindWrite && strings.Contains(e.Detail, "_s_RA"):
+		case e.Kind == trace.KindWrite && e.Var == sRAVar:
 			ev := e
 			ev.ViewSwitch = true
 			out.Append(ev)
 		case e.Kind == trace.KindAssertOK:
 			out.Append(e)
-		case e.Kind == trace.KindRead && strings.Contains(e.Detail, "_ms_v_"):
+		case e.Kind == trace.KindRead && strings.HasPrefix(e.Var, "_ms_v_"):
 			out.Append(e)
 		}
 	}

@@ -386,8 +386,10 @@ func (tr *translator) writeBody(x string, val lang.Expr) []lang.Stmt {
 	}
 	if tr.stamps[x] == 0 {
 		// No tracked stamps exist (K == 0 and no RMW on x): only the
-		// untracked branch is feasible.
-		return untracked
+		// untracked branch is feasible. The degenerate nondet is the
+		// block's only visible operation (assignments emit no events) and
+		// exists solely so witness lifting sees the write happen.
+		return append([]lang.Stmt{lang.NondetS("_ch", 0, 0)}, untracked...)
 	}
 	if tr.opts.forceTracked {
 		return tracked

@@ -6,6 +6,7 @@ import (
 
 	"ravbmc/internal/lang"
 	"ravbmc/internal/obs"
+	"ravbmc/internal/replay"
 	"ravbmc/internal/sc"
 	"ravbmc/internal/trace"
 )
@@ -84,6 +85,18 @@ type Result struct {
 	// ContextBound is the bound the backend actually used (0 =
 	// unbounded).
 	ContextBound int
+	// Witness is the source-level RA witness: the backend's trace of
+	// [[prog]]_K lifted back to the source program and re-executed under
+	// the RA operational semantics. Nil unless the verdict is Unsafe and
+	// the replay validation succeeded.
+	Witness *trace.Trace
+	// WitnessValidated reports whether the lifted witness replayed
+	// successfully against internal/ra, reaching the claimed violation.
+	// Always false for Safe/Inconclusive verdicts.
+	WitnessValidated bool
+	// WitnessErr carries the lift or replay failure when an Unsafe
+	// verdict's witness could not be validated.
+	WitnessErr string
 	// TimedOut is true when the Timeout cut the backend search short
 	// (the verdict is then Inconclusive).
 	TimedOut bool
@@ -125,6 +138,10 @@ func Run(prog *lang.Program, opts Options) (Result, error) {
 		src = lang.Unroll(prog, opts.Unroll)
 		span.End()
 	}
+	// Label every statement so the translated blocks are named after
+	// their source statements; witness lifting resolves event labels back
+	// through exactly these names.
+	src = lang.EnsureLabels(src)
 	bound := opts.MaxContexts
 	if bound == 0 {
 		bound = opts.K + len(prog.Procs)
@@ -137,13 +154,38 @@ func Run(prog *lang.Program, opts Options) (Result, error) {
 		deadline = time.Now().Add(opts.Timeout)
 	}
 	out := Result{ContextBound: bound}
-	// finish stamps the observability report onto a successful result.
+	// finish validates the witness of an Unsafe result and stamps the
+	// observability report onto it. Lifting maps the backend's trace of
+	// [[src]]_K to source-level actions; replay re-executes them under
+	// the RA operational semantics and must reach the claimed violation.
 	finish := func(out Result) Result {
+		if out.Verdict == Unsafe && out.Trace != nil {
+			span := rec.StartPhase("lift")
+			acts, lerr := Lift(src, out.Trace)
+			span.End()
+			if lerr != nil {
+				out.WitnessErr = lerr.Error()
+			} else {
+				span = rec.StartPhase("replay")
+				w, rerr := replay.Run(src, acts, replay.Options{Obs: rec})
+				span.End()
+				if rerr != nil {
+					out.WitnessErr = rerr.Error()
+				} else {
+					out.Witness = w
+					out.WitnessValidated = true
+				}
+			}
+		}
 		if rec != nil {
 			rep := rec.Report()
 			rep.Verdict = out.Verdict.String()
 			rep.K = opts.K
 			rep.L = opts.Unroll
+			if out.Verdict == Unsafe {
+				v := out.WitnessValidated
+				rep.WitnessValidated = &v
+			}
 			out.Report = rep
 		}
 		return out

@@ -146,9 +146,17 @@ func MustCompile(p *Program) *CompiledProgram {
 type compiler struct {
 	proc string
 	code []Instr
+	// atomic is the label of the innermost enclosing atomic section:
+	// unlabelled instructions inside it inherit the section's label, so
+	// every event of a translated block carries the block's (source)
+	// label and witness lifting can attribute it.
+	atomic string
 }
 
 func (c *compiler) emit(in Instr) int {
+	if in.Label == "" {
+		in.Label = c.atomic
+	}
 	in.Next = len(c.code) + 1 // default fallthrough; patched for jumps
 	c.code = append(c.code, in)
 	return len(c.code) - 1
@@ -205,7 +213,12 @@ func (c *compiler) stmt(s Stmt) {
 		c.emit(Instr{Op: OpStoreArrEl, Label: t.Lbl, Var: t.Arr, Index: t.Index, Val: t.Val})
 	case Atomic:
 		c.emit(Instr{Op: OpAtomicBegin, Label: t.Lbl})
+		outer := c.atomic
+		if t.Lbl != "" {
+			c.atomic = t.Lbl
+		}
 		c.stmts(t.Body)
+		c.atomic = outer
 		c.emit(Instr{Op: OpAtomicEnd})
 	default:
 		panic(fmt.Sprintf("lang: compile: unknown statement %T in process %s", s, c.proc))

@@ -1,0 +1,70 @@
+package lang
+
+import "fmt"
+
+// EnsureLabels returns a copy of p in which every statement carries a
+// non-empty label, generating "<proc>.<n>" names for unlabelled ones
+// (skipping names the process already uses). Witness lifting needs
+// this: the translation names each emitted block after its source
+// statement's label, so labelling the source before translating makes
+// every event of the translated program attributable to a unique source
+// statement.
+func EnsureLabels(p *Program) *Program {
+	q := p.Clone()
+	for _, pr := range q.Procs {
+		used := map[string]bool{}
+		walkLabels(pr.Body, func(lbl string) {
+			if lbl != "" {
+				used[lbl] = true
+			}
+		})
+		n := 0
+		fresh := func() string {
+			for {
+				lbl := fmt.Sprintf("%s.%d", pr.Name, n)
+				n++
+				if !used[lbl] {
+					used[lbl] = true
+					return lbl
+				}
+			}
+		}
+		ensureLabels(pr.Body, fresh)
+	}
+	return q
+}
+
+func walkLabels(body []Stmt, f func(string)) {
+	for _, s := range body {
+		f(s.StmtLabel())
+		switch t := s.(type) {
+		case If:
+			walkLabels(t.Then, f)
+			walkLabels(t.Else, f)
+		case While:
+			walkLabels(t.Body, f)
+		case Atomic:
+			walkLabels(t.Body, f)
+		}
+	}
+}
+
+// ensureLabels labels the statements of body in place (the slice is
+// owned by the clone).
+func ensureLabels(body []Stmt, fresh func() string) {
+	for i, s := range body {
+		if s.StmtLabel() == "" {
+			s = LabelS(fresh(), s)
+			body[i] = s
+		}
+		switch t := s.(type) {
+		case If:
+			ensureLabels(t.Then, fresh)
+			ensureLabels(t.Else, fresh)
+		case While:
+			ensureLabels(t.Body, fresh)
+		case Atomic:
+			ensureLabels(t.Body, fresh)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package lang
+
+import "testing"
+
+// TestEnsureLabelsCoversEveryStatement: after EnsureLabels every
+// statement — including those nested in if/while bodies — has a
+// non-empty label, pre-existing labels survive untouched, and the
+// original program is not mutated.
+func TestEnsureLabelsCoversEveryStatement(t *testing.T) {
+	p := NewProgram("t", "x", "y")
+	pr := p.AddProc("p0", "a")
+	pr.Add(
+		WriteC("x", 1),
+		LabelS("mine", ReadS("a", "y")),
+		IfS(Eq(R("a"), C(1)),
+			WriteC("y", 2),
+		),
+		WhileS(Lt(R("a"), C(3)),
+			ReadS("a", "x"),
+		),
+	)
+
+	q := EnsureLabels(p)
+
+	var empty, mine int
+	seen := map[string]int{}
+	walkLabels(q.Procs[0].Body, func(lbl string) {
+		if lbl == "" {
+			empty++
+		}
+		if lbl == "mine" {
+			mine++
+		}
+		seen[lbl]++
+	})
+	if empty != 0 {
+		t.Errorf("%d statements left unlabelled", empty)
+	}
+	if mine != 1 {
+		t.Errorf("pre-existing label occurs %d times, want 1", mine)
+	}
+	for lbl, n := range seen {
+		if n > 1 {
+			t.Errorf("label %q assigned %d times", lbl, n)
+		}
+	}
+
+	origEmpty := 0
+	walkLabels(p.Procs[0].Body, func(lbl string) {
+		if lbl == "" {
+			origEmpty++
+		}
+	})
+	if origEmpty == 0 {
+		t.Error("EnsureLabels mutated its input")
+	}
+}
+
+// TestEnsureLabelsSkipsCollisions: generated names never collide with
+// labels the process already uses.
+func TestEnsureLabelsSkipsCollisions(t *testing.T) {
+	p := NewProgram("t", "x")
+	pr := p.AddProc("p0")
+	pr.Add(
+		LabelS("p0.0", WriteC("x", 1)),
+		WriteC("x", 2),
+	)
+	q := EnsureLabels(p)
+	var labels []string
+	walkLabels(q.Procs[0].Body, func(lbl string) { labels = append(labels, lbl) })
+	if labels[0] != "p0.0" {
+		t.Errorf("explicit label rewritten to %q", labels[0])
+	}
+	if labels[1] == "p0.0" || labels[1] == "" {
+		t.Errorf("generated label %q collides or is empty", labels[1])
+	}
+}
+
+// TestCompileAtomicLabelInheritance: instructions compiled from a
+// labelled atomic block inherit the block's label unless they carry
+// their own — the property witness lifting relies on to attribute every
+// instrumentation event of a translated block to its source statement.
+func TestCompileAtomicLabelInheritance(t *testing.T) {
+	p := NewProgram("t", "x")
+	pr := p.AddProc("p0", "r")
+	pr.Add(
+		LabelS("blk", Atomic{Body: []Stmt{
+			NondetS("r", 0, 1),
+			WriteS("x", R("r")),
+		}}),
+		WriteC("x", 9),
+	)
+	cp := MustCompile(p)
+
+	var blk, other int
+	for _, in := range cp.Procs[0].Code {
+		switch in.Label {
+		case "blk":
+			blk++
+		case "":
+			t.Errorf("instruction %s has no label", in.Op)
+		default:
+			other++
+		}
+	}
+	// At least the nondet and the write inside the block inherit "blk";
+	// the trailing write outside the block must not.
+	if blk < 2 {
+		t.Errorf("%d instructions carry the block label, want >= 2", blk)
+	}
+	if other == 0 {
+		t.Error("no instruction outside the block kept its own label")
+	}
+}

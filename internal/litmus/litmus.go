@@ -44,6 +44,12 @@ func VBMC(t Test, k int) (bool, error) {
 	if res.Verdict == core.Inconclusive {
 		return false, fmt.Errorf("litmus %s: inconclusive at K=%d", t.Name, k)
 	}
+	// Every UNSAFE verdict must come with a replay-validated source-level
+	// witness; treating a validation failure as an error makes the whole
+	// litmus corpus double as a fuzz of the lift + replay pipeline.
+	if res.Verdict == core.Unsafe && !res.WitnessValidated {
+		return false, fmt.Errorf("litmus %s: witness validation failed at K=%d: %s", t.Name, k, res.WitnessErr)
+	}
 	return res.Verdict == core.Unsafe, nil
 }
 

@@ -31,6 +31,14 @@ type Report struct {
 	// K and L are the view-switch and unrolling bounds, when relevant.
 	K int `json:"k,omitempty"`
 	L int `json:"l,omitempty"`
+	// WitnessValidated reports whether the counterexample witness was
+	// lifted to a source-level RA trace and replayed successfully against
+	// the RA operational semantics; nil when no witness was produced
+	// (non-UNSAFE verdicts, or tools without replay validation).
+	WitnessValidated *bool `json:"witness_validated,omitempty"`
+	// Config carries free-form run configuration recorded by the caller
+	// (e.g. trace export mode in benchmark sweeps).
+	Config map[string]string `json:"config,omitempty"`
 	// Seconds is the wall time from recorder creation to Report().
 	Seconds float64 `json:"seconds"`
 	// Phases lists per-phase wall times in first-activation order.

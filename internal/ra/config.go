@@ -78,6 +78,10 @@ type System struct {
 	Vars     []string // includes the fence variable as the last entry if used
 	FenceVar int      // index of the distinguished fence variable, or -1
 	RegIdx   []map[string]int
+	// CaptureViews makes every emitted event carry the acting process's
+	// view before and after the step (trace.Event.ViewBefore/ViewAfter).
+	// Off by default: snapshotting views allocates on every successor.
+	CaptureViews bool
 }
 
 // NewSystem prepares a compiled program for RA execution. The program
@@ -197,6 +201,11 @@ func (c *Config) mergeViews(base, mv []*Msg) (out []*Msg, changed bool) {
 
 // PC returns the program counter of process p.
 func (c *Config) PC(p int) int { return c.pcs[p] }
+
+// MO returns the modification order of variable v. The returned slice
+// and its messages are owned by the configuration and must not be
+// mutated; replay validation walks it to check stamp consistency.
+func (c *Config) MO(v int) []*Msg { return c.mo[v] }
 
 // Reg returns the value of register i of process p.
 func (c *Config) Reg(p, i int) lang.Value { return c.regs[p][i] }

@@ -43,6 +43,10 @@ type Options struct {
 	// "ra.branch_choices") and gauges ("ra.max_depth",
 	// "ra.peak_messages").
 	Obs *obs.Recorder
+	// CaptureViews makes the emitted trace events carry per-step view
+	// snapshots (see System.CaptureViews); enable it when the trace is
+	// exported for offline inspection.
+	CaptureViews bool
 }
 
 // Result is the outcome of an exploration.
@@ -70,6 +74,9 @@ type Result struct {
 // state revisited with a smaller number of used switches is re-explored,
 // since more behaviours are reachable from it.
 func (s *System) Explore(opts Options) Result {
+	if opts.CaptureViews {
+		s.CaptureViews = true
+	}
 	e := &explorer{
 		sys:     s,
 		opts:    opts,

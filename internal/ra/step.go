@@ -61,17 +61,22 @@ func (s *System) Successors(c *Config, p int) []Succ {
 	case lang.OpAssignReg:
 		v := in.Val.Eval(env)
 		ri := s.RegIdx[p][in.Reg]
-		return []Succ{local(trace.KindLocal, fmt.Sprintf("$%s = %d", in.Reg, v), func(d *Config) {
+		sc := local(trace.KindLocal, "", func(d *Config) {
 			d.regs[p][ri] = v
-		})}
+		})
+		sc.Event.Reg, sc.Event.Val, sc.Event.HasVal = in.Reg, int64(v), true
+		return []Succ{sc}
 	case lang.OpNondetReg:
 		ri := s.RegIdx[p][in.Reg]
 		var out []Succ
 		for v := in.Lo; v <= in.Hi; v++ {
 			v := v
-			out = append(out, local(trace.KindLocal, fmt.Sprintf("$%s = nondet -> %d", in.Reg, v), func(d *Config) {
+			sc := local(trace.KindLocal, "", func(d *Config) {
 				d.regs[p][ri] = v
-			}))
+			})
+			sc.Event.Reg, sc.Event.Val, sc.Event.HasVal = in.Reg, int64(v), true
+			sc.Event.Choice = true
+			out = append(out, sc)
 		}
 		return out
 	case lang.OpAssumeCond:
@@ -126,13 +131,29 @@ func (s *System) readSuccs(c *Config, p int, in *lang.Instr, ev func(trace.Kind,
 		d.pcs[p] = in.Next
 		d.views[p] = merged
 		d.regs[p][ri] = m.Val
-		detail := fmt.Sprintf("$%s = %s reads %d (msg #%d, pos %d)", in.Reg, in.Var, m.Val, m.Seq, j)
-		out = append(out, Succ{
-			Proc:       p,
-			Config:     d,
-			Event:      trace.Event{Proc: s.Prog.Procs[p].Name, Label: in.Label, Kind: trace.KindRead, Detail: detail, ViewSwitch: changed},
-			ViewSwitch: changed,
-		})
+		e := trace.Event{Proc: s.Prog.Procs[p].Name, Label: in.Label, Kind: trace.KindRead,
+			Var: in.Var, Reg: in.Reg, Val: int64(m.Val), HasVal: true,
+			ReadMsg: s.msgRef(c, m), ViewSwitch: changed}
+		if s.CaptureViews {
+			e.ViewBefore = s.viewRef(c, c.views[p])
+			e.ViewAfter = s.viewRef(d, merged)
+		}
+		out = append(out, Succ{Proc: p, Config: d, Event: e, ViewSwitch: changed})
+	}
+	return out
+}
+
+// msgRef renders a message reference against the modification orders of
+// c (T is the message's current mo position, its abstract timestamp).
+func (s *System) msgRef(c *Config, m *Msg) *trace.MsgRef {
+	return &trace.MsgRef{Seq: m.Seq, Var: s.Vars[m.Var], Val: int64(m.Val), T: c.pos(m)}
+}
+
+// viewRef renders a process view against the modification orders of c.
+func (s *System) viewRef(c *Config, view []*Msg) trace.View {
+	out := make(trace.View, len(view))
+	for v, m := range view {
+		out[v] = trace.MsgRef{Seq: m.Seq, Var: s.Vars[v], Val: int64(m.Val), T: c.pos(m)}
 	}
 	return out
 }
@@ -161,8 +182,14 @@ func (s *System) writeSuccs(c *Config, p int, in *lang.Instr, env func(string) l
 		d.pcs[p] = in.Next
 		d.views[p] = newView
 		d.mo[x] = insertAt(d.mo[x], j, m)
-		detail := fmt.Sprintf("%s = %d (msg #%d at pos %d/%d)", in.Var, val, m.Seq, j, len(order))
-		out = append(out, Succ{Proc: p, Config: d, Event: ev(trace.KindWrite, detail)})
+		e := ev(trace.KindWrite, "")
+		e.Var, e.Val, e.HasVal = in.Var, int64(val), true
+		e.WroteMsg = &trace.MsgRef{Seq: m.Seq, Var: s.Vars[x], Val: int64(val), T: j}
+		if s.CaptureViews {
+			e.ViewBefore = s.viewRef(c, c.views[p])
+			e.ViewAfter = s.viewRef(d, newView)
+		}
+		out = append(out, Succ{Proc: p, Config: d, Event: e})
 	}
 	return out
 }
@@ -199,17 +226,22 @@ func (s *System) rmwSuccs(c *Config, p int, in *lang.Instr, x int, env func(stri
 		d.views[p] = merged
 		d.mo[x] = insertAt(d.mo[x], j+1, nm)
 		kind := trace.KindCAS
-		detail := fmt.Sprintf("cas(%s, %d, %d) on msg #%d (pos %d)", in.Var, m.Val, newVal, m.Seq, j)
 		if isFence {
 			kind = trace.KindFence
-			detail = fmt.Sprintf("fence (rmw #%d -> %d)", m.Seq, newVal)
 		}
-		out = append(out, Succ{
-			Proc:       p,
-			Config:     d,
-			Event:      trace.Event{Proc: s.Prog.Procs[p].Name, Label: in.Label, Kind: kind, Detail: detail, ViewSwitch: changed},
-			ViewSwitch: changed,
-		})
+		e := trace.Event{Proc: s.Prog.Procs[p].Name, Label: in.Label, Kind: kind,
+			Var: s.Vars[x], Val: int64(newVal), HasVal: true,
+			ReadMsg:    &trace.MsgRef{Seq: m.Seq, Var: s.Vars[x], Val: int64(m.Val), T: j},
+			WroteMsg:   &trace.MsgRef{Seq: nm.Seq, Var: s.Vars[x], Val: int64(newVal), T: j + 1},
+			ViewSwitch: changed}
+		if !isFence {
+			e.Old, e.HasOld = int64(m.Val), true
+		}
+		if s.CaptureViews {
+			e.ViewBefore = s.viewRef(c, c.views[p])
+			e.ViewAfter = s.viewRef(d, merged)
+		}
+		out = append(out, Succ{Proc: p, Config: d, Event: e, ViewSwitch: changed})
 	}
 	return out
 }

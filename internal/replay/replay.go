@@ -1,0 +1,471 @@
+// Package replay validates lifted witnesses: it deterministically
+// re-executes a sequence of source-level actions against the RA
+// operational semantics of internal/ra and confirms that the claimed
+// violation is reached.
+//
+// A lifted witness (see core.Lift) fixes, per visible source statement,
+// the choices the translated program made: whether a read was
+// view-altering and which published message it consumed, whether a
+// write was tracked and which time-stamp it claimed, and which message
+// store slot a publish filled. Replay drives ra.Successors with exactly
+// those choices. The only freedom the witness does not pin down is the
+// modification-order position of writes (the translation encodes it
+// through time-stamps, which constrain rather than determine positions
+// of untracked writes), so replay is a small backtracking search: write
+// positions are branched over, pruned by the invariant that the claimed
+// time-stamps must appear strictly increasing along every modification
+// order. Everything else is deterministic.
+//
+// A successful replay returns the full RA trace of the source program —
+// the final human-readable witness — and proves that the translation
+// and the lifting agree with the operational semantics on this
+// execution: a bug in either becomes a loud validation failure instead
+// of a bogus counterexample.
+package replay
+
+import (
+	"fmt"
+
+	"ravbmc/internal/lang"
+	"ravbmc/internal/obs"
+	"ravbmc/internal/ra"
+	"ravbmc/internal/trace"
+)
+
+// ActionKind classifies a lifted witness action.
+type ActionKind int
+
+// Action kinds: the visible statements of the RA fragment plus the
+// violation terminator.
+const (
+	ActRead ActionKind = iota
+	ActWrite
+	ActCAS
+	ActFence
+	ActNondet
+	ActViolation
+)
+
+// String returns a short tag for the kind.
+func (k ActionKind) String() string {
+	switch k {
+	case ActRead:
+		return "read"
+	case ActWrite:
+		return "write"
+	case ActCAS:
+		return "cas"
+	case ActFence:
+		return "fence"
+	case ActNondet:
+		return "nondet"
+	case ActViolation:
+		return "violation"
+	}
+	return fmt.Sprintf("action(%d)", int(k))
+}
+
+// Action is one visible step of a lifted witness, attributed to a
+// source statement by (Proc, Label).
+type Action struct {
+	Proc  string
+	Label string
+	Kind  ActionKind
+	// Var is the shared variable of read/write/CAS actions (empty for
+	// fences, which act on the distinguished fence variable).
+	Var string
+	// Reg is the destination register of read and nondet actions.
+	Reg string
+	// Val is the chosen value of a nondet action.
+	Val lang.Value
+	// ViewAltering marks reads/CAS/fences that consumed a published
+	// message (the translation's view-altering guess); ReadIdx is the
+	// message-store slot of that message.
+	ViewAltering bool
+	ReadIdx      int
+	// Tracked marks writes that claimed a time-stamp; Stamp is the
+	// claimed stamp (also set on CAS/fence actions, whose write part
+	// always claims the adjacent stamp).
+	Tracked bool
+	Stamp   int
+	// PublishIdx is the message-store slot this action's write part
+	// published into, or -1 when it did not publish.
+	PublishIdx int
+}
+
+func (a Action) String() string {
+	return fmt.Sprintf("%s/%s %s %s", a.Proc, a.Label, a.Kind, a.Var)
+}
+
+// Options configures a replay run.
+type Options struct {
+	// MaxNodes caps the backtracking search (successor trials); 0 means
+	// a generous default. Hitting the cap is a validation error, not a
+	// pass.
+	MaxNodes int
+	// Obs, when non-nil, receives the replay counters
+	// ("replay.actions", "replay.silent_steps", "replay.branch_points",
+	// "replay.backtracks", "replay.nodes").
+	Obs *obs.Recorder
+}
+
+// defaultMaxNodes bounds the write-position search. Real witnesses
+// replay in a handful of nodes per action; the cap only guards against
+// pathological corrupted inputs.
+const defaultMaxNodes = 1 << 20
+
+// Run re-executes the actions against the RA semantics of prog and
+// returns the full RA trace of the matched execution. The last action
+// must be the violation; an error describes the first action that could
+// not be matched (with the deepest progress the search made).
+func Run(prog *lang.Program, actions []Action, opts Options) (*trace.Trace, error) {
+	if err := prog.ValidateRA(); err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	cp, err := lang.Compile(prog)
+	if err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	if len(actions) == 0 {
+		return nil, fmt.Errorf("replay: empty witness")
+	}
+	if last := actions[len(actions)-1]; last.Kind != ActViolation {
+		return nil, fmt.Errorf("replay: witness does not end in a violation (last action %s)", last)
+	}
+	sys := ra.NewSystem(cp)
+	sys.CaptureViews = true
+	r := &replayer{
+		sys:      sys,
+		acts:     actions,
+		maxNodes: opts.MaxNodes,
+		procIdx:  map[string]int{},
+		pubs:     map[int]*ra.Msg{},
+		stampOf:  map[int]int{},
+	}
+	if r.maxNodes <= 0 {
+		r.maxNodes = defaultMaxNodes
+	}
+	for i, pr := range cp.Procs {
+		r.procIdx[pr.Name] = i
+	}
+	rec := opts.Obs
+	r.cActions = rec.Counter("replay.actions")
+	r.cSilent = rec.Counter("replay.silent_steps")
+	r.cBranchPoints = rec.Counter("replay.branch_points")
+	r.cBacktracks = rec.Counter("replay.backtracks")
+	r.cNodes = rec.Counter("replay.nodes")
+
+	init := sys.Init()
+	// The initial message of every variable sits at time-stamp 0; seeding
+	// it lets the stamp-consistency pruning anchor claimed stamps (all
+	// >= 1) above the initial messages.
+	for v := 0; v < len(sys.Vars); v++ {
+		r.stampOf[init.MO(v)[0].Seq] = 0
+	}
+	if r.match(init, 0) {
+		return &trace.Trace{Events: r.out}, nil
+	}
+	if r.capped {
+		return nil, fmt.Errorf("replay: search cap of %d nodes exhausted at action %d of %d (%s)",
+			r.maxNodes, r.deepest+1, len(r.acts), r.acts[min(r.deepest, len(r.acts)-1)])
+	}
+	return nil, fmt.Errorf("replay: no RA execution matches the witness: stuck at action %d of %d (%s): %s",
+		r.deepest+1, len(r.acts), r.acts[min(r.deepest, len(r.acts)-1)], r.stuck)
+}
+
+type replayer struct {
+	sys      *ra.System
+	acts     []Action
+	procIdx  map[string]int
+	maxNodes int
+	nodes    int
+	capped   bool
+	// pubs maps a message-store slot to the RA message the corresponding
+	// publish created; stampOf maps a message Seq to its claimed stamp.
+	// Both are mutated along the search path and undone on backtrack.
+	pubs    map[int]*ra.Msg
+	stampOf map[int]int
+	// out accumulates the RA events of the current path; on success it
+	// is the witness trace.
+	out []trace.Event
+	// deepest / stuck record the furthest action reached and why it
+	// failed, for the error message.
+	deepest int
+	stuck   string
+
+	cActions, cSilent, cBranchPoints, cBacktracks, cNodes *obs.Counter
+}
+
+func (r *replayer) fail(i int, format string, args ...any) bool {
+	if i >= r.deepest {
+		r.deepest = i
+		r.stuck = fmt.Sprintf(format, args...)
+	}
+	return false
+}
+
+// match tries to execute action i and the rest of the witness from c.
+func (r *replayer) match(c *ra.Config, i int) bool {
+	if i >= len(r.acts) {
+		return true
+	}
+	r.nodes++
+	r.cNodes.Inc()
+	if r.nodes > r.maxNodes {
+		r.capped = true
+		return false
+	}
+	a := r.acts[i]
+	p, ok := r.procIdx[a.Proc]
+	if !ok {
+		return r.fail(i, "unknown process %q", a.Proc)
+	}
+	c, pre, assertFailed := r.advance(c, p)
+	mark := len(r.out)
+	r.out = append(r.out, pre...)
+	r.cSilent.Add(int64(len(pre)))
+	ok = r.matchAction(c, i, p, assertFailed)
+	if !ok {
+		r.out = r.out[:mark]
+	}
+	return ok
+}
+
+// advance steps process p through its silent local operations (assigns,
+// jumps, passed assumes and asserts) up to the next visible operation,
+// nondet, termination, parked assume, or failing assert (reported via
+// assertFailed without stepping it).
+func (r *replayer) advance(c *ra.Config, p int) (_ *ra.Config, events []trace.Event, assertFailed bool) {
+	// A loop-free process can revisit no instruction, so the local run is
+	// bounded by the code length; the guard only stops local-only loops
+	// of non-unrolled inputs.
+	for steps := 0; steps <= len(r.sys.Prog.Procs[p].Code); steps++ {
+		in := &r.sys.Prog.Procs[p].Code[c.PC(p)]
+		switch in.Op {
+		case lang.OpAssignReg, lang.OpJmp, lang.OpCJmp:
+			succ := r.sys.Successors(c, p)[0]
+			events = append(events, succ.Event)
+			c = succ.Config
+		case lang.OpAssumeCond:
+			succs := r.sys.Successors(c, p)
+			if len(succs) == 0 {
+				return c, events, false // parked at a false assume
+			}
+			events = append(events, succs[0].Event)
+			c = succs[0].Config
+		case lang.OpAssertCond:
+			succs := r.sys.Successors(c, p)
+			if succs[0].Violation {
+				return c, events, true
+			}
+			events = append(events, succs[0].Event)
+			c = succs[0].Config
+		default:
+			return c, events, false
+		}
+	}
+	return c, events, false
+}
+
+// matchAction executes action i (whose process p has been advanced to
+// its next non-silent instruction) and recurses.
+func (r *replayer) matchAction(c *ra.Config, i, p int, assertFailed bool) bool {
+	a := r.acts[i]
+	in := &r.sys.Prog.Procs[p].Code[c.PC(p)]
+	r.cActions.Inc()
+
+	if a.Kind == ActViolation {
+		if !assertFailed {
+			return r.fail(i, "process %s is at %s %q, not at a failing assert", a.Proc, in.Op, in.Label)
+		}
+		if in.Label != a.Label {
+			return r.fail(i, "violation at label %q, witness claims %q", in.Label, a.Label)
+		}
+		if i != len(r.acts)-1 {
+			return r.fail(i, "violation before the end of the witness")
+		}
+		succ := r.sys.Successors(c, p)[0]
+		r.out = append(r.out, succ.Event)
+		return true
+	}
+	if assertFailed {
+		return r.fail(i, "process %s fails an assert at %q before action %s", a.Proc, in.Label, a)
+	}
+	if in.Label != a.Label {
+		return r.fail(i, "process %s is at label %q, witness expects %q", a.Proc, in.Label, a.Label)
+	}
+
+	switch a.Kind {
+	case ActNondet:
+		if in.Op != lang.OpNondetReg {
+			return r.fail(i, "label %q is %s, witness expects a nondet", a.Label, in.Op)
+		}
+		for _, succ := range r.sys.Successors(c, p) {
+			if succ.Event.Val == int64(a.Val) {
+				return r.take(succ, i)
+			}
+		}
+		return r.fail(i, "nondet value %d outside [%d, %d]", a.Val, in.Lo, in.Hi)
+
+	case ActRead:
+		if in.Op != lang.OpReadVar || in.Var != a.Var {
+			return r.fail(i, "label %q is %s %s, witness expects read %s", a.Label, in.Op, in.Var, a.Var)
+		}
+		return r.matchReadLike(c, i, p, a)
+
+	case ActCAS:
+		if in.Op != lang.OpCASVar || in.Var != a.Var {
+			return r.fail(i, "label %q is %s %s, witness expects cas %s", a.Label, in.Op, in.Var, a.Var)
+		}
+		return r.matchReadLike(c, i, p, a)
+
+	case ActFence:
+		if in.Op != lang.OpFenceOp {
+			return r.fail(i, "label %q is %s, witness expects fence", a.Label, in.Op)
+		}
+		return r.matchReadLike(c, i, p, a)
+
+	case ActWrite:
+		if in.Op != lang.OpWriteVar || in.Var != a.Var {
+			return r.fail(i, "label %q is %s %s, witness expects write %s", a.Label, in.Op, in.Var, a.Var)
+		}
+		succs := r.sys.Successors(c, p)
+		if len(succs) > 1 {
+			r.cBranchPoints.Inc()
+		}
+		matched := false
+		for _, succ := range succs {
+			if !r.stampOK(succ, a) {
+				continue
+			}
+			if r.take(succ, i) {
+				return true
+			}
+			matched = true
+			r.cBacktracks.Inc()
+		}
+		if !matched {
+			return r.fail(i, "no modification-order position for write %s respects the claimed stamps", a.Var)
+		}
+		return false
+	}
+	return r.fail(i, "unknown action kind %v", a.Kind)
+}
+
+// matchReadLike handles the read part shared by reads, CAS and fences:
+// a view-altering action must consume exactly the published message its
+// store slot designates; a non-altering one reads the process's own
+// view message (the unique successor without a view switch).
+func (r *replayer) matchReadLike(c *ra.Config, i, p int, a Action) bool {
+	succs := r.sys.Successors(c, p)
+	if len(succs) == 0 {
+		return r.fail(i, "%s has no enabled RA transition (CAS value mismatch or occupied slot?)", a)
+	}
+	var want *ra.Msg
+	if a.ViewAltering {
+		m, ok := r.pubs[a.ReadIdx]
+		if !ok {
+			return r.fail(i, "%s reads message-store slot %d, but no publish filled it", a, a.ReadIdx)
+		}
+		want = m
+	}
+	for _, succ := range succs {
+		if a.ViewAltering {
+			if succ.Event.ReadMsg == nil || succ.Event.ReadMsg.Seq != want.Seq {
+				continue
+			}
+		} else if succ.ViewSwitch {
+			continue
+		}
+		if !r.stampOK(succ, a) {
+			return r.fail(i, "%s: claimed stamp %d breaks stamp order", a, a.Stamp)
+		}
+		return r.take(succ, i)
+	}
+	if a.ViewAltering {
+		return r.fail(i, "%s cannot read published message #%d (below view or slot occupied)", a, want.Seq)
+	}
+	return r.fail(i, "%s has no non-view-altering transition", a)
+}
+
+// stampOK checks, for actions whose write part claimed a time-stamp,
+// that inserting the new message at the successor's position keeps the
+// claimed stamps strictly increasing along the variable's modification
+// order — the invariant linking the translation's explicit time-stamps
+// to the list-based RA semantics. Untracked writes carry no stamp and
+// pass vacuously (any position is consistent with "time-stamp not
+// tracked").
+func (r *replayer) stampOK(succ ra.Succ, a Action) bool {
+	if a.Kind == ActWrite && !a.Tracked {
+		return true
+	}
+	wrote := succ.Event.WroteMsg
+	if wrote == nil {
+		return true
+	}
+	x := r.sys.VarIdx[succ.Event.WroteMsg.Var]
+	if succ.Event.WroteMsg.Var == "_fence" {
+		x = r.sys.FenceVar
+	}
+	last := -1
+	for _, m := range succ.Config.MO(x) {
+		s, ok := r.stampOf[m.Seq]
+		if !ok {
+			if m.Seq == wrote.Seq {
+				s = a.Stamp
+			} else {
+				continue
+			}
+		}
+		if s <= last {
+			return false
+		}
+		last = s
+	}
+	return true
+}
+
+// take commits successor succ for action i, records its published
+// message and stamp, recurses, and undoes the bookkeeping on backtrack.
+func (r *replayer) take(succ ra.Succ, i int) bool {
+	a := r.acts[i]
+	r.out = append(r.out, succ.Event)
+	var created *ra.Msg
+	if w := succ.Event.WroteMsg; w != nil {
+		x := r.sys.VarIdx[w.Var]
+		if w.Var == "_fence" {
+			x = r.sys.FenceVar
+		}
+		for _, m := range succ.Config.MO(x) {
+			if m.Seq == w.Seq {
+				created = m
+				break
+			}
+		}
+	}
+	stamped := false
+	if created != nil && (a.Kind != ActWrite || a.Tracked) {
+		if _, dup := r.stampOf[created.Seq]; !dup {
+			r.stampOf[created.Seq] = a.Stamp
+			stamped = true
+		}
+	}
+	published := false
+	if created != nil && a.PublishIdx >= 0 {
+		if _, dup := r.pubs[a.PublishIdx]; !dup {
+			r.pubs[a.PublishIdx] = created
+			published = true
+		}
+	}
+	if r.match(succ.Config, i+1) {
+		return true
+	}
+	if published {
+		delete(r.pubs, a.PublishIdx)
+	}
+	if stamped {
+		delete(r.stampOf, created.Seq)
+	}
+	r.out = r.out[:len(r.out)-1]
+	return false
+}

@@ -1,0 +1,70 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+
+	"ravbmc/internal/lang"
+	"ravbmc/internal/trace"
+)
+
+// storeBuffer is the smallest program whose violation needs a
+// view-altering read: p1 only sees p0's write by adopting the published
+// message.
+func storeBuffer() *lang.Program {
+	p := lang.NewProgram("sb", "x")
+	p.AddProc("p0").Add(lang.LabelS("w", lang.WriteC("x", 1)))
+	p.AddProc("p1", "a").Add(
+		lang.LabelS("r", lang.ReadS("a", "x")),
+		lang.LabelS("chk", lang.AssertS(lang.Ne(lang.R("a"), lang.C(1)))),
+	)
+	return p
+}
+
+// witness returns the hand-written witness of the violation: a tracked
+// write claiming stamp 1 and publishing to slot 0, a view-altering read
+// adopting that message, then the failed assertion.
+func witness() []Action {
+	return []Action{
+		{Kind: ActWrite, Proc: "p0", Label: "w", Var: "x", Tracked: true, Stamp: 1, PublishIdx: 0},
+		{Kind: ActRead, Proc: "p1", Label: "r", Var: "x", Reg: "a", ViewAltering: true, ReadIdx: 0},
+		{Kind: ActViolation, Proc: "p1", Label: "chk"},
+	}
+}
+
+func TestReplayHandWrittenWitness(t *testing.T) {
+	w, err := Run(storeBuffer(), witness(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() == 0 || w.Events[w.Len()-1].Kind != trace.KindViolation {
+		t.Fatalf("witness trace does not end in a violation:\n%s", w)
+	}
+	var read *trace.Event
+	for i := range w.Events {
+		if w.Events[i].Kind == trace.KindRead {
+			read = &w.Events[i]
+		}
+	}
+	if read == nil || !read.ViewSwitch || read.Val != 1 {
+		t.Errorf("replayed read not a view switch of value 1: %+v", read)
+	}
+	if len(read.ViewBefore) == 0 || len(read.ViewAfter) == 0 {
+		t.Error("replay did not capture view snapshots")
+	}
+}
+
+func TestReplayRejectsNonAlteringRead(t *testing.T) {
+	bad := witness()
+	bad[1].ViewAltering = false
+	if _, err := Run(storeBuffer(), bad, Options{}); err == nil {
+		t.Fatal("witness with the read's source swapped replayed successfully")
+	}
+}
+
+func TestReplayRejectsTruncatedWitness(t *testing.T) {
+	if _, err := Run(storeBuffer(), witness()[:2], Options{}); err == nil ||
+		!strings.Contains(err.Error(), "violation") {
+		t.Fatalf("truncated witness accepted or wrong error: %v", err)
+	}
+}

@@ -62,6 +62,10 @@ func (s *System) run(c *Config, p int, atomicDepth int, firstStep bool, events [
 	for ; steps < maxLocalSteps; steps++ {
 		pr := s.Prog.Procs[p]
 		in := &pr.Code[c.pcs[p]]
+		// ev populates the structured event fields; the text rendering is
+		// derived lazily (Event.Text), keeping the search loop free of
+		// string formatting. Only events whose text cannot be derived
+		// (violations) carry an explicit Detail.
 		ev := func(kind trace.Kind, detail string) trace.Event {
 			return trace.Event{Proc: pr.Name, Label: in.Label, Kind: kind, Detail: detail}
 		}
@@ -77,12 +81,14 @@ func (s *System) run(c *Config, p int, atomicDepth int, firstStep bool, events [
 		case lang.OpReadVar:
 			v := c.mem[s.VarIdx[in.Var]]
 			c.regs[s.reg(p, s.RegIdx[p][in.Reg])] = v
-			events = append(events, ev(trace.KindRead, fmt.Sprintf("$%s = %s reads %d", in.Reg, in.Var, v)))
+			events = append(events, trace.Event{Proc: pr.Name, Label: in.Label, Kind: trace.KindRead,
+				Var: in.Var, Reg: in.Reg, Val: int64(v), HasVal: true})
 			c.pcs[p] = in.Next
 		case lang.OpWriteVar:
 			v := in.Val.Eval(env)
 			c.mem[s.VarIdx[in.Var]] = v
-			events = append(events, ev(trace.KindWrite, fmt.Sprintf("%s = %d", in.Var, v)))
+			events = append(events, trace.Event{Proc: pr.Name, Label: in.Label, Kind: trace.KindWrite,
+				Var: in.Var, Val: int64(v), HasVal: true})
 			c.pcs[p] = in.Next
 		case lang.OpCASVar:
 			old := in.Old.Eval(env)
@@ -97,7 +103,8 @@ func (s *System) run(c *Config, p int, atomicDepth int, firstStep bool, events [
 			}
 			nv := in.Val.Eval(env)
 			c.mem[xi] = nv
-			events = append(events, ev(trace.KindCAS, fmt.Sprintf("cas(%s, %d, %d)", in.Var, old, nv)))
+			events = append(events, trace.Event{Proc: pr.Name, Label: in.Label, Kind: trace.KindCAS,
+				Var: in.Var, Old: int64(old), HasOld: true, Val: int64(nv), HasVal: true})
 			c.pcs[p] = in.Next
 		case lang.OpFenceOp:
 			// A release-acquire fence is a no-op under SC.
@@ -113,7 +120,8 @@ func (s *System) run(c *Config, p int, atomicDepth int, firstStep bool, events [
 			}
 			v := c.arr[s.arrOff[ai]+int(idx)]
 			c.regs[s.reg(p, s.RegIdx[p][in.Reg])] = v
-			events = append(events, ev(trace.KindRead, fmt.Sprintf("$%s = %s[%d] reads %d", in.Reg, in.Var, idx, v)))
+			events = append(events, trace.Event{Proc: pr.Name, Label: in.Label, Kind: trace.KindRead,
+				Var: in.Var, Reg: in.Reg, Val: int64(v), HasVal: true, Idx: int(idx), HasIdx: true})
 			c.pcs[p] = in.Next
 		case lang.OpStoreArrEl:
 			ai := s.ArrIdx[in.Var]
@@ -125,7 +133,8 @@ func (s *System) run(c *Config, p int, atomicDepth int, firstStep bool, events [
 			}
 			v := in.Val.Eval(env)
 			c.arr[s.arrOff[ai]+int(idx)] = v
-			events = append(events, ev(trace.KindWrite, fmt.Sprintf("%s[%d] = %d", in.Var, idx, v)))
+			events = append(events, trace.Event{Proc: pr.Name, Label: in.Label, Kind: trace.KindWrite,
+				Var: in.Var, Val: int64(v), HasVal: true, Idx: int(idx), HasIdx: true})
 			c.pcs[p] = in.Next
 		case lang.OpAtomicBegin:
 			atomicDepth++
@@ -148,7 +157,8 @@ func (s *System) run(c *Config, p int, atomicDepth int, firstStep bool, events [
 				d.regs[ri] = v
 				d.pcs[p] = next
 				evs := append(append([]trace.Event(nil), events...),
-					ev(trace.KindLocal, fmt.Sprintf("$%s = nondet -> %d", in.Reg, v)))
+					trace.Event{Proc: pr.Name, Label: in.Label, Kind: trace.KindLocal,
+						Reg: in.Reg, Val: int64(v), HasVal: true, Choice: true})
 				s.run(d, p, atomicDepth, false, evs, out, steps+1)
 			}
 			return

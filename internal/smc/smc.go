@@ -86,6 +86,10 @@ type Options struct {
 	// they report no revisit count — re-exploration is exactly what
 	// their execution count exposes.
 	Obs *obs.Recorder
+	// CaptureViews makes the emitted trace events carry per-step view
+	// snapshots (see ra.System.CaptureViews); enable it when the trace
+	// is exported for offline inspection.
+	CaptureViews bool
 }
 
 // Result reports the outcome of a baseline run.
@@ -113,6 +117,7 @@ func Check(prog *lang.Program, opts Options) (Result, error) {
 		src = lang.Unroll(prog, opts.Unroll)
 	}
 	sys := ra.NewSystem(lang.MustCompile(src))
+	sys.CaptureViews = opts.CaptureViews
 	r := &runner{sys: sys, opts: opts}
 	r.cExecutions = opts.Obs.Counter("smc.executions")
 	r.cTransitions = opts.Obs.Counter("smc.transitions")

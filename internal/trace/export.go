@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Format selects a trace export encoding.
+type Format int
+
+// Export formats.
+const (
+	// FormatJSONL is the canonical machine-readable encoding: one JSON
+	// header line (the Meta), then one JSON object per event.
+	FormatJSONL Format = iota
+	// FormatChrome is the Chrome trace-event JSON array consumed by
+	// chrome://tracing and Perfetto timeline viewers.
+	FormatChrome
+	// FormatText is the human-readable rendering of Trace.String.
+	FormatText
+)
+
+// String returns the flag spelling of the format.
+func (f Format) String() string {
+	switch f {
+	case FormatJSONL:
+		return "jsonl"
+	case FormatChrome:
+		return "chrome"
+	case FormatText:
+		return "text"
+	}
+	return fmt.Sprintf("format(%d)", int(f))
+}
+
+// ParseFormat parses a -trace-format flag value.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "jsonl", "":
+		return FormatJSONL, nil
+	case "chrome":
+		return FormatChrome, nil
+	case "text":
+		return FormatText, nil
+	}
+	return 0, fmt.Errorf("trace: unknown format %q (want jsonl, chrome or text)", s)
+}
+
+// Schema identifies the JSONL witness encoding; bump on incompatible
+// changes.
+const Schema = "ravbmc.witness/v1"
+
+// Meta is the header record of an exported trace.
+type Meta struct {
+	Schema  string `json:"schema"`
+	Program string `json:"program,omitempty"`
+	// Engine names the semantics the events were recorded under: "ra"
+	// (operational RA), "sc" (the translated program under SC), or
+	// "replay" (the validated lifted witness).
+	Engine       string `json:"engine,omitempty"`
+	K            int    `json:"k,omitempty"`
+	Events       int    `json:"events"`
+	ViewSwitches int    `json:"view_switches"`
+	// Validated reports the replay-validation verdict when one ran.
+	Validated *bool `json:"validated,omitempty"`
+}
+
+// jsonEvent is the stable JSONL encoding of an Event. Optional scalars
+// are pointers so that unset fields are omitted while genuine zeroes
+// survive.
+type jsonEvent struct {
+	Step       int     `json:"step"`
+	Proc       string  `json:"proc"`
+	Label      string  `json:"label,omitempty"`
+	Kind       string  `json:"kind"`
+	Detail     string  `json:"detail"`
+	ViewSwitch bool    `json:"view_switch,omitempty"`
+	Var        string  `json:"var,omitempty"`
+	Reg        string  `json:"reg,omitempty"`
+	Val        *int64  `json:"val,omitempty"`
+	Idx        *int    `json:"idx,omitempty"`
+	Old        *int64  `json:"old,omitempty"`
+	Choice     bool    `json:"choice,omitempty"`
+	ReadMsg    *MsgRef `json:"read_msg,omitempty"`
+	WroteMsg   *MsgRef `json:"wrote_msg,omitempty"`
+	ViewBefore View    `json:"view_before,omitempty"`
+	ViewAfter  View    `json:"view_after,omitempty"`
+}
+
+func (e *Event) toJSON(step int) jsonEvent {
+	je := jsonEvent{
+		Step:       step,
+		Proc:       e.Proc,
+		Label:      e.Label,
+		Kind:       e.Kind.String(),
+		Detail:     e.Text(),
+		ViewSwitch: e.ViewSwitch,
+		Var:        e.Var,
+		Reg:        e.Reg,
+		Choice:     e.Choice,
+		ReadMsg:    e.ReadMsg,
+		WroteMsg:   e.WroteMsg,
+		ViewBefore: e.ViewBefore,
+		ViewAfter:  e.ViewAfter,
+	}
+	if e.HasVal {
+		v := e.Val
+		je.Val = &v
+	}
+	if e.HasIdx {
+		v := e.Idx
+		je.Idx = &v
+	}
+	if e.HasOld {
+		v := e.Old
+		je.Old = &v
+	}
+	return je
+}
+
+// WriteJSONL writes the trace as a JSONL event log: the Meta header
+// (with Schema and the event counts filled in) followed by one event
+// object per line.
+func (t *Trace) WriteJSONL(w io.Writer, meta Meta) error {
+	meta.Schema = Schema
+	meta.Events = t.Len()
+	meta.ViewSwitches = t.ViewSwitches()
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(meta); err != nil {
+		return err
+	}
+	for i := range t.Events {
+		if err := enc.Encode(t.Events[i].toJSON(i + 1)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one record of the Chrome trace-event format.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome writes the trace in the Chrome trace-event JSON format:
+// each event is a complete slice on its process's timeline row, with
+// logical time (one tick per trace step) standing in for wall time, and
+// view switches additionally marked as global instants.
+func (t *Trace) WriteChrome(w io.Writer, meta Meta) error {
+	meta.Schema = Schema
+	meta.Events = t.Len()
+	meta.ViewSwitches = t.ViewSwitches()
+	const tick = 1000 // microseconds per logical step
+	procTID := map[string]int{}
+	var events []chromeEvent
+	for i := range t.Events {
+		e := &t.Events[i]
+		tid, ok := procTID[e.Proc]
+		if !ok {
+			tid = len(procTID)
+			procTID[e.Proc] = tid
+			events = append(events, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: 0, TID: tid,
+				Args: map[string]any{"name": e.Proc},
+			})
+		}
+		name := e.Kind.String()
+		if e.Var != "" {
+			name += " " + e.Var
+		}
+		args := map[string]any{"label": e.Label, "detail": e.Text()}
+		if e.ReadMsg != nil {
+			args["read_msg"] = e.ReadMsg
+		}
+		if e.WroteMsg != nil {
+			args["wrote_msg"] = e.WroteMsg
+		}
+		events = append(events, chromeEvent{
+			Name: name, Cat: e.Kind.String(), Phase: "X",
+			TS: int64(i) * tick, Dur: tick * 4 / 5, PID: 0, TID: tid,
+			Args: args,
+		})
+		if e.ViewSwitch {
+			events = append(events, chromeEvent{
+				Name: "view-switch", Cat: "view-switch", Phase: "i",
+				TS: int64(i) * tick, PID: 0, TID: tid, Scope: "g",
+			})
+		}
+	}
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		Meta        Meta          `json:"ravbmcMeta"`
+	}{TraceEvents: events, Meta: meta}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// Write renders the trace to w in the given format.
+func (t *Trace) Write(w io.Writer, f Format, meta Meta) error {
+	switch f {
+	case FormatJSONL:
+		return t.WriteJSONL(w, meta)
+	case FormatChrome:
+		return t.WriteChrome(w, meta)
+	case FormatText:
+		_, err := io.WriteString(w, t.String())
+		return err
+	}
+	return fmt.Errorf("trace: unknown format %v", f)
+}
+
+// WriteFile writes the trace to the named file in the given format,
+// creating or truncating it.
+func (t *Trace) WriteFile(path string, f Format, meta Meta) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Write(file, f, meta); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}

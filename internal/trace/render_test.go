@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden rendering files")
+
+// sampleTrace exercises every derived rendering path of Event.Text: the
+// message-annotated and plain variants of each kind, array accesses,
+// nondet choices, and the eagerly-rendered Detail events.
+func sampleTrace() *Trace {
+	msg := func(seq int, v string, val int64, t int) *MsgRef {
+		return &MsgRef{Seq: seq, Var: v, Val: val, T: t}
+	}
+	tr := &Trace{}
+	tr.Append(Event{Proc: "p0", Label: "p0.0", Kind: KindWrite, Var: "x", Val: 1, HasVal: true,
+		WroteMsg: msg(4, "x", 1, 1)})
+	tr.Append(Event{Proc: "p0", Label: "p0.1", Kind: KindWrite, Var: "y", Val: 2, HasVal: true})
+	tr.Append(Event{Proc: "p1", Label: "p1.0", Kind: KindRead, Var: "y", Reg: "a", Val: 2, HasVal: true,
+		ReadMsg: msg(5, "y", 2, 1), ViewSwitch: true})
+	tr.Append(Event{Proc: "p1", Label: "p1.1", Kind: KindRead, Var: "x", Reg: "b", Val: 0, HasVal: true})
+	tr.Append(Event{Proc: "p1", Label: "p1.2", Kind: KindRead, Var: "tab", Reg: "c", Idx: 3, HasIdx: true,
+		Val: 7, HasVal: true})
+	tr.Append(Event{Proc: "p1", Label: "p1.3", Kind: KindWrite, Var: "tab", Idx: 3, HasIdx: true,
+		Val: 8, HasVal: true})
+	tr.Append(Event{Proc: "p0", Label: "p0.2", Kind: KindCAS, Var: "l", Old: 0, HasOld: true,
+		Val: 1, HasVal: true, ReadMsg: msg(2, "l", 0, 0)})
+	tr.Append(Event{Proc: "p0", Label: "p0.3", Kind: KindCAS, Var: "l", Old: 1, HasOld: true,
+		Val: 2, HasVal: true})
+	tr.Append(Event{Proc: "p1", Label: "p1.4", Kind: KindFence, Var: "_fence", Val: 1, HasVal: true,
+		ReadMsg: msg(3, "_fence", 0, 0)})
+	tr.Append(Event{Proc: "p1", Label: "p1.5", Kind: KindFence})
+	tr.Append(Event{Proc: "p0", Label: "p0.4", Kind: KindLocal, Reg: "r", Val: 3, HasVal: true, Choice: true})
+	tr.Append(Event{Proc: "p0", Label: "p0.5", Kind: KindLocal, Reg: "r", Val: 4, HasVal: true})
+	tr.Append(Event{Proc: "p0", Label: "p0.6", Kind: KindAssume, Detail: "assume: $r == 4"})
+	tr.Append(Event{Proc: "p1", Label: "p1.6", Kind: KindViolation, Detail: "assert failed: $a != 2"})
+	return tr
+}
+
+// TestGoldenTextRendering pins the human-readable trace rendering: the
+// derived Text of every event shape, byte for byte, against
+// testdata/sample_trace.txt. Refresh with -update-golden after an
+// intentional format change.
+func TestGoldenTextRendering(t *testing.T) {
+	got := sampleTrace().String()
+	golden := filepath.Join("testdata", "sample_trace.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("rendering drifted from golden file:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestJSONLExport(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	validated := true
+	meta := Meta{Program: "sample", Engine: "replay", K: 2, Validated: &validated}
+	if err := tr.WriteJSONL(&buf, meta); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatal("no header line")
+	}
+	var gotMeta Meta
+	if err := json.Unmarshal(sc.Bytes(), &gotMeta); err != nil {
+		t.Fatalf("header: %v", err)
+	}
+	if gotMeta.Schema != Schema {
+		t.Errorf("schema %q, want %q", gotMeta.Schema, Schema)
+	}
+	if gotMeta.Events != tr.Len() || gotMeta.ViewSwitches != tr.ViewSwitches() {
+		t.Errorf("meta counts %d/%d, want %d/%d", gotMeta.Events, gotMeta.ViewSwitches, tr.Len(), tr.ViewSwitches())
+	}
+	if gotMeta.Validated == nil || !*gotMeta.Validated {
+		t.Error("validated flag lost in export")
+	}
+
+	n := 0
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("event line %d: %v", n+1, err)
+		}
+		if ev["step"] != float64(n+1) {
+			t.Errorf("line %d: step %v", n+1, ev["step"])
+		}
+		if _, ok := ev["detail"]; !ok {
+			t.Errorf("line %d: no detail", n+1)
+		}
+		n++
+	}
+	if n != tr.Len() {
+		t.Errorf("%d event lines, want %d", n, tr.Len())
+	}
+
+	// Spot-check optional-field hygiene: the read of x yields value 0,
+	// which must survive as an explicit 0, while events without a value
+	// must omit the key entirely.
+	var buf2 bytes.Buffer
+	if err := tr.WriteJSONL(&buf2, meta); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(buf2.Bytes(), []byte("\n"))
+	var readX, fencePlain map[string]any
+	if err := json.Unmarshal(lines[4], &readX); err != nil { // step 4: $b = x reads 0
+		t.Fatal(err)
+	}
+	if v, ok := readX["val"]; !ok || v != float64(0) {
+		t.Errorf("genuine zero value lost: %v", readX)
+	}
+	if err := json.Unmarshal(lines[10], &fencePlain); err != nil { // step 10: plain fence
+		t.Fatal(err)
+	}
+	if _, ok := fencePlain["val"]; ok {
+		t.Errorf("unset value serialised: %v", fencePlain)
+	}
+}
+
+func TestChromeExport(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf, Meta{Program: "sample"}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Meta        Meta             `json:"ravbmcMeta"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Meta.Schema != Schema || doc.Meta.Events != tr.Len() {
+		t.Errorf("meta: %+v", doc.Meta)
+	}
+	var names, slices, instants int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			names++
+		case "X":
+			slices++
+		case "i":
+			instants++
+		}
+	}
+	if names != 2 { // two processes
+		t.Errorf("%d thread_name records, want 2", names)
+	}
+	if slices != tr.Len() {
+		t.Errorf("%d slices, want %d", slices, tr.Len())
+	}
+	if instants != tr.ViewSwitches() {
+		t.Errorf("%d view-switch instants, want %d", instants, tr.ViewSwitches())
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Format
+		err  bool
+	}{
+		{"jsonl", FormatJSONL, false},
+		{"", FormatJSONL, false},
+		{"chrome", FormatChrome, false},
+		{"text", FormatText, false},
+		{"xml", 0, true},
+	} {
+		got, err := ParseFormat(tc.in)
+		if (err != nil) != tc.err || (err == nil && got != tc.want) {
+			t.Errorf("ParseFormat(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 // Package trace represents counterexample executions produced by the
 // analysis engines: a sequence of events, each attributed to a process
-// and an instruction label, with a human-readable detail string.
+// and an instruction label, carrying the RA-level structure of the step
+// (the message read or written, the process view before and after) plus
+// a human-readable rendering derived from it.
 package trace
 
 import (
@@ -49,7 +51,27 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", int(k))
 }
 
-// Event is one step of a counterexample execution.
+// MsgRef identifies one message (x, v, t, V) of the RA memory: the
+// global creation sequence number, the variable, the value, and the
+// message's timestamp T — its modification-order position at the time
+// the event was recorded.
+type MsgRef struct {
+	Seq int    `json:"seq"`
+	Var string `json:"var"`
+	Val int64  `json:"val"`
+	T   int    `json:"t"`
+}
+
+// View is a process view: per shared variable, the message the process
+// has most recently observed.
+type View []MsgRef
+
+// Event is one step of a counterexample execution. Proc, Label and Kind
+// are always set; Detail is an explicit rendering for events whose text
+// cannot be derived from the structured fields (conditions, violations)
+// and is otherwise empty — use Text for the rendering either way. The
+// remaining fields carry the RA-level structure of the step and are
+// populated at the emission site.
 type Event struct {
 	Proc   string
 	Label  string
@@ -58,6 +80,78 @@ type Event struct {
 	// ViewSwitch marks RA events whose read altered the process view via
 	// another process's write (the bounded resource of the paper).
 	ViewSwitch bool
+
+	// Var is the shared variable or array accessed; Reg the destination
+	// register of reads, assignments and nondets.
+	Var string
+	Reg string
+	// Val is the value read, written, assigned or chosen (HasVal marks it
+	// meaningful, distinguishing a genuine 0 from an unset field).
+	Val    int64
+	HasVal bool
+	// Idx is the array index of load/store events.
+	Idx    int
+	HasIdx bool
+	// Old is the expected value of a CAS.
+	Old    int64
+	HasOld bool
+	// Choice marks a nondeterministic assignment ($r = nondet -> v).
+	Choice bool
+
+	// ReadMsg is the message a read/CAS/fence consumed; WroteMsg the
+	// message a write/CAS/fence created. Nil for SC-level events.
+	ReadMsg  *MsgRef
+	WroteMsg *MsgRef
+	// ViewBefore/ViewAfter snapshot the acting process's view around the
+	// step; populated only when the emitting engine captures views.
+	ViewBefore View
+	ViewAfter  View
+}
+
+// Text returns the human-readable rendering of the event: the explicit
+// Detail when present, otherwise a rendering derived from the
+// structured fields. Deriving lazily keeps the hot search paths free of
+// string formatting.
+func (e *Event) Text() string {
+	if e.Detail != "" {
+		return e.Detail
+	}
+	switch e.Kind {
+	case KindRead:
+		if e.HasIdx {
+			return fmt.Sprintf("$%s = %s[%d] reads %d", e.Reg, e.Var, e.Idx, e.Val)
+		}
+		if e.ReadMsg != nil {
+			return fmt.Sprintf("$%s = %s reads %d (msg #%d, pos %d)", e.Reg, e.Var, e.Val, e.ReadMsg.Seq, e.ReadMsg.T)
+		}
+		return fmt.Sprintf("$%s = %s reads %d", e.Reg, e.Var, e.Val)
+	case KindWrite:
+		if e.HasIdx {
+			return fmt.Sprintf("%s[%d] = %d", e.Var, e.Idx, e.Val)
+		}
+		if e.WroteMsg != nil {
+			return fmt.Sprintf("%s = %d (msg #%d at pos %d)", e.Var, e.Val, e.WroteMsg.Seq, e.WroteMsg.T)
+		}
+		return fmt.Sprintf("%s = %d", e.Var, e.Val)
+	case KindCAS:
+		if e.ReadMsg != nil {
+			return fmt.Sprintf("cas(%s, %d, %d) on msg #%d (pos %d)", e.Var, e.Old, e.Val, e.ReadMsg.Seq, e.ReadMsg.T)
+		}
+		return fmt.Sprintf("cas(%s, %d, %d)", e.Var, e.Old, e.Val)
+	case KindFence:
+		if e.ReadMsg != nil {
+			return fmt.Sprintf("fence (rmw #%d -> %d)", e.ReadMsg.Seq, e.Val)
+		}
+		return "fence"
+	case KindLocal:
+		if e.Choice {
+			return fmt.Sprintf("$%s = nondet -> %d", e.Reg, e.Val)
+		}
+		if e.Reg != "" {
+			return fmt.Sprintf("$%s = %d", e.Reg, e.Val)
+		}
+	}
+	return ""
 }
 
 // Trace is an execution fragment witnessing a verdict.
@@ -88,12 +182,13 @@ func (t *Trace) ViewSwitches() int {
 // String renders the trace, one event per line.
 func (t *Trace) String() string {
 	var b strings.Builder
-	for i, e := range t.Events {
+	for i := range t.Events {
+		e := &t.Events[i]
 		mark := ""
 		if e.ViewSwitch {
 			mark = " [view-switch]"
 		}
-		fmt.Fprintf(&b, "%3d. %-8s %-10s %-8s %s%s\n", i+1, e.Proc, e.Label, e.Kind, e.Detail, mark)
+		fmt.Fprintf(&b, "%3d. %-8s %-10s %-8s %s%s\n", i+1, e.Proc, e.Label, e.Kind, e.Text(), mark)
 	}
 	return b.String()
 }

@@ -8,6 +8,13 @@
 # PRs can diff states/sec, dedup hit rate and probe behaviour against
 # this snapshot.
 #
+# Every benchmark is run twice: once plainly (trace export disabled)
+# and once with -trace-out (witness export + view capture during
+# replay). The second sweep's reports carry config.trace = "enabled",
+# so diffing seconds between the pairs measures the tracing overhead —
+# which should be confined to the lift/replay/export phases, with the
+# search itself unchanged.
+#
 # Usage:
 #   scripts/bench_snapshot.sh            # 60s per-run budget
 #   VBMC_TIMEOUT=10s scripts/bench_snapshot.sh
@@ -18,18 +25,26 @@ cd "$(dirname "$0")/.."
 out="${VBMC_OUT:-BENCH_vbmc.json}"
 timeout="${VBMC_TIMEOUT:-60s}"
 benches=(bakery burns dekker lamport peterson_0 'peterson_0(3)' sim_dekker szymanski_0)
+tracedir="$(mktemp -d)"
+trap 'rm -rf "$tracedir"' EXIT
 
 go build -o /tmp/vbmc-bench ./cmd/vbmc
 
 {
   echo '['
   first=1
-  for b in "${benches[@]}"; do
-    [ "$first" -eq 1 ] || echo ','
-    first=0
-    # vbmc exits 1 for UNSAFE / 2 for INCONCLUSIVE; both still emit a
-    # report, so don't let set -e kill the sweep.
-    /tmp/vbmc-bench -json -k 2 -l 2 -timeout "$timeout" -bench "$b" || true
+  for mode in disabled enabled; do
+    for b in "${benches[@]}"; do
+      [ "$first" -eq 1 ] || echo ','
+      first=0
+      args=(-json -k 2 -l 2 -timeout "$timeout" -bench "$b")
+      if [ "$mode" = enabled ]; then
+        args+=(-trace-out "$tracedir/${b//[^a-z0-9_]/_}.jsonl")
+      fi
+      # vbmc exits 1 for UNSAFE / 2 for INCONCLUSIVE; both still emit a
+      # report, so don't let set -e kill the sweep.
+      /tmp/vbmc-bench "${args[@]}" || true
+    done
   done
   echo ']'
 } >"$out"
