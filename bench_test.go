@@ -75,7 +75,7 @@ func BenchmarkTable8(b *testing.B) { benchTable(b, tables.Table8) }
 // corpus (full corpus: cmd/ratables -table litmus -stride 1).
 func BenchmarkLitmusSuite(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sum := tables.LitmusSweep(3, 101, 5)
+		sum := tables.LitmusSweep(3, 101, 5, 1)
 		if sum.Agree != sum.Total {
 			b.Fatalf("litmus disagreement: %s", sum.Render())
 		}

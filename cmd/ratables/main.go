@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"sync"
 	"time"
 
 	"ravbmc/internal/obs"
@@ -34,6 +35,7 @@ func run() int {
 		timeout    = flag.Duration("timeout", 60*time.Second, "per tool-run budget (paper: 3600s)")
 		stride     = flag.Int("stride", 17, "litmus: run every stride-th generated program")
 		k          = flag.Int("k", 5, "litmus: view bound")
+		jobs       = flag.Int("jobs", 0, "concurrent tool runs (0 = all CPUs); output is identical for any width")
 		progress   = flag.Bool("progress", false, "print live per-run progress snapshots to stderr")
 		progressIv = flag.Duration("progress-interval", time.Second, "interval between -progress snapshots")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -67,20 +69,27 @@ func run() int {
 		}()
 	}
 
-	cfg := tables.Config{Timeout: *timeout, Quick: *quick}
+	cfg := tables.Config{Timeout: *timeout, Quick: *quick, Jobs: *jobs}
 	if *progress {
-		// Tool runs are sequential, so one printer at a time suffices:
-		// the hook retires the previous run's printer and starts a fresh
-		// one against the new run's recorder.
-		var cur *obs.Progress
+		// One printer at a time suffices even with -jobs > 1: the hook
+		// retires the previous run's printer and starts a fresh one
+		// against the new run's recorder, so the snapshot stream always
+		// tracks the most recently started run. Pool workers call the
+		// hook concurrently, hence the mutex around the swap.
+		var (
+			mu  sync.Mutex
+			cur *obs.Progress
+		)
 		cfg.Obs = func(bench, tool string) *obs.Recorder {
+			mu.Lock()
+			defer mu.Unlock()
 			cur.Stop()
 			fmt.Fprintf(os.Stderr, "== %s / %s\n", bench, tool)
 			rec := obs.New()
 			cur = obs.NewProgress(os.Stderr, rec, *progressIv)
 			return rec
 		}
-		defer func() { cur.Stop() }()
+		defer func() { mu.Lock(); cur.Stop(); mu.Unlock() }()
 	}
 	gens := tables.All()
 
@@ -94,9 +103,9 @@ func run() int {
 		for _, key := range keys {
 			fmt.Println(gens[key](cfg).Render())
 		}
-		fmt.Println(tables.LitmusSweep(3, *stride, *k).Render())
+		fmt.Println(tables.LitmusSweep(3, *stride, *k, *jobs).Render())
 	case "litmus":
-		fmt.Println(tables.LitmusSweep(3, *stride, *k).Render())
+		fmt.Println(tables.LitmusSweep(3, *stride, *k, *jobs).Render())
 	default:
 		gen, ok := gens[*table]
 		if !ok {

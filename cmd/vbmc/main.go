@@ -12,6 +12,8 @@
 //	vbmc -k 2 -l 2 -bench dekker -trace-out w.json -trace-format chrome
 //	vbmc -k 2 -l 2 -bench peterson_0(3) -progress      # live snapshots on stderr
 //	vbmc -k 2 -l 2 -bench peterson_0(3) -cpuprofile cpu.pprof
+//	vbmc -auto-k 4 -jobs 4 -bench dekker               # probe K=0..4 concurrently
+//	vbmc -k 2 -l 2 -bench dekker -portfolio            # cross-check all engines
 //
 // On UNSAFE the witness is the source-level RA trace: the backend's
 // counterexample on the translated program, lifted back to the source
@@ -26,9 +28,12 @@
 //	2  INCONCLUSIVE (state cap or timeout hit before covering the space)
 //	3  usage or input error (bad flags, unreadable file, parse or
 //	   validation failure)
+//	4  portfolio disagreement (-portfolio only): two engines produced
+//	   contradictory verdicts, i.e. one of them has a bug
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +44,7 @@ import (
 	"ravbmc"
 	"ravbmc/internal/benchmarks"
 	"ravbmc/internal/core"
+	"ravbmc/internal/diff"
 	"ravbmc/internal/obs"
 	"ravbmc/internal/trace"
 )
@@ -61,6 +67,8 @@ func run() int {
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
 		emit       = flag.Bool("emit", false, "print the translated SC program instead of checking")
 		autoK      = flag.Int("auto-k", -1, "search for the minimal K up to this bound instead of using -k")
+		jobs       = flag.Int("jobs", 0, "concurrent runs for -auto-k and -portfolio (0 = all CPUs, 1 = serial)")
+		portfolio  = flag.Bool("portfolio", false, "run every engine on the program and cross-check the verdicts")
 		jsonOut    = flag.Bool("json", false, "emit a JSON run report on stdout instead of the summary line")
 		progress   = flag.Bool("progress", false, "print periodic live progress snapshots to stderr")
 		progressIv = flag.Duration("progress-interval", time.Second, "interval between -progress snapshots")
@@ -123,6 +131,23 @@ func run() int {
 		defer p.Stop()
 	}
 
+	if *portfolio {
+		rep := diff.Run(prog, diff.Options{
+			K: *k, Unroll: *l, Timeout: *timeout, Jobs: *jobs,
+		})
+		fmt.Print(rep.Render())
+		if !rep.Agree() {
+			return 4
+		}
+		switch rep.Verdict() {
+		case diff.Unsafe:
+			return 1
+		case diff.Safe:
+			return 0
+		}
+		return 2
+	}
+
 	start := time.Now()
 	opts := ravbmc.VBMCOptions{
 		K: *k, Unroll: *l, MaxContexts: *contexts, Timeout: *timeout, Obs: rec,
@@ -130,7 +155,7 @@ func run() int {
 	var res ravbmc.VBMCResult
 	if *autoK >= 0 {
 		var kFound int
-		kFound, res, err = core.FindMinK(prog, *autoK, opts)
+		kFound, res, err = core.FindMinKParallel(context.Background(), prog, *autoK, opts, *jobs)
 		if err != nil {
 			return fail(err)
 		}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"ravbmc/internal/lang"
+)
+
+// TestFindMinKParallelMatchesSerial: the speculative sweep must return
+// exactly the serial sweep's (k, verdict) — smaller bounds always run
+// to completion, so cancelling losers cannot change the answer.
+func TestFindMinKParallelMatchesSerial(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *lang.Program
+		maxK int
+	}{
+		{"chain2", chain2(), 4},
+		{"mp_safe", mpSafe(), 2},
+		{"sb_checked", sbChecked(false), 3},
+		{"fenced_sb", sbChecked(true), 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sk, sres, serr := FindMinK(tc.prog, tc.maxK, Options{})
+			for _, jobs := range []int{1, 2, 4} {
+				pk, pres, perr := FindMinKParallel(context.Background(), tc.prog, tc.maxK, Options{}, jobs)
+				if (serr == nil) != (perr == nil) {
+					t.Fatalf("jobs=%d: err=%v, serial err=%v", jobs, perr, serr)
+				}
+				if pk != sk || pres.Verdict != sres.Verdict {
+					t.Errorf("jobs=%d: got K=%d %v, serial K=%d %v",
+						jobs, pk, pres.Verdict, sk, sres.Verdict)
+				}
+			}
+		})
+	}
+}
+
+// TestFindMinKParallelErrorPropagates: a per-bound error surfaces just
+// as it does from the serial sweep.
+func TestFindMinKParallelErrorPropagates(t *testing.T) {
+	p := lang.NewProgram("loopy", "x")
+	p.AddProc("p0", "r").Add(lang.WhileS(lang.Eq(lang.R("r"), lang.C(0)), lang.ReadS("r", "x")))
+	if _, _, err := FindMinKParallel(context.Background(), p, 2, Options{}, 4); err == nil {
+		t.Error("loops without an unroll bound must error in parallel mode too")
+	}
+}
+
+// TestFindMinKParallelPreCancelled: a dead group context yields an
+// inconclusive, timed-out result without running any bound.
+func TestFindMinKParallelPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	k, res, err := FindMinKParallel(ctx, sbChecked(false), 3, Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Inconclusive || !res.TimedOut {
+		t.Errorf("got K=%d %v (TimedOut=%v), want Inconclusive/TimedOut", k, res.Verdict, res.TimedOut)
+	}
+}

@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"ravbmc/internal/lang"
 	"ravbmc/internal/obs"
 	"ravbmc/internal/replay"
 	"ravbmc/internal/sc"
+	"ravbmc/internal/sched"
 	"ravbmc/internal/trace"
 )
 
@@ -57,6 +60,11 @@ type Options struct {
 	// Timeout caps wall-clock time (0 = none). The paper's evaluation
 	// uses 3600 s.
 	Timeout time.Duration
+	// Ctx cancels the whole run early (nil = never): the backend
+	// searches poll it on a stride, so a parallel harness stops a
+	// losing run within one granule. Composes with Timeout. A cancelled
+	// run reports Inconclusive with TimedOut=true.
+	Ctx context.Context
 	// NoProbes disables the under-approximate probe ladder (the cheap
 	// forced-tracked / small-stamp-window pass run before the full
 	// translation); used by the ablation benchmarks.
@@ -212,7 +220,7 @@ func Run(prog *lang.Program, opts Options) (Result, error) {
 			if err != nil {
 				return Result{}, err
 			}
-			probeOpts := sc.Options{MaxContexts: bound, MaxStates: tier.maxStates, Obs: rec}
+			probeOpts := sc.Options{MaxContexts: bound, MaxStates: tier.maxStates, Ctx: opts.Ctx, Obs: rec}
 			if opts.MaxStates > 0 && opts.MaxStates < probeOpts.MaxStates {
 				probeOpts.MaxStates = opts.MaxStates
 			}
@@ -248,7 +256,7 @@ func Run(prog *lang.Program, opts Options) (Result, error) {
 	}
 	out.TranslatedStmts = translated.CountStmts()
 	rec.Gauge("translate.stmts").Set(int64(out.TranslatedStmts))
-	scOpts := sc.Options{MaxContexts: bound, MaxStates: opts.MaxStates, Deadline: deadline, Obs: rec}
+	scOpts := sc.Options{MaxContexts: bound, MaxStates: opts.MaxStates, Deadline: deadline, Ctx: opts.Ctx, Obs: rec}
 	res := checkDeepening(translated, bound, scOpts, rec, "final")
 	out.States += res.States
 	out.Transitions += res.Transitions
@@ -348,6 +356,101 @@ func FindMinK(prog *lang.Program, maxK int, opts Options) (int, Result, error) {
 			return k, Result{}, err
 		}
 		opts.Obs.Gauge("core.mink_last_k").Set(int64(k))
+		if res.Verdict == Unsafe {
+			return k, res, nil
+		}
+		last = res
+		// A cancelled sweep context stops the ladder here rather than
+		// burning one aborted run per remaining bound.
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			return k, last, nil
+		}
+	}
+	return maxK, last, nil
+}
+
+// FindMinKParallel is FindMinK's speculative mode: it probes several K
+// values concurrently on a sched pool of the given width and cancels
+// losers as soon as they cannot improve the answer. K-bounded
+// reachability is monotone in K (every behaviour with at most k view
+// switches also has at most k+1), so the minimal bug bound is the
+// smallest K whose run reports Unsafe — once some K is Unsafe, every
+// larger bound is cancelled, while all smaller bounds run to completion
+// to keep the answer minimal. The returned (k, Result) therefore equals
+// the serial FindMinK's, at a fraction of the wall clock when cores are
+// available. jobs == 1 falls back to the serial sweep, jobs <= 0
+// selects runtime.NumCPU; ctx cancels the whole search (nil = never).
+func FindMinKParallel(ctx context.Context, prog *lang.Program, maxK int, opts Options, jobs int) (int, Result, error) {
+	if jobs == 1 {
+		if opts.Ctx == nil {
+			opts.Ctx = ctx
+		}
+		return FindMinK(prog, maxK, opts)
+	}
+	var (
+		mu      sync.Mutex
+		cancels = make([]context.CancelFunc, maxK+1)
+		cutoff  = maxK + 1 // smallest K known Unsafe; larger bounds are moot
+	)
+	specJobs := make([]sched.Job, maxK+1)
+	for k := 0; k <= maxK; k++ {
+		k := k
+		specJobs[k] = sched.Job{
+			Name: fmt.Sprintf("K=%d", k),
+			Run: func(jctx context.Context) (any, error) {
+				kctx, kcancel := context.WithCancel(jctx)
+				defer kcancel()
+				mu.Lock()
+				if k > cutoff {
+					mu.Unlock()
+					return Result{Verdict: Inconclusive, TimedOut: true}, nil
+				}
+				cancels[k] = kcancel
+				mu.Unlock()
+				o := opts
+				o.K = k
+				o.Ctx = kctx
+				return Run(prog, o)
+			},
+		}
+	}
+	onResult := func(r sched.Result) bool {
+		if r.Err != nil || r.Skipped {
+			return false
+		}
+		res := r.Value.(Result)
+		opts.Obs.Gauge("core.mink_last_k").Set(int64(r.Index))
+		if res.Verdict != Unsafe {
+			return false
+		}
+		mu.Lock()
+		if r.Index < cutoff {
+			cutoff = r.Index
+		}
+		for j := r.Index + 1; j <= maxK; j++ {
+			if cancels[j] != nil {
+				cancels[j]()
+				cancels[j] = nil
+			}
+		}
+		mu.Unlock()
+		return false
+	}
+	results := sched.New(jobs).Run(ctx, specJobs, onResult)
+	// Scan ascending, exactly as the serial sweep would have decided:
+	// the first error or Unsafe bound is the answer. Bounds above an
+	// Unsafe one were cancelled and are never reached by the scan.
+	var last Result
+	for k, r := range results {
+		if r.Skipped {
+			// Group cancelled from outside: report the bound as
+			// inconclusive, like a serial sweep whose context died here.
+			return k, Result{Verdict: Inconclusive, TimedOut: true, ContextBound: last.ContextBound}, nil
+		}
+		if r.Err != nil {
+			return k, Result{}, r.Err
+		}
+		res := r.Value.(Result)
 		if res.Verdict == Unsafe {
 			return k, res, nil
 		}

@@ -1,0 +1,346 @@
+// Package diff is the differential-testing layer: it runs the repo's
+// independently implemented checkers as a portfolio on one program and
+// cross-checks their verdicts. The tools were built from different
+// parts of the paper — VBMC's translate-and-check pipeline (Sec. 6),
+// the RA operational-semantics explorer (Sec. 5), and the three
+// stateless baselines of the evaluation — so any disagreement between
+// comparable verdicts is a bug in one of them.
+//
+// Comparability rules (encoded in Report):
+//
+//   - vbmc decides exactly K-bounded reachability, as does the RA
+//     explorer run with ViewBound=K: when both conclude, their verdicts
+//     must match exactly.
+//   - The full RA explorer and the stateless checkers are exact for
+//     the unrolled program when they exhaust; their conclusive verdicts
+//     must all agree with each other.
+//   - A K-bounded UNSAFE (witness-validated for vbmc) implies real
+//     unsafety, so it contradicts any exact SAFE. The converse does
+//     not hold: a K-bounded SAFE against an exact UNSAFE just means
+//     the bug needs more than K view switches — not a disagreement.
+//   - Timeouts and cancelled runs are inconclusive and never compared;
+//     tool errors are reported as disagreements (the corpus programs
+//     are all inside every tool's supported fragment).
+package diff
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"ravbmc/internal/core"
+	"ravbmc/internal/lang"
+	"ravbmc/internal/obs"
+	"ravbmc/internal/ra"
+	"ravbmc/internal/sched"
+	"ravbmc/internal/smc"
+)
+
+// Verdict is one tool's conclusion in the portfolio.
+type Verdict string
+
+const (
+	Unsafe  Verdict = "UNSAFE"
+	Safe    Verdict = "SAFE"
+	Timeout Verdict = "T.O"
+	Error   Verdict = "ERR"
+)
+
+// Tool names, in report order. The bounded pair decides K-bounded
+// reachability; the rest are exact for the unrolled program.
+var Tools = []string{"vbmc", "ra[K]", "ra", "tracer", "cdsc", "rcmc"}
+
+// boundedTools decide the K-bounded problem only.
+var boundedTools = map[string]bool{"vbmc": true, "ra[K]": true}
+
+// Options configures a portfolio run.
+type Options struct {
+	// K is the view bound for vbmc and the ra[K] oracle.
+	K int
+	// Unroll is the loop bound L, required for programs with loops.
+	Unroll int
+	// Timeout is the per-tool budget; zero selects 30 s.
+	Timeout time.Duration
+	// Jobs is the pool width (<= 0 selects runtime.NumCPU).
+	Jobs int
+	// MaxStates caps the stateful searches (vbmc backend, ra); 0 = none.
+	MaxStates int
+	// MaxTransitions caps the stateless searches; 0 = none.
+	MaxTransitions int64
+	// FirstUnsafeCancels stops the rest of the portfolio as soon as one
+	// tool reports a trustworthy UNSAFE (validated for vbmc): the racing
+	// mode of cmd/vbmc -portfolio. Leave false when diffing — a
+	// disagreement can only be observed if the slower tools finish.
+	FirstUnsafeCancels bool
+	// Ctx cancels the whole portfolio (nil = never).
+	Ctx context.Context
+	// Obs, when non-nil, supplies a recorder per tool run (nil entries
+	// leave that run uninstrumented). Called from pool workers; must be
+	// safe for concurrent use.
+	Obs func(tool string) *obs.Recorder
+}
+
+func (o Options) timeout() time.Duration {
+	if o.Timeout <= 0 {
+		return 30 * time.Second
+	}
+	return o.Timeout
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
+}
+
+func (o Options) recorder(tool string) *obs.Recorder {
+	if o.Obs == nil {
+		return nil
+	}
+	return o.Obs(tool)
+}
+
+// ToolResult is one tool's run in the portfolio.
+type ToolResult struct {
+	Tool    string
+	Verdict Verdict
+	Seconds float64
+	// Bounded marks verdicts that cover only K-bounded behaviours.
+	Bounded bool
+	// Validated marks an UNSAFE whose witness replayed under RA
+	// (always true for the non-vbmc tools: they execute the RA
+	// semantics directly, so their violations are witnesses by
+	// construction).
+	Validated bool
+	// Err carries the failure behind an ERR verdict.
+	Err error
+}
+
+// Report is the cross-checked portfolio outcome.
+type Report struct {
+	Program string
+	K, L    int
+	Results []ToolResult
+	// Disagreements lists every violated comparability rule; empty
+	// means the tools are consistent on this program.
+	Disagreements []string
+}
+
+// Run executes the portfolio on prog and cross-checks the verdicts.
+// Each tool runs on its own clone of prog, so the portfolio is safe at
+// any pool width.
+func Run(prog *lang.Program, opts Options) Report {
+	rep := Report{Program: prog.Name, K: opts.K, L: opts.Unroll}
+	jobs := make([]sched.Job, len(Tools))
+	for i, tool := range Tools {
+		tool := tool
+		p := prog.Clone()
+		jobs[i] = sched.Job{
+			Name: prog.Name + "/" + tool,
+			Run: func(ctx context.Context) (any, error) {
+				return runTool(ctx, tool, p, opts), nil
+			},
+		}
+	}
+	var policy sched.Policy
+	if opts.FirstUnsafeCancels {
+		policy = func(r sched.Result) bool {
+			tr, ok := r.Value.(ToolResult)
+			return ok && tr.Verdict == Unsafe && tr.Validated
+		}
+	}
+	for i, r := range sched.New(opts.Jobs).Run(opts.ctx(), jobs, policy) {
+		switch {
+		case r.Skipped:
+			rep.Results = append(rep.Results, ToolResult{
+				Tool: Tools[i], Verdict: Timeout, Bounded: boundedTools[Tools[i]],
+			})
+		case r.Err != nil:
+			rep.Results = append(rep.Results, ToolResult{
+				Tool: Tools[i], Verdict: Error, Err: r.Err,
+			})
+		default:
+			rep.Results = append(rep.Results, r.Value.(ToolResult))
+		}
+	}
+	rep.crossCheck()
+	return rep
+}
+
+func runTool(ctx context.Context, tool string, prog *lang.Program, opts Options) ToolResult {
+	tr := ToolResult{Tool: tool, Bounded: boundedTools[tool]}
+	start := time.Now()
+	defer func() { tr.Seconds = time.Since(start).Seconds() }()
+	switch tool {
+	case "vbmc":
+		res, err := core.Run(prog, core.Options{
+			K: opts.K, Unroll: opts.Unroll, Timeout: opts.timeout(),
+			MaxStates: opts.MaxStates, Ctx: ctx, Obs: opts.recorder(tool),
+		})
+		switch {
+		case err != nil:
+			tr.Verdict, tr.Err = Error, err
+		case res.Verdict == core.Unsafe && !res.WitnessValidated:
+			tr.Verdict = Error
+			tr.Err = fmt.Errorf("unsafe verdict without validated witness: %s", res.WitnessErr)
+		case res.Verdict == core.Unsafe:
+			tr.Verdict, tr.Validated = Unsafe, true
+		case res.Verdict == core.Safe:
+			tr.Verdict = Safe
+		default:
+			tr.Verdict = Timeout
+		}
+	case "ra[K]", "ra":
+		bound := -1
+		if tool == "ra[K]" {
+			bound = opts.K
+		}
+		tr.fromRA(ctx, prog, bound, opts)
+	default:
+		alg, ok := map[string]smc.Algorithm{
+			"tracer": smc.AlgorithmTracer, "cdsc": smc.AlgorithmCDS, "rcmc": smc.AlgorithmRCMC,
+		}[tool]
+		if !ok {
+			tr.Verdict, tr.Err = Error, fmt.Errorf("unknown tool %q", tool)
+			return tr
+		}
+		res, err := smc.Check(prog, smc.Options{
+			Algorithm: alg, Unroll: opts.Unroll, Timeout: opts.timeout(),
+			MaxTransitions: opts.MaxTransitions, Ctx: ctx, Obs: opts.recorder(tool),
+		})
+		switch {
+		case err != nil:
+			tr.Verdict, tr.Err = Error, err
+		case res.Violation:
+			tr.Verdict, tr.Validated = Unsafe, true
+		case res.Exhausted:
+			tr.Verdict = Safe
+		default:
+			tr.Verdict = Timeout
+		}
+	}
+	return tr
+}
+
+// fromRA runs the RA explorer at the given view bound (-1 = full) on
+// the same unrolling vbmc sees, so the verdicts are comparable.
+func (tr *ToolResult) fromRA(ctx context.Context, prog *lang.Program, bound int, opts Options) {
+	src := prog
+	if opts.Unroll > 0 {
+		src = lang.Unroll(prog, opts.Unroll)
+	}
+	cp, err := lang.Compile(src)
+	if err != nil {
+		tr.Verdict, tr.Err = Error, err
+		return
+	}
+	res := ra.NewSystem(cp).Explore(ra.Options{
+		ViewBound: bound, StopOnViolation: true, MaxStates: opts.MaxStates,
+		Deadline: time.Now().Add(opts.timeout()), Ctx: ctx, Obs: opts.recorder(tr.Tool),
+	})
+	switch {
+	case res.Violation:
+		tr.Verdict, tr.Validated = Unsafe, true
+	case res.Exhausted:
+		tr.Verdict = Safe
+	default:
+		tr.Verdict = Timeout
+	}
+}
+
+// crossCheck applies the comparability rules to the collected results.
+func (r *Report) crossCheck() {
+	by := map[string]ToolResult{}
+	for _, tr := range r.Results {
+		by[tr.Tool] = tr
+		if tr.Verdict == Error {
+			r.Disagreements = append(r.Disagreements,
+				fmt.Sprintf("%s errored: %v", tr.Tool, tr.Err))
+		}
+	}
+	// Exact tools must agree among themselves.
+	var exact []ToolResult
+	for _, tr := range r.Results {
+		if !tr.Bounded && (tr.Verdict == Unsafe || tr.Verdict == Safe) {
+			exact = append(exact, tr)
+		}
+	}
+	for _, tr := range exact[min(1, len(exact)):] {
+		if tr.Verdict != exact[0].Verdict {
+			r.Disagreements = append(r.Disagreements,
+				fmt.Sprintf("%s=%s vs %s=%s (both exact for L=%d)",
+					exact[0].Tool, exact[0].Verdict, tr.Tool, tr.Verdict, r.L))
+		}
+	}
+	// The bounded pair decides the same K-bounded problem.
+	vb, rak := by["vbmc"], by["ra[K]"]
+	if conclusive(vb) && conclusive(rak) && vb.Verdict != rak.Verdict {
+		r.Disagreements = append(r.Disagreements,
+			fmt.Sprintf("vbmc=%s vs ra[K]=%s (both decide K=%d exactly)",
+				vb.Verdict, rak.Verdict, r.K))
+	}
+	// K-bounded unsafety implies real unsafety.
+	for _, b := range []ToolResult{vb, rak} {
+		if b.Verdict != Unsafe {
+			continue
+		}
+		for _, e := range exact {
+			if e.Verdict == Safe {
+				r.Disagreements = append(r.Disagreements,
+					fmt.Sprintf("%s=UNSAFE at K=%d but %s=SAFE", b.Tool, r.K, e.Tool))
+			}
+		}
+	}
+}
+
+func conclusive(tr ToolResult) bool {
+	return tr.Verdict == Unsafe || tr.Verdict == Safe
+}
+
+// Agree reports whether the portfolio is consistent on this program.
+func (r Report) Agree() bool { return len(r.Disagreements) == 0 }
+
+// Verdict is the portfolio's combined conclusion: an exact or
+// validated-bounded UNSAFE wins, then an exact SAFE, then a bounded
+// SAFE (conclusive only for K), else inconclusive (T.O).
+func (r Report) Verdict() Verdict {
+	for _, tr := range r.Results {
+		if tr.Verdict == Unsafe && tr.Validated {
+			return Unsafe
+		}
+	}
+	for _, tr := range r.Results {
+		if tr.Verdict == Safe && !tr.Bounded {
+			return Safe
+		}
+	}
+	for _, tr := range r.Results {
+		if tr.Verdict == Safe {
+			return Safe
+		}
+	}
+	return Timeout
+}
+
+// Render prints the portfolio outcome, one tool per line, then any
+// disagreements.
+func (r Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (K=%d, L=%d): %s\n", r.Program, r.K, r.L, r.Verdict())
+	for _, tr := range r.Results {
+		fmt.Fprintf(&b, "  %-8s %-8s %8.2fs", tr.Tool, tr.Verdict, tr.Seconds)
+		if tr.Bounded {
+			b.WriteString("  [K-bounded]")
+		}
+		if tr.Err != nil {
+			fmt.Fprintf(&b, "  (%v)", tr.Err)
+		}
+		b.WriteByte('\n')
+	}
+	for _, d := range r.Disagreements {
+		fmt.Fprintf(&b, "  DISAGREEMENT: %s\n", d)
+	}
+	return b.String()
+}

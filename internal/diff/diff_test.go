@@ -1,0 +1,215 @@
+package diff
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ravbmc/internal/benchmarks"
+	"ravbmc/internal/litmus"
+)
+
+// testJobs returns the pool width for tests: RAVBMC_TEST_JOBS if set
+// (CI forces >1 so concurrency is exercised even on 1-CPU runners),
+// else 4.
+func testJobs() int {
+	if s := os.Getenv("RAVBMC_TEST_JOBS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 4
+}
+
+// mustConclude guards the sweep tests against vacuous agreement: on
+// litmus-sized programs every tool must reach a verdict, so a T.O or
+// ERR means the wiring (not the budget) is broken.
+func mustConclude(t *testing.T, name string, rep Report) {
+	t.Helper()
+	for _, tr := range rep.Results {
+		if !conclusive(tr) {
+			t.Errorf("%s: %s did not conclude (%s)", name, tr.Tool, tr.Verdict)
+		}
+	}
+}
+
+// TestDiffLitmusClassic cross-checks all six tools on every classic
+// litmus shape. K=3 is enough for every classic weak behaviour, so the
+// portfolio verdict must also match the literature one.
+func TestDiffLitmusClassic(t *testing.T) {
+	for _, tc := range litmus.Classic() {
+		rep := Run(tc.Prog, Options{K: 3, Jobs: testJobs(), Timeout: 30 * time.Second})
+		if !rep.Agree() {
+			t.Errorf("disagreement on %s:\n%s", tc.Name, rep.Render())
+		}
+		mustConclude(t, tc.Name, rep)
+		if tc.HasExpectation {
+			want := Safe
+			if tc.Unsafe {
+				want = Unsafe
+			}
+			if got := rep.Verdict(); got != want {
+				t.Errorf("%s: portfolio verdict %s, literature says %s\n%s",
+					tc.Name, got, want, rep.Render())
+			}
+		}
+	}
+}
+
+// TestDiffLitmusGenerated cross-checks the generated 2-ops corpus (240
+// programs, every store-buffer/message-passing-like shape over two
+// variables). -short strides the corpus; the full sweep runs in CI.
+func TestDiffLitmusGenerated(t *testing.T) {
+	stride := 1
+	if testing.Short() {
+		stride = 13
+	}
+	gen := litmus.Generated(2)
+	for i := 0; i < len(gen); i += stride {
+		tc := gen[i]
+		rep := Run(tc.Prog, Options{K: 2, Jobs: testJobs(), Timeout: 30 * time.Second})
+		if !rep.Agree() {
+			t.Errorf("disagreement on %s:\n%s", tc.Name, rep.Render())
+		}
+		mustConclude(t, tc.Name, rep)
+	}
+}
+
+// TestDiffLitmusGenerated3 cross-checks the 3-ops corpus (4032
+// programs). The full sweep costs ~40 CPU-minutes, so by default every
+// 67th program runs (about a minute); RAVBMC_DIFF_FULL=1 removes the
+// stride for the exhaustive pass.
+func TestDiffLitmusGenerated3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs six tools per program")
+	}
+	stride := 67
+	if os.Getenv("RAVBMC_DIFF_FULL") != "" {
+		stride = 1
+	}
+	gen := litmus.Generated(3)
+	ran := 0
+	for i := 0; i < len(gen); i += stride {
+		tc := gen[i]
+		rep := Run(tc.Prog, Options{K: 3, Jobs: testJobs(), Timeout: 30 * time.Second})
+		if !rep.Agree() {
+			t.Errorf("disagreement on %s:\n%s", tc.Name, rep.Render())
+		}
+		mustConclude(t, tc.Name, rep)
+		ran++
+	}
+	if stride > 1 {
+		t.Logf("strided: %d of %d programs (set RAVBMC_DIFF_FULL=1 for all)", ran, len(gen))
+	}
+}
+
+// TestDiffBenchmarks cross-checks the paper's mutual-exclusion
+// benchmarks: unfenced (UNSAFE at K=2) and fully fenced (SAFE) ones.
+func TestDiffBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs six tools per benchmark")
+	}
+	cases := []struct {
+		name string
+		k, l int
+	}{
+		{"dekker", 2, 2},
+		{"peterson_0", 2, 2},
+		{"sim_dekker", 2, 2},
+		{"tbar_4", 2, 1},
+		{"peterson_4(2)", 2, 2},
+	}
+	for _, tc := range cases {
+		prog, err := benchmarks.ByName(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := Run(prog, Options{
+			K: tc.k, Unroll: tc.l, Jobs: testJobs(), Timeout: 20 * time.Second,
+		})
+		if !rep.Agree() {
+			t.Errorf("disagreement on %s:\n%s", tc.name, rep.Render())
+		}
+	}
+}
+
+// TestCrossCheckRules exercises the comparability rules on synthetic
+// results, including the asymmetric under-approximation cases.
+func TestCrossCheckRules(t *testing.T) {
+	mk := func(tool string, v Verdict) ToolResult {
+		return ToolResult{Tool: tool, Verdict: v, Bounded: boundedTools[tool],
+			Validated: v == Unsafe}
+	}
+	cases := []struct {
+		name     string
+		results  []ToolResult
+		disagree bool
+	}{
+		{"all agree unsafe",
+			[]ToolResult{mk("vbmc", Unsafe), mk("ra[K]", Unsafe), mk("ra", Unsafe), mk("cdsc", Unsafe)},
+			false},
+		{"bounded safe under exact unsafe is fine",
+			[]ToolResult{mk("vbmc", Safe), mk("ra[K]", Safe), mk("ra", Unsafe), mk("cdsc", Unsafe)},
+			false},
+		{"bounded unsafe vs exact safe",
+			[]ToolResult{mk("vbmc", Unsafe), mk("ra[K]", Unsafe), mk("ra", Safe)},
+			true},
+		{"bounded pair splits",
+			[]ToolResult{mk("vbmc", Safe), mk("ra[K]", Unsafe)},
+			true},
+		{"exact tools split",
+			[]ToolResult{mk("ra", Safe), mk("tracer", Unsafe)},
+			true},
+		{"timeouts are not compared",
+			[]ToolResult{mk("vbmc", Timeout), mk("ra[K]", Safe), mk("ra", Timeout), mk("cdsc", Safe)},
+			false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := Report{Program: "synthetic", K: 2, Results: tc.results}
+			rep.crossCheck()
+			if got := !rep.Agree(); got != tc.disagree {
+				t.Errorf("disagree=%v, want %v: %v", got, tc.disagree, rep.Disagreements)
+			}
+		})
+	}
+}
+
+// TestDiffFirstUnsafeCancels: in racing mode a validated UNSAFE may
+// cancel the slower tools, but the combined verdict must still be
+// UNSAFE and the skipped runs must read as inconclusive.
+func TestDiffFirstUnsafeCancels(t *testing.T) {
+	tests := litmus.Classic()
+	var unsafe *litmus.Test
+	for i := range tests {
+		if tests[i].HasExpectation && tests[i].Unsafe {
+			unsafe = &tests[i]
+			break
+		}
+	}
+	if unsafe == nil {
+		t.Fatal("no known-unsafe classic litmus test")
+	}
+	rep := Run(unsafe.Prog, Options{
+		K: 3, Jobs: testJobs(), Timeout: 30 * time.Second, FirstUnsafeCancels: true,
+	})
+	if got := rep.Verdict(); got != Unsafe {
+		t.Errorf("portfolio verdict %s, want UNSAFE:\n%s", got, rep.Render())
+	}
+	if !rep.Agree() {
+		t.Errorf("racing mode produced disagreements:\n%s", rep.Render())
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	tc := litmus.Classic()[0]
+	rep := Run(tc.Prog, Options{K: 2, Jobs: testJobs(), Timeout: 30 * time.Second})
+	out := rep.Render()
+	for _, frag := range append([]string{tc.Prog.Name}, Tools...) {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package ra
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ravbmc/internal/benchmarks"
+	"ravbmc/internal/lang"
+)
+
+// TestExplorePreCancelledCtx: a context cancelled before Explore starts
+// must abort before the first state, like an expired deadline.
+func TestExplorePreCancelledCtx(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sys := NewSystem(lang.MustCompile(mpProg()))
+	res := sys.Explore(Options{ViewBound: -1, Ctx: ctx})
+	if !res.TimedOut || res.Exhausted || res.States != 0 {
+		t.Errorf("pre-cancelled ctx: TimedOut=%v Exhausted=%v States=%d",
+			res.TimedOut, res.Exhausted, res.States)
+	}
+}
+
+// TestExploreCtxCancelStopsPromptly: cancelling mid-exploration stops
+// the DFS within one sampling stride.
+func TestExploreCtxCancelStopsPromptly(t *testing.T) {
+	p, err := benchmarks.ByName("peterson_0(4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(lang.MustCompile(lang.Unroll(p, 3)))
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(100*time.Millisecond, cancel)
+	start := time.Now()
+	res := sys.Explore(Options{ViewBound: -1, Ctx: ctx})
+	elapsed := time.Since(start)
+	if !res.TimedOut {
+		t.Errorf("cancelled exploration finished: states=%d exhausted=%v", res.States, res.Exhausted)
+	}
+	if res.Exhausted {
+		t.Error("cancelled exploration claims exhaustion")
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, want well under 5s", elapsed)
+	}
+}

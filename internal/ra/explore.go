@@ -1,6 +1,7 @@
 package ra
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -37,6 +38,11 @@ type Options struct {
 	// Deadline aborts the search when passed (checked periodically);
 	// zero means none.
 	Deadline time.Time
+	// Ctx aborts the search when cancelled (nil = never); the parallel
+	// harnesses cancel losing portfolio runs through it. Composes with
+	// Deadline — whichever expires first stops the search with
+	// TimedOut=true.
+	Ctx context.Context
 	// Obs, when non-nil, receives the exploration counters
 	// ("ra.states", "ra.transitions", "ra.revisits", and the
 	// read-choice branching instruments "ra.branch_points" /
@@ -63,7 +69,8 @@ type Result struct {
 	// Exhausted is true if the state space was fully explored within the
 	// given bounds (so "no violation" is conclusive for those bounds).
 	Exhausted bool
-	// TimedOut is true when the Deadline cut the search short.
+	// TimedOut is true when the Deadline or a cancelled Ctx cut the
+	// search short.
 	TimedOut bool
 	// PeakMessages is the largest message pool seen.
 	PeakMessages int
@@ -93,9 +100,22 @@ func (s *System) Explore(opts Options) Result {
 		e.opts.MaxSteps = 1 << 20
 	}
 	e.exhausted = true
-	// An already-expired deadline aborts before the first state, so
+	// Fold the wall-clock deadline into the cancellation context; the
+	// search polls only ctx.Err() from here on.
+	if !opts.Deadline.IsZero() {
+		base := opts.Ctx
+		if base == nil {
+			base = context.Background()
+		}
+		var cancel context.CancelFunc
+		e.ctx, cancel = context.WithDeadline(base, opts.Deadline)
+		defer cancel()
+	} else if opts.Ctx != nil {
+		e.ctx = opts.Ctx
+	}
+	// An already-expired context aborts before the first state, so
 	// callers handing out tiny time slices get them honoured.
-	if !opts.Deadline.IsZero() && !time.Now().Before(opts.Deadline) {
+	if e.ctx != nil && e.ctx.Err() != nil {
 		e.result.TimedOut = true
 		return e.result
 	}
@@ -104,17 +124,19 @@ func (s *System) Explore(opts Options) Result {
 	return e.result
 }
 
-// deadlineStride is how many DFS entries pass between wall-clock reads.
-// The step counter (unlike the visited-state count, which stalls once
-// dedup saturates) advances on every entry, so the check always fires.
+// deadlineStride is how many DFS entries pass between cancellation
+// polls. The step counter (unlike the visited-state count, which stalls
+// once dedup saturates) advances on every entry, so the check always
+// fires.
 const deadlineStride = 1024
 
 type explorer struct {
 	sys       *System
 	opts      Options
-	visited   map[string]int // state key -> min view switches used
+	ctx       context.Context // nil when the search has no deadline/cancel scope
+	visited   map[string]int  // state key -> min view switches used
 	path      []trace.Event
-	steps     int // DFS entries, for deadline sampling
+	steps     int // DFS entries, for cancellation sampling
 	result    Result
 	exhausted bool
 
@@ -129,7 +151,7 @@ type explorer struct {
 // tracked under a context bound.
 func (e *explorer) dfs(c *Config, switches, depth, last, contexts int) bool {
 	e.steps++
-	if !e.opts.Deadline.IsZero() && e.steps%deadlineStride == 0 && time.Now().After(e.opts.Deadline) {
+	if e.ctx != nil && e.steps%deadlineStride == 0 && e.ctx.Err() != nil {
 		e.exhausted = false
 		e.result.TimedOut = true
 		return true

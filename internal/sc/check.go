@@ -1,6 +1,7 @@
 package sc
 
 import (
+	"context"
 	"time"
 
 	"ravbmc/internal/obs"
@@ -24,6 +25,12 @@ type Options struct {
 	// zero means none. An aborted search reports Exhausted=false and
 	// TimedOut=true.
 	Deadline time.Time
+	// Ctx aborts the search when cancelled (nil = never): the parallel
+	// harnesses (internal/sched callers) cancel losing portfolio runs
+	// through it. A non-zero Deadline composes with it — whichever
+	// expires first stops the search, with the same
+	// Exhausted=false/TimedOut=true outcome.
+	Ctx context.Context
 	// ReverseProcs flips the process iteration order of the scheduler.
 	// Searches biased towards different processes find bugs located in
 	// different threads; the VBMC driver alternates both orders.
@@ -47,15 +54,16 @@ type Result struct {
 	// context bound was covered, so "no violation" is conclusive for
 	// that bound.
 	Exhausted bool
-	// TimedOut is true when the Deadline cut the search short.
+	// TimedOut is true when the Deadline or a cancelled Ctx cut the
+	// search short.
 	TimedOut bool
 }
 
-// deadlineStride is how many DFS entries pass between wall-clock reads:
-// checking time.Now on every entry is measurable, so it is sampled. The
-// step counter (unlike the visited-state count) advances on every entry
-// including dedup hits, so the check fires even when the search stops
-// discovering new states.
+// deadlineStride is how many DFS entries pass between cancellation
+// polls: checking the context on every entry is measurable, so it is
+// sampled. The step counter (unlike the visited-state count) advances
+// on every entry including dedup hits, so the check fires even when
+// the search stops discovering new states.
 const deadlineStride = 1024
 
 // Check explores the SC transition system of the program at macro-step
@@ -70,10 +78,23 @@ func (s *System) Check(opts Options) Result {
 	e.gMaxDepth = opts.Obs.Gauge("sc.max_depth")
 	e.gMaxContexts = opts.Obs.Gauge("sc.max_contexts_used")
 	e.exhausted = true
-	// A deadline that has already passed aborts before the first state:
+	// Fold the wall-clock deadline into the cancellation context; the
+	// search polls only ctx.Err() from here on.
+	if !opts.Deadline.IsZero() {
+		base := opts.Ctx
+		if base == nil {
+			base = context.Background()
+		}
+		var cancel context.CancelFunc
+		e.ctx, cancel = context.WithDeadline(base, opts.Deadline)
+		defer cancel()
+	} else if opts.Ctx != nil {
+		e.ctx = opts.Ctx
+	}
+	// A context that is already expired aborts before the first state:
 	// restart-ladder rounds scheduled after an expired budget must not
 	// burn a deadlineStride of search each.
-	if !opts.Deadline.IsZero() && !time.Now().Before(opts.Deadline) {
+	if e.ctx != nil && e.ctx.Err() != nil {
 		e.result.TimedOut = true
 		e.result.Exhausted = false
 		return e.result
@@ -96,10 +117,11 @@ func (s *System) Check(opts Options) Result {
 type scChecker struct {
 	sys       *System
 	opts      Options
-	visited   map[string]int // state key -> min contexts used
+	ctx       context.Context // nil when the search has no deadline/cancel scope
+	visited   map[string]int  // state key -> min contexts used
 	path      []trace.Event
 	keyBuf    []byte
-	steps     int // DFS entries, for deadline sampling
+	steps     int // DFS entries, for cancellation sampling
 	result    Result
 	exhausted bool
 
@@ -114,7 +136,7 @@ type scChecker struct {
 // blocks; depth counts macro-steps on the current path.
 func (e *scChecker) dfs(c *Config, contexts, depth int) bool {
 	e.steps++
-	if !e.opts.Deadline.IsZero() && e.steps%deadlineStride == 0 && time.Now().After(e.opts.Deadline) {
+	if e.ctx != nil && e.steps%deadlineStride == 0 && e.ctx.Err() != nil {
 		e.exhausted = false
 		e.result.TimedOut = true
 		return true

@@ -1,0 +1,67 @@
+package sc
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ravbmc/internal/benchmarks"
+	"ravbmc/internal/lang"
+)
+
+// bigProg is a search too large to finish in test time: 4-thread
+// unfenced Peterson, unrolled — only cancellation can end it promptly.
+func bigProg(t *testing.T) *lang.Program {
+	t.Helper()
+	p, err := benchmarks.ByName("peterson_0(4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lang.Unroll(p, 3)
+}
+
+// TestCheckPreCancelledCtx: a context cancelled before Check starts must
+// abort before the first state, mirroring the expired-deadline contract.
+func TestCheckPreCancelledCtx(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := check(t, mustSB(), Options{Ctx: ctx})
+	if !res.TimedOut || res.Exhausted || res.States != 0 {
+		t.Errorf("pre-cancelled ctx: TimedOut=%v Exhausted=%v States=%d",
+			res.TimedOut, res.Exhausted, res.States)
+	}
+}
+
+// TestCheckCtxCancelStopsPromptly: cancelling mid-search must stop the
+// DFS within one sampling stride, not at the next wall-clock deadline.
+func TestCheckCtxCancelStopsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(100*time.Millisecond, cancel)
+	start := time.Now()
+	res := check(t, bigProg(t), Options{Ctx: ctx})
+	elapsed := time.Since(start)
+	if !res.TimedOut {
+		t.Errorf("cancelled search finished: %+v", res)
+	}
+	if res.Exhausted {
+		t.Error("cancelled search claims exhaustion")
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, want well under 5s", elapsed)
+	}
+}
+
+// TestCheckCtxComposesWithDeadline: whichever of Ctx and Deadline
+// expires first stops the search.
+func TestCheckCtxComposesWithDeadline(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	start := time.Now()
+	res := check(t, bigProg(t), Options{Ctx: ctx, Deadline: time.Now().Add(100 * time.Millisecond)})
+	if !res.TimedOut {
+		t.Errorf("deadline under a live ctx did not stop the search: %+v", res)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("deadline stop took %v", elapsed)
+	}
+}

@@ -1,0 +1,184 @@
+// Package sched is the engine-wide parallel scheduler: a bounded,
+// context-aware worker pool with deterministic result ordering, per-job
+// deadlines, panic capture and group cancellation policies.
+//
+// The evaluation harness (internal/tables), the speculative minimal-K
+// search (core.FindMinKParallel) and the differential portfolio
+// (internal/diff) all fan independent engine runs — VBMC translations,
+// SMC enumerations, RA explorations — through one Pool, so a table
+// sweep saturates the machine instead of leaving all but one core idle.
+//
+// Determinism contract: Run returns results indexed by job position,
+// regardless of completion order. Callers that assemble output from the
+// returned slice (rather than from completion callbacks) therefore
+// produce byte-identical artifacts for any worker count — the property
+// the tables golden test pins down.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Job is one unit of work: an independent engine run.
+type Job struct {
+	// Name identifies the job in results and logs ("dekker/VBMC",
+	// "K=3", ...).
+	Name string
+	// Timeout bounds this job's run (0 = none): the job's context
+	// expires Timeout after the job is picked up by a worker, not after
+	// group submission — each job gets its own full budget, exactly as
+	// a serial sweep would grant it.
+	Timeout time.Duration
+	// Run does the work. It must honour ctx: the engines' searches poll
+	// ctx.Err() on a stride, so cancellation stops a run within one job
+	// granule. The returned value is delivered verbatim in Result.Value.
+	Run func(ctx context.Context) (any, error)
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	// Index is the job's position in the submitted slice; Run's returned
+	// slice is ordered by it.
+	Index int
+	// Name echoes Job.Name.
+	Name string
+	// Value is what Job.Run returned (nil on error/skip/panic).
+	Value any
+	// Err is the job error: Run's own error, a *PanicError when the job
+	// panicked, or the group context error when the job was skipped.
+	Err error
+	// Elapsed is the job's wall time (zero for skipped jobs).
+	Elapsed time.Duration
+	// Panicked is true when Run panicked; Err then holds a *PanicError.
+	Panicked bool
+	// Skipped is true when the group was cancelled before the job
+	// started; Run was never called.
+	Skipped bool
+}
+
+// PanicError converts a captured job panic into an error, preserving
+// the panic value and the goroutine stack at the point of the panic.
+type PanicError struct {
+	Val   any
+	Stack []byte
+}
+
+// Error renders the panic value; the stack is kept for logs.
+func (e *PanicError) Error() string { return fmt.Sprintf("job panicked: %v", e.Val) }
+
+// Policy inspects one completed result and reports whether the rest of
+// the group should be cancelled. It runs on the caller's goroutine, in
+// completion order, so it may touch caller state without locking.
+type Policy func(Result) bool
+
+// FirstError is the cancellation policy that stops the group at the
+// first job error (panics included, skips excluded).
+func FirstError(r Result) bool { return r.Err != nil && !r.Skipped }
+
+// Pool is a bounded worker pool. The zero value is not usable;
+// construct with New. A Pool holds no goroutines between Run calls, so
+// it can be shared and reused freely.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool of the given width; workers <= 0 selects
+// runtime.NumCPU(), the "as fast as the hardware allows" default.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes the jobs on the pool and returns their results in job
+// order (deterministic regardless of scheduling). It blocks until every
+// job has finished or been skipped; it never leaks goroutines.
+//
+// cancelOn, when non-nil, is consulted after each completion (on the
+// caller's goroutine, in completion order); returning true cancels the
+// group: running jobs see their context expire, unstarted jobs are
+// skipped. Cancelling the passed ctx has the same effect.
+func (p *Pool) Run(ctx context.Context, jobs []Job, cancelOn Policy) []Result {
+	if len(jobs) == 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := p.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	idx := make(chan int)
+	results := make(chan Result)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results <- exec(gctx, i, &jobs[i])
+			}
+		}()
+	}
+	go func() {
+		// Workers drain every index even after cancellation (skipped
+		// jobs return immediately), so this feeder cannot block forever.
+		for i := range jobs {
+			idx <- i
+		}
+		close(idx)
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	out := make([]Result, len(jobs))
+	for r := range results {
+		out[r.Index] = r
+		if cancelOn != nil && cancelOn(r) {
+			cancel()
+		}
+	}
+	return out
+}
+
+// exec runs one job with panic capture and its per-job deadline.
+func exec(ctx context.Context, i int, j *Job) (res Result) {
+	res = Result{Index: i, Name: j.Name}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		res.Skipped = true
+		return res
+	}
+	jctx := ctx
+	if j.Timeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, j.Timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	defer func() {
+		res.Elapsed = time.Since(start)
+		if v := recover(); v != nil {
+			res.Panicked = true
+			res.Value = nil
+			res.Err = &PanicError{Val: v, Stack: debug.Stack()}
+		}
+	}()
+	res.Value, res.Err = j.Run(jctx)
+	return res
+}

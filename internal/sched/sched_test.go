@@ -1,0 +1,310 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testJobs is the pool width under test; the CI differential job forces
+// it above 1 via RAVBMC_TEST_JOBS even on single-core runners.
+func testJobs() int {
+	if s := os.Getenv("RAVBMC_TEST_JOBS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 4
+}
+
+// TestSchedDeterministicOrder: whatever the worker count and per-job
+// latency, the result slice is in job order and carries each job's own
+// value — the property the tables golden test builds on.
+func TestSchedDeterministicOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, workers := range []int{1, 2, testJobs(), 16} {
+		n := 1 + rng.Intn(40)
+		jobs := make([]Job, n)
+		for i := range jobs {
+			i := i
+			delay := time.Duration(rng.Intn(3)) * time.Millisecond
+			jobs[i] = Job{Name: fmt.Sprintf("j%d", i), Run: func(context.Context) (any, error) {
+				time.Sleep(delay)
+				return i, nil
+			}}
+		}
+		res := New(workers).Run(context.Background(), jobs, nil)
+		if len(res) != n {
+			t.Fatalf("workers=%d: %d results for %d jobs", workers, len(res), n)
+		}
+		for i, r := range res {
+			if r.Index != i || r.Value != i || r.Err != nil {
+				t.Fatalf("workers=%d: result %d = %+v", workers, i, r)
+			}
+		}
+	}
+}
+
+// TestSchedNoGoroutineLeak: repeated groups (including cancelled ones)
+// must leave the goroutine count where it started.
+func TestSchedNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	pool := New(testJobs())
+	for round := 0; round < 20; round++ {
+		jobs := make([]Job, 8)
+		for i := range jobs {
+			jobs[i] = Job{Run: func(ctx context.Context) (any, error) {
+				select {
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				case <-time.After(time.Duration(i) * 100 * time.Microsecond):
+					return i, nil
+				}
+			}}
+		}
+		policy := Policy(nil)
+		if round%2 == 1 {
+			policy = func(Result) bool { return true } // cancel after the first completion
+		}
+		pool.Run(context.Background(), jobs, policy)
+	}
+	// Give timer goroutines of expired contexts a moment to unwind.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// TestSchedCancellationIsPrompt: once the policy fires, running jobs see
+// their context expire within one job granule and unstarted jobs are
+// skipped without running.
+func TestSchedCancellationIsPrompt(t *testing.T) {
+	const n = 12
+	var started atomic.Int32
+	jobs := make([]Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Run: func(ctx context.Context) (any, error) {
+			started.Add(1)
+			if i == 0 {
+				return "winner", nil
+			}
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(5 * time.Second):
+				return "slow", nil
+			}
+		}}
+	}
+	start := time.Now()
+	res := New(2).Run(context.Background(), jobs, func(r Result) bool {
+		return r.Err == nil && r.Value == "winner"
+	})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v; want well under the 5s job sleep", elapsed)
+	}
+	if res[0].Value != "winner" {
+		t.Fatalf("job 0 = %+v", res[0])
+	}
+	skipped := 0
+	for _, r := range res[1:] {
+		switch {
+		case r.Skipped:
+			skipped++
+			if r.Err == nil {
+				t.Errorf("skipped job %d has nil Err", r.Index)
+			}
+		case r.Err == nil:
+			t.Errorf("job %d ran to completion after cancellation: %+v", r.Index, r)
+		case !errors.Is(r.Err, context.Canceled):
+			t.Errorf("job %d: err = %v, want context.Canceled", r.Index, r.Err)
+		}
+	}
+	if int(started.Load())+skipped != n {
+		t.Errorf("started=%d skipped=%d, want they partition %d jobs", started.Load(), skipped, n)
+	}
+}
+
+// TestSchedPanicCapture: a panicking job becomes an error result with
+// the panic value and stack; sibling jobs are unaffected.
+func TestSchedPanicCapture(t *testing.T) {
+	jobs := []Job{
+		{Name: "ok", Run: func(context.Context) (any, error) { return 1, nil }},
+		{Name: "boom", Run: func(context.Context) (any, error) { panic("kaboom") }},
+		{Name: "ok2", Run: func(context.Context) (any, error) { return 2, nil }},
+	}
+	res := New(testJobs()).Run(context.Background(), jobs, nil)
+	if res[0].Err != nil || res[2].Err != nil {
+		t.Errorf("sibling jobs affected by panic: %+v / %+v", res[0], res[2])
+	}
+	r := res[1]
+	if !r.Panicked {
+		t.Fatal("Panicked not set")
+	}
+	var pe *PanicError
+	if !errors.As(r.Err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", r.Err)
+	}
+	if pe.Val != "kaboom" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError = {Val:%v Stack:%d bytes}", pe.Val, len(pe.Stack))
+	}
+}
+
+// TestSchedPerJobDeadline: Job.Timeout expires that job's context alone.
+func TestSchedPerJobDeadline(t *testing.T) {
+	jobs := []Job{
+		{Name: "bounded", Timeout: 20 * time.Millisecond, Run: func(ctx context.Context) (any, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}},
+		{Name: "free", Run: func(ctx context.Context) (any, error) {
+			return ctx.Err(), nil // must still be nil: sibling deadlines don't leak
+		}},
+	}
+	res := New(2).Run(context.Background(), jobs, nil)
+	if !errors.Is(res[0].Err, context.DeadlineExceeded) {
+		t.Errorf("bounded job err = %v, want DeadlineExceeded", res[0].Err)
+	}
+	if res[1].Err != nil || res[1].Value != error(nil) {
+		t.Errorf("free job saw a deadline: %+v", res[1])
+	}
+}
+
+// TestSchedFirstErrorPolicy: the stock policy stops the group at the
+// first failure.
+func TestSchedFirstErrorPolicy(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := make([]Job, 10)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Run: func(ctx context.Context) (any, error) {
+			if i == 0 {
+				return nil, boom
+			}
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(time.Second):
+				return i, nil
+			}
+		}}
+	}
+	start := time.Now()
+	res := New(2).Run(context.Background(), jobs, FirstError)
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("FirstError did not cancel the group")
+	}
+	if !errors.Is(res[0].Err, boom) {
+		t.Fatalf("res[0].Err = %v", res[0].Err)
+	}
+}
+
+// TestSchedPropertyRandomGroups is the property sweep: random batches of
+// jobs with random delays, failures, panics and policies must always
+// yield a complete, ordered result slice whose entries are mutually
+// exclusive in kind. Seeded, so failures replay.
+func TestSchedPropertyRandomGroups(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			n := 1 + rng.Intn(30)
+			workers := 1 + rng.Intn(8)
+			kinds := make([]int, n) // 0 ok, 1 error, 2 panic
+			jobs := make([]Job, n)
+			for i := range jobs {
+				i := i
+				kinds[i] = rng.Intn(3)
+				delay := time.Duration(rng.Intn(2)) * time.Millisecond
+				jobs[i] = Job{Run: func(ctx context.Context) (any, error) {
+					time.Sleep(delay)
+					switch kinds[i] {
+					case 1:
+						return nil, fmt.Errorf("err%d", i)
+					case 2:
+						panic(i)
+					}
+					return i, nil
+				}}
+			}
+			var policy Policy
+			if rng.Intn(2) == 1 {
+				policy = FirstError
+			}
+			res := New(workers).Run(context.Background(), jobs, policy)
+			if len(res) != n {
+				t.Fatalf("%d results for %d jobs", len(res), n)
+			}
+			for i, r := range res {
+				if r.Index != i {
+					t.Fatalf("result %d has index %d", i, r.Index)
+				}
+				switch {
+				case r.Skipped:
+					if policy == nil {
+						t.Errorf("job %d skipped without a policy", i)
+					}
+					if r.Value != nil || r.Err == nil {
+						t.Errorf("skipped job %d = %+v", i, r)
+					}
+				case r.Panicked:
+					if kinds[i] != 2 {
+						t.Errorf("job %d panicked but kind=%d", i, kinds[i])
+					}
+				case r.Err == nil:
+					if kinds[i] != 0 || r.Value != i {
+						t.Errorf("job %d = %+v (kind=%d)", i, r, kinds[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// FuzzSchedOrder fuzzes group shape and worker count: result ordering
+// and completeness must hold for any configuration.
+func FuzzSchedOrder(f *testing.F) {
+	f.Add(uint8(3), uint8(1), int64(0))
+	f.Add(uint8(17), uint8(4), int64(7))
+	f.Add(uint8(1), uint8(16), int64(42))
+	f.Fuzz(func(t *testing.T, nJobs, workers uint8, seed int64) {
+		n := int(nJobs)%48 + 1
+		w := int(workers)%16 + 1
+		rng := rand.New(rand.NewSource(seed))
+		jobs := make([]Job, n)
+		for i := range jobs {
+			i := i
+			fail := rng.Intn(4) == 0
+			jobs[i] = Job{Run: func(context.Context) (any, error) {
+				if fail {
+					return nil, fmt.Errorf("fail%d", i)
+				}
+				return i, nil
+			}}
+		}
+		res := New(w).Run(context.Background(), jobs, nil)
+		if len(res) != n {
+			t.Fatalf("%d results for %d jobs", len(res), n)
+		}
+		for i, r := range res {
+			if r.Index != i || r.Skipped {
+				t.Fatalf("result %d = %+v", i, r)
+			}
+			if r.Err == nil && r.Value != i {
+				t.Fatalf("result %d carries value %v", i, r.Value)
+			}
+		}
+	})
+}

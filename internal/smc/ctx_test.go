@@ -1,0 +1,53 @@
+package smc
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ravbmc/internal/benchmarks"
+)
+
+// TestCheckPreCancelledCtx: a context cancelled before Check starts
+// must abort before the first transition.
+func TestCheckPreCancelledCtx(t *testing.T) {
+	p, err := benchmarks.ByName("dekker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Check(p, Options{Algorithm: AlgorithmCDS, Unroll: 2, Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut || res.Exhausted || res.Transitions != 0 {
+		t.Errorf("pre-cancelled ctx: TimedOut=%v Exhausted=%v Transitions=%d",
+			res.TimedOut, res.Exhausted, res.Transitions)
+	}
+}
+
+// TestCheckCtxCancelStopsPromptly: cancellation mid-enumeration stops a
+// stateless search within one sampling stride. Fenced Peterson at N=4
+// is far beyond test-time exhaustion for the instruction-granularity
+// search, so only the cancel can end it.
+func TestCheckCtxCancelStopsPromptly(t *testing.T) {
+	p, err := benchmarks.ByName("peterson_4(4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(100*time.Millisecond, cancel)
+	start := time.Now()
+	res, err := Check(p, Options{Algorithm: AlgorithmCDS, Unroll: 2, Ctx: ctx})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Errorf("cancelled enumeration finished: %+v", res)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, want well under 5s", elapsed)
+	}
+}

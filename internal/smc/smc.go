@@ -29,6 +29,7 @@
 package smc
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -74,6 +75,11 @@ type Options struct {
 	MaxTransitions int64
 	// Timeout caps wall-clock time (0 = none). The paper uses 3600s.
 	Timeout time.Duration
+	// Ctx aborts the search when cancelled (nil = never); the parallel
+	// harnesses cancel losing portfolio runs through it. Composes with
+	// Timeout — whichever expires first stops the search with
+	// TimedOut=true.
+	Ctx context.Context
 	// Seed and Walks configure AlgorithmRandom: number of random walks
 	// and the PRNG seed.
 	Seed  int64
@@ -98,7 +104,9 @@ type Result struct {
 	Trace       *trace.Trace
 	Executions  int   // completed (maximal) executions enumerated
 	Transitions int64 // explored transitions
-	TimedOut    bool
+	// TimedOut is true when the Timeout or a cancelled Ctx cut the
+	// search short.
+	TimedOut bool
 	// Exhausted is true when the full execution space was covered, so
 	// "no violation" is conclusive for the given unrolling.
 	Exhausted bool
@@ -125,8 +133,24 @@ func Check(prog *lang.Program, opts Options) (Result, error) {
 	r.cBranchPoints = opts.Obs.Counter("smc.branch_points")
 	r.cBranchChoices = opts.Obs.Counter("smc.branch_choices")
 	r.gMaxDepth = opts.Obs.Gauge("smc.max_depth")
+	// Fold the wall-clock budget into the cancellation context; the
+	// search polls only ctx.Err() from here on.
 	if opts.Timeout > 0 {
-		r.deadline = time.Now().Add(opts.Timeout)
+		base := opts.Ctx
+		if base == nil {
+			base = context.Background()
+		}
+		var cancel context.CancelFunc
+		r.ctx, cancel = context.WithTimeout(base, opts.Timeout)
+		defer cancel()
+	} else if opts.Ctx != nil {
+		r.ctx = opts.Ctx
+	}
+	// An already-expired context aborts before the first transition,
+	// mirroring the sc/ra backends' contract.
+	if r.ctx != nil && r.ctx.Err() != nil {
+		r.result.TimedOut = true
+		return r.result, nil
 	}
 	switch opts.Algorithm {
 	case AlgorithmCDS:
@@ -150,9 +174,9 @@ func Check(prog *lang.Program, opts Options) (Result, error) {
 type runner struct {
 	sys       *ra.System
 	opts      Options
-	deadline  time.Time
+	ctx       context.Context // nil when the search has no deadline/cancel scope
 	path      []trace.Event
-	steps     int // stop() calls, for deadline sampling
+	steps     int // stop() calls, for cancellation sampling
 	result    Result
 	exhausted bool
 
@@ -167,11 +191,11 @@ func (r *runner) stop() bool {
 		r.exhausted = false
 		return true
 	}
-	// Checking the clock on every scheduling point is measurable;
+	// Polling the context on every scheduling point is measurable;
 	// sample it. The dedicated step counter advances by exactly one per
 	// call, so the check fires regardless of how Transitions moves.
 	r.steps++
-	if !r.deadline.IsZero() && r.steps%1024 == 0 && time.Now().After(r.deadline) {
+	if r.ctx != nil && r.steps%1024 == 0 && r.ctx.Err() != nil {
 		r.result.TimedOut = true
 		r.exhausted = false
 		return true

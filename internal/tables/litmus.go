@@ -1,11 +1,13 @@
 package tables
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"ravbmc/internal/litmus"
+	"ravbmc/internal/sched"
 )
 
 // LitmusSummary reports the litmus experiment of Sec. 7: VBMC agreement
@@ -19,8 +21,10 @@ type LitmusSummary struct {
 
 // LitmusSweep runs the classic shapes plus every stride-th generated
 // program (stride 1 = the full corpus) at view bound k, comparing VBMC
-// against the exhaustive RA oracle.
-func LitmusSweep(opsPerThread, stride, k int) LitmusSummary {
+// against the exhaustive RA oracle. jobs tests run concurrently (<= 0
+// selects runtime.NumCPU); mismatches are reported in corpus order
+// whatever the width.
+func LitmusSweep(opsPerThread, stride, k, jobs int) LitmusSummary {
 	if stride < 1 {
 		stride = 1
 	}
@@ -31,14 +35,24 @@ func LitmusSweep(opsPerThread, stride, k int) LitmusSummary {
 	for i := 0; i < len(gen); i += stride {
 		tests = append(tests, gen[i])
 	}
-	for _, tc := range tests {
-		want := litmus.Oracle(tc)
-		got, err := litmus.VBMC(tc, k)
+	specs := make([]sched.Job, len(tests))
+	for i, tc := range tests {
+		tc := tc
+		specs[i] = sched.Job{
+			Name: tc.Name,
+			Run: func(context.Context) (any, error) {
+				want := litmus.Oracle(tc)
+				got, err := litmus.VBMC(tc, k)
+				return err == nil && got == want, nil
+			},
+		}
+	}
+	for i, r := range sched.New(jobs).Run(context.Background(), specs, nil) {
 		sum.Total++
-		if err == nil && got == want {
+		if ok, _ := r.Value.(bool); ok {
 			sum.Agree++
 		} else {
-			sum.Mismatches = append(sum.Mismatches, tc.Name)
+			sum.Mismatches = append(sum.Mismatches, tests[i].Name)
 		}
 	}
 	sum.Seconds = time.Since(start).Seconds()

@@ -9,6 +9,7 @@
 package tables
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"ravbmc/internal/core"
 	"ravbmc/internal/lang"
 	"ravbmc/internal/obs"
+	"ravbmc/internal/sched"
 	"ravbmc/internal/smc"
 )
 
@@ -28,12 +30,21 @@ type Config struct {
 	// Quick shrinks the thread-count sweeps so a full table regeneration
 	// fits in a benchmark run; the full sweeps match the paper's.
 	Quick bool
+	// Jobs is the number of (benchmark, tool) cells run concurrently.
+	// Zero or negative selects runtime.NumCPU. Rows are assembled in
+	// spec order regardless of completion order, so the rendered table
+	// is identical for every width (cell seconds excepted).
+	Jobs int
+	// Ctx cancels the whole table run; cells not yet started render as
+	// T.O. Nil never cancels.
+	Ctx context.Context
 	// Obs, when non-nil, is invoked before every tool invocation with
 	// the benchmark and tool name and returns the recorder to instrument
 	// that run with (nil to leave the run uninstrumented). The run's
 	// obs.Report is attached to its Cell, so table rows carry the engine
 	// counters; cmd/ratables uses the hook to drive its -progress
-	// printer.
+	// printer. With Jobs > 1 the hook is called from pool workers and
+	// must be safe for concurrent use.
 	Obs func(bench, tool string) *obs.Recorder
 }
 
@@ -42,6 +53,13 @@ func (c Config) timeout() time.Duration {
 		return 60 * time.Second
 	}
 	return c.Timeout
+}
+
+func (c Config) ctx() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
 }
 
 // Cell is one tool's result on one benchmark.
@@ -72,21 +90,64 @@ type Table struct {
 // Tools compared in every table, in the paper's column order.
 var toolColumns = []string{"VBMC", "Tracer", "Cdsc", "Rcmc"}
 
-// runAll runs all four tools on the named benchmark.
-func runAll(cfg Config, name string, k, l int) Row {
-	row := Row{Bench: name, K: k, L: l}
-	prog, err := benchmarks.ByName(name)
-	if err != nil {
+var smcAlgorithms = map[string]smc.Algorithm{
+	"Tracer": smc.AlgorithmTracer, "Cdsc": smc.AlgorithmCDS, "Rcmc": smc.AlgorithmRCMC,
+}
+
+// rowSpec names one benchmark line of a table before it is run.
+type rowSpec struct {
+	bench string
+	k, l  int
+}
+
+// buildTable fans every (benchmark, tool) cell through a sched pool and
+// assembles rows in spec order, so the table layout is independent of
+// worker count and completion order. Each cell builds its own program
+// from the benchmark name: *lang.Program is mutated during checking
+// (unrolling, labels) and must not be shared across concurrent runs.
+func buildTable(cfg Config, name, caption string, specs []rowSpec) Table {
+	t := Table{Name: name, Caption: caption, Tools: toolColumns}
+	jobs := make([]sched.Job, 0, len(specs)*len(toolColumns))
+	for _, s := range specs {
 		for _, tool := range toolColumns {
-			row.Cells = append(row.Cells, Cell{Tool: tool, Verdict: "ERR"})
+			s, tool := s, tool
+			jobs = append(jobs, sched.Job{
+				Name: s.bench + "/" + tool,
+				Run: func(ctx context.Context) (any, error) {
+					return runCell(ctx, cfg, s, tool), nil
+				},
+			})
 		}
-		return row
 	}
-	row.Cells = append(row.Cells, runVBMC(cfg, prog, k, l))
-	for _, alg := range []smc.Algorithm{smc.AlgorithmTracer, smc.AlgorithmCDS, smc.AlgorithmRCMC} {
-		row.Cells = append(row.Cells, runSMC(cfg, prog, alg, l))
+	results := sched.New(cfg.Jobs).Run(cfg.ctx(), jobs, nil)
+	for i, s := range specs {
+		row := Row{Bench: s.bench, K: s.k, L: s.l}
+		for j, tool := range toolColumns {
+			r := results[i*len(toolColumns)+j]
+			switch {
+			case r.Skipped:
+				row.Cells = append(row.Cells, Cell{Tool: tool, Verdict: "T.O"})
+			case r.Err != nil:
+				row.Cells = append(row.Cells, Cell{Tool: tool, Verdict: "ERR"})
+			default:
+				row.Cells = append(row.Cells, r.Value.(Cell))
+			}
+		}
+		t.Rows = append(t.Rows, row)
 	}
-	return row
+	return t
+}
+
+// runCell runs one tool on one benchmark, building a fresh program.
+func runCell(ctx context.Context, cfg Config, s rowSpec, tool string) Cell {
+	prog, err := benchmarks.ByName(s.bench)
+	if err != nil {
+		return Cell{Tool: tool, Verdict: "ERR"}
+	}
+	if tool == "VBMC" {
+		return runVBMC(ctx, cfg, prog, s.k, s.l)
+	}
+	return runSMC(ctx, cfg, prog, tool, s.l)
 }
 
 // recorder consults the Obs hook for one tool invocation.
@@ -110,10 +171,10 @@ func attach(cell *Cell, rec *obs.Recorder, bench string, k, l int) {
 	cell.Report = rep
 }
 
-func runVBMC(cfg Config, prog *lang.Program, k, l int) Cell {
+func runVBMC(ctx context.Context, cfg Config, prog *lang.Program, k, l int) Cell {
 	rec := cfg.recorder(prog.Name, "VBMC")
 	start := time.Now()
-	res, err := core.Run(prog, core.Options{K: k, Unroll: l, Timeout: cfg.timeout(), Obs: rec})
+	res, err := core.Run(prog, core.Options{K: k, Unroll: l, Timeout: cfg.timeout(), Ctx: ctx, Obs: rec})
 	cell := Cell{Tool: "VBMC", Seconds: time.Since(start).Seconds()}
 	switch {
 	case err != nil:
@@ -127,14 +188,11 @@ func runVBMC(cfg Config, prog *lang.Program, k, l int) Cell {
 	return cell
 }
 
-func runSMC(cfg Config, prog *lang.Program, alg smc.Algorithm, l int) Cell {
-	name := map[smc.Algorithm]string{
-		smc.AlgorithmTracer: "Tracer", smc.AlgorithmCDS: "Cdsc", smc.AlgorithmRCMC: "Rcmc",
-	}[alg]
-	rec := cfg.recorder(prog.Name, name)
+func runSMC(ctx context.Context, cfg Config, prog *lang.Program, tool string, l int) Cell {
+	rec := cfg.recorder(prog.Name, tool)
 	start := time.Now()
-	res, err := smc.Check(prog, smc.Options{Algorithm: alg, Unroll: l, Timeout: cfg.timeout(), Obs: rec})
-	cell := Cell{Tool: name, Seconds: time.Since(start).Seconds()}
+	res, err := smc.Check(prog, smc.Options{Algorithm: smcAlgorithms[tool], Unroll: l, Timeout: cfg.timeout(), Ctx: ctx, Obs: rec})
+	cell := Cell{Tool: tool, Seconds: time.Since(start).Seconds()}
 	switch {
 	case err != nil:
 		cell.Verdict = "ERR"
@@ -161,15 +219,12 @@ func Table1(cfg Config) Table {
 	if cfg.Quick {
 		names = []string{"dekker", "peterson_0", "sim_dekker"}
 	}
-	t := Table{
-		Name:    "Table 1",
-		Caption: "Unfenced mutual exclusion protocols (UNSAFE), K=2, L=2",
-		Tools:   toolColumns,
-	}
+	specs := make([]rowSpec, 0, len(names))
 	for _, n := range names {
-		t.Rows = append(t.Rows, runAll(cfg, n, 2, 2))
+		specs = append(specs, rowSpec{bench: n, k: 2, l: 2})
 	}
-	return t
+	return buildTable(cfg, "Table 1",
+		"Unfenced mutual exclusion protocols (UNSAFE), K=2, L=2", specs)
 }
 
 // Table2 is the paper's Table 2: all threads but one fenced,
@@ -179,18 +234,15 @@ func Table2(cfg Config) Table {
 	if cfg.Quick {
 		sizes = []int{3, 4}
 	}
-	t := Table{
-		Name:    "Table 2",
-		Caption: "All-but-one-fenced Peterson (K=4) and Szymanski (K=2), L=2",
-		Tools:   toolColumns,
+	specs := make([]rowSpec, 0, 2*len(sizes))
+	for _, n := range sizes {
+		specs = append(specs, rowSpec{bench: fmt.Sprintf("peterson_1(%d)", n), k: 4, l: 2})
 	}
 	for _, n := range sizes {
-		t.Rows = append(t.Rows, runAll(cfg, fmt.Sprintf("peterson_1(%d)", n), 4, 2))
+		specs = append(specs, rowSpec{bench: fmt.Sprintf("szymanski_1(%d)", n), k: 2, l: 2})
 	}
-	for _, n := range sizes {
-		t.Rows = append(t.Rows, runAll(cfg, fmt.Sprintf("szymanski_1(%d)", n), 2, 2))
-	}
-	return t
+	return buildTable(cfg, "Table 2",
+		"All-but-one-fenced Peterson (K=4) and Szymanski (K=2), L=2", specs)
 }
 
 // Table3 is the paper's Table 3: fenced Peterson with a one-line bug in
@@ -209,15 +261,12 @@ func bugTable(cfg Config, name, proto string) Table {
 	if cfg.Quick {
 		sizes = []int{3, 4}
 	}
-	t := Table{
-		Name:    name,
-		Caption: fmt.Sprintf("Fenced %s with a one-line bug, K=2, L=2", proto),
-		Tools:   toolColumns,
-	}
+	specs := make([]rowSpec, 0, len(sizes))
 	for _, n := range sizes {
-		t.Rows = append(t.Rows, runAll(cfg, fmt.Sprintf("%s(%d)", proto, n), 2, 2))
+		specs = append(specs, rowSpec{bench: fmt.Sprintf("%s(%d)", proto, n), k: 2, l: 2})
 	}
-	return t
+	return buildTable(cfg, name,
+		fmt.Sprintf("Fenced %s with a one-line bug, K=2, L=2", proto), specs)
 }
 
 // Table6 is the paper's Table 6 (SAFE fenced protocols, K=2, L=1);
@@ -238,15 +287,12 @@ func safeTable(cfg Config, name string, l int) Table {
 	if cfg.Quick {
 		names = []string{"tbar_4", "peterson_4(2)"}
 	}
-	t := Table{
-		Name:    name,
-		Caption: fmt.Sprintf("Fenced (SAFE) protocols, K=2, L=%d", l),
-		Tools:   toolColumns,
-	}
+	specs := make([]rowSpec, 0, len(names))
 	for _, n := range names {
-		t.Rows = append(t.Rows, runAll(cfg, n, 2, l))
+		specs = append(specs, rowSpec{bench: n, k: 2, l: l})
 	}
-	return t
+	return buildTable(cfg, name,
+		fmt.Sprintf("Fenced (SAFE) protocols, K=2, L=%d", l), specs)
 }
 
 // All returns every table generator keyed by the paper's numbering.

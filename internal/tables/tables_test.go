@@ -1,13 +1,28 @@
 package tables
 
 import (
+	"os"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 )
 
 func tinyCfg() Config {
-	return Config{Quick: true, Timeout: 5 * time.Second}
+	return Config{Quick: true, Timeout: 5 * time.Second, Jobs: testJobs()}
+}
+
+// testJobs returns the pool width for tests: RAVBMC_TEST_JOBS if set
+// (CI forces >1 so concurrency is exercised even on 1-CPU runners),
+// else 4.
+func testJobs() int {
+	if s := os.Getenv("RAVBMC_TEST_JOBS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 4
 }
 
 func TestTable1QuickShape(t *testing.T) {
@@ -47,12 +62,53 @@ func TestAllRegistryComplete(t *testing.T) {
 	}
 }
 
-func TestRunAllUnknownBenchmark(t *testing.T) {
-	row := runAll(tinyCfg(), "definitely_not_a_benchmark", 2, 2)
-	for _, c := range row.Cells {
+func TestBuildTableUnknownBenchmark(t *testing.T) {
+	tab := buildTable(tinyCfg(), "Table X", "unknown bench",
+		[]rowSpec{{bench: "definitely_not_a_benchmark", k: 2, l: 2}})
+	if len(tab.Rows) != 1 || len(tab.Rows[0].Cells) != len(toolColumns) {
+		t.Fatalf("bad shape: %+v", tab.Rows)
+	}
+	for _, c := range tab.Rows[0].Cells {
 		if c.Verdict != "ERR" {
 			t.Errorf("unknown benchmark: verdict %s", c.Verdict)
 		}
+	}
+}
+
+// secondsRe blanks out wall-clock cells so renders can be compared
+// across runs and pool widths.
+var secondsRe = regexp.MustCompile(`[0-9]+\.[0-9]{2}s`)
+
+func normalizeRender(s string) string {
+	return secondsRe.ReplaceAllString(s, "0.00s")
+}
+
+// TestTableDeterministicAcrossJobs: the rendered table must be
+// byte-identical (timings normalised) whatever the pool width — cells
+// are assembled by index, not completion order.
+func TestTableDeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates quick Table 1 three times")
+	}
+	cfg := tinyCfg()
+	var renders []string
+	for _, jobs := range []int{1, 2, 4} {
+		cfg.Jobs = jobs
+		renders = append(renders, normalizeRender(Table1(cfg).Render()))
+	}
+	for i, r := range renders[1:] {
+		if r != renders[0] {
+			t.Errorf("jobs=%d render differs from jobs=1:\n%s\nvs\n%s",
+				[]int{2, 4}[i], r, renders[0])
+		}
+	}
+	golden, err := os.ReadFile("testdata/table1_quick.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renders[0] != string(golden) {
+		t.Errorf("render drifted from testdata/table1_quick.golden:\n%s\nwant:\n%s",
+			renders[0], golden)
 	}
 }
 
@@ -60,7 +116,7 @@ func TestLitmusSweepAgreesOnSample(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs VBMC on dozens of programs")
 	}
-	sum := LitmusSweep(2, 29, 5)
+	sum := LitmusSweep(2, 29, 5, testJobs())
 	if sum.Total == 0 {
 		t.Fatal("empty sweep")
 	}

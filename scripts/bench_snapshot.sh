@@ -15,6 +15,12 @@
 # which should be confined to the lift/replay/export phases, with the
 # search itself unchanged.
 #
+# After the per-benchmark reports, the quick Tables 1-4 sweep is run
+# twice through cmd/ratables — once serial (-jobs 1), once with one
+# worker per CPU (-jobs 0) — and both wall-clock times are appended as
+# "ratables" entries, so the snapshot records the scheduler's speedup
+# on the recording machine (a 1-core runner legitimately shows none).
+#
 # Usage:
 #   scripts/bench_snapshot.sh            # 60s per-run budget
 #   VBMC_TIMEOUT=10s scripts/bench_snapshot.sh
@@ -24,11 +30,25 @@ cd "$(dirname "$0")/.."
 
 out="${VBMC_OUT:-BENCH_vbmc.json}"
 timeout="${VBMC_TIMEOUT:-60s}"
+table_timeout="${RATABLES_TIMEOUT:-10s}"
 benches=(bakery burns dekker lamport peterson_0 'peterson_0(3)' sim_dekker szymanski_0)
 tracedir="$(mktemp -d)"
 trap 'rm -rf "$tracedir"' EXIT
 
 go build -o /tmp/vbmc-bench ./cmd/vbmc
+go build -o /tmp/ratables-bench ./cmd/ratables
+
+# table_sweep jobs — quick Tables 1-4 at the given pool width, printing
+# the elapsed wall-clock seconds.
+table_sweep() {
+  local t0 t1
+  t0=$(date +%s%N)
+  for t in 1 2 3 4; do
+    /tmp/ratables-bench -table "$t" -quick -timeout "$table_timeout" -jobs "$1" >/dev/null
+  done
+  t1=$(date +%s%N)
+  awk -v ns=$((t1 - t0)) 'BEGIN { printf "%.3f", ns / 1e9 }'
+}
 
 {
   echo '['
@@ -45,6 +65,12 @@ go build -o /tmp/vbmc-bench ./cmd/vbmc
       # report, so don't let set -e kill the sweep.
       /tmp/vbmc-bench "${args[@]}" || true
     done
+  done
+  for jobs in 1 0; do
+    secs="$(table_sweep "$jobs")"
+    echo ','
+    printf '{"tool": "ratables", "bench": "tables_1-4_quick", "config": {"jobs": "%s", "timeout": "%s", "cpus": "%s"}, "wall_seconds": %s}\n' \
+      "$jobs" "$table_timeout" "$(nproc)" "$secs"
   done
   echo ']'
 } >"$out"
