@@ -233,6 +233,73 @@ func BenchmarkSMCAlgorithms(b *testing.B) {
 	}
 }
 
+// BenchmarkDedupModes compares the fingerprinted visited set against
+// exact string keys on fixed exhaustive workloads: the RA explorer on a
+// fenced Peterson (safe, so the whole bounded space is swept) and the
+// SC backend on the translated program. states/s is reported so
+// scripts/bench_snapshot.sh can record the serial dedup throughput;
+// B/op (run with -benchmem) exposes the bytes-per-state difference
+// between the two modes. The smc pair measures the opt-in StateDedup
+// pruning against the stateless default on the same workload.
+func BenchmarkDedupModes(b *testing.B) {
+	prog, err := benchmarks.ByName("peterson_4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	unrolled := lang.Unroll(prog, 2)
+	cp := lang.MustCompile(unrolled)
+	for _, exact := range []bool{false, true} {
+		mode := map[bool]string{false: "fingerprint", true: "exact"}[exact]
+		b.Run("ra/"+mode, func(b *testing.B) {
+			states := 0
+			for i := 0; i < b.N; i++ {
+				sys := ra.NewSystem(cp)
+				res := sys.Explore(ra.Options{ViewBound: 2, StopOnViolation: true, ExactDedup: exact})
+				if res.Violation || !res.Exhausted {
+					b.Fatalf("peterson_4 sweep: %+v", res)
+				}
+				states = res.States
+			}
+			b.ReportMetric(float64(states)*float64(b.N)/b.Elapsed().Seconds(), "states/s")
+		})
+	}
+	translated, err := core.Translate(unrolled, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tcp := lang.MustCompile(translated)
+	for _, exact := range []bool{false, true} {
+		mode := map[bool]string{false: "fingerprint", true: "exact"}[exact]
+		b.Run("sc/"+mode, func(b *testing.B) {
+			states := 0
+			for i := 0; i < b.N; i++ {
+				res := sc.NewSystem(tcp).Check(sc.Options{MaxContexts: 4, ExactDedup: exact})
+				if res.Violation || !res.Exhausted {
+					b.Fatalf("translated peterson_4 sweep: %+v", res)
+				}
+				states = res.States
+			}
+			b.ReportMetric(float64(states)*float64(b.N)/b.Elapsed().Seconds(), "states/s")
+		})
+	}
+	for _, dedup := range []bool{false, true} {
+		mode := map[bool]string{false: "stateless", true: "state-dedup"}[dedup]
+		b.Run("smc/"+mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := smc.Check(prog, smc.Options{
+					Algorithm: smc.AlgorithmTracer, Unroll: 2, StateDedup: dedup,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Violation || !res.Exhausted {
+					b.Fatalf("peterson_4 smc sweep: %+v", res)
+				}
+			}
+		})
+	}
+}
+
 // Ablation benchmarks for the design choices in DESIGN.md.
 
 // BenchmarkAblationContextBound compares the paper's K+n context bound

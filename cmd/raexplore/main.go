@@ -28,17 +28,19 @@ import (
 
 func main() {
 	var (
-		file     = flag.String("file", "", "program source file")
-		bench    = flag.String("bench", "", "built-in benchmark name")
-		mode     = flag.String("mode", "exhaustive", "exhaustive | tracer | cdsc | rcmc | random | robust")
-		vb       = flag.Int("view-bound", -1, "view-switch bound for exhaustive mode (-1 = unbounded)")
-		l        = flag.Int("l", 2, "loop unrolling bound")
-		timeout  = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
-		showTr   = flag.Bool("trace", false, "print the counterexample trace")
-		walks    = flag.Int("walks", 1000, "random mode: number of walks")
-		jsonOut  = flag.Bool("json", false, "emit a JSON run report on stdout instead of the summary line")
-		traceOut = flag.String("trace-out", "", "write the counterexample trace to this file")
-		traceFmt = flag.String("trace-format", "jsonl", "trace export format: jsonl | chrome | text")
+		file       = flag.String("file", "", "program source file")
+		bench      = flag.String("bench", "", "built-in benchmark name")
+		mode       = flag.String("mode", "exhaustive", "exhaustive | tracer | cdsc | rcmc | random | robust")
+		vb         = flag.Int("view-bound", -1, "view-switch bound for exhaustive mode (-1 = unbounded)")
+		l          = flag.Int("l", 2, "loop unrolling bound")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
+		showTr     = flag.Bool("trace", false, "print the counterexample trace")
+		walks      = flag.Int("walks", 1000, "random mode: number of walks")
+		exactDedup = flag.Bool("exact-dedup", false, "exhaustive mode: exact state keys in the visited set instead of 64-bit fingerprints")
+		stateDedup = flag.Bool("state-dedup", false, "tracer/cdsc/rcmc modes: prune states already fully explored (stateful DFS with state hashing)")
+		jsonOut    = flag.Bool("json", false, "emit a JSON run report on stdout instead of the summary line")
+		traceOut   = flag.String("trace-out", "", "write the counterexample trace to this file")
+		traceFmt   = flag.String("trace-format", "jsonl", "trace export format: jsonl | chrome | text")
 	)
 	flag.Parse()
 
@@ -88,7 +90,8 @@ func main() {
 	if *mode == "exhaustive" {
 		src := ravbmc.Unroll(prog, *l)
 		opts := ravbmc.ExploreOptions{
-			ViewBound: *vb, StopOnViolation: true, Obs: rec, CaptureViews: capture,
+			ViewBound: *vb, StopOnViolation: true, ExactDedup: *exactDedup,
+			Obs: rec, CaptureViews: capture,
 		}
 		if *timeout > 0 {
 			opts.Deadline = time.Now().Add(*timeout)
@@ -111,7 +114,7 @@ func main() {
 		}
 		res, err := ravbmc.SMC(prog, ravbmc.SMCOptions{
 			Algorithm: alg, Unroll: *l, Timeout: *timeout, Walks: *walks,
-			Obs: rec, CaptureViews: capture,
+			StateDedup: *stateDedup, Obs: rec, CaptureViews: capture,
 		})
 		if err != nil {
 			fail(err)

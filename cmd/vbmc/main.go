@@ -64,6 +64,7 @@ func run() int {
 		traceOut   = flag.String("trace-out", "", "write the witness trace to this file")
 		traceFmt   = flag.String("trace-format", "jsonl", "witness export format: jsonl | chrome | text")
 		contexts   = flag.Int("contexts", 0, "SC context bound (0 = K+n, negative = unbounded)")
+		exactDedup = flag.Bool("exact-dedup", false, "use exact state keys in the visited set instead of 64-bit fingerprints")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
 		emit       = flag.Bool("emit", false, "print the translated SC program instead of checking")
 		autoK      = flag.Int("auto-k", -1, "search for the minimal K up to this bound instead of using -k")
@@ -150,7 +151,8 @@ func run() int {
 
 	start := time.Now()
 	opts := ravbmc.VBMCOptions{
-		K: *k, Unroll: *l, MaxContexts: *contexts, Timeout: *timeout, Obs: rec,
+		K: *k, Unroll: *l, MaxContexts: *contexts, Timeout: *timeout,
+		ExactDedup: *exactDedup, Obs: rec,
 	}
 	var res ravbmc.VBMCResult
 	if *autoK >= 0 {

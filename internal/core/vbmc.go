@@ -69,6 +69,10 @@ type Options struct {
 	// forced-tracked / small-stamp-window pass run before the full
 	// translation); used by the ablation benchmarks.
 	NoProbes bool
+	// ExactDedup makes the SC backend's visited set retain full state
+	// keys instead of 64-bit fingerprints (see sc.Options.ExactDedup and
+	// internal/fp); for collision-paranoid runs and parity testing.
+	ExactDedup bool
 	// Obs, when non-nil, instruments the run: the driver records
 	// per-phase spans (validate, unroll, per-probe translate / compile /
 	// deepen / search, the full translate, and the final compile /
@@ -220,7 +224,7 @@ func Run(prog *lang.Program, opts Options) (Result, error) {
 			if err != nil {
 				return Result{}, err
 			}
-			probeOpts := sc.Options{MaxContexts: bound, MaxStates: tier.maxStates, Ctx: opts.Ctx, Obs: rec}
+			probeOpts := sc.Options{MaxContexts: bound, MaxStates: tier.maxStates, Ctx: opts.Ctx, ExactDedup: opts.ExactDedup, Obs: rec}
 			if opts.MaxStates > 0 && opts.MaxStates < probeOpts.MaxStates {
 				probeOpts.MaxStates = opts.MaxStates
 			}
@@ -256,7 +260,7 @@ func Run(prog *lang.Program, opts Options) (Result, error) {
 	}
 	out.TranslatedStmts = translated.CountStmts()
 	rec.Gauge("translate.stmts").Set(int64(out.TranslatedStmts))
-	scOpts := sc.Options{MaxContexts: bound, MaxStates: opts.MaxStates, Deadline: deadline, Ctx: opts.Ctx, Obs: rec}
+	scOpts := sc.Options{MaxContexts: bound, MaxStates: opts.MaxStates, Deadline: deadline, Ctx: opts.Ctx, ExactDedup: opts.ExactDedup, Obs: rec}
 	res := checkDeepening(translated, bound, scOpts, rec, "final")
 	out.States += res.States
 	out.Transitions += res.Transitions

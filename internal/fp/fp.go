@@ -1,0 +1,100 @@
+// Package fp provides 64-bit state fingerprinting and budget-aware
+// visited sets for the explicit-state search engines (internal/sc,
+// internal/ra, internal/smc).
+//
+// The engines' hot loop is "serialise the configuration, look it up in
+// the visited map, maybe insert it". Retaining the full serialised key
+// per state costs tens to hundreds of bytes each and an allocation per
+// insertion; at the state counts of the paper's Table 1-8 sweeps the
+// visited map dominates both the heap and the allocator. A Set in its
+// default fingerprint mode stores only a 64-bit FNV-1a hash of the key
+// bytes per state: lookups and re-probes are allocation-free and the
+// per-state footprint shrinks to the map entry itself.
+//
+// The price is a collision risk: two distinct states hashing to the
+// same 64 bits are conflated, which can prune reachable states and (in
+// the worst case) mask a violation. By the birthday bound the
+// probability of any collision among N states is about N^2 / 2^65 —
+// roughly 5e-9 at a million states and 5e-5 at a hundred thousand
+// million-state runs; see DESIGN.md for the argument. Exact mode
+// (NewSet(true)) retains the full key bytes and is used by the
+// correctness oracles, the parity tests, and collision-paranoid runs
+// via the engines' Options.ExactDedup.
+package fp
+
+// FNV-1a 64-bit parameters (FNV-0 offset basis and prime).
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// Hash64 returns the 64-bit FNV-1a hash of b. It is equivalent to
+// hash/fnv's New64a but inlineable and allocation-free.
+func Hash64(b []byte) uint64 {
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// Set is a visited set for budget-bounded searches: it maps a state key
+// to the minimum "budget used" (context switches, view switches, path
+// depth, ...) at which the state has been reached. A state reached
+// again having used at least as much budget has a subset of the futures
+// of the recorded visit and is pruned; reached with strictly less
+// budget used, it must be re-explored.
+//
+// In fingerprint mode (the default) only the 64-bit hash of the key is
+// retained; in exact mode the full key bytes are. Searches without a
+// budget dimension pass a constant budget.
+type Set struct {
+	exact map[string]int
+	fp    map[uint64]int
+}
+
+// NewSet returns an empty visited set. exact selects exact mode (full
+// key retention) over the default 64-bit fingerprint mode.
+func NewSet(exact bool) *Set {
+	if exact {
+		return &Set{exact: make(map[string]int)}
+	}
+	return &Set{fp: make(map[uint64]int)}
+}
+
+// Exact reports whether the set retains full keys.
+func (s *Set) Exact() bool { return s.exact != nil }
+
+// Visit records that the state serialised as key has been reached with
+// the given budget used, and reports whether it must be explored: true
+// when the state is new or was previously only reached with more budget
+// used (the recorded minimum is updated), false when this visit is
+// subsumed by an earlier one. key is not retained in fingerprint mode
+// and copied (via the map's string conversion) in exact mode, so
+// callers may reuse the backing buffer.
+func (s *Set) Visit(key []byte, budget int) bool {
+	if s.exact != nil {
+		// The map index with an inline []byte->string conversion does
+		// not allocate; only the insert of a genuinely new state does.
+		if prev, ok := s.exact[string(key)]; ok && prev <= budget {
+			return false
+		}
+		s.exact[string(key)] = budget
+		return true
+	}
+	h := Hash64(key)
+	if prev, ok := s.fp[h]; ok && prev <= budget {
+		return false
+	}
+	s.fp[h] = budget
+	return true
+}
+
+// Len returns the number of distinct states recorded.
+func (s *Set) Len() int {
+	if s.exact != nil {
+		return len(s.exact)
+	}
+	return len(s.fp)
+}

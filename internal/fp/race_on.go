@@ -1,0 +1,9 @@
+//go:build race
+
+package fp
+
+// RaceEnabled reports whether the race detector is compiled in. The
+// zero-allocation guards skip under -race: the detector instruments
+// map accesses with its own allocations, which would fail the guards
+// for reasons unrelated to the code under test.
+const RaceEnabled = true

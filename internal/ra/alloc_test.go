@@ -1,0 +1,54 @@
+package ra
+
+import (
+	"testing"
+
+	"ravbmc/internal/fp"
+	"ravbmc/internal/lang"
+)
+
+// TestDedupProbeZeroAllocs guards the explorer's hot path: encoding a
+// state key into a reused buffer and probing the visited set must not
+// allocate, in either dedup mode, for plain and context-suffixed keys.
+// This is what makes the fingerprinted visited set pay off — the
+// per-state cost is hashing, not garbage.
+func TestDedupProbeZeroAllocs(t *testing.T) {
+	if fp.RaceEnabled {
+		t.Skip("allocation guards are meaningless under -race")
+	}
+	p := lang.NewProgram("alloc", "x", "y")
+	p.AddProc("p0", "a").Add(lang.WriteC("x", 1), lang.ReadS("a", "y"))
+	p.AddProc("p1", "b").Add(lang.WriteC("y", 1), lang.ReadS("b", "x"))
+	if err := p.ValidateRA(); err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(lang.MustCompile(p))
+	c := sys.Init()
+	for _, exact := range []bool{false, true} {
+		set := fp.NewSet(exact)
+		buf := make([]byte, 0, 256)
+		// Insert once so the probe below is the visited-state (hot) case;
+		// only insertion may allocate.
+		buf = sys.AppendDedupKey(c, buf[:0])
+		set.Visit(buf, 0)
+		allocs := testing.AllocsPerRun(500, func() {
+			buf = sys.AppendDedupKey(c, buf[:0])
+			set.Visit(buf, 0)
+		})
+		if allocs != 0 {
+			t.Errorf("exact=%v: %v allocs per encode+probe, want 0", exact, allocs)
+		}
+
+		buf = sys.AppendDedupKey(c, buf[:0])
+		buf = appendCtxSuffix(buf, 1, 3)
+		set.Visit(buf, 0)
+		allocs = testing.AllocsPerRun(500, func() {
+			buf = sys.AppendDedupKey(c, buf[:0])
+			buf = appendCtxSuffix(buf, 1, 3)
+			set.Visit(buf, 0)
+		})
+		if allocs != 0 {
+			t.Errorf("exact=%v: %v allocs per suffixed encode+probe, want 0", exact, allocs)
+		}
+	}
+}

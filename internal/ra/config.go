@@ -81,6 +81,11 @@ type System struct {
 	// CaptureViews makes every emitted event carry the acting process's
 	// view before and after the step (trace.Event.ViewBefore/ViewAfter).
 	// Off by default: snapshotting views allocates on every successor.
+	// This is a construction-time default for run-local systems
+	// (internal/replay, internal/smc own theirs); the explorer threads
+	// its per-run ra.Options.CaptureViews through successor generation
+	// instead of mutating this field, so a System may be shared across
+	// concurrent explorations.
 	CaptureViews bool
 }
 
@@ -220,95 +225,122 @@ func (c *Config) MsgCount() int {
 	return n
 }
 
-// encode serialises the configuration into a canonical byte string:
-// message identity is replaced by modification-order position, so two
+// Key-encoding markers. Value tokens occupy first bytes 0x00..0xF9
+// (small values) and 0xFE (escaped 8-byte values, see appendKeyVal),
+// so every marker byte below is unreachable from inside a value token:
+// the token stream is prefix-decodable and the encoding injective —
+// no concatenation of adjacent fields can imitate another state.
+const (
+	keyCtx   = 0xFA // context-bound suffix (last process, contexts used)
+	keyGlued = 0xFB // message was created by a CAS/fence RMW
+	keyMsg   = 0xFC // end of one message record
+	keyTerm  = 0xFD // terminated process: registers and view masked
+	keySep   = 0xFE // escape prefix inside appendKeyVal (never a marker)
+	keyField = 0xFF // end of a per-process or per-variable field
+)
+
+// appendKeyVal encodes one integer: 0..249 as a single byte, anything
+// else (large or negative) as 0xFE plus eight little-endian bytes.
+func appendKeyVal(buf []byte, v int64) []byte {
+	if v >= 0 && v <= 249 {
+		return append(buf, byte(v))
+	}
+	return append(buf, keySep,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// appendMemory encodes the message pools: per variable, per message in
+// modification order, the value, the glue mark and the view rendered as
+// mo positions — message identity is replaced by position, so two
 // configurations that differ only in message creation order encode
 // identically.
-func (c *Config) encode(b *strings.Builder) {
-	for _, pc := range c.pcs {
-		appendInt(b, pc)
-	}
-	b.WriteByte('|')
-	for _, rf := range c.regs {
-		for _, v := range rf {
-			appendInt(b, int(v))
-		}
-		b.WriteByte(';')
-	}
-	b.WriteByte('|')
+func (c *Config) appendMemory(buf []byte) []byte {
 	for _, order := range c.mo {
 		for _, m := range order {
-			appendInt(b, int(m.Val))
+			buf = appendKeyVal(buf, int64(m.Val))
 			if m.Glued {
-				b.WriteByte('g')
+				buf = append(buf, keyGlued)
 			}
 			for v := range c.mo {
-				appendInt(b, c.pos(m.View[v]))
+				buf = appendKeyVal(buf, int64(c.pos(m.View[v])))
 			}
-			b.WriteByte(',')
+			buf = append(buf, keyMsg)
 		}
-		b.WriteByte(';')
+		buf = append(buf, keyField)
 	}
-	b.WriteByte('|')
+	return buf
+}
+
+// AppendKey appends the canonical encoding of the full configuration to
+// buf and returns the extended slice. Callers on the search hot path
+// reuse the buffer across states.
+func (c *Config) AppendKey(buf []byte) []byte {
+	for _, pc := range c.pcs {
+		buf = appendKeyVal(buf, int64(pc))
+	}
+	buf = append(buf, keyField)
+	for _, rf := range c.regs {
+		for _, v := range rf {
+			buf = appendKeyVal(buf, int64(v))
+		}
+		buf = append(buf, keyField)
+	}
+	buf = c.appendMemory(buf)
 	for _, view := range c.views {
 		for _, m := range view {
-			appendInt(b, c.pos(m))
+			buf = appendKeyVal(buf, int64(c.pos(m)))
 		}
-		b.WriteByte(';')
+		buf = append(buf, keyField)
 	}
+	return buf
 }
 
-// Key returns the canonical encoding of the full configuration.
+// Key returns the canonical encoding of the full configuration as a
+// string; AppendKey is the allocation-free form.
 func (c *Config) Key() string {
-	var b strings.Builder
-	b.Grow(64 + 8*c.MsgCount()*len(c.mo))
-	c.encode(&b)
-	return b.String()
+	return string(c.AppendKey(make([]byte, 0, 64+8*c.MsgCount()*len(c.mo))))
 }
 
-// DedupKey is the exploration key: the registers and the view of a
-// terminated process are dead (no instruction of that process will ever
-// read them), so they are masked out, merging states that differ only
-// in dead local state. Callers that inspect final register values
-// (ReachableOutcomes) must use Key instead.
-func (s *System) DedupKey(c *Config) string {
-	var b strings.Builder
-	b.Grow(64 + 8*c.MsgCount()*len(c.mo))
+// AppendDedupKey appends the exploration key to buf: the registers and
+// the view of a terminated process are dead (no instruction of that
+// process will ever read them), so they are masked out, merging states
+// that differ only in dead local state. Callers that inspect final
+// register values (ReachableOutcomes) must use AppendKey/Key instead.
+func (s *System) AppendDedupKey(c *Config, buf []byte) []byte {
 	for p, pc := range c.pcs {
-		appendInt(&b, pc)
+		buf = appendKeyVal(buf, int64(pc))
 		if s.Prog.Procs[p].Terminated(pc) {
-			b.WriteString("T;;")
+			buf = append(buf, keyTerm)
 			continue
 		}
 		for _, v := range c.regs[p] {
-			appendInt(&b, int(v))
+			buf = appendKeyVal(buf, int64(v))
 		}
-		b.WriteByte(';')
+		buf = append(buf, keyField)
 		for _, m := range c.views[p] {
-			appendInt(&b, c.pos(m))
+			buf = appendKeyVal(buf, int64(c.pos(m)))
 		}
-		b.WriteByte(';')
+		buf = append(buf, keyField)
 	}
-	b.WriteByte('|')
-	for _, order := range c.mo {
-		for _, m := range order {
-			appendInt(&b, int(m.Val))
-			if m.Glued {
-				b.WriteByte('g')
-			}
-			for v := range c.mo {
-				appendInt(&b, c.pos(m.View[v]))
-			}
-			b.WriteByte(',')
-		}
-		b.WriteByte(';')
-	}
-	return b.String()
+	return c.appendMemory(buf)
 }
 
-func appendInt(b *strings.Builder, v int) {
-	b.WriteString(strconv.Itoa(v))
-	b.WriteByte('.')
+// DedupKey returns the exploration key as a string; AppendDedupKey is
+// the allocation-free form used by the explorer.
+func (s *System) DedupKey(c *Config) string {
+	return string(s.AppendDedupKey(c, make([]byte, 0, 64+8*c.MsgCount()*len(c.mo))))
+}
+
+// appendCtxSuffix folds the context-bounded search coordinates into the
+// key: the process that moved last (-1 initially) and the number of
+// contexts used. The keyCtx marker keeps the suffix unambiguous against
+// the preceding fields.
+func appendCtxSuffix(buf []byte, last, contexts int) []byte {
+	buf = append(buf, keyCtx)
+	buf = appendKeyVal(buf, int64(last+1))
+	buf = appendKeyVal(buf, int64(contexts))
+	return buf
 }
 
 // MemoryString renders the message pool for debugging and examples:

@@ -2,9 +2,9 @@ package ra
 
 import (
 	"context"
-	"fmt"
 	"time"
 
+	"ravbmc/internal/fp"
 	"ravbmc/internal/obs"
 	"ravbmc/internal/trace"
 )
@@ -27,7 +27,12 @@ type Options struct {
 	// label. Used by the PCP reduction ("all processes reach term").
 	TargetLabels map[string]string
 	// StopOnViolation stops at the first failed assertion (the default
-	// mode of all tools in the paper's evaluation).
+	// mode of all tools in the paper's evaluation). When false the
+	// search continues past failing assertions: Result.Violation is
+	// still set, Result.Violations counts every violating transition
+	// encountered, Result.Trace witnesses the first one, and Exhausted
+	// reports full coverage as usual — use this mode to census a
+	// program's bugs rather than stop at the first.
 	StopOnViolation bool
 	// ContextBound limits the number of contexts (maximal blocks of
 	// steps by one process); 0 or negative means unbounded. Used to
@@ -35,6 +40,13 @@ type Options struct {
 	// within 4-context executions. With a bound, the search keys states
 	// exactly by (state, active process, contexts used).
 	ContextBound int
+	// ExactDedup makes the visited set retain full state keys instead
+	// of 64-bit fingerprints. Fingerprinting is allocation-free and an
+	// order of magnitude smaller per state, at a vanishing (birthday
+	// bound) risk of conflating two states; exact mode is for
+	// collision-paranoid runs and the fingerprint parity tests. See
+	// internal/fp.
+	ExactDedup bool
 	// Deadline aborts the search when passed (checked periodically);
 	// zero means none.
 	Deadline time.Time
@@ -51,7 +63,9 @@ type Options struct {
 	Obs *obs.Recorder
 	// CaptureViews makes the emitted trace events carry per-step view
 	// snapshots (see System.CaptureViews); enable it when the trace is
-	// exported for offline inspection.
+	// exported for offline inspection. The flag is scoped to this run:
+	// it is threaded through successor generation without mutating the
+	// System, which may be shared across concurrent explorations.
 	CaptureViews bool
 }
 
@@ -59,15 +73,22 @@ type Options struct {
 type Result struct {
 	// Violation is true if a failing assertion was found.
 	Violation bool
+	// Violations counts the violating transitions encountered; at most
+	// 1 under StopOnViolation, the full census otherwise.
+	Violations int
 	// TargetReached is true if the TargetLabels configuration was found.
 	TargetReached bool
-	// Trace witnesses the violation or target, when found.
+	// Trace witnesses the violation or target, when found. With
+	// StopOnViolation=false it witnesses the first violation seen.
 	Trace *trace.Trace
 	// States and Transitions count distinct visited states and explored
 	// transitions.
 	States, Transitions int
 	// Exhausted is true if the state space was fully explored within the
 	// given bounds (so "no violation" is conclusive for those bounds).
+	// A search that stopped at a violation or target is not exhausted;
+	// one that ran past violations (StopOnViolation=false) to full
+	// coverage is.
 	Exhausted bool
 	// TimedOut is true when the Deadline or a cancelled Ctx cut the
 	// search short.
@@ -79,15 +100,15 @@ type Result struct {
 // Explore runs a depth-first search over the RA transition system with
 // state dedup. Dedup accounts for the remaining view-switch budget: a
 // state revisited with a smaller number of used switches is re-explored,
-// since more behaviours are reachable from it.
+// since more behaviours are reachable from it. The DFS itself runs on an
+// explicit heap-allocated stack, so deep MaxSteps runs (looping
+// programs) cannot overflow the goroutine stack.
 func (s *System) Explore(opts Options) Result {
-	if opts.CaptureViews {
-		s.CaptureViews = true
-	}
 	e := &explorer{
 		sys:     s,
 		opts:    opts,
-		visited: make(map[string]int),
+		visited: fp.NewSet(opts.ExactDedup),
+		capture: opts.CaptureViews || s.CaptureViews,
 	}
 	e.cStates = opts.Obs.Counter("ra.states")
 	e.cTransitions = opts.Obs.Counter("ra.transitions")
@@ -119,8 +140,9 @@ func (s *System) Explore(opts Options) Result {
 		e.result.TimedOut = true
 		return e.result
 	}
-	e.dfs(s.Init(), 0, 0, -1, 0)
-	e.result.Exhausted = e.exhausted && !e.result.Violation && !e.result.TargetReached
+	e.search(s.Init())
+	e.result.Exhausted = e.exhausted && !e.result.TargetReached &&
+		!(e.result.Violation && e.opts.StopOnViolation)
 	return e.result
 }
 
@@ -134,7 +156,9 @@ type explorer struct {
 	sys       *System
 	opts      Options
 	ctx       context.Context // nil when the search has no deadline/cancel scope
-	visited   map[string]int  // state key -> min view switches used
+	visited   *fp.Set         // state key -> min view switches used
+	keyBuf    []byte          // reused dedup-key buffer
+	capture   bool            // per-run view snapshotting
 	path      []trace.Event
 	steps     int // DFS entries, for cancellation sampling
 	result    Result
@@ -145,26 +169,85 @@ type explorer struct {
 	gMaxDepth, gPeakMessages         *obs.Gauge
 }
 
-// dfs returns true when the search is done (violation/target found or
-// state cap hit). last is the process that moved last (-1 initially)
-// and contexts the number of scheduling blocks so far; both are only
+// child is one accepted transition out of an expanded state: the
+// successor configuration plus the search coordinates it is entered
+// with. Violating and view-bound-filtered transitions never become
+// children — they are handled during expansion.
+type child struct {
+	cfg      *Config
+	event    trace.Event
+	proc     int // the process that moved
+	switches int // view switches used after this transition
+	contexts int // contexts used after this transition
+}
+
+// frame is one explicit-stack DFS frame: the children of a state being
+// iterated, the depth of that state, and the path length to restore
+// when the frame is popped.
+type frame struct {
+	kids    []child
+	idx     int
+	depth   int
+	pathLen int
+}
+
+// search drives the DFS from the root on an explicit stack. Frames
+// mirror what the previous recursive formulation kept in goroutine
+// stack frames (the successor slice and loop index), so the memory
+// footprint is unchanged while the depth is bounded only by the heap.
+func (e *explorer) search(root *Config) {
+	kids, done := e.expand(root, 0, 0, -1, 0)
+	if done || len(kids) == 0 {
+		return
+	}
+	stack := make([]frame, 0, 64)
+	stack = append(stack, frame{kids: kids})
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.idx == len(f.kids) {
+			e.path = e.path[:f.pathLen]
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		k := f.kids[f.idx]
+		f.idx++
+		base := len(e.path)
+		e.path = append(e.path, k.event)
+		kids, done := e.expand(k.cfg, k.switches, f.depth+1, k.proc, k.contexts)
+		if done {
+			return
+		}
+		if len(kids) == 0 {
+			e.path = e.path[:base]
+			continue
+		}
+		// f is invalid after this append (the stack may move).
+		stack = append(stack, frame{kids: kids, depth: f.depth + 1, pathLen: base})
+	}
+}
+
+// expand visits one state: dedup, counters, caps and target checks,
+// then the scan over its transitions. It returns the accepted children
+// (nil when the state is pruned or a leaf) and whether the whole search
+// is done (violation under StopOnViolation, target found, state cap or
+// deadline hit). last is the process that moved last (-1 initially) and
+// contexts the number of scheduling blocks so far; both are only
 // tracked under a context bound.
-func (e *explorer) dfs(c *Config, switches, depth, last, contexts int) bool {
+func (e *explorer) expand(c *Config, switches, depth, last, contexts int) ([]child, bool) {
 	e.steps++
 	if e.ctx != nil && e.steps%deadlineStride == 0 && e.ctx.Err() != nil {
 		e.exhausted = false
 		e.result.TimedOut = true
-		return true
+		return nil, true
 	}
-	key := e.sys.DedupKey(c)
+	e.keyBuf = e.sys.AppendDedupKey(c, e.keyBuf[:0])
 	if e.opts.ContextBound > 0 {
-		key = fmt.Sprintf("%s|%d|%d", key, last, contexts)
+		e.keyBuf = appendCtxSuffix(e.keyBuf, last, contexts)
 	}
-	if prev, ok := e.visited[key]; ok && prev <= switches {
+	if !e.visited.Visit(e.keyBuf, switches) {
 		e.cRevisits.Inc()
-		return false
+		return nil, false
 	}
-	e.visited[key] = switches
 	e.result.States++
 	e.cStates.Inc()
 	e.gMaxDepth.SetMax(int64(depth))
@@ -174,17 +257,18 @@ func (e *explorer) dfs(c *Config, switches, depth, last, contexts int) bool {
 	}
 	if e.opts.MaxStates > 0 && e.result.States >= e.opts.MaxStates {
 		e.exhausted = false
-		return true
+		return nil, true
 	}
 	if e.targetReached(c) {
 		e.result.TargetReached = true
 		e.result.Trace = &trace.Trace{Events: append([]trace.Event(nil), e.path...)}
-		return true
+		return nil, true
 	}
 	if depth >= e.opts.MaxSteps {
 		e.exhausted = false
-		return false
+		return nil, false
 	}
+	var kids []child
 	for p := 0; p < e.sys.NumProcs(); p++ {
 		nc := contexts
 		if p != last {
@@ -193,7 +277,7 @@ func (e *explorer) dfs(c *Config, switches, depth, last, contexts int) bool {
 				continue
 			}
 		}
-		succs := e.sys.Successors(c, p)
+		succs := e.sys.successors(c, p, e.capture)
 		// A process with several successors is at a read with several
 		// coherent messages (or a nondet): a read-choice branch point.
 		if len(succs) > 1 {
@@ -204,13 +288,15 @@ func (e *explorer) dfs(c *Config, switches, depth, last, contexts int) bool {
 			e.result.Transitions++
 			e.cTransitions.Inc()
 			if succ.Violation {
-				if !e.opts.StopOnViolation {
-					continue
-				}
 				e.result.Violation = true
-				ev := succ.Event
-				e.result.Trace = &trace.Trace{Events: append(append([]trace.Event(nil), e.path...), ev)}
-				return true
+				e.result.Violations++
+				if e.result.Trace == nil {
+					e.result.Trace = &trace.Trace{Events: append(append([]trace.Event(nil), e.path...), succ.Event)}
+				}
+				if e.opts.StopOnViolation {
+					return nil, true
+				}
+				continue
 			}
 			if succ.ViewSwitch && e.opts.ViewBound >= 0 && switches >= e.opts.ViewBound {
 				continue
@@ -219,15 +305,10 @@ func (e *explorer) dfs(c *Config, switches, depth, last, contexts int) bool {
 			if succ.ViewSwitch {
 				ns++
 			}
-			e.path = append(e.path, succ.Event)
-			done := e.dfs(succ.Config, ns, depth+1, p, nc)
-			e.path = e.path[:len(e.path)-1]
-			if done {
-				return true
-			}
+			kids = append(kids, child{cfg: succ.Config, event: succ.Event, proc: p, switches: ns, contexts: nc})
 		}
 	}
-	return false
+	return kids, false
 }
 
 func (e *explorer) targetReached(c *Config) bool {
@@ -251,21 +332,31 @@ func (e *explorer) targetReached(c *Config) bool {
 // litmus-test oracle: the observable outcome of a litmus test is the
 // final content of its observer registers. The map keys are produced by
 // render(regs) where regs gives per-process register files.
+//
+// The visited set is keyed on the full configuration and memoizes the
+// minimum depth at which a state was reached: a state re-reached with
+// more remaining budget (smaller depth) is re-explored, so a deep first
+// visit whose successors were cut by maxSteps can never mask outcomes
+// still reachable along a shorter path. Being the oracle, it always
+// retains exact keys — a fingerprint collision here would silently drop
+// an outcome.
 func (s *System) ReachableOutcomes(maxSteps int, render func(c *Config) string) map[string]bool {
 	out := map[string]bool{}
 	if maxSteps == 0 {
 		maxSteps = 1 << 20
 	}
-	visited := map[string]bool{}
-	var rec func(c *Config, depth int)
-	rec = func(c *Config, depth int) {
-		key := c.Key()
-		if visited[key] {
-			return
+	visited := fp.NewSet(true)
+	var keyBuf []byte
+	// expand visits one state at the given depth: dedup on (key, depth),
+	// terminal-outcome detection, and successor collection.
+	expand := func(c *Config, depth int) []*Config {
+		keyBuf = c.AppendKey(keyBuf[:0])
+		if !visited.Visit(keyBuf, depth) {
+			return nil
 		}
-		visited[key] = true
 		allDone := true
 		anyStep := false
+		var kids []*Config
 		for p := 0; p < s.NumProcs(); p++ {
 			if !s.Prog.Procs[p].Terminated(c.pcs[p]) {
 				allDone = false
@@ -278,13 +369,34 @@ func (s *System) ReachableOutcomes(maxSteps int, render func(c *Config) string) 
 					continue
 				}
 				anyStep = true
-				rec(succ.Config, depth+1)
+				kids = append(kids, succ.Config)
 			}
 		}
 		if allDone && !anyStep {
 			out[render(c)] = true
 		}
+		return kids
 	}
-	rec(s.Init(), 0)
+	type oframe struct {
+		kids  []*Config
+		idx   int
+		depth int // depth of the kids
+	}
+	var stack []oframe
+	if kids := expand(s.Init(), 0); len(kids) > 0 {
+		stack = append(stack, oframe{kids: kids, depth: 1})
+	}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.idx == len(f.kids) {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		c := f.kids[f.idx]
+		f.idx++
+		if kids := expand(c, f.depth); len(kids) > 0 {
+			stack = append(stack, oframe{kids: kids, depth: f.depth + 1})
+		}
+	}
 	return out
 }

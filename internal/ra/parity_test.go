@@ -1,0 +1,64 @@
+package ra_test
+
+import (
+	"testing"
+
+	"ravbmc/internal/benchmarks"
+	"ravbmc/internal/lang"
+	"ravbmc/internal/litmus"
+	"ravbmc/internal/ra"
+)
+
+// assertParity runs the explorer in fingerprint and exact-key modes and
+// requires identical verdicts and search statistics: a divergence means
+// either a fingerprint collision (astronomically unlikely at test
+// scale; see internal/fp) or a genuine dedup bug.
+func assertParity(t *testing.T, name string, sys *ra.System, opts ra.Options) {
+	t.Helper()
+	opts.ExactDedup = false
+	fpRes := sys.Explore(opts)
+	opts.ExactDedup = true
+	exRes := sys.Explore(opts)
+	if fpRes.Violation != exRes.Violation ||
+		fpRes.Violations != exRes.Violations ||
+		fpRes.States != exRes.States ||
+		fpRes.Transitions != exRes.Transitions ||
+		fpRes.Exhausted != exRes.Exhausted {
+		t.Errorf("%s: fingerprint/exact divergence:\n fp: %+v\n ex: %+v", name, fpRes, exRes)
+	}
+}
+
+// TestParityLitmusCorpus sweeps the generated litmus corpus (every
+// two-thread shape over {x=1, y=1, $r=x, $r=y} with two ops per thread)
+// through both dedup modes, unbounded and with a view bound.
+func TestParityLitmusCorpus(t *testing.T) {
+	corpus := litmus.Generated(2)
+	if len(corpus) < 100 {
+		t.Fatalf("corpus unexpectedly small: %d", len(corpus))
+	}
+	for _, tc := range corpus {
+		sys := ra.NewSystem(lang.MustCompile(tc.Prog))
+		assertParity(t, tc.Name, sys, ra.Options{ViewBound: -1, StopOnViolation: true})
+		assertParity(t, tc.Name+"/vb1", sys, ra.Options{ViewBound: 1, StopOnViolation: true})
+	}
+}
+
+// TestParityBenchmarks runs both dedup modes over unrolled mutual-
+// exclusion protocols, with and without a context bound (the context
+// bound folds an extra suffix into the state key, so it deserves its
+// own parity coverage) and in violation-census mode.
+func TestParityBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark parity sweep is slow")
+	}
+	for _, name := range []string{"peterson_0", "peterson_4", "dekker", "sim_dekker"} {
+		p, err := benchmarks.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := ra.NewSystem(lang.MustCompile(lang.Unroll(p, 2)))
+		assertParity(t, name, sys, ra.Options{ViewBound: 2, StopOnViolation: true})
+		assertParity(t, name+"/ctx", sys, ra.Options{ViewBound: 2, StopOnViolation: true, ContextBound: 4})
+		assertParity(t, name+"/census", sys, ra.Options{ViewBound: 1, StopOnViolation: false})
+	}
+}

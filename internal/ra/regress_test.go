@@ -1,0 +1,269 @@
+package ra
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ravbmc/internal/lang"
+)
+
+// TestReachableOutcomesDepthBudget is the regression test for the
+// depth-memoization unsoundness: a state first reached at a depth where
+// maxSteps cuts its successors used to be marked visited outright, so
+// re-reaching it along a *shorter* path was wrongly pruned and every
+// outcome below it silently dropped.
+//
+// The program forces exactly that shape with one process:
+//
+//	r = nondet(0,1)
+//	if r == 0 { r = 1 }   // the r=0 branch takes one extra step
+//	done = 1
+//
+// Nondet explores r=0 first, reaching the state (pc=done-assign, r=1,
+// done=0) at depth 3; with maxSteps=3 its successors are cut. The r=1
+// branch re-reaches the same state at depth 2, from which the terminal
+// done=1 outcome lies within budget. The old code pruned that second
+// visit and reported no outcomes at all.
+func TestReachableOutcomesDepthBudget(t *testing.T) {
+	p := lang.NewProgram("depth_budget")
+	p.AddProc("p0", "r", "done").Add(
+		lang.NondetS("r", 0, 1),
+		lang.IfS(lang.Eq(lang.R("r"), lang.C(0)), lang.AssignS("r", lang.C(1))),
+		lang.AssignS("done", lang.C(1)),
+	)
+	if err := p.ValidateRA(); err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(lang.MustCompile(p))
+	got := sys.ReachableOutcomes(3, func(c *Config) string {
+		return fmt.Sprintf("done=%d", sys.RegValue(c, "p0", "done"))
+	})
+	if !got["done=1"] {
+		t.Fatalf("outcome done=1 reachable within 3 steps was dropped; got %v", got)
+	}
+	if len(got) != 1 {
+		t.Fatalf("want exactly the done=1 outcome, got %v", got)
+	}
+}
+
+// TestCtxSuffixUnambiguous checks the context-bound suffix byte
+// encoding: distinct (last, contexts) pairs yield distinct suffixes,
+// including pairs whose decimal renderings would concatenate
+// ambiguously in a string format ("1","23" vs "12","3"), and the
+// initial last=-1 is distinguished from process 0.
+func TestCtxSuffixUnambiguous(t *testing.T) {
+	pairs := [][2]int{
+		{-1, 0}, {0, 0}, {0, 1}, {1, 0},
+		{1, 23}, {12, 3}, {123, 0}, {1, 230},
+		{249, 0}, {250, 0}, {0, 250}, {1000, 2},
+	}
+	seen := map[string][2]int{}
+	for _, p := range pairs {
+		s := string(appendCtxSuffix(nil, p[0], p[1]))
+		if prev, dup := seen[s]; dup {
+			t.Errorf("suffix collision: %v and %v encode to %q", prev, p, s)
+		}
+		seen[s] = p
+	}
+}
+
+// TestDedupKeyCtxSuffixInjective checks that full key ⧺ suffix strings
+// are injective over (state, last, contexts) triples: enumerating a few
+// levels of a two-process system (with a register value above the
+// single-byte token range, exercising the wide 0xFE encoding adjacent
+// to the suffix marker), no two distinct triples share an encoding.
+func TestDedupKeyCtxSuffixInjective(t *testing.T) {
+	p := lang.NewProgram("inj", "x", "y")
+	p.AddProc("p0", "a").Add(
+		lang.AssignS("a", lang.C(1000)),
+		lang.WriteC("x", 1),
+		lang.ReadS("a", "y"),
+	)
+	p.AddProc("p1", "b").Add(
+		lang.WriteC("y", 1),
+		lang.ReadS("b", "x"),
+	)
+	if err := p.ValidateRA(); err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(lang.MustCompile(p))
+
+	// Collect distinct states up to depth 4 by exhaustive expansion.
+	type triple struct {
+		key            string
+		last, contexts int
+	}
+	states := map[string]*Config{}
+	frontier := []*Config{sys.Init()}
+	for depth := 0; depth < 4; depth++ {
+		var next []*Config
+		for _, c := range frontier {
+			k := c.Key()
+			if _, ok := states[k]; ok {
+				continue
+			}
+			states[k] = c
+			for p := 0; p < sys.NumProcs(); p++ {
+				for _, s := range sys.Successors(c, p) {
+					if !s.Violation {
+						next = append(next, s.Config)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	if len(states) < 4 {
+		t.Fatalf("expected several distinct states, got %d", len(states))
+	}
+	seen := map[string]triple{}
+	var buf []byte
+	for _, c := range states {
+		for _, lc := range [][2]int{{-1, 0}, {0, 1}, {1, 1}, {1, 12}, {11, 2}} {
+			buf = sys.AppendDedupKey(c, buf[:0])
+			buf = appendCtxSuffix(buf, lc[0], lc[1])
+			enc := string(buf)
+			tr := triple{key: sys.DedupKey(c), last: lc[0], contexts: lc[1]}
+			if prev, dup := seen[enc]; dup && prev != tr {
+				t.Fatalf("encoding collision between %+v and %+v", prev, tr)
+			}
+			seen[enc] = tr
+		}
+	}
+}
+
+// TestExploreDoesNotMutateCaptureViews is the regression test for
+// Explore flipping the shared System's CaptureViews flag on and never
+// restoring it: capture must be a per-run option threaded through
+// successor generation, not a mutation of state shared with concurrent
+// or later runs.
+func TestExploreDoesNotMutateCaptureViews(t *testing.T) {
+	p := lang.NewProgram("cap", "x")
+	p.AddProc("p0").Add(lang.WriteC("x", 1))
+	p.AddProc("p1", "a").Add(lang.ReadS("a", "x"))
+	if err := p.ValidateRA(); err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(lang.MustCompile(p))
+	if sys.CaptureViews {
+		t.Fatal("fresh system must not capture views")
+	}
+	res := sys.Explore(Options{ViewBound: -1, StopOnViolation: true})
+	if sys.CaptureViews {
+		t.Fatalf("Explore mutated System.CaptureViews")
+	}
+	_ = res
+
+	// Per-run capture works without touching the system flag.
+	res = sys.Explore(Options{
+		ViewBound: -1, CaptureViews: true,
+		TargetLabels: map[string]string{"p1": "p1#0"},
+	})
+	if sys.CaptureViews {
+		t.Fatalf("per-run capture leaked into System.CaptureViews")
+	}
+	if !res.TargetReached || res.Trace == nil {
+		t.Fatalf("target exploration failed: %+v", res)
+	}
+	for _, ev := range res.Trace.Events {
+		if ev.ViewAfter == nil {
+			t.Fatalf("CaptureViews run produced event without view snapshot: %+v", ev)
+		}
+	}
+}
+
+// TestExploreConcurrentOnSharedSystem runs several explorations of one
+// System concurrently. Meaningful chiefly under -race (the CI race job):
+// the old Explore wrote s.CaptureViews at the start of every run, a
+// data race between concurrent explorations.
+func TestExploreConcurrentOnSharedSystem(t *testing.T) {
+	p := lang.NewProgram("conc", "x", "y")
+	p.AddProc("p0", "a").Add(lang.WriteC("x", 1), lang.ReadS("a", "y"))
+	p.AddProc("p1", "b").Add(lang.WriteC("y", 1), lang.ReadS("b", "x"))
+	if err := p.ValidateRA(); err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(lang.MustCompile(p))
+	var wg sync.WaitGroup
+	results := make([]Result, 4)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = sys.Explore(Options{
+				ViewBound: -1, StopOnViolation: true,
+				CaptureViews: i%2 == 0, ExactDedup: i%2 == 1,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r.States != results[0].States || r.Violation != results[0].Violation {
+			t.Fatalf("run %d diverged: %+v vs %+v", i, r, results[0])
+		}
+	}
+}
+
+// TestContinuePastViolations is the regression test for silently
+// dropped violations under StopOnViolation=false: the old explorer
+// skipped violating transitions without recording them, so a program
+// full of assertion failures reported Violation=false. Now every
+// violating transition is counted, the first is witnessed, and the
+// search still runs to full coverage.
+func TestContinuePastViolations(t *testing.T) {
+	p := lang.NewProgram("census")
+	p.AddProc("p0", "r").Add(
+		lang.NondetS("r", 0, 2),
+		lang.AssertS(lang.Eq(lang.R("r"), lang.C(0))),
+	)
+	if err := p.ValidateRA(); err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(lang.MustCompile(p))
+
+	res := sys.Explore(Options{ViewBound: -1, StopOnViolation: false})
+	if !res.Violation {
+		t.Fatalf("violations were dropped: %+v", res)
+	}
+	if res.Violations != 2 {
+		t.Errorf("Violations = %d, want 2 (r=1 and r=2 both fail)", res.Violations)
+	}
+	if res.Trace == nil {
+		t.Errorf("first violation must be witnessed")
+	}
+	if !res.Exhausted {
+		t.Errorf("a run past all violations to full coverage is exhausted: %+v", res)
+	}
+
+	stop := sys.Explore(Options{ViewBound: -1, StopOnViolation: true})
+	if !stop.Violation || stop.Violations != 1 {
+		t.Errorf("StopOnViolation: Violation=%v Violations=%d, want true/1", stop.Violation, stop.Violations)
+	}
+	if stop.Exhausted {
+		t.Errorf("a search stopped at a violation is not exhausted")
+	}
+}
+
+// TestDeepExplicitStack drives a single-process counting loop tens of
+// thousands of steps deep: with the explicit-stack DFS this is a heap
+// allocation, not ~60k goroutine stack frames.
+func TestDeepExplicitStack(t *testing.T) {
+	const n = 20000
+	p := lang.NewProgram("deep")
+	p.AddProc("p0", "i").Add(
+		lang.WhileS(lang.Lt(lang.R("i"), lang.C(n)),
+			lang.AssignS("i", lang.Add(lang.R("i"), lang.C(1)))),
+	)
+	if err := p.ValidateRA(); err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(lang.MustCompile(p))
+	res := sys.Explore(Options{ViewBound: -1, StopOnViolation: true, MaxSteps: 3*n + 10})
+	if res.Violation || !res.Exhausted {
+		t.Fatalf("deep loop run: %+v", res)
+	}
+	if res.States < n {
+		t.Fatalf("States = %d, want at least %d distinct loop states", res.States, n)
+	}
+}

@@ -25,7 +25,16 @@ type Succ struct {
 // covering all nondeterminism of the RA semantics: choice of message on
 // reads and CAS, choice of insertion point on writes, and nondet ranges.
 // A terminated process, or one stuck at a false assume, yields none.
+// View snapshots are attached when the System's construction-time
+// CaptureViews default is set; run-scoped capture (ra.Options
+// .CaptureViews) is threaded through the unexported form instead, so a
+// System shared between concurrent explorations is never mutated.
 func (s *System) Successors(c *Config, p int) []Succ {
+	return s.successors(c, p, s.CaptureViews)
+}
+
+// successors is Successors with an explicit per-call capture flag.
+func (s *System) successors(c *Config, p int, capture bool) []Succ {
 	pr := s.Prog.Procs[p]
 	in := &pr.Code[c.pcs[p]]
 	env := func(name string) lang.Value {
@@ -48,16 +57,16 @@ func (s *System) Successors(c *Config, p int) []Succ {
 
 	switch in.Op {
 	case lang.OpReadVar:
-		return s.readSuccs(c, p, in, ev)
+		return s.readSuccs(c, p, in, ev, capture)
 	case lang.OpWriteVar:
-		return s.writeSuccs(c, p, in, env, ev)
+		return s.writeSuccs(c, p, in, env, ev, capture)
 	case lang.OpCASVar:
-		return s.rmwSuccs(c, p, in, s.VarIdx[in.Var], env, ev, false)
+		return s.rmwSuccs(c, p, in, s.VarIdx[in.Var], env, ev, false, capture)
 	case lang.OpFenceOp:
 		if s.FenceVar < 0 {
 			panic("ra: fence instruction but no fence variable allocated")
 		}
-		return s.rmwSuccs(c, p, in, s.FenceVar, env, ev, true)
+		return s.rmwSuccs(c, p, in, s.FenceVar, env, ev, true, capture)
 	case lang.OpAssignReg:
 		v := in.Val.Eval(env)
 		ri := s.RegIdx[p][in.Reg]
@@ -118,7 +127,7 @@ func (s *System) Successors(c *Config, p int) []Succ {
 // readSuccs implements the Read rule of Fig. 2: any message of x whose
 // position is at or above the process view can be read; the process view
 // is merged with the message view.
-func (s *System) readSuccs(c *Config, p int, in *lang.Instr, ev func(trace.Kind, string) trace.Event) []Succ {
+func (s *System) readSuccs(c *Config, p int, in *lang.Instr, ev func(trace.Kind, string) trace.Event, capture bool) []Succ {
 	x := s.VarIdx[in.Var]
 	ri := s.RegIdx[p][in.Reg]
 	from := c.pos(c.views[p][x])
@@ -134,7 +143,7 @@ func (s *System) readSuccs(c *Config, p int, in *lang.Instr, ev func(trace.Kind,
 		e := trace.Event{Proc: s.Prog.Procs[p].Name, Label: in.Label, Kind: trace.KindRead,
 			Var: in.Var, Reg: in.Reg, Val: int64(m.Val), HasVal: true,
 			ReadMsg: s.msgRef(c, m), ViewSwitch: changed}
-		if s.CaptureViews {
+		if capture {
 			e.ViewBefore = s.viewRef(c, c.views[p])
 			e.ViewAfter = s.viewRef(d, merged)
 		}
@@ -163,7 +172,7 @@ func (s *System) viewRef(c *Config, view []*Msg) trace.View {
 // any modification-order gap strictly after the view — except between a
 // message and a glued (CAS-created) successor, which models the occupied
 // t+1 slot.
-func (s *System) writeSuccs(c *Config, p int, in *lang.Instr, env func(string) lang.Value, ev func(trace.Kind, string) trace.Event) []Succ {
+func (s *System) writeSuccs(c *Config, p int, in *lang.Instr, env func(string) lang.Value, ev func(trace.Kind, string) trace.Event, capture bool) []Succ {
 	x := s.VarIdx[in.Var]
 	val := in.Val.Eval(env)
 	from := c.pos(c.views[p][x])
@@ -185,7 +194,7 @@ func (s *System) writeSuccs(c *Config, p int, in *lang.Instr, env func(string) l
 		e := ev(trace.KindWrite, "")
 		e.Var, e.Val, e.HasVal = in.Var, int64(val), true
 		e.WroteMsg = &trace.MsgRef{Seq: m.Seq, Var: s.Vars[x], Val: int64(val), T: j}
-		if s.CaptureViews {
+		if capture {
 			e.ViewBefore = s.viewRef(c, c.views[p])
 			e.ViewAfter = s.viewRef(d, newView)
 		}
@@ -199,7 +208,7 @@ func (s *System) writeSuccs(c *Config, p int, in *lang.Instr, env func(string) l
 // Old and whose t+1 slot is free (no glued successor); the new message
 // is glued immediately after it. A fence is an unconditional RMW on the
 // distinguished fence variable that writes the read value plus one.
-func (s *System) rmwSuccs(c *Config, p int, in *lang.Instr, x int, env func(string) lang.Value, ev func(trace.Kind, string) trace.Event, isFence bool) []Succ {
+func (s *System) rmwSuccs(c *Config, p int, in *lang.Instr, x int, env func(string) lang.Value, ev func(trace.Kind, string) trace.Event, isFence bool, capture bool) []Succ {
 	from := c.pos(c.views[p][x])
 	order := c.mo[x]
 	var out []Succ
@@ -237,7 +246,7 @@ func (s *System) rmwSuccs(c *Config, p int, in *lang.Instr, x int, env func(stri
 		if !isFence {
 			e.Old, e.HasOld = int64(m.Val), true
 		}
-		if s.CaptureViews {
+		if capture {
 			e.ViewBefore = s.viewRef(c, c.views[p])
 			e.ViewAfter = s.viewRef(d, merged)
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"ravbmc/internal/fp"
 	"ravbmc/internal/obs"
 	"ravbmc/internal/trace"
 )
@@ -35,6 +36,9 @@ type Options struct {
 	// Searches biased towards different processes find bugs located in
 	// different threads; the VBMC driver alternates both orders.
 	ReverseProcs bool
+	// ExactDedup makes the visited set retain full state keys instead of
+	// 64-bit fingerprints. See ra.Options.ExactDedup and internal/fp.
+	ExactDedup bool
 	// Obs, when non-nil, receives the search counters ("sc.states",
 	// "sc.transitions", "sc.dedup_hits", "sc.dedup_misses",
 	// "sc.macro_steps") and gauges ("sc.max_depth",
@@ -67,9 +71,11 @@ type Result struct {
 const deadlineStride = 1024
 
 // Check explores the SC transition system of the program at macro-step
-// granularity under the context bound.
+// granularity under the context bound. The DFS runs on an explicit
+// heap-allocated stack, so restart-ladder rounds with deep macro-step
+// paths cannot overflow the goroutine stack.
 func (s *System) Check(opts Options) Result {
-	e := &scChecker{sys: s, opts: opts, visited: map[string]int{}}
+	e := &scChecker{sys: s, opts: opts, visited: fp.NewSet(opts.ExactDedup)}
 	e.cStates = opts.Obs.Counter("sc.states")
 	e.cTransitions = opts.Obs.Counter("sc.transitions")
 	e.cDedupHits = opts.Obs.Counter("sc.dedup_hits")
@@ -106,7 +112,7 @@ func (s *System) Check(opts Options) Result {
 			break
 		}
 		e.path = append(e.path[:0], oc.events...)
-		if e.dfs(oc.cfg, 0, 0) {
+		if e.search(oc.cfg) {
 			break
 		}
 	}
@@ -118,10 +124,11 @@ type scChecker struct {
 	sys       *System
 	opts      Options
 	ctx       context.Context // nil when the search has no deadline/cancel scope
-	visited   map[string]int  // state key -> min contexts used
+	visited   *fp.Set         // state key -> min contexts used
 	path      []trace.Event
 	keyBuf    []byte
-	steps     int // DFS entries, for cancellation sampling
+	deadBuf   []int // reused dead-register scratch for dedupKey
+	steps     int   // DFS entries, for cancellation sampling
 	result    Result
 	exhausted bool
 
@@ -131,23 +138,79 @@ type scChecker struct {
 	gMaxDepth, gMaxContexts  *obs.Gauge
 }
 
-// dfs returns true when the search should stop (violation/target found
-// or state cap hit). contexts counts completed+current scheduling
-// blocks; depth counts macro-steps on the current path.
-func (e *scChecker) dfs(c *Config, contexts, depth int) bool {
+// scChild is one accepted macro-step out of an expanded state: the
+// successor configuration, the events of the macro-step, and the
+// context count it is entered with. Violating macro-steps stop the
+// search during expansion and never become children.
+type scChild struct {
+	cfg      *Config
+	events   []trace.Event
+	contexts int
+}
+
+// scFrame is one explicit-stack DFS frame.
+type scFrame struct {
+	kids    []scChild
+	idx     int
+	depth   int
+	pathLen int
+}
+
+// search drives the DFS from one initial-closure state on an explicit
+// stack; it returns true when the search should stop (violation/target
+// found, state cap hit, or deadline expired).
+func (e *scChecker) search(root *Config) bool {
+	kids, done := e.expand(root, 0, 0)
+	if done {
+		return true
+	}
+	if len(kids) == 0 {
+		return false
+	}
+	stack := make([]scFrame, 0, 64)
+	stack = append(stack, scFrame{kids: kids, pathLen: len(e.path)})
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.idx == len(f.kids) {
+			e.path = e.path[:f.pathLen]
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		k := f.kids[f.idx]
+		f.idx++
+		base := len(e.path)
+		e.path = append(e.path, k.events...)
+		kids, done := e.expand(k.cfg, k.contexts, f.depth+1)
+		if done {
+			return true
+		}
+		if len(kids) == 0 {
+			e.path = e.path[:base]
+			continue
+		}
+		// f is invalid after this append (the stack may move).
+		stack = append(stack, scFrame{kids: kids, depth: f.depth + 1, pathLen: base})
+	}
+	return false
+}
+
+// expand visits one state: dedup, counters, caps and target checks,
+// then the scan over its macro-steps. It returns the accepted children
+// (nil when the state is pruned or a leaf) and whether the search is
+// done. contexts counts completed+current scheduling blocks; depth
+// counts macro-steps on the current path.
+func (e *scChecker) expand(c *Config, contexts, depth int) ([]scChild, bool) {
 	e.steps++
 	if e.ctx != nil && e.steps%deadlineStride == 0 && e.ctx.Err() != nil {
 		e.exhausted = false
 		e.result.TimedOut = true
-		return true
+		return nil, true
 	}
-	e.keyBuf = e.sys.DedupKey(c, e.keyBuf[:0])
-	key := string(e.keyBuf)
-	if prev, ok := e.visited[key]; ok && prev <= contexts {
+	e.keyBuf, e.deadBuf = e.sys.dedupKey(c, e.keyBuf[:0], e.deadBuf)
+	if !e.visited.Visit(e.keyBuf, contexts) {
 		e.cDedupHits.Inc()
-		return false
+		return nil, false
 	}
-	e.visited[key] = contexts
 	e.result.States++
 	e.cStates.Inc()
 	e.cDedupMisses.Inc()
@@ -155,12 +218,12 @@ func (e *scChecker) dfs(c *Config, contexts, depth int) bool {
 	e.gMaxContexts.SetMax(int64(contexts))
 	if e.opts.MaxStates > 0 && e.result.States >= e.opts.MaxStates {
 		e.exhausted = false
-		return true
+		return nil, true
 	}
 	if e.targetReached(c) {
 		e.result.TargetReached = true
 		e.result.Trace = &trace.Trace{Events: append([]trace.Event(nil), e.path...)}
-		return true
+		return nil, true
 	}
 	// Try the process holding the context first: near-serial schedules
 	// are explored before heavily preempted ones, so counterexamples
@@ -180,6 +243,7 @@ func (e *scChecker) dfs(c *Config, contexts, depth int) bool {
 			order = append(order, p)
 		}
 	}
+	var kids []scChild
 	for _, p := range order {
 		if e.sys.status(c, p) != statusReady {
 			continue
@@ -199,18 +263,12 @@ func (e *scChecker) dfs(c *Config, contexts, depth int) bool {
 				e.result.Violation = true
 				evs := append(append([]trace.Event(nil), e.path...), oc.events...)
 				e.result.Trace = &trace.Trace{Events: evs}
-				return true
+				return nil, true
 			}
-			n := len(e.path)
-			e.path = append(e.path, oc.events...)
-			done := e.dfs(oc.cfg, nc, depth+1)
-			e.path = e.path[:n]
-			if done {
-				return true
-			}
+			kids = append(kids, scChild{cfg: oc.cfg, events: oc.events, contexts: nc})
 		}
 	}
-	return false
+	return kids, false
 }
 
 func (e *scChecker) targetReached(c *Config) bool {

@@ -171,16 +171,24 @@ func appendVal(buf []byte, v lang.Value) []byte {
 // DedupKey appends the search key to buf: terminated processes'
 // registers are dead and therefore masked.
 func (s *System) DedupKey(c *Config, buf []byte) []byte {
-	dead := make([]int, len(c.pcs)+1)
+	out, _ := s.dedupKey(c, buf, nil)
+	return out
+}
+
+// dedupKey is DedupKey with a caller-owned scratch slice for the
+// per-process dead-register offsets; the (possibly grown) scratch is
+// returned for reuse, so hot callers pay no allocation per state.
+func (s *System) dedupKey(c *Config, buf []byte, scratch []int) ([]byte, []int) {
+	dead := scratch[:0]
 	for p := range s.Prog.Procs {
 		if s.Prog.Procs[p].Terminated(c.pcs[p]) {
-			dead[p] = -1
+			dead = append(dead, -1)
 		} else {
-			dead[p] = s.regOff[p]
+			dead = append(dead, s.regOff[p])
 		}
 	}
-	dead[len(c.pcs)] = s.regTotal
-	return c.appendKey(buf, dead)
+	dead = append(dead, s.regTotal)
+	return c.appendKey(buf, dead), dead
 }
 
 // Mem returns the value of the named shared variable.

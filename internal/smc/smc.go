@@ -34,6 +34,7 @@ import (
 	"math/rand"
 	"time"
 
+	"ravbmc/internal/fp"
 	"ravbmc/internal/lang"
 	"ravbmc/internal/obs"
 	"ravbmc/internal/ra"
@@ -96,6 +97,17 @@ type Options struct {
 	// snapshots (see ra.System.CaptureViews); enable it when the trace
 	// is exported for offline inspection.
 	CaptureViews bool
+	// StateDedup equips the DFS baselines (cdsc, tracer, rcmc) with a
+	// fingerprinted visited set over full RA configurations (see
+	// internal/fp), pruning subtrees already explored from an identical
+	// state — the "stateful DFS with state hashing" variant. Off by
+	// default: the baselines model stateless tools, whose execution
+	// counts are the quantity the paper's tables compare. Verdicts and
+	// Exhausted are unaffected (a revisited state's subtree was already
+	// searched violation-free), but Executions no longer counts
+	// re-converging interleavings separately. Ignored by
+	// AlgorithmRandom.
+	StateDedup bool
 }
 
 // Result reports the outcome of a baseline run.
@@ -127,11 +139,15 @@ func Check(prog *lang.Program, opts Options) (Result, error) {
 	sys := ra.NewSystem(lang.MustCompile(src))
 	sys.CaptureViews = opts.CaptureViews
 	r := &runner{sys: sys, opts: opts}
+	if opts.StateDedup {
+		r.visited = fp.NewSet(false)
+	}
 	r.cExecutions = opts.Obs.Counter("smc.executions")
 	r.cTransitions = opts.Obs.Counter("smc.transitions")
 	r.cWalks = opts.Obs.Counter("smc.walks")
 	r.cBranchPoints = opts.Obs.Counter("smc.branch_points")
 	r.cBranchChoices = opts.Obs.Counter("smc.branch_choices")
+	r.cDedupHits = opts.Obs.Counter("smc.dedup_hits")
 	r.gMaxDepth = opts.Obs.Gauge("smc.max_depth")
 	// Fold the wall-clock budget into the cancellation context; the
 	// search polls only ctx.Err() from here on.
@@ -175,6 +191,8 @@ type runner struct {
 	sys       *ra.System
 	opts      Options
 	ctx       context.Context // nil when the search has no deadline/cancel scope
+	visited   *fp.Set         // nil unless Options.StateDedup
+	keyBuf    []byte          // reused dedup-key buffer
 	path      []trace.Event
 	steps     int // stop() calls, for cancellation sampling
 	result    Result
@@ -182,7 +200,29 @@ type runner struct {
 
 	cExecutions, cTransitions, cWalks *obs.Counter
 	cBranchPoints, cBranchChoices     *obs.Counter
+	cDedupHits                        *obs.Counter
 	gMaxDepth                         *obs.Gauge
+}
+
+// seen reports (and records) whether the state was already fully
+// explored, when StateDedup is on. last distinguishes scheduling
+// contexts at macro granularity (-1 at instruction granularity, where
+// the search order is schedule-independent). A pruned state's subtree
+// was searched violation-free before, so skipping it cannot change the
+// verdict or Exhausted — only Executions.
+func (r *runner) seen(c *ra.Config, last int) bool {
+	if r.visited == nil {
+		return false
+	}
+	r.keyBuf = c.AppendKey(r.keyBuf[:0])
+	if last >= 0 {
+		r.keyBuf = append(r.keyBuf, 0xFA, byte(last))
+	}
+	if r.visited.Visit(r.keyBuf, 0) {
+		return false
+	}
+	r.cDedupHits.Inc()
+	return true
 }
 
 // stop reports whether a resource cap was hit, and records it.
@@ -220,6 +260,9 @@ func (r *runner) execution() {
 func (r *runner) dfsInstr(c *ra.Config) bool {
 	if r.stop() {
 		return true
+	}
+	if r.seen(c, -1) {
+		return false
 	}
 	progressed := false
 	for p := 0; p < r.sys.NumProcs(); p++ {
@@ -282,6 +325,9 @@ func orderRunToCompletion(n, last int) []int {
 func (r *runner) dfsMacro(c *ra.Config, last int, order scheduleOrder) bool {
 	if r.stop() {
 		return true
+	}
+	if last >= 0 && r.seen(c, last) {
+		return false
 	}
 	progressed := false
 	for _, p := range order(r.sys.NumProcs(), last) {

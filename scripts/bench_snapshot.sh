@@ -21,6 +21,13 @@
 # "ratables" entries, so the snapshot records the scheduler's speedup
 # on the recording machine (a 1-core runner legitimately shows none).
 #
+# Finally BenchmarkDedupModes is run (serial, -benchmem) and each
+# sub-benchmark line is appended as a "dedup" entry with ns/op, B/op,
+# allocs/op and (for ra/sc) states/s — the before/after record for the
+# fingerprinted-visited-set work: comparing the fingerprint and exact
+# rows of one snapshot shows the win on the recording machine, and
+# comparing snapshots across PRs shows the trajectory.
+#
 # Usage:
 #   scripts/bench_snapshot.sh            # 60s per-run budget
 #   VBMC_TIMEOUT=10s scripts/bench_snapshot.sh
@@ -72,6 +79,20 @@ table_sweep() {
     printf '{"tool": "ratables", "bench": "tables_1-4_quick", "config": {"jobs": "%s", "timeout": "%s", "cpus": "%s"}, "wall_seconds": %s}\n' \
       "$jobs" "$table_timeout" "$(nproc)" "$secs"
   done
+  go test -run '^$' -bench BenchmarkDedupModes -benchmem -benchtime "${DEDUP_BENCHTIME:-2s}" . 2>/dev/null |
+    awk '/^BenchmarkDedupModes\// {
+      name = $1; sub(/^BenchmarkDedupModes\//, "", name); sub(/-[0-9]+$/, "", name)
+      ns = ""; bytes = ""; allocs = ""; rate = ""
+      for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+        if ($(i+1) == "states/s") rate = $i
+      }
+      printf ",\n{\"tool\": \"dedup\", \"bench\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", name, ns, bytes, allocs
+      if (rate != "") printf ", \"states_per_sec\": %s", rate
+      print "}"
+    }'
   echo ']'
 } >"$out"
 
