@@ -18,6 +18,7 @@ import (
 	"ravbmc/internal/lang"
 	"ravbmc/internal/pcp"
 	"ravbmc/internal/ra"
+	"ravbmc/internal/version"
 )
 
 func main() {
@@ -28,8 +29,13 @@ func main() {
 		solve     = flag.Int("solve", 0, "brute-force the instance up to this many indices")
 		maxSteps  = flag.Int("max-steps", 120, "explorer step bound")
 		maxStates = flag.Int("max-states", 2_000_000, "explorer state cap")
+		showVer   = flag.Bool("version", false, "print the toolchain version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String())
+		return
+	}
 
 	ins := pcp.Instance{U: split(*uList), V: split(*vList)}
 	if err := ins.Validate(); err != nil {

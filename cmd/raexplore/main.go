@@ -24,6 +24,7 @@ import (
 	"ravbmc/internal/benchmarks"
 	"ravbmc/internal/obs"
 	"ravbmc/internal/trace"
+	"ravbmc/internal/version"
 )
 
 func main() {
@@ -41,8 +42,13 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit a JSON run report on stdout instead of the summary line")
 		traceOut   = flag.String("trace-out", "", "write the counterexample trace to this file")
 		traceFmt   = flag.String("trace-format", "jsonl", "trace export format: jsonl | chrome | text")
+		showVer    = flag.Bool("version", false, "print the toolchain version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String())
+		return
+	}
 
 	prog, err := load(*file, *bench)
 	if err != nil {

@@ -26,6 +26,7 @@ import (
 	"ravbmc/internal/lang"
 	"ravbmc/internal/obs"
 	"ravbmc/internal/ra"
+	"ravbmc/internal/version"
 )
 
 func main() {
@@ -37,8 +38,13 @@ func main() {
 		k       = flag.Int("k", 5, "VBMC view bound")
 		verbose = flag.Bool("v", false, "log every program")
 		jsonOut = flag.Bool("json", false, "emit a JSON run report on stdout instead of the summary line")
+		showVer = flag.Bool("version", false, "print the toolchain version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String())
+		return
+	}
 	rng := rand.New(rand.NewSource(*seed))
 	rec := obs.New()
 	mismatches := 0

@@ -8,6 +8,7 @@
 //	ratables -quick -timeout 20s # smaller sweeps, shorter per-run budget
 //	ratables -table 1 -progress  # live per-run snapshots on stderr
 //	ratables -table 1 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	ratables -cache -cache-disk tables.cache  # memoize conclusive cells
 package main
 
 import (
@@ -20,8 +21,10 @@ import (
 	"sync"
 	"time"
 
+	"ravbmc/internal/cache"
 	"ravbmc/internal/obs"
 	"ravbmc/internal/tables"
+	"ravbmc/internal/version"
 )
 
 func main() { os.Exit(run()) }
@@ -40,8 +43,15 @@ func run() int {
 		progressIv = flag.Duration("progress-interval", time.Second, "interval between -progress snapshots")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		showVer    = flag.Bool("version", false, "print the toolchain version and exit")
+		useCache   = flag.Bool("cache", false, "memoize conclusive cells in a result cache")
+		cacheDisk  = flag.String("cache-disk", "", "persist the result cache to this JSONL file (implies -cache)")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String())
+		return 0
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -70,6 +80,14 @@ func run() int {
 	}
 
 	cfg := tables.Config{Timeout: *timeout, Quick: *quick, Jobs: *jobs}
+	if *useCache || *cacheDisk != "" {
+		c, err := cache.New(cache.Config{DiskPath: *cacheDisk, Version: version.String()})
+		if err != nil {
+			return fail(err)
+		}
+		defer c.Close()
+		cfg.Cache = c
+	}
 	if *progress {
 		// One printer at a time suffices even with -jobs > 1: the hook
 		// retires the previous run's printer and starts a fresh one

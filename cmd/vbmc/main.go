@@ -47,6 +47,7 @@ import (
 	"ravbmc/internal/diff"
 	"ravbmc/internal/obs"
 	"ravbmc/internal/trace"
+	"ravbmc/internal/version"
 )
 
 func main() { os.Exit(run()) }
@@ -75,6 +76,8 @@ func run() int {
 		progressIv = flag.Duration("progress-interval", time.Second, "interval between -progress snapshots")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		remote     = flag.String("remote", "", "vbmcd base URL (e.g. http://127.0.0.1:8080): verify via the daemon's cache instead of locally")
+		showVer    = flag.Bool("version", false, "print the toolchain version and exit")
 	)
 	// Parse manually so flag errors exit 3 (usage error) rather than the
 	// flag package's default 2, which would collide with INCONCLUSIVE.
@@ -83,6 +86,18 @@ func run() int {
 		return 0
 	} else if err != nil {
 		return 3
+	}
+	if *showVer {
+		fmt.Println(version.String())
+		return 0
+	}
+	if *remote != "" {
+		return runRemote(remoteOptions{
+			base: *remote, file: *file, bench: *bench, portfolio: *portfolio,
+			k: *k, l: *l, autoK: *autoK, contexts: *contexts,
+			exactDedup: *exactDedup, timeout: *timeout,
+			jsonOut: *jsonOut, showTrace: *showTr, traceOut: *traceOut, traceFmt: *traceFmt,
+		})
 	}
 
 	prog, err := load(*file, *bench)

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"ravbmc/internal/cache"
+	"ravbmc/internal/serve"
+)
+
+// remoteOptions carries the flag values the -remote path uses.
+type remoteOptions struct {
+	base       string
+	file       string
+	bench      string
+	portfolio  bool
+	k, l       int
+	autoK      int
+	contexts   int
+	exactDedup bool
+	timeout    time.Duration
+	jsonOut    bool
+	showTrace  bool
+	traceOut   string
+	traceFmt   string
+}
+
+// runRemote sends the verification to a vbmcd daemon and renders the
+// reply with the same summary format and exit codes as a local run.
+// The daemon's cache answers warm queries without re-exploring.
+func runRemote(o remoteOptions) int {
+	req := serve.VerifyRequest{
+		Mode: cache.ModeVBMC, K: o.k, Unroll: o.l,
+		MaxContexts: o.contexts, ExactDedup: o.exactDedup,
+	}
+	if o.portfolio {
+		req.Mode = cache.ModePortfolio
+	}
+	if o.timeout > 0 {
+		req.TimeoutSeconds = o.timeout.Seconds()
+	}
+	switch {
+	case o.file != "" && o.bench != "":
+		return fail(fmt.Errorf("give either -file or -bench, not both"))
+	case o.file != "":
+		src, err := os.ReadFile(o.file)
+		if err != nil {
+			return fail(err)
+		}
+		req.Program = string(src)
+	case o.bench != "":
+		req.Bench = o.bench
+	default:
+		return fail(fmt.Errorf("one of -file or -bench is required"))
+	}
+
+	client := serve.NewClient(o.base)
+	var (
+		resp serve.VerifyResponse
+		err  error
+	)
+	start := time.Now()
+	if o.autoK >= 0 {
+		req.K, req.MaxK = 0, o.autoK
+		resp, err = client.MinK(context.Background(), req)
+		if err == nil && resp.MinK != nil && *resp.MinK >= 0 {
+			req.K = *resp.MinK // for the summary line
+		}
+	} else {
+		resp, err = client.Verify(context.Background(), req)
+	}
+	if err != nil {
+		return fail(err)
+	}
+
+	name := o.bench
+	if name == "" {
+		name = o.file
+	}
+	if o.jsonOut {
+		out, _ := json.Marshal(resp)
+		os.Stdout.Write(append(out, '\n'))
+	} else {
+		how := "computed"
+		switch {
+		case resp.Subsumed:
+			how = fmt.Sprintf("cache subsumed from K'=%d", resp.SubsumedFromK)
+		case resp.Cached:
+			how = "cache hit"
+		case resp.Collapsed:
+			how = "collapsed onto concurrent run"
+		}
+		fmt.Printf("%s: %s (K=%d, L=%d, remote %s, %s, server %.3fs, round-trip %.3fs)\n",
+			name, resp.Verdict, req.K, o.l, req.Mode, how,
+			resp.Seconds, time.Since(start).Seconds())
+		if resp.Detail != "" && resp.Verdict == cache.VerdictDisagree {
+			fmt.Print(resp.Detail)
+		}
+	}
+	if resp.Witness != "" {
+		if o.showTrace {
+			fmt.Print(resp.Witness)
+		}
+		if o.traceOut != "" {
+			// The daemon ships the witness as ravbmc.witness/v1 JSONL;
+			// that is the only format available remotely.
+			if o.traceFmt != "jsonl" {
+				return fail(fmt.Errorf("-remote supports -trace-format jsonl only (got %q)", o.traceFmt))
+			}
+			if err := os.WriteFile(o.traceOut, []byte(resp.Witness), 0o644); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	switch resp.Verdict {
+	case cache.VerdictUnsafe:
+		return 1
+	case cache.VerdictSafe:
+		return 0
+	case cache.VerdictDisagree:
+		return 4
+	}
+	return 2
+}

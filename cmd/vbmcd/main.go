@@ -1,0 +1,120 @@
+// Command vbmcd is the verification service daemon: an HTTP/JSON front
+// end over the engines with a content-addressed result cache, bounded
+// admission and graceful drain.
+//
+// Usage:
+//
+//	vbmcd -addr 127.0.0.1:8080 -workers 4 -queue 64
+//	vbmcd -addr 127.0.0.1:0 -disk /var/lib/vbmcd/cache.jsonl
+//
+// Endpoints (see docs/SERVICE.md):
+//
+//	POST /v1/verify   one verification at the request's bounds
+//	POST /v1/mink     smallest K with an UNSAFE verdict
+//	GET  /healthz     liveness + drain state
+//	GET  /v1/version  toolchain version (the one in every cache key)
+//	GET  /metrics     Prometheus-style text metrics
+//
+// On SIGINT/SIGTERM the daemon stops admitting work, waits up to
+// -drain-grace for in-flight verifications, then hard-cancels the
+// stragglers. The first stdout line is "vbmcd listening on http://..."
+// so wrappers can scrape the bound address (useful with -addr :0).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ravbmc/internal/cache"
+	"ravbmc/internal/obs"
+	"ravbmc/internal/serve"
+	"ravbmc/internal/version"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		workers    = flag.Int("workers", 0, "concurrent verifications (0 = all CPUs)")
+		queue      = flag.Int("queue", 64, "requests allowed to wait beyond the workers; overflow is rejected with 429")
+		cacheBytes = flag.Int64("cache-bytes", 0, "in-memory cache budget in bytes (0 = 64 MiB, negative = unlimited)")
+		disk       = flag.String("disk", "", "JSONL disk store path; entries survive restarts (empty = memory only)")
+		defTimeout = flag.Duration("default-timeout", 60*time.Second, "compute deadline for requests that name none")
+		maxTimeout = flag.Duration("max-timeout", 10*time.Minute, "cap on a request's compute deadline")
+		jobs       = flag.Int("jobs", 0, "portfolio pool width (0 = engine default)")
+		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long a shutdown waits for in-flight work before hard-cancelling")
+		showVer    = flag.Bool("version", false, "print the toolchain version and exit")
+	)
+	flag.CommandLine.Init(os.Args[0], flag.ContinueOnError)
+	if err := flag.CommandLine.Parse(os.Args[1:]); err == flag.ErrHelp {
+		return 0
+	} else if err != nil {
+		return 3
+	}
+	if *showVer {
+		fmt.Println(version.String())
+		return 0
+	}
+
+	rec := obs.New()
+	c, err := cache.New(cache.Config{MaxBytes: *cacheBytes, DiskPath: *disk, Obs: rec})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vbmcd:", err)
+		return 3
+	}
+	defer c.Close()
+
+	s := serve.New(serve.Config{
+		Cache: c, Workers: *workers, Queue: *queue,
+		DefaultTimeout: *defTimeout, MaxTimeout: *maxTimeout,
+		Jobs: *jobs, Obs: rec,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vbmcd:", err)
+		return 3
+	}
+	fmt.Printf("vbmcd listening on http://%s\n", ln.Addr())
+	fmt.Printf("vbmcd version %s\n", c.Version())
+
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "vbmcd: %s: draining (grace %s)\n", sig, *drainGrace)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "vbmcd:", err)
+		return 1
+	}
+
+	// Drain: refuse new verifications, let in-flight ones finish inside
+	// the grace period, then hard-cancel whatever is left and shut the
+	// listener down.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "vbmcd: drain grace expired; cancelling in-flight work")
+	}
+	s.Close()
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		srv.Close()
+	}
+	<-errc // Serve has returned
+	fmt.Fprintln(os.Stderr, "vbmcd: drained, bye")
+	return 0
+}

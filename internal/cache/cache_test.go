@@ -1,0 +1,313 @@
+package cache
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"ravbmc/internal/lang"
+)
+
+// fakeRun returns a RunFunc delivering out and counting invocations.
+func fakeRun(out Outcome, calls *int) RunFunc {
+	return func(ctx context.Context, r Request) (Outcome, error) {
+		*calls++
+		return out, nil
+	}
+}
+
+func newTestCache(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	if cfg.Version == "" {
+		cfg.Version = "v-test"
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestNilCachePassesThrough(t *testing.T) {
+	var c *Cache
+	calls := 0
+	req := Request{Prog: keyProg("mp", 1), Mode: ModeVBMC, K: 2}
+	for i := 0; i < 2; i++ {
+		out, err := c.Do(context.Background(), req, fakeRun(Outcome{Verdict: VerdictSafe}, &calls))
+		if err != nil || out.Verdict != VerdictSafe || out.Cached {
+			t.Fatalf("nil cache: out=%+v err=%v", out, err)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("nil cache memoized: %d calls", calls)
+	}
+	if got := c.Stats(); got != (Stats{}) {
+		t.Errorf("nil cache stats = %+v", got)
+	}
+}
+
+func TestDoRejectsBadRequests(t *testing.T) {
+	c := newTestCache(t, Config{})
+	if _, err := c.Do(context.Background(), Request{Mode: ModeVBMC}, nil); err == nil {
+		t.Error("no error for missing program")
+	}
+	if _, err := c.Do(context.Background(), Request{Prog: keyProg("p", 1), Mode: "bogus"}, nil); err == nil {
+		t.Error("no error for unknown mode")
+	}
+}
+
+func TestExactHit(t *testing.T) {
+	c := newTestCache(t, Config{})
+	req := Request{Prog: keyProg("mp", 1), Mode: ModeVBMC, K: 2}
+	calls := 0
+	run := fakeRun(Outcome{Verdict: VerdictSafe, States: 42}, &calls)
+
+	first, err := c.Do(context.Background(), req, run)
+	if err != nil || first.Cached {
+		t.Fatalf("first: out=%+v err=%v", first, err)
+	}
+	// Same query under a renamed program: canonicalisation must land on
+	// the same entry.
+	req2 := Request{Prog: keyProg("other", 1), Mode: ModeVBMC, K: 2}
+	second, err := c.Do(context.Background(), req2, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached || second.Subsumed || second.States != 42 {
+		t.Errorf("second: %+v", second)
+	}
+	if calls != 1 {
+		t.Errorf("runner ran %d times", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Stores != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestUncacheableOutcomesNotStored(t *testing.T) {
+	c := newTestCache(t, Config{})
+	for _, out := range []Outcome{
+		{Verdict: VerdictInconclusive},
+		{Verdict: VerdictUnsafe, WitnessValidated: false},
+		{Verdict: VerdictDisagree},
+	} {
+		calls := 0
+		req := Request{Prog: keyProg("mp", int(out.Verdict[0])), Mode: ModeVBMC, K: 2}
+		for i := 0; i < 2; i++ {
+			got, err := c.Do(context.Background(), req, fakeRun(out, &calls))
+			if err != nil || got.Cached {
+				t.Fatalf("%s: out=%+v err=%v", out.Verdict, got, err)
+			}
+		}
+		if calls != 2 {
+			t.Errorf("%s: memoized (%d calls)", out.Verdict, calls)
+		}
+	}
+	if st := c.Stats(); st.Stores != 0 || st.Entries != 0 {
+		t.Errorf("uncacheable outcomes were stored: %+v", st)
+	}
+}
+
+// TestSubsumptionDirections pins the two sound directions and the two
+// unsound ones: SAFE answers downward in K, validated UNSAFE answers
+// upward, and never the other way around.
+func TestSubsumptionDirections(t *testing.T) {
+	for _, mode := range []string{ModeVBMC, ModeRAK} {
+		t.Run(mode, func(t *testing.T) {
+			c := newTestCache(t, Config{})
+			// Distinct programs per direction: a real program is either
+			// safe or unsafe at a given bound, and mixing both verdicts
+			// in one subsumption family would test an impossible state.
+			safeProg, unsafeProg := keyProg("s", 1), keyProg("u", 2)
+			seed := func(prog *lang.Program, k int, out Outcome) {
+				calls := 0
+				if _, err := c.Do(context.Background(), Request{Prog: prog, Mode: mode, K: k}, fakeRun(out, &calls)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			query := func(prog *lang.Program, k int) (Outcome, bool) {
+				missed := false
+				out, err := c.Do(context.Background(), Request{Prog: prog, Mode: mode, K: k},
+					func(ctx context.Context, r Request) (Outcome, error) {
+						missed = true
+						return Outcome{Verdict: VerdictInconclusive}, nil
+					})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return out, !missed
+			}
+
+			seed(safeProg, 5, Outcome{Verdict: VerdictSafe})
+			if out, hit := query(safeProg, 3); !hit || !out.Subsumed || out.SubsumedFromK != 5 || out.Verdict != VerdictSafe {
+				t.Errorf("SAFE@5 did not answer K=3: hit=%v out=%+v", hit, out)
+			}
+			if _, hit := query(safeProg, 7); hit {
+				t.Error("SAFE@5 unsoundly answered K=7")
+			}
+
+			seed(unsafeProg, 2, Outcome{Verdict: VerdictUnsafe, WitnessValidated: true, WitnessJSONL: []byte("{}\n")})
+			out, hit := query(unsafeProg, 4)
+			if !hit || !out.Subsumed || out.SubsumedFromK != 2 || out.Verdict != VerdictUnsafe {
+				t.Errorf("UNSAFE@2 did not answer K=4: hit=%v out=%+v", hit, out)
+			}
+			if len(out.WitnessJSONL) == 0 {
+				t.Error("subsumed UNSAFE answer lost its witness")
+			}
+			if _, hit := query(unsafeProg, 1); hit {
+				t.Error("UNSAFE@2 unsoundly answered K=1")
+			}
+		})
+	}
+}
+
+func TestSubsumptionPrefersTightestBound(t *testing.T) {
+	c := newTestCache(t, Config{})
+	safeProg, unsafeProg := keyProg("s", 1), keyProg("u", 2)
+	seed := func(prog *lang.Program, k int, out Outcome) {
+		calls := 0
+		if _, err := c.Do(context.Background(), Request{Prog: prog, Mode: ModeVBMC, K: k}, fakeRun(out, &calls)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Seed tight-to-loose: a looser bound seeded second is a genuine
+	// fresh run (a SAFE@9 query is not answered by SAFE@5), so both
+	// entries land in the family.
+	seed(safeProg, 5, Outcome{Verdict: VerdictSafe})
+	seed(safeProg, 9, Outcome{Verdict: VerdictSafe})
+	out, err := c.Do(context.Background(), Request{Prog: safeProg, Mode: ModeVBMC, K: 3},
+		func(ctx context.Context, r Request) (Outcome, error) {
+			t.Fatal("missed despite two applicable SAFE entries")
+			return Outcome{}, nil
+		})
+	if err != nil || out.SubsumedFromK != 5 {
+		t.Errorf("picked K'=%d, want the smallest applicable 5 (err=%v)", out.SubsumedFromK, err)
+	}
+
+	seed(unsafeProg, 4, Outcome{Verdict: VerdictUnsafe, WitnessValidated: true})
+	seed(unsafeProg, 1, Outcome{Verdict: VerdictUnsafe, WitnessValidated: true})
+	out, err = c.Do(context.Background(), Request{Prog: unsafeProg, Mode: ModeVBMC, K: 6},
+		func(ctx context.Context, r Request) (Outcome, error) {
+			t.Fatal("missed despite two applicable UNSAFE entries")
+			return Outcome{}, nil
+		})
+	if err != nil || out.SubsumedFromK != 4 {
+		t.Errorf("picked K'=%d, want the largest applicable 4 (err=%v)", out.SubsumedFromK, err)
+	}
+}
+
+func TestNoSubsumptionAcrossGroups(t *testing.T) {
+	c := newTestCache(t, Config{})
+	prog := keyProg("mp", 1)
+	calls := 0
+	// SAFE at K=5 under a state cap...
+	if _, err := c.Do(context.Background(), Request{Prog: prog, Mode: ModeVBMC, K: 5, MaxStates: 100},
+		fakeRun(Outcome{Verdict: VerdictSafe}, &calls)); err != nil {
+		t.Fatal(err)
+	}
+	// ...must not answer an uncapped query at K=3 (different ground
+	// rules), nor one on a different program.
+	for _, req := range []Request{
+		{Prog: prog, Mode: ModeVBMC, K: 3},
+		{Prog: keyProg("mp", 2), Mode: ModeVBMC, K: 3, MaxStates: 100},
+	} {
+		if _, err := c.Do(context.Background(), req, fakeRun(Outcome{Verdict: VerdictInconclusive}, &calls)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 3 {
+		t.Errorf("runner ran %d times, want 3 (no cross-group subsumption)", calls)
+	}
+	// Non-subsumable modes never answer across K even within a family.
+	if _, err := c.Do(context.Background(), Request{Prog: prog, Mode: ModePortfolio, K: 5},
+		fakeRun(Outcome{Verdict: VerdictSafe}, &calls)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Do(context.Background(), Request{Prog: prog, Mode: ModePortfolio, K: 3},
+		fakeRun(Outcome{Verdict: VerdictInconclusive}, &calls)); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 5 {
+		t.Errorf("portfolio subsumed across K (%d calls, want 5)", calls)
+	}
+}
+
+func TestLRUEvictionAtByteBudget(t *testing.T) {
+	// Budget for roughly three entries: each costs entryOverhead plus a
+	// 1 KiB detail payload.
+	payload := strings.Repeat("w", 1024)
+	per := entryOverhead + int64(len(payload))
+	c := newTestCache(t, Config{MaxBytes: 3 * per})
+
+	do := func(v int, wantCached bool) {
+		calls := 0
+		out, err := c.Do(context.Background(), Request{Prog: keyProg("p", v), Mode: ModeVBMC, K: 2},
+			fakeRun(Outcome{Verdict: VerdictSafe, Detail: payload}, &calls))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Cached != wantCached {
+			t.Errorf("prog %d: cached=%v, want %v", v, out.Cached, wantCached)
+		}
+	}
+	for v := 1; v <= 4; v++ {
+		do(v, false) // 4 stores into a 3-entry budget evict prog 1
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 3 {
+		t.Fatalf("stats after overflow = %+v", st)
+	}
+	if st.BytesUsed > st.BytesBudget {
+		t.Errorf("used %d exceeds budget %d", st.BytesUsed, st.BytesBudget)
+	}
+	do(2, true)  // prog 2 survived; the hit also refreshes its recency
+	do(1, false) // prog 1 was the LRU victim and re-runs, evicting prog 3
+	do(3, false) // ...which therefore re-runs too
+	if st := c.Stats(); st.Evictions != 3 {
+		t.Errorf("evictions = %d, want 3", st.Evictions)
+	}
+}
+
+func TestEvictionPrunesSubsumptionIndex(t *testing.T) {
+	payload := strings.Repeat("w", 1024)
+	per := entryOverhead + int64(len(payload))
+	c := newTestCache(t, Config{MaxBytes: 2 * per})
+	prog := keyProg("mp", 1)
+	calls := 0
+	// SAFE@9 for the family, then two entries on other programs to evict it.
+	if _, err := c.Do(context.Background(), Request{Prog: prog, Mode: ModeVBMC, K: 9},
+		fakeRun(Outcome{Verdict: VerdictSafe, Detail: payload}, &calls)); err != nil {
+		t.Fatal(err)
+	}
+	for v := 2; v <= 3; v++ {
+		if _, err := c.Do(context.Background(), Request{Prog: keyProg("p", v), Mode: ModeVBMC, K: 2},
+			fakeRun(Outcome{Verdict: VerdictSafe, Detail: payload}, &calls)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The evicted SAFE@9 must not answer K=3 via a dangling index slot.
+	out, err := c.Do(context.Background(), Request{Prog: prog, Mode: ModeVBMC, K: 3},
+		fakeRun(Outcome{Verdict: VerdictInconclusive}, &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cached {
+		t.Errorf("evicted entry still answered: %+v", out)
+	}
+}
+
+func TestUnlimitedBudget(t *testing.T) {
+	c := newTestCache(t, Config{MaxBytes: -1})
+	calls := 0
+	for v := 1; v <= 50; v++ {
+		if _, err := c.Do(context.Background(), Request{Prog: keyProg("p", v), Mode: ModeVBMC, K: 2},
+			fakeRun(Outcome{Verdict: VerdictSafe, Detail: strings.Repeat("x", 4096)}, &calls)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 0 || st.Entries != 50 {
+		t.Errorf("unlimited budget evicted: %+v", st)
+	}
+}

@@ -1,0 +1,209 @@
+package cache
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// The disk store is an append-only JSONL file: a header line
+// identifying the schema, then one record per stored entry. Appends
+// are atomic enough for the daemon's single-writer use (one process
+// per store); loads are defensive against everything else — torn final
+// lines after a kill, hand-edited garbage, records from an older
+// binary — all of which are skipped and counted, so corruption can
+// cost a recomputation but never produce a wrong verdict.
+
+// diskSchema identifies the store encoding; bump on incompatible
+// record changes.
+const diskSchema = "ravbmc.cachestore/v1"
+
+// record is the JSONL encoding of one entry (or, with Schema set, the
+// header line).
+type record struct {
+	Schema           string  `json:"schema,omitempty"`
+	Digest           string  `json:"digest,omitempty"`
+	Group            string  `json:"group,omitempty"`
+	Mode             string  `json:"mode,omitempty"`
+	K                int     `json:"k,omitempty"`
+	Version          string  `json:"version,omitempty"`
+	Verdict          string  `json:"verdict,omitempty"`
+	States           int     `json:"states,omitempty"`
+	Transitions      int64   `json:"transitions,omitempty"`
+	TranslatedStmts  int     `json:"translated_stmts,omitempty"`
+	ContextBound     int     `json:"context_bound,omitempty"`
+	Witness          string  `json:"witness_jsonl,omitempty"`
+	WitnessValidated bool    `json:"witness_validated,omitempty"`
+	Detail           string  `json:"detail,omitempty"`
+	Seconds          float64 `json:"seconds,omitempty"`
+	CreatedUnix      int64   `json:"created_unix,omitempty"`
+}
+
+// diskRecord encodes an entry for appending.
+func diskRecord(e *entry, version string) record {
+	return record{
+		Digest:           e.digest.Hex(),
+		Group:            e.group.Hex(),
+		Mode:             e.mode,
+		K:                e.k,
+		Version:          version,
+		Verdict:          e.out.Verdict,
+		States:           e.out.States,
+		Transitions:      e.out.Transitions,
+		TranslatedStmts:  e.out.TranslatedStmts,
+		ContextBound:     e.out.ContextBound,
+		Witness:          string(e.out.WitnessJSONL),
+		WitnessValidated: e.out.WitnessValidated,
+		Detail:           e.out.Detail,
+		Seconds:          e.out.Seconds,
+		CreatedUnix:      time.Now().Unix(),
+	}
+}
+
+// diskStore is the append-only file handle.
+type diskStore struct {
+	mu   sync.Mutex
+	f    *os.File
+	enc  *json.Encoder
+	path string
+}
+
+// openDisk opens (creating if absent) the store for load + append.
+func openDisk(path string) (*diskStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &diskStore{f: f, enc: json.NewEncoder(f), path: path}, nil
+}
+
+// maxRecordLine bounds one store line; witnesses are a few KB, so 32
+// MiB is generous while still refusing to buffer a corrupt
+// multi-gigabyte "line".
+const maxRecordLine = 32 << 20
+
+// loadDisk replays the store into the in-memory layer. Called from New
+// before the cache is shared, so it may take c.mu freely per record.
+func (c *Cache) loadDisk() {
+	sc := bufio.NewScanner(c.disk.f)
+	sc.Buffer(make([]byte, 64<<10), maxRecordLine)
+	fresh := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		fresh = false
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			c.diskCorrupt.Add(1)
+			continue
+		}
+		if rec.Schema != "" {
+			if rec.Schema != diskSchema {
+				c.diskCorrupt.Add(1)
+			}
+			continue // header line
+		}
+		c.installRecord(rec)
+	}
+	if err := sc.Err(); err != nil {
+		// An unreadable tail (oversized line, I/O error) loses the
+		// remainder of the store, not the cache's correctness.
+		c.diskCorrupt.Add(1)
+	}
+	// Position at the end for appends; write the header on a brand-new
+	// store.
+	c.disk.f.Seek(0, io.SeekEnd)
+	if fresh {
+		c.disk.append(record{Schema: diskSchema, Version: c.version})
+	}
+}
+
+// installRecord validates one loaded record and installs it in memory.
+// Every rejection is a miss later, never a verdict.
+func (c *Cache) installRecord(rec record) {
+	if rec.Version != c.version {
+		c.diskStale.Add(1)
+		return
+	}
+	if !ValidMode(rec.Mode) {
+		c.diskCorrupt.Add(1)
+		return
+	}
+	// Only the two trustworthy conclusions are ever valid on disk; an
+	// UNSAFE without a validated witness (or any other verdict) in the
+	// file is corruption, not data.
+	out := Outcome{
+		Verdict:          rec.Verdict,
+		States:           rec.States,
+		Transitions:      rec.Transitions,
+		TranslatedStmts:  rec.TranslatedStmts,
+		ContextBound:     rec.ContextBound,
+		WitnessJSONL:     []byte(rec.Witness),
+		WitnessValidated: rec.WitnessValidated,
+		Detail:           rec.Detail,
+		Seconds:          rec.Seconds,
+	}
+	if !cacheable(out) {
+		c.diskCorrupt.Add(1)
+		return
+	}
+	d, err := parseDigest(rec.Digest)
+	if err != nil {
+		c.diskCorrupt.Add(1)
+		return
+	}
+	g, err := parseDigest(rec.Group)
+	if err != nil {
+		c.diskCorrupt.Add(1)
+		return
+	}
+	c.mu.Lock()
+	if _, ok := c.entries[d]; !ok {
+		// Install without re-appending: storeLocked would write the
+		// record back to the file it just came from.
+		e := &entry{digest: d, group: g, mode: rec.Mode, k: rec.K, out: out, bytes: entryBytes(out)}
+		e.elem = c.lru.PushFront(e)
+		c.entries[d] = e
+		c.used += e.bytes
+		if subsumable(rec.Mode) {
+			gr := c.groups[g]
+			if gr == nil {
+				gr = &group{safe: map[int]Digest{}, unsafe: map[int]Digest{}}
+				c.groups[g] = gr
+			}
+			switch out.Verdict {
+			case VerdictSafe:
+				gr.safe[rec.K] = d
+			case VerdictUnsafe:
+				gr.unsafe[rec.K] = d
+			}
+		}
+		c.evictLocked()
+		c.diskLoaded.Add(1)
+	}
+	c.mu.Unlock()
+}
+
+// append writes one record; errors are swallowed (a full disk degrades
+// the store to memory-only, it does not fail verifications).
+func (d *diskStore) append(rec record) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_ = d.enc.Encode(rec)
+}
+
+// close syncs and closes the file.
+func (d *diskStore) close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.f.Sync(); err != nil {
+		d.f.Close()
+		return err
+	}
+	return d.f.Close()
+}

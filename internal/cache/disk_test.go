@@ -1,0 +1,150 @@
+package cache
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDiskStoreSurvivesRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	safeReq := Request{Prog: keyProg("mp", 1), Mode: ModeVBMC, K: 2}
+	unsafeReq := Request{Prog: keyProg("mp", 2), Mode: ModeVBMC, K: 3}
+
+	c1 := newTestCache(t, Config{DiskPath: path})
+	calls := 0
+	if _, err := c1.Do(context.Background(), safeReq, fakeRun(Outcome{Verdict: VerdictSafe, States: 11}, &calls)); err != nil {
+		t.Fatal(err)
+	}
+	witness := "{\"schema\":\"ravbmc.witness/v1\"}\n{\"step\":1}\n"
+	if _, err := c1.Do(context.Background(), unsafeReq,
+		fakeRun(Outcome{Verdict: VerdictUnsafe, WitnessValidated: true, WitnessJSONL: []byte(witness)}, &calls)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := newTestCache(t, Config{DiskPath: path})
+	if st := c2.Stats(); st.DiskLoaded != 2 || st.DiskCorrupt != 0 {
+		t.Fatalf("reload stats = %+v", st)
+	}
+	out, err := c2.Do(context.Background(), safeReq, fakeRun(Outcome{}, &calls))
+	if err != nil || !out.Cached || out.Verdict != VerdictSafe || out.States != 11 {
+		t.Errorf("safe entry did not survive: out=%+v err=%v", out, err)
+	}
+	out, err = c2.Do(context.Background(), unsafeReq, fakeRun(Outcome{}, &calls))
+	if err != nil || !out.Cached || out.Verdict != VerdictUnsafe || string(out.WitnessJSONL) != witness {
+		t.Errorf("unsafe entry or witness did not survive: out=%+v err=%v", out, err)
+	}
+	// Subsumption works from reloaded entries too: SAFE@2 answers K=1.
+	out, err = c2.Do(context.Background(), Request{Prog: keyProg("mp", 1), Mode: ModeVBMC, K: 1},
+		fakeRun(Outcome{Verdict: VerdictInconclusive}, &calls))
+	if err != nil || !out.Subsumed || out.SubsumedFromK != 2 {
+		t.Errorf("reloaded entry not indexed for subsumption: %+v", out)
+	}
+	if calls != 2 {
+		t.Errorf("runner executed %d times across both lives, want 2", calls)
+	}
+}
+
+// TestDiskCorruptionIsMissNeverVerdict mangles the store in several
+// ways; every mangled line must load as a skip (counted), and queries
+// must fall through to the runner with the correct verdict.
+func TestDiskCorruptionIsMissNeverVerdict(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	req := Request{Prog: keyProg("mp", 1), Mode: ModeVBMC, K: 2}
+
+	c1 := newTestCache(t, Config{DiskPath: path})
+	calls := 0
+	if _, err := c1.Do(context.Background(), req, fakeRun(Outcome{Verdict: VerdictSafe}, &calls)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mangle: flip the stored verdict to UNSAFE (no witness — must be
+	// rejected as uncacheable), append garbage, a bad-digest record, a
+	// record with an unknown mode, and a torn final line.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := strings.Replace(string(raw), `"verdict":"SAFE"`, `"verdict":"UNSAFE"`, 1)
+	mangled += "not json at all\n"
+	mangled += `{"digest":"zz","group":"zz","mode":"vbmc","k":1,"version":"v-test","verdict":"SAFE"}` + "\n"
+	mangled += `{"digest":"` + strings.Repeat("ab", 32) + `","group":"` + strings.Repeat("cd", 32) + `","mode":"warp","k":1,"version":"v-test","verdict":"SAFE"}` + "\n"
+	mangled += `{"digest":"` + strings.Repeat("ab", 32) + `","gro` // torn tail
+	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := newTestCache(t, Config{DiskPath: path})
+	st := c2.Stats()
+	if st.DiskLoaded != 0 {
+		t.Fatalf("mangled store still installed %d entries: %+v", st.DiskLoaded, st)
+	}
+	if st.DiskCorrupt == 0 {
+		t.Errorf("no corruption counted: %+v", st)
+	}
+	// The query misses and recomputes the true verdict — corruption can
+	// cost time, never correctness.
+	out, err := c2.Do(context.Background(), req, fakeRun(Outcome{Verdict: VerdictSafe, States: 5}, &calls))
+	if err != nil || out.Cached || out.Verdict != VerdictSafe {
+		t.Errorf("after corruption: out=%+v err=%v", out, err)
+	}
+	if calls != 2 {
+		t.Errorf("runner executed %d times, want 2", calls)
+	}
+}
+
+// TestDiskStaleVersionSkipped reopens a store under a different
+// toolchain version: every entry is stale and must not answer.
+func TestDiskStaleVersionSkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	req := Request{Prog: keyProg("mp", 1), Mode: ModeVBMC, K: 2}
+
+	c1 := newTestCache(t, Config{DiskPath: path, Version: "build-1"})
+	calls := 0
+	if _, err := c1.Do(context.Background(), req, fakeRun(Outcome{Verdict: VerdictSafe}, &calls)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := newTestCache(t, Config{DiskPath: path, Version: "build-2"})
+	st := c2.Stats()
+	if st.DiskLoaded != 0 || st.DiskStale != 1 {
+		t.Fatalf("stale-version reload stats = %+v", st)
+	}
+	out, err := c2.Do(context.Background(), req, fakeRun(Outcome{Verdict: VerdictSafe}, &calls))
+	if err != nil || out.Cached {
+		t.Errorf("stale entry answered: out=%+v err=%v", out, err)
+	}
+	if calls != 2 {
+		t.Errorf("runner executed %d times, want 2", calls)
+	}
+}
+
+// TestDiskHeaderWrittenOnce checks a fresh store gets exactly one
+// header line and reopening does not add another.
+func TestDiskHeaderWrittenOnce(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	for i := 0; i < 2; i++ {
+		c := newTestCache(t, Config{DiskPath: path})
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(raw), diskSchema); got != 1 {
+		t.Errorf("store has %d header lines, want 1:\n%s", got, raw)
+	}
+}

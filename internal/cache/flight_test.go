@@ -1,0 +1,171 @@
+package cache
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSingleflightCollapse fires 100 identical concurrent requests at a
+// slow runner and requires exactly one execution; everyone else waits
+// and receives the leader's outcome. Run under -race this also checks
+// the flight handoff for data races.
+func TestSingleflightCollapse(t *testing.T) {
+	c := newTestCache(t, Config{})
+	req := Request{Prog: keyProg("mp", 1), Mode: ModeVBMC, K: 2}
+
+	var runs atomic.Int64
+	release := make(chan struct{})
+	run := func(ctx context.Context, r Request) (Outcome, error) {
+		runs.Add(1)
+		<-release
+		return Outcome{Verdict: VerdictSafe, States: 7}, nil
+	}
+
+	const n = 100
+	var wg sync.WaitGroup
+	outs := make([]Outcome, n)
+	errs := make([]error, n)
+	started := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			outs[i], errs[i] = c.Do(context.Background(), req, run)
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-started
+	}
+	// Give the stragglers a moment to reach the flight wait, then let
+	// the leader finish.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("runner executed %d times, want 1", got)
+	}
+	var collapsed, fresh int
+	for i := range outs {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if outs[i].Verdict != VerdictSafe || outs[i].States != 7 {
+			t.Fatalf("request %d got %+v", i, outs[i])
+		}
+		switch {
+		case outs[i].Collapsed:
+			collapsed++
+		case !outs[i].Cached:
+			fresh++
+		}
+	}
+	if fresh != 1 {
+		t.Errorf("%d fresh executions, want 1", fresh)
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+	// Everyone who didn't lead either collapsed onto the flight or (if
+	// scheduled after the store) hit the fresh entry.
+	if int(st.InflightCollapsed)+int(st.Hits) != n-1 {
+		t.Errorf("collapsed %d + hits %d != %d", st.InflightCollapsed, st.Hits, n-1)
+	}
+	_ = collapsed
+}
+
+// TestFlightFollowerRetriesAfterCancelledLeader cancels the leader
+// mid-run; the follower, whose context is still live, must take one
+// fresh attempt rather than inherit the leader's inconclusive outcome.
+func TestFlightFollowerRetriesAfterCancelledLeader(t *testing.T) {
+	c := newTestCache(t, Config{})
+	req := Request{Prog: keyProg("mp", 1), Mode: ModeVBMC, K: 2}
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderIn := make(chan struct{})
+	var runs atomic.Int64
+	run := func(ctx context.Context, r Request) (Outcome, error) {
+		if runs.Add(1) == 1 {
+			close(leaderIn)
+			<-ctx.Done()
+			return Outcome{Verdict: VerdictInconclusive}, nil
+		}
+		return Outcome{Verdict: VerdictSafe}, nil
+	}
+
+	leaderDone := make(chan Outcome, 1)
+	go func() {
+		out, _ := c.Do(leaderCtx, req, run)
+		leaderDone <- out
+	}()
+	<-leaderIn
+
+	followerDone := make(chan Outcome, 1)
+	go func() {
+		out, err := c.Do(context.Background(), req, run)
+		if err != nil {
+			t.Errorf("follower: %v", err)
+		}
+		followerDone <- out
+	}()
+	// The follower has no way to signal "I am waiting on the flight"
+	// from outside, so give it a moment to get there before cancelling.
+	time.Sleep(20 * time.Millisecond)
+	cancelLeader()
+
+	if out := <-leaderDone; out.Verdict != VerdictInconclusive {
+		t.Errorf("leader outcome = %+v", out)
+	}
+	select {
+	case out := <-followerDone:
+		if out.Verdict != VerdictSafe || out.Collapsed {
+			t.Errorf("follower outcome = %+v, want a fresh SAFE", out)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower never completed")
+	}
+	if got := runs.Load(); got != 2 {
+		t.Errorf("runner executed %d times, want 2 (leader + follower retry)", got)
+	}
+}
+
+// TestFlightWaiterHonorsOwnContext cancels a waiter while the leader is
+// still running: the waiter must return promptly with its context error
+// and the leader must be unaffected.
+func TestFlightWaiterHonorsOwnContext(t *testing.T) {
+	c := newTestCache(t, Config{})
+	req := Request{Prog: keyProg("mp", 1), Mode: ModeVBMC, K: 2}
+
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	run := func(ctx context.Context, r Request) (Outcome, error) {
+		close(leaderIn)
+		<-release
+		return Outcome{Verdict: VerdictSafe}, nil
+	}
+	go c.Do(context.Background(), req, run)
+	<-leaderIn
+
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := c.Do(waiterCtx, req, run)
+		waiterDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancelWaiter()
+	select {
+	case err := <-waiterDone:
+		if err != context.Canceled {
+			t.Errorf("waiter error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter never returned")
+	}
+	close(release)
+}

@@ -1,0 +1,184 @@
+package cache
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ravbmc/internal/benchmarks"
+	"ravbmc/internal/core"
+	"ravbmc/internal/litmus"
+)
+
+// TestExecuteParityClassic runs every classic litmus shape through the
+// dispatcher in vbmc, rak and ra mode and requires all three to agree
+// with the direct oracle — the zero-verdict-difference guarantee the
+// daemon inherits from Execute.
+func TestExecuteParityClassic(t *testing.T) {
+	for _, tc := range litmus.Classic() {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			want := VerdictSafe
+			if litmus.Oracle(tc) {
+				want = VerdictUnsafe
+			}
+			for _, mode := range []string{ModeVBMC, ModeRAK, ModeRA} {
+				k := 5 // K=5 decides the whole litmus corpus (paper Sec. 7)
+				if mode == ModeRA {
+					k = 0
+				}
+				out, err := Execute(context.Background(), Request{Prog: tc.Prog, Mode: mode, K: k}, ExecConfig{})
+				if err != nil {
+					t.Fatalf("%s: %v", mode, err)
+				}
+				if out.Verdict != want {
+					t.Errorf("%s: verdict %s, oracle %s", mode, out.Verdict, want)
+				}
+				if out.Verdict == VerdictUnsafe {
+					if !out.WitnessValidated {
+						t.Errorf("%s: UNSAFE without a validated witness", mode)
+					}
+					if len(out.WitnessJSONL) == 0 {
+						t.Errorf("%s: UNSAFE without an exported witness", mode)
+					}
+				}
+				if out.Seconds < 0 {
+					t.Errorf("%s: negative Seconds", mode)
+				}
+			}
+		})
+	}
+}
+
+// TestVerifySubsumptionSoundOnCorpus is the directionality property
+// test against the real engine: seed the cache at one bound, query at
+// another, and require every answer — cached, subsumed or fresh — to
+// equal a direct core.Run at the queried bound.
+func TestVerifySubsumptionSoundOnCorpus(t *testing.T) {
+	stride := 41
+	if testing.Short() {
+		stride = 199
+	}
+	c := newTestCache(t, Config{})
+	corpus := litmus.Generated(2)
+	for i := 0; i < len(corpus); i += stride {
+		tc := corpus[i]
+		// Seed at K=3, then query K=1 (SAFE may subsume downward) and
+		// K=5 (UNSAFE may subsume upward).
+		if _, err := c.Verify(context.Background(), Request{Prog: tc.Prog, Mode: ModeVBMC, K: 3}, ExecConfig{}); err != nil {
+			t.Fatalf("%s: seed: %v", tc.Name, err)
+		}
+		for _, k := range []int{1, 5} {
+			out, err := c.Verify(context.Background(), Request{Prog: tc.Prog, Mode: ModeVBMC, K: k}, ExecConfig{})
+			if err != nil {
+				t.Fatalf("%s K=%d: %v", tc.Name, k, err)
+			}
+			res, err := core.Run(tc.Prog, core.Options{K: k})
+			if err != nil {
+				t.Fatalf("%s K=%d direct: %v", tc.Name, k, err)
+			}
+			if out.Verdict != res.Verdict.String() {
+				t.Errorf("%s K=%d: cache says %s (subsumed=%v fromK=%d), direct run says %s",
+					tc.Name, k, out.Verdict, out.Subsumed, out.SubsumedFromK, res.Verdict)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.SubsumedHits == 0 {
+		t.Error("property test exercised no subsumption paths")
+	}
+	t.Logf("stats: %+v", st)
+}
+
+// TestExecuteStatelessAndPortfolio smoke-checks the remaining modes on
+// one unsafe and one safe shape.
+func TestExecuteStatelessAndPortfolio(t *testing.T) {
+	var unsafe, safe *litmus.Test
+	for i, tc := range litmus.Classic() {
+		if tc.HasExpectation && tc.Unsafe && unsafe == nil {
+			unsafe = &litmus.Classic()[i]
+		}
+		if tc.HasExpectation && !tc.Unsafe && safe == nil {
+			safe = &litmus.Classic()[i]
+		}
+	}
+	if unsafe == nil || safe == nil {
+		t.Fatal("classic corpus lacks an expected-safe or expected-unsafe test")
+	}
+	for _, mode := range []string{ModeTracer, ModeCDSC, ModeRCMC, ModePortfolio} {
+		out, err := Execute(context.Background(), Request{Prog: unsafe.Prog, Mode: mode, K: 5}, ExecConfig{Timeout: 30 * time.Second})
+		if err != nil {
+			t.Fatalf("%s unsafe: %v", mode, err)
+		}
+		if out.Verdict != VerdictUnsafe {
+			t.Errorf("%s on %s: verdict %s, want UNSAFE", mode, unsafe.Name, out.Verdict)
+		}
+		out, err = Execute(context.Background(), Request{Prog: safe.Prog, Mode: mode, K: 5}, ExecConfig{Timeout: 30 * time.Second})
+		if err != nil {
+			t.Fatalf("%s safe: %v", mode, err)
+		}
+		if out.Verdict != VerdictSafe {
+			t.Errorf("%s on %s: verdict %s, want SAFE", mode, safe.Name, out.Verdict)
+		}
+	}
+}
+
+// TestExecuteBenchmarkWithLoops checks the unroll plumbing on a real
+// mutual-exclusion benchmark: both bounded modes must agree with a
+// direct core.Run at the same bounds (peterson is in fact unsafe under
+// RA without SC fences, so this also exercises the witness path).
+func TestExecuteBenchmarkWithLoops(t *testing.T) {
+	prog, err := benchmarks.ByName("peterson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(prog.Clone(), core.Options{K: 2, Unroll: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Verdict.String()
+	for _, mode := range []string{ModeVBMC, ModeRAK} {
+		out, err := Execute(context.Background(), Request{Prog: prog, Mode: mode, K: 2, Unroll: 2}, ExecConfig{Timeout: 60 * time.Second})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if out.Verdict != want {
+			t.Errorf("%s: peterson verdict %s, direct run says %s", mode, out.Verdict, want)
+		}
+	}
+	// A loopy program without an unroll bound is a request error in the
+	// RA modes, not a hang.
+	if _, err := Execute(context.Background(), Request{Prog: prog, Mode: ModeRAK, K: 2}, ExecConfig{}); err == nil {
+		t.Error("rak accepted a loopy program without an unroll bound")
+	}
+}
+
+// TestExecuteHonorsContext cancels mid-run: the dispatcher must return
+// promptly with an inconclusive outcome, not block.
+func TestExecuteHonorsContext(t *testing.T) {
+	prog, err := benchmarks.ByName("peterson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan Outcome, 1)
+	go func() {
+		out, _ := Execute(ctx, Request{Prog: prog, Mode: ModeVBMC, K: 4, Unroll: 4}, ExecConfig{})
+		done <- out
+	}()
+	select {
+	case out := <-done:
+		if out.Verdict == VerdictSafe || out.Verdict == VerdictUnsafe {
+			t.Errorf("cancelled run still concluded: %+v", out)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Execute ignored a cancelled context")
+	}
+}
+
+func TestExecuteUnknownMode(t *testing.T) {
+	if _, err := Execute(context.Background(), Request{Prog: keyProg("p", 1), Mode: "bogus"}, ExecConfig{}); err == nil {
+		t.Error("no error for unknown mode")
+	}
+}

@@ -1,0 +1,174 @@
+package lang
+
+import "sort"
+
+// Canon renders the program in a canonical concrete syntax, the stable
+// form the verification daemon's content-addressed cache keys on
+// (internal/cache). Two sources that differ only in ways that cannot
+// change any verdict — whitespace and formatting, statement label
+// names, the program name, the declaration order of shared variables
+// and arrays, process and register names — canonicalise to the same
+// string, so they hit the same cache entry.
+//
+// The transformations and why each is verdict-preserving:
+//
+//   - the program name is dropped: it is display metadata;
+//   - statement labels are stripped: labels only name statements for
+//     witness rendering (compilation auto-generates missing ones) and
+//     are never referenced by the semantics;
+//   - shared variable and array declarations are sorted by name: every
+//     shared location initialises to its declared value regardless of
+//     declaration order, and no engine is order-sensitive;
+//   - processes are renamed positionally (p0, p1, ...): process names
+//     are never referenced by statements, only displayed. Declaration
+//     order is kept — it biases exploration order but not the
+//     reachable outcome set;
+//   - registers are alpha-renamed positionally per process (r0, r1,
+//     ... in declaration order), rewriting every expression: register
+//     scope is per-process and names are semantically arbitrary. This
+//     also keeps the output inside the parser's grammar when a source
+//     register shadows a keyword (benchmarks use a register named
+//     "done").
+//
+// The output is in the parser's concrete syntax: Parse(Canon(p))
+// succeeds and canonicalises to the same string (Canon is a fixed
+// point; the parser round-trip test pins this over the litmus corpus
+// and the benchmark suite).
+func Canon(p *Program) string {
+	return canonicalize(p).String()
+}
+
+// canonicalize returns the canonical clone Canon prints.
+func canonicalize(p *Program) *Program {
+	q := p.Clone()
+	q.Name = ""
+	sort.Strings(q.Vars)
+	sort.Slice(q.Arrays, func(i, j int) bool { return q.Arrays[i].Name < q.Arrays[j].Name })
+	for i, pr := range q.Procs {
+		pr.Name = canonName("p", i)
+		rn := make(map[string]string, len(pr.Regs))
+		for j, r := range pr.Regs {
+			rn[r] = canonName("r", j)
+		}
+		regs := make([]string, len(pr.Regs))
+		for j := range pr.Regs {
+			regs[j] = canonName("r", j)
+		}
+		pr.Regs = regs
+		pr.Body = canonStmts(pr.Body, rn)
+	}
+	return q
+}
+
+// canonName is the canonical positional name: prefix + decimal index.
+func canonName(prefix string, i int) string {
+	if i == 0 {
+		return prefix + "0"
+	}
+	var digits []byte
+	for n := i; n > 0; n /= 10 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+	}
+	return prefix + string(digits)
+}
+
+// reg maps a register reference through the rename map; references to
+// undeclared registers (rejected by Validate, but Canon must not
+// panic) keep their names.
+func renameReg(rn map[string]string, name string) string {
+	if n, ok := rn[name]; ok {
+		return n
+	}
+	return name
+}
+
+// canonStmts strips labels and alpha-renames registers, recursively.
+func canonStmts(body []Stmt, rn map[string]string) []Stmt {
+	out := make([]Stmt, len(body))
+	for i, s := range body {
+		switch t := s.(type) {
+		case Read:
+			t.Lbl = ""
+			t.Reg = renameReg(rn, t.Reg)
+			out[i] = t
+		case Write:
+			t.Lbl = ""
+			t.Val = renameExpr(rn, t.Val)
+			out[i] = t
+		case CAS:
+			t.Lbl = ""
+			t.Old = renameExpr(rn, t.Old)
+			t.New = renameExpr(rn, t.New)
+			out[i] = t
+		case Fence:
+			t.Lbl = ""
+			out[i] = t
+		case Assign:
+			t.Lbl = ""
+			t.Reg = renameReg(rn, t.Reg)
+			t.Val = renameExpr(rn, t.Val)
+			out[i] = t
+		case Nondet:
+			t.Lbl = ""
+			t.Reg = renameReg(rn, t.Reg)
+			out[i] = t
+		case Assume:
+			t.Lbl = ""
+			t.Cond = renameExpr(rn, t.Cond)
+			out[i] = t
+		case Assert:
+			t.Lbl = ""
+			t.Cond = renameExpr(rn, t.Cond)
+			out[i] = t
+		case If:
+			t.Lbl = ""
+			t.Cond = renameExpr(rn, t.Cond)
+			t.Then = canonStmts(t.Then, rn)
+			t.Else = canonStmts(t.Else, rn)
+			out[i] = t
+		case While:
+			t.Lbl = ""
+			t.Cond = renameExpr(rn, t.Cond)
+			t.Body = canonStmts(t.Body, rn)
+			out[i] = t
+		case Term:
+			t.Lbl = ""
+			out[i] = t
+		case LoadArr:
+			t.Lbl = ""
+			t.Reg = renameReg(rn, t.Reg)
+			t.Index = renameExpr(rn, t.Index)
+			out[i] = t
+		case StoreArr:
+			t.Lbl = ""
+			t.Index = renameExpr(rn, t.Index)
+			t.Val = renameExpr(rn, t.Val)
+			out[i] = t
+		case Atomic:
+			t.Lbl = ""
+			t.Body = canonStmts(t.Body, rn)
+			out[i] = t
+		default:
+			out[i] = s
+		}
+	}
+	return out
+}
+
+// renameExpr rewrites register references in an expression.
+func renameExpr(rn map[string]string, e Expr) Expr {
+	switch t := e.(type) {
+	case Reg:
+		t.Name = renameReg(rn, t.Name)
+		return t
+	case Unary:
+		t.X = renameExpr(rn, t.X)
+		return t
+	case Binary:
+		t.L = renameExpr(rn, t.L)
+		t.R = renameExpr(rn, t.R)
+		return t
+	default:
+		return e
+	}
+}

@@ -1,0 +1,91 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// canonProg builds a small two-proc program with labels, an unsorted
+// var list and custom proc names, via the builder API.
+func canonProg(name, procA, procB string, labelled bool) *Program {
+	lbl := func(s string) string {
+		if labelled {
+			return s
+		}
+		return ""
+	}
+	p := &Program{Name: name, Vars: []string{"y", "x"}}
+	p.Procs = []*Proc{
+		{Name: procA, Body: []Stmt{
+			Write{Lbl: lbl("w1"), Var: "x", Val: C(1)},
+			Write{Lbl: lbl("w2"), Var: "y", Val: C(1)},
+		}},
+		{Name: procB, Regs: []string{"a", "b"}, Body: []Stmt{
+			Read{Lbl: lbl("r1"), Reg: "a", Var: "y"},
+			Read{Lbl: lbl("r2"), Reg: "b", Var: "x"},
+			Assert{Lbl: lbl("chk"), Cond: Not(And(Eq(R("a"), C(1)), Eq(R("b"), C(0))))},
+		}},
+	}
+	return p
+}
+
+func TestCanonInvariance(t *testing.T) {
+	a := Canon(canonProg("mp", "writer", "reader", true))
+	b := Canon(canonProg("other_name", "t0", "t1", false))
+	if a != b {
+		t.Errorf("canonical forms differ for name/label/proc-name variants:\n%s\nvs\n%s", a, b)
+	}
+	if strings.Contains(a, "writer") || strings.Contains(a, "w1:") {
+		t.Errorf("canonical form leaks source names/labels:\n%s", a)
+	}
+	// Vars must come out sorted regardless of declaration order.
+	if strings.Contains(a, "var y x") {
+		t.Errorf("canonical form kept unsorted var order:\n%s", a)
+	}
+}
+
+func TestCanonDistinguishesPrograms(t *testing.T) {
+	a := canonProg("mp", "p0", "p1", false)
+	b := canonProg("mp", "p0", "p1", false)
+	// Flip one constant: a genuinely different program must canonicalise
+	// differently.
+	w := b.Procs[0].Body[0].(Write)
+	w.Val = C(2)
+	b.Procs[0].Body[0] = w
+	if Canon(a) == Canon(b) {
+		t.Error("canonical form conflates programs differing in a constant")
+	}
+}
+
+func TestCanonDoesNotMutate(t *testing.T) {
+	p := canonProg("mp", "writer", "reader", true)
+	before := p.String()
+	_ = Canon(p)
+	if p.String() != before {
+		t.Error("Canon mutated its input")
+	}
+	if p.Name != "mp" || p.Procs[0].Name != "writer" {
+		t.Error("Canon mutated program metadata")
+	}
+}
+
+func TestCanonStructuredStmts(t *testing.T) {
+	p := &Program{Vars: []string{"x"}}
+	p.Procs = []*Proc{{Name: "q", Regs: []string{"r"}, Body: []Stmt{
+		If{Lbl: "br", Cond: Eq(R("r"), C(0)),
+			Then: []Stmt{Write{Lbl: "t", Var: "x", Val: C(1)}},
+			Else: []Stmt{While{Lbl: "lp", Cond: Eq(R("r"), C(1)),
+				Body: []Stmt{Read{Lbl: "rd", Reg: "r", Var: "x"}}}}},
+	}}}
+	c := Canon(p)
+	for _, lbl := range []string{"br:", "t:", "lp:", "rd:"} {
+		if strings.Contains(c, lbl) {
+			t.Errorf("nested label %q survived canonicalisation:\n%s", lbl, c)
+		}
+	}
+	p2 := &Program{Vars: []string{"x"}}
+	p2.Procs = []*Proc{{Name: "z", Regs: []string{"r"}, Body: canonStmts(p.Procs[0].Body, nil)}}
+	if Canon(p2) != c {
+		t.Error("label-free clone canonicalises differently")
+	}
+}

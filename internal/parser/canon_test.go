@@ -1,0 +1,117 @@
+package parser_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ravbmc/internal/benchmarks"
+	"ravbmc/internal/lang"
+	"ravbmc/internal/litmus"
+	"ravbmc/internal/parser"
+)
+
+// roundTrip asserts the canonical-printer contract on one program:
+// Canon output re-parses, and Canon is a fixed point of parse∘Canon —
+// the property the content-addressed cache key relies on.
+func roundTrip(t *testing.T, name string, p *lang.Program) {
+	t.Helper()
+	c := lang.Canon(p)
+	q, err := parser.Parse(c)
+	if err != nil {
+		t.Fatalf("%s: canonical form does not re-parse: %v\n%s", name, err, c)
+	}
+	if c2 := lang.Canon(q); c2 != c {
+		t.Fatalf("%s: Canon is not a fixed point:\n--- first\n%s\n--- second\n%s", name, c, c2)
+	}
+	// Display names ("MP-rev", "dekker (2)") need not be parseable
+	// identifiers, so String() itself is not required to round-trip; the
+	// canonical form, which drops the name, always must.
+}
+
+func TestCanonRoundTripClassicLitmus(t *testing.T) {
+	for _, test := range litmus.Classic() {
+		roundTrip(t, test.Name, test.Prog)
+	}
+}
+
+func TestCanonRoundTripGeneratedLitmus(t *testing.T) {
+	tests := litmus.Generated(2)
+	stride := 7
+	if testing.Short() {
+		stride = 31
+	}
+	for i := 0; i < len(tests); i += stride {
+		roundTrip(t, tests[i].Name, tests[i].Prog)
+	}
+}
+
+func TestCanonRoundTripBenchmarks(t *testing.T) {
+	names := []string{
+		"dekker", "sim_dekker", "burns", "bakery", "lamport",
+		"peterson_0", "peterson_1(3)", "peterson_2(3)", "peterson_4(2)",
+		"szymanski_0", "szymanski_1(3)", "tbar_4",
+	}
+	for _, n := range names {
+		prog, err := benchmarks.ByName(n)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		roundTrip(t, n, prog)
+		// The unrolled form is what the engines actually check; it must
+		// canonicalise stably too (loops gone, labels injected by
+		// EnsureLabels stripped again).
+		roundTrip(t, n+"/unrolled", lang.EnsureLabels(lang.Unroll(prog, 2)))
+	}
+}
+
+// TestCanonWhitespaceAndLabelInsensitive parses the same program in
+// three different surface spellings and asserts one canonical form.
+func TestCanonWhitespaceAndLabelInsensitive(t *testing.T) {
+	variants := []string{
+		"program mp\nvar x y\nproc p0\n  x = 1\n  y = 1\nend\nproc p1\n  reg a b\n  $a = y\n  $b = x\n  assert(!($a == 1 && $b == 0))\nend\n",
+		"var y x\nproc writer\n    w1:   x = 1\n\n    w2: y = 1\nend\nproc reader\n\treg a b\n\tr1: $a = y\n\tr2: $b = x\n\tassert(!($a == 1 && $b == 0))\nend\n",
+		"program renamed\nvar x y\nproc t1\nx = 1\ny = 1\nend\nproc t2\nreg a b\n$a = y\n$b = x\nassert(!($a == 1 && $b == 0))\nend\n",
+	}
+	var forms []string
+	for i, src := range variants {
+		p, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		forms = append(forms, lang.Canon(p))
+	}
+	for i := 1; i < len(forms); i++ {
+		if forms[i] != forms[0] {
+			t.Errorf("variant %d canonicalises differently:\n%s\nvs\n%s", i, forms[i], forms[0])
+		}
+	}
+	if strings.Contains(forms[0], "w1") {
+		t.Errorf("label leaked into canonical form:\n%s", forms[0])
+	}
+}
+
+// TestCanonVerdictPreserved spot-checks that canonicalisation preserves
+// the litmus oracle's verdict: the cache would otherwise serve wrong
+// answers for canonically-equal sources.
+func TestCanonVerdictPreserved(t *testing.T) {
+	tests := litmus.Generated(2)
+	stride := 97
+	if testing.Short() {
+		stride = 397
+	}
+	for i := 0; i < len(tests); i += stride {
+		test := tests[i]
+		q, err := parser.Parse(lang.Canon(test.Prog))
+		if err != nil {
+			t.Fatalf("%s: %v", test.Name, err)
+		}
+		want := litmus.Oracle(test)
+		got := litmus.Oracle(litmus.Test{Name: test.Name, Prog: q})
+		if want != got {
+			t.Errorf("%s: oracle verdict changed after canonicalisation: %v -> %v\n%s",
+				test.Name, want, got, lang.Canon(test.Prog))
+		}
+	}
+	_ = fmt.Sprint // keep fmt for debugging edits
+}

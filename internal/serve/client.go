@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client speaks the vbmcd API; the zero value is unusable, construct
+// with NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient targets a vbmcd base URL ("http://host:port"). The HTTP
+// client carries no timeout of its own: the per-call context (and the
+// server's compute deadline) governs.
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+}
+
+// Verify runs POST /v1/verify.
+func (c *Client) Verify(ctx context.Context, req VerifyRequest) (VerifyResponse, error) {
+	return c.post(ctx, "/v1/verify", req)
+}
+
+// MinK runs POST /v1/mink.
+func (c *Client) MinK(ctx context.Context, req VerifyRequest) (VerifyResponse, error) {
+	return c.post(ctx, "/v1/mink", req)
+}
+
+// Version fetches the server's toolchain version.
+func (c *Client) Version(ctx context.Context) (string, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/version", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Version string `json:"version"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err != nil {
+		return "", err
+	}
+	return body.Version, nil
+}
+
+// maxResponseBytes caps a reply; witnesses are the only large payload
+// and stay far below this.
+const maxResponseBytes = 64 << 20
+
+func (c *Client) post(ctx context.Context, path string, req VerifyRequest) (VerifyResponse, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return VerifyResponse{}, err
+	}
+	for attempt := 0; ; attempt++ {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+		if err != nil {
+			return VerifyResponse{}, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		resp, err := c.http.Do(hreq)
+		if err != nil {
+			return VerifyResponse{}, err
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+		resp.Body.Close()
+		if err != nil {
+			return VerifyResponse{}, err
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			var vr VerifyResponse
+			if err := json.Unmarshal(body, &vr); err != nil {
+				return VerifyResponse{}, fmt.Errorf("decode response: %w", err)
+			}
+			vr.WitnessJSONL = []byte(vr.Witness)
+			return vr, nil
+		case resp.StatusCode == http.StatusTooManyRequests && attempt < 4:
+			// Honour the server's backpressure with a short bounded
+			// retry; give up past that and surface the rejection.
+			select {
+			case <-time.After(time.Duration(attempt+1) * 250 * time.Millisecond):
+				continue
+			case <-ctx.Done():
+				return VerifyResponse{}, ctx.Err()
+			}
+		default:
+			var er ErrorResponse
+			if json.Unmarshal(body, &er) == nil && er.Error != "" {
+				return VerifyResponse{}, fmt.Errorf("server: %s (HTTP %d)", er.Error, resp.StatusCode)
+			}
+			return VerifyResponse{}, fmt.Errorf("server: HTTP %d", resp.StatusCode)
+		}
+	}
+}

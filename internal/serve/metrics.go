@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"ravbmc/internal/version"
+)
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":             true,
+		"draining":       s.Draining(),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"version": s.cfg.Cache.Version(),
+		"binary":  version.String(),
+	})
+}
+
+// handleMetrics renders Prometheus-style text: the cache's own stats
+// under ravbmc_cache_*, the server's admission state under
+// ravbmc_serve_*, and — when a recorder is attached — every obs
+// counter and gauge under ravbmc_obs_*.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	emit := func(name, typ string, v any) {
+		fmt.Fprintf(&b, "# TYPE %s %s\n%s %v\n", name, typ, name, v)
+	}
+
+	st := s.cfg.Cache.Stats()
+	emit("ravbmc_cache_hits_total", "counter", st.Hits)
+	emit("ravbmc_cache_subsumed_hits_total", "counter", st.SubsumedHits)
+	emit("ravbmc_cache_misses_total", "counter", st.Misses)
+	emit("ravbmc_cache_inflight_collapsed_total", "counter", st.InflightCollapsed)
+	emit("ravbmc_cache_stores_total", "counter", st.Stores)
+	emit("ravbmc_cache_evictions_total", "counter", st.Evictions)
+	emit("ravbmc_cache_disk_loaded_total", "counter", st.DiskLoaded)
+	emit("ravbmc_cache_disk_corrupt_total", "counter", st.DiskCorrupt)
+	emit("ravbmc_cache_disk_stale_total", "counter", st.DiskStale)
+	emit("ravbmc_cache_entries", "gauge", st.Entries)
+	emit("ravbmc_cache_bytes_used", "gauge", st.BytesUsed)
+	emit("ravbmc_cache_bytes_budget", "gauge", st.BytesBudget)
+
+	emit("ravbmc_serve_requests_total", "counter", s.reqs.Value())
+	emit("ravbmc_serve_rejected_total", "counter", s.rejected.Value())
+	emit("ravbmc_serve_errors_total", "counter", s.failed.Value())
+	emit("ravbmc_serve_active", "gauge", len(s.work))
+	emit("ravbmc_serve_queued", "gauge", len(s.admit)-len(s.work))
+	emit("ravbmc_serve_workers", "gauge", s.cfg.Workers)
+	emit("ravbmc_serve_queue_capacity", "gauge", s.cfg.Queue)
+	drain := 0
+	if s.Draining() {
+		drain = 1
+	}
+	emit("ravbmc_serve_draining", "gauge", drain)
+	emit("ravbmc_serve_uptime_seconds", "gauge", time.Since(s.start).Seconds())
+
+	if s.obs != nil {
+		snap := s.obs.Snapshot()
+		names := make([]string, 0, len(snap.Counters))
+		for name := range snap.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			emit("ravbmc_obs_"+sanitizeMetric(name)+"_total", "counter", snap.Counters[name])
+		}
+		names = names[:0]
+		for name := range snap.Gauges {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			emit("ravbmc_obs_"+sanitizeMetric(name), "gauge", snap.Gauges[name])
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}
+
+// sanitizeMetric maps an obs instrument name onto the Prometheus
+// charset ([a-zA-Z0-9_]).
+func sanitizeMetric(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

@@ -1,0 +1,338 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"ravbmc/internal/cache"
+	"ravbmc/internal/lang"
+	"ravbmc/internal/obs"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Cache answers and memoizes requests; nil runs every request
+	// directly (still correct, never warm).
+	Cache *cache.Cache
+	// Workers bounds concurrently executing verifications (<=0 selects
+	// GOMAXPROCS). Queue bounds requests waiting for a worker beyond
+	// that (<=0 selects 64); a request arriving with the queue full is
+	// rejected with 429 immediately — backpressure, not buffering.
+	Workers int
+	Queue   int
+	// DefaultTimeout applies when a request names none; MaxTimeout caps
+	// what a request may ask for. Zero select 60s and 10m.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxBodyBytes caps a request body (<=0 selects 1 MiB).
+	MaxBodyBytes int64
+	// Jobs is the portfolio pool width passed through to executions
+	// (<=0 selects the engine default).
+	Jobs int
+	// Obs, when non-nil, is mirrored onto /metrics alongside the
+	// server's own instruments.
+	Obs *obs.Recorder
+}
+
+// Server handles the verification API. Construct with New, expose
+// with Handler, stop with Drain (graceful) and Close (hard).
+type Server struct {
+	cfg   Config
+	obs   *obs.Recorder
+	start time.Time
+
+	// admit holds one token per admissible request (workers + queue);
+	// work holds one token per executing request.
+	admit chan struct{}
+	work  chan struct{}
+
+	// base is cancelled by Close: the hard stop that tears down every
+	// in-flight engine run.
+	base   context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	reqs, rejected, failed *obs.Counter
+	gQueued, gActive       *obs.Gauge
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 64
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 60 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 10 * time.Minute
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		obs:      cfg.Obs,
+		start:    time.Now(),
+		admit:    make(chan struct{}, cfg.Workers+cfg.Queue),
+		work:     make(chan struct{}, cfg.Workers),
+		base:     base,
+		cancel:   cancel,
+		reqs:     cfg.Obs.Counter("serve.requests"),
+		rejected: cfg.Obs.Counter("serve.rejected"),
+		failed:   cfg.Obs.Counter("serve.errors"),
+		gQueued:  cfg.Obs.Gauge("serve.queued"),
+		gActive:  cfg.Obs.Gauge("serve.active"),
+	}
+	return s
+}
+
+// Handler returns the API mux:
+//
+//	POST /v1/verify  — one verification at the request's bounds
+//	POST /v1/mink    — smallest K in [K, MaxK] with an UNSAFE verdict
+//	GET  /healthz    — liveness + drain state
+//	GET  /v1/version — toolchain version
+//	GET  /metrics    — Prometheus-style text metrics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/verify", func(w http.ResponseWriter, r *http.Request) {
+		s.handleVerify(w, r, false)
+	})
+	mux.HandleFunc("POST /v1/mink", func(w http.ResponseWriter, r *http.Request) {
+		s.handleVerify(w, r, true)
+	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Drain stops admitting verification work (healthz flips to draining,
+// verify returns 503) and waits for in-flight requests to finish or
+// ctx to expire, whichever first. It does not cancel running work —
+// pair with Close for a hard stop after the grace period.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close hard-stops the server: every in-flight engine run's context is
+// cancelled. Safe after (or instead of) Drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.cancel()
+	s.inflight.Wait()
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// admitRequest performs the two-stage admission: an immediate token
+// (429 when the queue is full) and then a worker slot (waiting counts
+// as queued). The returned release function gives both back.
+func (s *Server) admitRequest(ctx context.Context) (release func(), err error) {
+	select {
+	case s.admit <- struct{}{}:
+	default:
+		return nil, errBusy
+	}
+	s.gQueued.Set(int64(len(s.admit) - len(s.work)))
+	select {
+	case s.work <- struct{}{}:
+	case <-ctx.Done():
+		<-s.admit
+		s.gQueued.Set(int64(len(s.admit) - len(s.work)))
+		return nil, ctx.Err()
+	}
+	s.gActive.Set(int64(len(s.work)))
+	s.gQueued.Set(int64(len(s.admit) - len(s.work)))
+	return func() {
+		<-s.work
+		<-s.admit
+		s.gActive.Set(int64(len(s.work)))
+		s.gQueued.Set(int64(len(s.admit) - len(s.work)))
+	}, nil
+}
+
+var errBusy = errors.New("serve: queue full")
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request, mink bool) {
+	started := time.Now()
+	s.reqs.Inc()
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+
+	var req VerifyRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	prog, err := req.program()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+
+	// The request context ends when the client disconnects; the server
+	// hard-stop (Close) ends it too. The compute deadline applies on
+	// top.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.base, cancel)
+	defer stop()
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutSeconds > 0 {
+		timeout = time.Duration(req.TimeoutSeconds * float64(time.Second))
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	deadline := time.Now().Add(timeout)
+	ctx, cancelDeadline := context.WithDeadline(ctx, deadline)
+	defer cancelDeadline()
+
+	release, err := s.admitRequest(ctx)
+	if err == errBusy {
+		s.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "verification queue is full")
+		return
+	}
+	if err != nil {
+		s.failed.Inc()
+		writeError(w, http.StatusServiceUnavailable, "request expired while queued: %v", err)
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	defer release()
+
+	if s.Draining() {
+		// Drain may have begun while this request queued; refuse rather
+		// than start a run the process is about to abandon.
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+
+	xc := cache.ExecConfig{Timeout: time.Until(deadline), Jobs: s.cfg.Jobs, Obs: s.obs}
+	var (
+		out  cache.Outcome
+		minK *int
+	)
+	if mink {
+		out, minK, err = s.runMinK(ctx, req, prog, deadline, xc)
+	} else {
+		out, err = s.cfg.Cache.Verify(ctx, req.cacheRequest(prog), xc)
+	}
+	if err != nil {
+		s.failed.Inc()
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The client is gone or the deadline passed; 504 for the log's
+			// benefit (the client may never see it).
+			status = http.StatusGatewayTimeout
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	resp := VerifyResponse{
+		Outcome:        out,
+		Witness:        string(out.WitnessJSONL),
+		MinK:           minK,
+		Version:        s.cfg.Cache.Version(),
+		ElapsedSeconds: time.Since(started).Seconds(),
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// defaultMaxK bounds /v1/mink when the request names no MaxK; the
+// litmus result (paper Sec. 7) makes small bounds the interesting
+// range, so 8 is generous.
+const defaultMaxK = 8
+
+// runMinK is the cache-aware minimal-K search: try each bound from
+// req.K to req.MaxK, answering each probe from the cache — an UNSAFE
+// cached at a smaller bound or a SAFE cached at a larger one short-
+// circuits whole prefixes of the search. Returns the first UNSAFE
+// outcome with its K, the final SAFE outcome with minK = -1, or the
+// first non-conclusive outcome as-is.
+func (s *Server) runMinK(ctx context.Context, req VerifyRequest, prog *lang.Program, deadline time.Time, xc cache.ExecConfig) (cache.Outcome, *int, error) {
+	maxK := req.MaxK
+	if maxK == 0 {
+		maxK = defaultMaxK
+	}
+	if maxK < req.K {
+		return cache.Outcome{}, nil, fmt.Errorf("max_k %d below starting k %d", maxK, req.K)
+	}
+	var out cache.Outcome
+	for k := req.K; k <= maxK; k++ {
+		cr := req.cacheRequest(prog)
+		cr.K = k
+		xc.Timeout = time.Until(deadline)
+		var err error
+		out, err = s.cfg.Cache.Verify(ctx, cr, xc)
+		if err != nil {
+			return cache.Outcome{}, nil, err
+		}
+		if out.Verdict == cache.VerdictUnsafe {
+			return out, &k, nil
+		}
+		if out.Verdict != cache.VerdictSafe {
+			// Inconclusive or disagreement: report it at this bound
+			// rather than pretending larger bounds would be sound.
+			return out, nil, nil
+		}
+	}
+	minK := -1
+	return out, &minK, nil
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"ravbmc/internal/benchmarks"
+	"ravbmc/internal/cache"
 	"ravbmc/internal/core"
 	"ravbmc/internal/lang"
 	"ravbmc/internal/obs"
@@ -46,6 +47,12 @@ type Config struct {
 	// printer. With Jobs > 1 the hook is called from pool workers and
 	// must be safe for concurrent use.
 	Obs func(bench, tool string) *obs.Recorder
+	// Cache, when non-nil, answers cells from the content-addressed
+	// result cache (internal/cache) and memoizes fresh conclusions, so
+	// a repeated sweep — same binary, same bounds — costs lookups
+	// instead of explorations. Inconclusive cells (T.O, ERR) are never
+	// memoized and re-run every sweep.
+	Cache *cache.Cache
 }
 
 func (c Config) timeout() time.Duration {
@@ -173,6 +180,11 @@ func attach(cell *Cell, rec *obs.Recorder, bench string, k, l int) {
 
 func runVBMC(ctx context.Context, cfg Config, prog *lang.Program, k, l int) Cell {
 	rec := cfg.recorder(prog.Name, "VBMC")
+	if cfg.Cache != nil {
+		cell := runCached(ctx, cfg, prog, cache.ModeVBMC, "VBMC", k, l, rec)
+		attach(&cell, rec, prog.Name, k, l)
+		return cell
+	}
 	start := time.Now()
 	res, err := core.Run(prog, core.Options{K: k, Unroll: l, Timeout: cfg.timeout(), Ctx: ctx, Obs: rec})
 	cell := Cell{Tool: "VBMC", Seconds: time.Since(start).Seconds()}
@@ -188,8 +200,38 @@ func runVBMC(ctx context.Context, cfg Config, prog *lang.Program, k, l int) Cell
 	return cell
 }
 
+// cacheModes maps tool columns onto cache modes.
+var cacheModes = map[string]string{
+	"VBMC": cache.ModeVBMC, "Tracer": cache.ModeTracer,
+	"Cdsc": cache.ModeCDSC, "Rcmc": cache.ModeRCMC,
+}
+
+// runCached answers one cell through the result cache. A cached SAFE
+// or UNSAFE is reused (including across K by subsumption for VBMC);
+// anything non-conclusive renders T.O and is re-run next sweep.
+func runCached(ctx context.Context, cfg Config, prog *lang.Program, mode, tool string, k, l int, rec *obs.Recorder) Cell {
+	start := time.Now()
+	out, err := cfg.Cache.Verify(ctx, cache.Request{Prog: prog, Mode: mode, K: k, Unroll: l},
+		cache.ExecConfig{Timeout: cfg.timeout(), Obs: rec})
+	cell := Cell{Tool: tool, Seconds: time.Since(start).Seconds()}
+	switch {
+	case err != nil:
+		cell.Verdict = "ERR"
+	case out.Verdict == cache.VerdictSafe || out.Verdict == cache.VerdictUnsafe:
+		cell.Verdict = out.Verdict
+	default:
+		cell.Verdict = "T.O" // inconclusive: timeout or cap, never memoized
+	}
+	return cell
+}
+
 func runSMC(ctx context.Context, cfg Config, prog *lang.Program, tool string, l int) Cell {
 	rec := cfg.recorder(prog.Name, tool)
+	if cfg.Cache != nil {
+		cell := runCached(ctx, cfg, prog, cacheModes[tool], tool, 0, l, rec)
+		attach(&cell, rec, prog.Name, 0, l)
+		return cell
+	}
 	start := time.Now()
 	res, err := smc.Check(prog, smc.Options{Algorithm: smcAlgorithms[tool], Unroll: l, Timeout: cfg.timeout(), Ctx: ctx, Obs: rec})
 	cell := Cell{Tool: tool, Seconds: time.Since(start).Seconds()}

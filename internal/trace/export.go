@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"ravbmc/internal/version"
 )
 
 // Format selects a trace export encoding.
@@ -54,8 +56,14 @@ const Schema = "ravbmc.witness/v1"
 
 // Meta is the header record of an exported trace.
 type Meta struct {
-	Schema  string `json:"schema"`
-	Program string `json:"program,omitempty"`
+	Schema string `json:"schema"`
+	// Toolchain is the build identity of the binary that produced the
+	// trace (internal/version); filled automatically on export when the
+	// caller leaves it empty. Consumers that memoize witnesses (the
+	// verification daemon's cache) key on it so a trace from an older
+	// engine build is never replayed against a newer one.
+	Toolchain string `json:"toolchain,omitempty"`
+	Program   string `json:"program,omitempty"`
 	// Engine names the semantics the events were recorded under: "ra"
 	// (operational RA), "sc" (the translated program under SC), or
 	// "replay" (the validated lifted witness).
@@ -125,6 +133,9 @@ func (e *Event) toJSON(step int) jsonEvent {
 // object per line.
 func (t *Trace) WriteJSONL(w io.Writer, meta Meta) error {
 	meta.Schema = Schema
+	if meta.Toolchain == "" {
+		meta.Toolchain = version.String()
+	}
 	meta.Events = t.Len()
 	meta.ViewSwitches = t.ViewSwitches()
 	enc := json.NewEncoder(w)
@@ -158,6 +169,9 @@ type chromeEvent struct {
 // view switches additionally marked as global instants.
 func (t *Trace) WriteChrome(w io.Writer, meta Meta) error {
 	meta.Schema = Schema
+	if meta.Toolchain == "" {
+		meta.Toolchain = version.String()
+	}
 	meta.Events = t.Len()
 	meta.ViewSwitches = t.ViewSwitches()
 	const tick = 1000 // microseconds per logical step

@@ -1,0 +1,55 @@
+// Package version identifies the build: the module version and the VCS
+// revision stamped by the Go toolchain (runtime/debug.ReadBuildInfo).
+//
+// The string is embedded in the content-addressed cache key
+// (internal/cache) and in exported witness headers (internal/trace), so
+// results computed by one binary are never served back by a binary with
+// different engine code: any rebuild from a different revision changes
+// the version string, which changes every cache key, which makes all
+// old entries unreachable (and the disk store skips them on load).
+package version
+
+import (
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+var once = sync.OnceValue(compute)
+
+// String returns the build identity, e.g. "devel+4f9c1a2b" or
+// "v1.2.0+4f9c1a2b.dirty". It is computed once; repeated calls are
+// cheap and always equal within one process.
+func String() string { return once() }
+
+func compute() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	ver := info.Main.Version
+	if ver == "" || ver == "(devel)" {
+		ver = "devel"
+	}
+	var rev, dirty string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = ".dirty"
+			}
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev == "" {
+		// Test binaries and builds outside a VCS checkout carry no stamp;
+		// fall back to the toolchain version so the string still pins the
+		// engine build environment.
+		return ver + "+" + strings.TrimPrefix(info.GoVersion, "go")
+	}
+	return ver + "+" + rev + dirty
+}

@@ -1,0 +1,19 @@
+package version
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringNonEmptyAndStable(t *testing.T) {
+	v := String()
+	if v == "" {
+		t.Fatal("empty version string")
+	}
+	if v != String() {
+		t.Fatalf("version string not stable: %q vs %q", v, String())
+	}
+	if strings.ContainsAny(v, " \t\n") {
+		t.Fatalf("version string contains whitespace: %q", v)
+	}
+}

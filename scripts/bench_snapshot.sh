@@ -21,6 +21,14 @@
 # "ratables" entries, so the snapshot records the scheduler's speedup
 # on the recording machine (a 1-core runner legitimately shows none).
 #
+# Next the quick Tables 1-2 rows are swept twice through a vbmcd
+# daemon (temp disk store, ephemeral port) via vbmc -remote: the cold
+# pass computes and memoizes every cell, the warm pass repeats the
+# identical requests and must be answered from the content-addressed
+# cache. Both wall-clock times land as "vbmcd" entries together with
+# the speedup, so the snapshot records how much the result cache buys
+# on the recording machine (acceptance: warm ≥5x faster than cold).
+#
 # Finally BenchmarkDedupModes is run (serial, -benchmem) and each
 # sub-benchmark line is appended as a "dedup" entry with ns/op, B/op,
 # allocs/op and (for ra/sc) states/s — the before/after record for the
@@ -44,6 +52,7 @@ trap 'rm -rf "$tracedir"' EXIT
 
 go build -o /tmp/vbmc-bench ./cmd/vbmc
 go build -o /tmp/ratables-bench ./cmd/ratables
+go build -o /tmp/vbmcd-bench ./cmd/vbmcd
 
 # table_sweep jobs — quick Tables 1-4 at the given pool width, printing
 # the elapsed wall-clock seconds.
@@ -53,6 +62,26 @@ table_sweep() {
   for t in 1 2 3 4; do
     /tmp/ratables-bench -table "$t" -quick -timeout "$table_timeout" -jobs "$1" >/dev/null
   done
+  t1=$(date +%s%N)
+  awk -v ns=$((t1 - t0)) 'BEGIN { printf "%.3f", ns / 1e9 }'
+}
+
+# remote_sweep base — the quick Tables 1-2 rows through a vbmcd daemon,
+# printing the elapsed wall-clock seconds.
+remote_sweep() {
+  local t0 t1
+  t0=$(date +%s%N)
+  while read -r b bk bl; do
+    /tmp/vbmc-bench -remote "$1" -bench "$b" -k "$bk" -l "$bl" \
+      -timeout "$table_timeout" >/dev/null || true
+  done <<'EOF'
+dekker 2 2
+peterson_0 2 2
+sim_dekker 2 2
+peterson_1(3) 4 2
+szymanski_1(3) 2 2
+szymanski_1(4) 2 2
+EOF
   t1=$(date +%s%N)
   awk -v ns=$((t1 - t0)) 'BEGIN { printf "%.3f", ns / 1e9 }'
 }
@@ -79,6 +108,28 @@ table_sweep() {
     printf '{"tool": "ratables", "bench": "tables_1-4_quick", "config": {"jobs": "%s", "timeout": "%s", "cpus": "%s"}, "wall_seconds": %s}\n' \
       "$jobs" "$table_timeout" "$(nproc)" "$secs"
   done
+  /tmp/vbmcd-bench -addr 127.0.0.1:0 -disk "$tracedir/cache.jsonl" \
+    >"$tracedir/vbmcd.out" 2>"$tracedir/vbmcd.err" &
+  daemon=$!
+  base=""
+  for _ in $(seq 1 100); do
+    base="$(sed -n 's/^vbmcd listening on //p' "$tracedir/vbmcd.out")"
+    [ -n "$base" ] && break
+    sleep 0.1
+  done
+  cold="$(remote_sweep "$base")"
+  warm="$(remote_sweep "$base")"
+  kill "$daemon" 2>/dev/null && wait "$daemon" 2>/dev/null || true
+  for pass in cold warm; do
+    [ "$pass" = cold ] && secs="$cold" || secs="$warm"
+    echo ','
+    printf '{"tool": "vbmcd", "bench": "tables_1-2_quick_remote", "config": {"pass": "%s", "timeout": "%s", "cpus": "%s"}, "wall_seconds": %s}\n' \
+      "$pass" "$table_timeout" "$(nproc)" "$secs"
+  done
+  echo ','
+  awk -v c="$cold" -v w="$warm" 'BEGIN {
+    printf "{\"tool\": \"vbmcd\", \"bench\": \"tables_1-2_quick_remote\", \"config\": {\"pass\": \"speedup\"}, \"cold_over_warm\": %.1f}\n", c / w
+  }'
   go test -run '^$' -bench BenchmarkDedupModes -benchmem -benchtime "${DEDUP_BENCHTIME:-2s}" . 2>/dev/null |
     awk '/^BenchmarkDedupModes\// {
       name = $1; sub(/^BenchmarkDedupModes\//, "", name); sub(/-[0-9]+$/, "", name)

@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# service_smoke.sh — end-to-end smoke test of the vbmcd daemon.
+#
+# Starts vbmcd on an ephemeral port with a temp disk store, runs the
+# same vbmc -remote sweep twice and asserts:
+#
+#   1. the two passes produce byte-identical verdicts (and witness
+#      digests) for every benchmark;
+#   2. the second pass is answered ≥90% from the cache, measured by
+#      scraping ravbmc_cache_{hits,subsumed_hits}_total off /metrics;
+#   3. a SIGTERM delivered while a long verification is in flight
+#      drains gracefully: the daemon exits 0 and logs "drained, bye".
+#
+# Usage:
+#   scripts/service_smoke.sh
+#   SMOKE_TIMEOUT=60 scripts/service_smoke.sh   # per-request budget (s)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+req_timeout="${SMOKE_TIMEOUT:-30}"
+tmp="$(mktemp -d)"
+daemon_pid=""
+trap '[ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/vbmcd" ./cmd/vbmcd
+go build -o "$tmp/vbmc" ./cmd/vbmc
+
+"$tmp/vbmcd" -addr 127.0.0.1:0 -disk "$tmp/cache.jsonl" -drain-grace 5s \
+  >"$tmp/vbmcd.out" 2>"$tmp/vbmcd.err" &
+daemon_pid=$!
+
+base=""
+for _ in $(seq 1 100); do
+  base="$(sed -n 's/^vbmcd listening on //p' "$tmp/vbmcd.out")"
+  [ -n "$base" ] && break
+  kill -0 "$daemon_pid" 2>/dev/null || { cat "$tmp/vbmcd.err" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$base" ] || { echo "FAIL: daemon never printed its address" >&2; exit 1; }
+echo "daemon up at $base (pid $daemon_pid)" >&2
+
+# The quick Tables 1-2 rows: "bench k l" triples at the paper's bounds.
+sweep_rows() {
+  cat <<'EOF'
+dekker 2 2
+peterson_0 2 2
+sim_dekker 2 2
+peterson_1(3) 4 2
+szymanski_1(3) 2 2
+szymanski_1(4) 2 2
+EOF
+}
+
+# sweep FILE — run every row through vbmc -remote, recording one stable
+# line per row: bench, verdict, state count and witness digest. Timing
+# fields are deliberately excluded so the two passes can be compared
+# byte for byte.
+sweep() {
+  : >"$1"
+  while read -r bench k l; do
+    # vbmc exits 1 for UNSAFE; that's a verdict, not a failure.
+    "$tmp/vbmc" -remote "$base" -bench "$bench" -k "$k" -l "$l" \
+      -timeout "${req_timeout}s" -json >"$tmp/resp.json" || true
+    jq -r --arg b "$bench" \
+      '[$b, .verdict, (.states // 0), (.witness_jsonl // "" | @base64)] | @tsv' \
+      "$tmp/resp.json" >>"$1"
+  done < <(sweep_rows)
+}
+
+scrape() { # scrape METRIC — current counter value (0 if absent)
+  curl -fsS "$base/metrics" | awk -v m="$1" '$1 == m { print $2; found = 1 } END { if (!found) print 0 }'
+}
+
+sweep "$tmp/pass1.tsv"
+h1=$(( $(scrape ravbmc_cache_hits_total) + $(scrape ravbmc_cache_subsumed_hits_total) ))
+sweep "$tmp/pass2.tsv"
+h2=$(( $(scrape ravbmc_cache_hits_total) + $(scrape ravbmc_cache_subsumed_hits_total) ))
+
+if ! cmp -s "$tmp/pass1.tsv" "$tmp/pass2.tsv"; then
+  echo "FAIL: cold and warm sweeps disagree:" >&2
+  diff "$tmp/pass1.tsv" "$tmp/pass2.tsv" >&2 || true
+  exit 1
+fi
+grep -q 'UNSAFE' "$tmp/pass1.tsv" || { echo "FAIL: sweep found no UNSAFE verdicts" >&2; exit 1; }
+
+rows=$(sweep_rows | wc -l)
+hits=$((h2 - h1))
+# ≥90% of the warm pass must be cache-answered (integer math: 10*hits ≥ 9*rows).
+if [ $((10 * hits)) -lt $((9 * rows)) ]; then
+  echo "FAIL: warm pass made $rows requests but only $hits were cache hits" >&2
+  curl -fsS "$base/metrics" | grep '^ravbmc_cache' >&2
+  exit 1
+fi
+echo "warm pass: $hits/$rows cache hits" >&2
+
+[ -s "$tmp/cache.jsonl" ] || { echo "FAIL: disk store is empty" >&2; exit 1; }
+
+# Graceful drain under fire: park a long verification on the daemon,
+# then SIGTERM it mid-run. The daemon must exit 0 within the grace.
+"$tmp/vbmc" -remote "$base" -bench peterson_1 -k 5 -l 6 -timeout 120s \
+  >/dev/null 2>&1 || true &
+client_pid=$!
+sleep 1
+kill -TERM "$daemon_pid"
+rc=0
+wait "$daemon_pid" || rc=$?
+daemon_pid=""
+wait "$client_pid" 2>/dev/null || true
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: daemon exited $rc after SIGTERM" >&2
+  cat "$tmp/vbmcd.err" >&2
+  exit 1
+fi
+grep -q 'drained, bye' "$tmp/vbmcd.err" || {
+  echo "FAIL: daemon never reported a clean drain" >&2
+  cat "$tmp/vbmcd.err" >&2
+  exit 1
+}
+
+echo "service smoke OK: $rows rows byte-identical across passes, $hits warm hits, clean drain" >&2
