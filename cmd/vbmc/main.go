@@ -76,6 +76,8 @@ func run() int {
 		progressIv = flag.Duration("progress-interval", time.Second, "interval between -progress snapshots")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		spanOut    = flag.String("span-out", "", "write the run's span tree (phase tracing) to this file")
+		spanFmt    = flag.String("span-format", "jsonl", "span export format: jsonl | chrome")
 		remote     = flag.String("remote", "", "vbmcd base URL (e.g. http://127.0.0.1:8080): verify via the daemon's cache instead of locally")
 		showVer    = flag.Bool("version", false, "print the toolchain version and exit")
 	)
@@ -141,6 +143,17 @@ func run() int {
 	}
 
 	rec := obs.New()
+	if *spanOut != "" {
+		// Tracing retains the span tree; the plain recorder only keeps
+		// phase totals.
+		rec = obs.NewTracing()
+		defer func() {
+			meta := obs.SpanMeta{Tool: "vbmc", Program: prog.Name}
+			if err := obs.WriteSpansFile(*spanOut, *spanFmt, meta, rec.Spans()); err != nil {
+				fmt.Fprintln(os.Stderr, "vbmc:", err)
+			}
+		}()
+	}
 	if *progress {
 		p := obs.NewProgress(os.Stderr, rec, *progressIv)
 		rec.SetSink(p) // phase transitions print immediately, not just on ticks
@@ -193,8 +206,16 @@ func run() int {
 		}
 		rep.Tool = "vbmc"
 		rep.Bench = prog.Name
-		if *traceOut != "" {
-			rep.Config = map[string]string{"trace": "enabled", "trace_format": *traceFmt}
+		if *traceOut != "" || *spanOut != "" {
+			rep.Config = map[string]string{}
+			if *traceOut != "" {
+				rep.Config["trace"] = "enabled"
+				rep.Config["trace_format"] = *traceFmt
+			}
+			if *spanOut != "" {
+				rep.Config["spans"] = "enabled"
+				rep.Config["span_format"] = *spanFmt
+			}
 		}
 		os.Stdout.Write(append(rep.JSON(), '\n'))
 	} else {

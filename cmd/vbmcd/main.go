@@ -9,11 +9,13 @@
 //
 // Endpoints (see docs/SERVICE.md):
 //
-//	POST /v1/verify   one verification at the request's bounds
-//	POST /v1/mink     smallest K with an UNSAFE verdict
-//	GET  /healthz     liveness + drain state
-//	GET  /v1/version  toolchain version (the one in every cache key)
-//	GET  /metrics     Prometheus-style text metrics
+//	POST /v1/verify     one verification at the request's bounds
+//	POST /v1/mink       smallest K with an UNSAFE verdict
+//	GET  /healthz       liveness + drain state
+//	GET  /v1/version    toolchain version (the one in every cache key)
+//	GET  /metrics       Prometheus text metrics (latency histograms included)
+//	GET  /v1/runs       recent run ledger (summaries, newest first)
+//	GET  /v1/runs/{id}  one run's full record: timings, span tree, slow dump
 //
 // On SIGINT/SIGTERM the daemon stops admitting work, waits up to
 // -drain-grace for in-flight verifications, then hard-cancels the
@@ -26,6 +28,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -52,6 +56,10 @@ func run() int {
 		maxTimeout = flag.Duration("max-timeout", 10*time.Minute, "cap on a request's compute deadline")
 		jobs       = flag.Int("jobs", 0, "portfolio pool width (0 = engine default)")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long a shutdown waits for in-flight work before hard-cancelling")
+		ledgerSize = flag.Int("ledger", 256, "run records retained in memory behind /v1/runs (0 = default)")
+		runLog     = flag.String("run-log", "", "append one JSON line per completed run to this file (empty = off)")
+		slowRun    = flag.Duration("slow-run", 0, "flight-recorder threshold: dump a still-running request's span tree into its ledger entry after this long (0 = off)")
+		logJSON    = flag.Bool("log-json", false, "emit request logs as JSON instead of key=value text")
 		showVer    = flag.Bool("version", false, "print the toolchain version and exit")
 	)
 	flag.CommandLine.Init(os.Args[0], flag.ContinueOnError)
@@ -73,10 +81,31 @@ func run() int {
 	}
 	defer c.Close()
 
+	// Request logs go to stderr (stdout's first line is the scrape-able
+	// listen address); every line carries the request's run ID.
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	var audit io.Writer
+	if *runLog != "" {
+		f, err := os.OpenFile(*runLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vbmcd:", err)
+			return 3
+		}
+		defer f.Close()
+		audit = f
+	}
+
 	s := serve.New(serve.Config{
 		Cache: c, Workers: *workers, Queue: *queue,
 		DefaultTimeout: *defTimeout, MaxTimeout: *maxTimeout,
 		Jobs: *jobs, Obs: rec,
+		Log: slog.New(handler), LedgerSize: *ledgerSize,
+		RunLog: audit, SlowRunThreshold: *slowRun,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

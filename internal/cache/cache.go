@@ -38,6 +38,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ravbmc/internal/lang"
 	"ravbmc/internal/obs"
@@ -200,6 +201,9 @@ type Cache struct {
 	obsHits, obsSubsumed, obsMisses  *obs.Counter
 	obsCollapsed, obsStores, obsEvic *obs.Counter
 	obsBytes, obsEntries             *obs.Gauge
+	// lookup distributes lookup latency (lock wait + map/subsumption
+	// probe); standalone so the family exists regardless of Config.Obs.
+	lookup *obs.Histogram
 }
 
 // New opens a cache. The returned error is only ever a disk-store
@@ -229,6 +233,7 @@ func New(cfg Config) (*Cache, error) {
 		obsEvic:      cfg.Obs.Counter("cache.evictions"),
 		obsBytes:     cfg.Obs.Gauge("cache.bytes"),
 		obsEntries:   cfg.Obs.Gauge("cache.entries"),
+		lookup:       obs.NewHistogram("cache.lookup_seconds", obs.DurationBuckets),
 	}
 	if cfg.DiskPath != "" {
 		disk, err := openDisk(cfg.DiskPath)
@@ -255,6 +260,15 @@ func (c *Cache) Version() string {
 		return version.String()
 	}
 	return c.version
+}
+
+// LookupSeconds snapshots the lookup-latency distribution (empty for
+// the nil cache, so /metrics renders the family either way).
+func (c *Cache) LookupSeconds() obs.HistogramSnapshot {
+	if c == nil {
+		return obs.NewHistogram("cache.lookup_seconds", obs.DurationBuckets).Snapshot()
+	}
+	return c.lookup.Snapshot()
 }
 
 // Stats snapshots the counters. Safe concurrently with Do.
@@ -303,8 +317,11 @@ func (c *Cache) Do(ctx context.Context, req Request, run RunFunc) (Outcome, erro
 
 	retried := false
 	for {
+		t0 := time.Now()
 		c.mu.Lock()
-		if out, ok := c.lookupLocked(d, g, nr); ok {
+		out, ok := c.lookupLocked(d, g, nr)
+		c.lookup.ObserveSince(t0)
+		if ok {
 			c.mu.Unlock()
 			return out, nil
 		}

@@ -45,7 +45,11 @@ func (c *Cache) Verify(ctx context.Context, req Request, x ExecConfig) (Outcome,
 // key canonicalisation and reuse.
 func Execute(ctx context.Context, req Request, x ExecConfig) (Outcome, error) {
 	start := time.Now()
+	span := x.Obs.StartPhase("engine")
+	span.SetAttr("mode", req.Mode)
+	span.SetAttrInt("k", int64(req.K))
 	out, err := execute(ctx, req, x)
+	span.End()
 	out.Seconds = time.Since(start).Seconds()
 	return out, err
 }

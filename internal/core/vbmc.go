@@ -231,7 +231,14 @@ func Run(prog *lang.Program, opts Options) (Result, error) {
 			if opts.Timeout > 0 {
 				probeOpts.Deadline = time.Now().Add(tier.slice)
 			}
+			probeStart := time.Now()
 			res := checkDeepening(probeProg, bound, probeOpts, rec, phase)
+			probeSecs := time.Since(probeStart).Seconds()
+			rec.Histogram("core.probe_seconds", obs.DurationBuckets).Observe(probeSecs)
+			if probeSecs > 0 && res.States > 0 {
+				rec.Histogram("core.probe_states_per_sec", obs.RateBuckets).
+					Observe(float64(res.States) / probeSecs)
+			}
 			out.States += res.States
 			out.Transitions += res.Transitions
 			if res.Violation {
@@ -261,7 +268,14 @@ func Run(prog *lang.Program, opts Options) (Result, error) {
 	out.TranslatedStmts = translated.CountStmts()
 	rec.Gauge("translate.stmts").Set(int64(out.TranslatedStmts))
 	scOpts := sc.Options{MaxContexts: bound, MaxStates: opts.MaxStates, Deadline: deadline, Ctx: opts.Ctx, ExactDedup: opts.ExactDedup, Obs: rec}
+	finalStart := time.Now()
 	res := checkDeepening(translated, bound, scOpts, rec, "final")
+	finalSecs := time.Since(finalStart).Seconds()
+	rec.Histogram("core.final_search_seconds", obs.DurationBuckets).Observe(finalSecs)
+	if finalSecs > 0 && res.States > 0 {
+		rec.Histogram("core.final_states_per_sec", obs.RateBuckets).
+			Observe(float64(res.States) / finalSecs)
+	}
 	out.States += res.States
 	out.Transitions += res.Transitions
 	out.TimedOut = res.TimedOut

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DurationBuckets are the default histogram bounds for wall-clock
+// seconds: request latencies, queue waits, cache lookups and probe
+// durations all land comfortably inside them.
+var DurationBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 300,
+}
+
+// RateBuckets are histogram bounds for throughput observations
+// (states/sec and the like), spanning a slow interpreted walk to the
+// fastest fingerprinted searches.
+var RateBuckets = []float64{
+	1e2, 3e2, 1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7,
+}
+
+// Histogram is a fixed-bucket distribution metric. Buckets hold
+// non-cumulative counts per upper bound, with an implicit +Inf bucket
+// last; Observe is a handful of atomic adds and no locks, so engines
+// can observe from hot-ish paths (per probe or per request, never per
+// state). The nil *Histogram is the disabled instrument. A histogram
+// resolved from a Child() recorder mirrors every observation into the
+// parent's same-named histogram.
+type Histogram struct {
+	name   string
+	mirror *Histogram
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	count  atomic.Int64
+}
+
+// NewHistogram returns a standalone histogram (no recorder) with the
+// given ascending upper bounds; nil bounds select DurationBuckets. The
+// serve and cache layers use standalone histograms so their /metrics
+// families exist even when no recorder is configured.
+func NewHistogram(name string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DurationBuckets
+	}
+	bounds = append([]float64(nil), bounds...)
+	sort.Float64s(bounds)
+	h := &Histogram{name: name, bounds: bounds}
+	h.counts = make([]atomic.Int64, len(bounds)+1)
+	return h
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use (nil bounds select DurationBuckets; later calls
+// keep the original bounds). On the nil recorder it returns the nil
+// (disabled) histogram.
+func (r *Recorder) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(name, bounds)
+		if r.parent != nil {
+			h.mirror = r.parent.Histogram(name, bounds)
+		}
+		r.histograms[name] = h
+		r.histNames = append(r.histNames, name)
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	h.mirror.Observe(v)
+}
+
+// ObserveSince records the seconds elapsed since t.
+func (h *Histogram) ObserveSince(t time.Time) {
+	if h != nil {
+		h.Observe(time.Since(t).Seconds())
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, in the
+// shape the Prometheus exposition needs: per-bucket (non-cumulative)
+// counts aligned with Bounds, the +Inf bucket last.
+type HistogramSnapshot struct {
+	// Bounds are the finite upper bounds; Counts has len(Bounds)+1
+	// entries, the final one for observations above every bound.
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+// Snapshot copies the current state; the nil histogram snapshots empty.
+// Buckets are read without a global lock, so a snapshot taken during a
+// burst of observations may be torn by a few counts — fine for metrics.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sum.Load()),
+		Count:  h.count.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Mean returns the average observation, 0 for an empty histogram —
+// never NaN, so derived reports stay marshalable.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBuckets: observations land in the right buckets, with
+// values above every bound in the +Inf bucket.
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram("lat", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	want := []int64{2, 1, 1, 2} // <=0.01: {0.005, 0.01}; <=0.1: {0.05}; <=1: {0.5}; +Inf: {2, 100}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if math.Abs(s.Sum-102.565) > 1e-9 {
+		t.Errorf("sum = %v", s.Sum)
+	}
+	if math.Abs(s.Mean()-102.565/6) > 1e-9 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+}
+
+// TestHistogramNilSafe: the nil histogram and the nil recorder's
+// histogram are inert, and the empty snapshot's mean is 0, not NaN.
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+	if m := s.Mean(); m != 0 {
+		t.Errorf("empty mean = %v, want 0", m)
+	}
+	var r *Recorder
+	r.Histogram("x", nil).Observe(2) // must not panic
+}
+
+// TestHistogramNaNIgnored: NaN observations are dropped so sums stay
+// finite and marshalable.
+func TestHistogramNaNIgnored(t *testing.T) {
+	h := NewHistogram("lat", nil)
+	h.Observe(math.NaN())
+	h.Observe(0.5)
+	s := h.Snapshot()
+	if s.Count != 1 || math.IsNaN(s.Sum) {
+		t.Errorf("snapshot after NaN = %+v", s)
+	}
+}
+
+// TestHistogramConcurrent: concurrent observers never lose counts (the
+// sum is CAS-accumulated, the buckets atomic).
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram("lat", DurationBuckets)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Errorf("count = %d, want %d", s.Count, workers*per)
+	}
+	if math.Abs(s.Sum-float64(workers*per)*0.001) > 1e-6 {
+		t.Errorf("sum = %v", s.Sum)
+	}
+}
+
+// TestRecorderHistogramStable: repeated resolution returns the same
+// handle, and the original bounds win.
+func TestRecorderHistogramStable(t *testing.T) {
+	r := New()
+	a := r.Histogram("lat", []float64{1, 2})
+	b := r.Histogram("lat", []float64{5, 6, 7})
+	if a != b {
+		t.Fatal("same name resolved to different histograms")
+	}
+	if len(a.Snapshot().Bounds) != 2 {
+		t.Errorf("bounds = %v, want the first registration's", a.Snapshot().Bounds)
+	}
+	rep := r.Report()
+	if _, ok := rep.Histograms["lat"]; !ok {
+		t.Error("report missing histogram")
+	}
+}
+
+// TestDeriveZeroDenominators: an empty run — zero elapsed, zero states,
+// zero dedup lookups, empty histograms — must derive no NaN/Inf rates.
+func TestDeriveZeroDenominators(t *testing.T) {
+	// A hand-built report models a zero-elapsed snapshot, which a live
+	// recorder can never quite produce.
+	rep := &Report{
+		Seconds:  0,
+		Counters: map[string]int64{"sc.states": 100, "ra.states": 5, "smc.transitions": 7},
+	}
+	d := derive(rep)
+	for _, k := range []string{"sc.states_per_sec", "ra.states_per_sec", "smc.transitions_per_sec"} {
+		if _, ok := d[k]; ok {
+			t.Errorf("zero-elapsed report derived %s", k)
+		}
+	}
+
+	// Empty run: counters present but zero.
+	rep = &Report{
+		Seconds: 1.5,
+		Counters: map[string]int64{
+			"sc.states": 0, "sc.dedup_hits": 0, "sc.dedup_misses": 0,
+			"ra.revisits": 0, "ra.states": 0,
+			"ra.branch_choices": 0, "ra.branch_points": 0,
+		},
+		Histograms: map[string]HistogramSnapshot{"lat": {}},
+	}
+	d = derive(rep)
+	if d != nil {
+		t.Fatalf("empty run derived %v, want nothing", d)
+	}
+
+	// Fresh recorder end to end: Report must stay marshalable with no
+	// NaN (json.Marshal rejects NaN, so marshaling is the check).
+	r := New()
+	r.Counter("sc.dedup_hits") // resolve but never increment
+	r.Histogram("lat", nil)
+	if b := r.Report().JSON(); len(b) == 0 {
+		t.Error("empty report failed to marshal")
+	}
+	for k, v := range r.Report().Derived {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("derived %s = %v", k, v)
+		}
+	}
+}

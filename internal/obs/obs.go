@@ -1,6 +1,7 @@
 // Package obs is the engine-wide observability layer: counters, gauges,
-// phase timers, progress snapshots and structured run reports for the
-// VBMC driver, the SC backend, the RA oracle and the SMC baselines.
+// histograms, phase timers, span trees, progress snapshots and
+// structured run reports for the VBMC driver, the SC backend, the RA
+// oracle, the SMC baselines and the vbmcd daemon.
 //
 // The design goal is zero cost when disabled. Engines do not hold a
 // recorder on their hot paths; they resolve named instruments once per
@@ -10,11 +11,23 @@
 //	...
 //	states.Inc() // nil handle: a nil-check, not a lock
 //
-// Every method of Counter, Gauge, Span, Recorder and Progress is safe on
-// a nil receiver and does nothing, so the disabled path through the
-// search loops is a single pointer comparison. When enabled, counters
-// and gauges are atomics, so a Progress goroutine can snapshot a live
-// search without stalling it.
+// Every method of Counter, Gauge, Histogram, Span, Recorder and
+// Progress is safe on a nil receiver and does nothing, so the disabled
+// path through the search loops is a single pointer comparison. When
+// enabled, counters, gauges and histograms are atomics, so a Progress
+// goroutine can snapshot a live search without stalling it.
+//
+// Recorders compose two ways beyond the flat New():
+//
+//   - NewTracing retains every phase span as a tree node (parent links,
+//     start/end wall times, attributes) exportable as JSONL or Chrome
+//     trace_event via WriteSpansJSONL / WriteSpansChrome — see span.go.
+//     A plain New() recorder pays none of that: spans accumulate into
+//     per-phase totals only, exactly as before.
+//   - Child() derives a per-request tracing recorder whose counter,
+//     gauge and histogram updates also mirror into the parent, so a
+//     daemon can keep one process-wide recorder feeding /metrics while
+//     every request gets its own span tree.
 //
 // Instrument names are dotted, prefixed by the engine that owns them
 // ("sc.states", "ra.revisits", "core.probe_hits"); Report derives rates
@@ -24,22 +37,27 @@
 package obs
 
 import (
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
 // Counter is a monotonically increasing metric. The nil *Counter is the
-// disabled instrument: Inc and Add are no-ops.
+// disabled instrument: Inc and Add are no-ops. A counter resolved from
+// a Child() recorder carries a mirror into the parent's same-named
+// counter, so per-request and process-wide views stay consistent.
 type Counter struct {
-	name string
-	v    atomic.Int64
+	name   string
+	mirror *Counter
+	v      atomic.Int64
 }
 
 // Inc adds 1.
 func (c *Counter) Inc() {
 	if c != nil {
 		c.v.Add(1)
+		c.mirror.Inc()
 	}
 }
 
@@ -47,6 +65,7 @@ func (c *Counter) Inc() {
 func (c *Counter) Add(delta int64) {
 	if c != nil {
 		c.v.Add(delta)
+		c.mirror.Add(delta)
 	}
 }
 
@@ -60,15 +79,19 @@ func (c *Counter) Value() int64 {
 
 // Gauge is a point-in-time metric: Set records the last value, SetMax
 // keeps a high-water mark. The nil *Gauge is the disabled instrument.
+// Like Counter, a gauge from a Child() recorder mirrors into the
+// parent's same-named gauge.
 type Gauge struct {
-	name string
-	v    atomic.Int64
+	name   string
+	mirror *Gauge
+	v      atomic.Int64
 }
 
 // Set records v.
 func (g *Gauge) Set(v int64) {
 	if g != nil {
 		g.v.Store(v)
+		g.mirror.Set(v)
 	}
 }
 
@@ -80,9 +103,10 @@ func (g *Gauge) SetMax(v int64) {
 	for {
 		cur := g.v.Load()
 		if v <= cur || g.v.CompareAndSwap(cur, v) {
-			return
+			break
 		}
 	}
+	g.mirror.SetMax(v)
 }
 
 // Value returns the current value (0 on the nil gauge).
@@ -114,18 +138,26 @@ type phase struct {
 }
 
 // Recorder collects the instruments of one run. The zero value is not
-// usable; construct with New or NewWithSink. A nil *Recorder is the
-// disabled recorder: Counter, Gauge and StartPhase return nil handles.
+// usable; construct with New, NewWithSink, NewTracing or Child. A nil
+// *Recorder is the disabled recorder: Counter, Gauge, Histogram and
+// StartPhase return nil handles.
 type Recorder struct {
-	start time.Time
-	sink  Sink
+	start  time.Time
+	sink   Sink
+	parent *Recorder // mirror target of a Child() recorder (nil for none)
 
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	phases   []*phase // in creation order, for stable reports
-	byName   map[string]*phase
-	open     []*phase // stack of open spans; top is the current phase
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	histNames  []string // creation order, for stable reports
+	phases     []*phase // in creation order, for stable reports
+	byName     map[string]*phase
+	open       []*Span // stack of open spans; top is the current phase
+
+	tracing bool // retain the span tree (see span.go)
+	roots   []*spanNode
+	spanSeq int64
 }
 
 // New returns an empty recorder with no sink.
@@ -135,12 +167,36 @@ func New() *Recorder { return NewWithSink(nil) }
 // delivered to sink (nil for none).
 func NewWithSink(sink Sink) *Recorder {
 	return &Recorder{
-		start:    time.Now(),
-		sink:     sink,
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		byName:   map[string]*phase{},
+		start:      time.Now(),
+		sink:       sink,
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+		byName:     map[string]*phase{},
 	}
+}
+
+// NewTracing returns a recorder that additionally retains every phase
+// span as a tree node — parent links, wall-clock start/end and
+// attributes — retrievable with Spans and exportable with
+// WriteSpansJSONL / WriteSpansChrome. Tracing costs one small
+// allocation per span (never per state), so it stays out of the
+// default New().
+func NewTracing() *Recorder {
+	r := New()
+	r.tracing = true
+	return r
+}
+
+// Child derives a tracing recorder that mirrors every counter, gauge
+// and histogram update into r, while keeping its own span tree and
+// phase totals. It is how the daemon gives each request a private span
+// tree without losing the process-wide /metrics aggregates. Safe on the
+// nil recorder: the child is then standalone (nothing to mirror into).
+func (r *Recorder) Child() *Recorder {
+	c := NewTracing()
+	c.parent = r
+	return c
 }
 
 // SetSink installs (or clears) the sink.
@@ -165,6 +221,9 @@ func (r *Recorder) Counter(name string) *Counter {
 	c, ok := r.counters[name]
 	if !ok {
 		c = &Counter{name: name}
+		if r.parent != nil {
+			c.mirror = r.parent.Counter(name)
+		}
 		r.counters[name] = c
 	}
 	return c
@@ -181,6 +240,9 @@ func (r *Recorder) Gauge(name string) *Gauge {
 	g, ok := r.gauges[name]
 	if !ok {
 		g = &Gauge{name: name}
+		if r.parent != nil {
+			g.mirror = r.parent.Gauge(name)
+		}
 		r.gauges[name] = g
 	}
 	return g
@@ -188,19 +250,25 @@ func (r *Recorder) Gauge(name string) *Gauge {
 
 // Span is one open activation of a phase; close it with End. Spans
 // nest: the innermost open span is the "current phase" reported by
-// Snapshot.
+// Snapshot, and on a tracing recorder it is the parent of the next
+// span started, forming the span tree.
 type Span struct {
 	r     *Recorder
 	ph    *phase
 	start time.Time
+	node  *spanNode // tree node; nil unless the recorder traces
 }
 
 // StartPhase opens a span of the named phase and reports it to the
-// sink. On the nil recorder it returns the nil (disabled) span.
+// sink. On a tracing recorder the span also becomes a tree node whose
+// parent is the innermost open span. On the nil recorder it returns
+// the nil (disabled) span.
 func (r *Recorder) StartPhase(name string) *Span {
 	if r == nil {
 		return nil
 	}
+	now := time.Now()
+	s := &Span{r: r, start: now}
 	r.mu.Lock()
 	ph, ok := r.byName[name]
 	if !ok {
@@ -208,39 +276,83 @@ func (r *Recorder) StartPhase(name string) *Span {
 		r.byName[name] = ph
 		r.phases = append(r.phases, ph)
 	}
-	r.open = append(r.open, ph)
+	s.ph = ph
+	if r.tracing {
+		r.spanSeq++
+		s.node = &spanNode{id: r.spanSeq, name: name, start: now}
+		if n := len(r.open); n > 0 && r.open[n-1].node != nil {
+			p := r.open[n-1].node
+			p.children = append(p.children, s.node)
+		} else {
+			r.roots = append(r.roots, s.node)
+		}
+	}
+	r.open = append(r.open, s)
 	sink := r.sink
 	r.mu.Unlock()
 	if sink != nil {
 		sink.PhaseStart(name)
 	}
-	return &Span{r: r, ph: ph, start: time.Now()}
+	return s
 }
 
-// End closes the span, accumulating its duration into the phase. Safe
-// on the nil span; calling End twice records the span twice.
+// End closes the span, accumulating its duration into the phase (and
+// sealing its tree node on a tracing recorder). Safe on the nil span;
+// calling End twice records the span twice.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
-	d := time.Since(s.start)
+	end := time.Now()
+	d := end.Sub(s.start)
 	s.ph.total.Add(int64(d))
 	s.ph.count.Add(1)
 	r := s.r
 	r.mu.Lock()
-	// Pop the topmost activation of this phase (spans end LIFO in
-	// practice; tolerate out-of-order ends).
+	// Pop this span's activation (spans end LIFO in practice; tolerate
+	// out-of-order ends).
 	for i := len(r.open) - 1; i >= 0; i-- {
-		if r.open[i] == s.ph {
+		if r.open[i] == s {
 			r.open = append(r.open[:i], r.open[i+1:]...)
 			break
 		}
+	}
+	if s.node != nil {
+		s.node.end = end
 	}
 	sink := r.sink
 	r.mu.Unlock()
 	if sink != nil {
 		sink.PhaseEnd(s.ph.name, d)
 	}
+}
+
+// SetAttr attaches a key/value attribute to the span's tree node. It is
+// a no-op on the nil span and on spans of a non-tracing recorder, so
+// engines can annotate unconditionally.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil || s.node == nil {
+		return
+	}
+	r := s.r
+	r.mu.Lock()
+	for i := range s.node.attrs {
+		if s.node.attrs[i].key == key {
+			s.node.attrs[i].value = value
+			r.mu.Unlock()
+			return
+		}
+	}
+	s.node.attrs = append(s.node.attrs, spanAttr{key: key, value: value})
+	r.mu.Unlock()
+}
+
+// SetAttrInt is SetAttr for integer values.
+func (s *Span) SetAttrInt(key string, v int64) {
+	if s == nil || s.node == nil {
+		return
+	}
+	s.SetAttr(key, strconv.FormatInt(v, 10))
 }
 
 // Snapshot is a point-in-time view of a live run, for progress
@@ -253,6 +365,8 @@ type Snapshot struct {
 	// Counters and Gauges are the current instrument values.
 	Counters map[string]int64
 	Gauges   map[string]int64
+	// Histograms are the current distribution snapshots.
+	Histograms map[string]HistogramSnapshot
 }
 
 // Snapshot captures the current instrument values. It is safe to call
@@ -264,18 +378,22 @@ func (r *Recorder) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := Snapshot{
-		Elapsed:  time.Since(r.start),
-		Counters: make(map[string]int64, len(r.counters)),
-		Gauges:   make(map[string]int64, len(r.gauges)),
+		Elapsed:    time.Since(r.start),
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
 	}
 	if n := len(r.open); n > 0 {
-		s.Phase = r.open[n-1].name
+		s.Phase = r.open[n-1].ph.name
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
 	}
 	for name, g := range r.gauges {
 		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
 	}
 	return s
 }

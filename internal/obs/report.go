@@ -46,6 +46,9 @@ type Report struct {
 	// Counters and Gauges carry every engine instrument by name.
 	Counters map[string]int64 `json:"counters"`
 	Gauges   map[string]int64 `json:"gauges,omitempty"`
+	// Histograms carry every distribution instrument by name (probe
+	// durations, per-probe throughput, request latencies).
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 	// Derived holds rates computed from well-known counters: dedup hit
 	// rate, states/sec, read-choice branching factors.
 	Derived map[string]float64 `json:"derived,omitempty"`
@@ -74,14 +77,22 @@ func (r *Recorder) Report() *Report {
 	for name, g := range r.gauges {
 		rep.Gauges[name] = g.Value()
 	}
+	for _, name := range r.histNames {
+		if rep.Histograms == nil {
+			rep.Histograms = map[string]HistogramSnapshot{}
+		}
+		rep.Histograms[name] = r.histograms[name].Snapshot()
+	}
 	r.mu.Unlock()
 	rep.Derived = derive(rep)
 	return rep
 }
 
 // derive computes rates from the well-known instrument names. Missing
-// instruments simply yield no entry, so the map stays meaningful for
-// any engine mix.
+// instruments simply yield no entry, and every division is guarded by
+// its denominator — a zero-elapsed or empty-run report (no states, no
+// dedup lookups) derives nothing rather than NaN or Inf — so the map
+// stays meaningful and marshalable for any engine mix.
 func derive(rep *Report) map[string]float64 {
 	d := map[string]float64{}
 	ratio := func(out, num, den string) {
@@ -105,6 +116,11 @@ func derive(rep *Report) map[string]float64 {
 	ratio("ra.branching_factor", "ra.branch_choices", "ra.branch_points")
 	ratio("smc.branching_factor", "smc.branch_choices", "smc.branch_points")
 	ratio("ra.revisit_rate", "ra.revisits", "ra.states")
+	for name, h := range rep.Histograms {
+		if h.Count > 0 {
+			d[name+".mean"] = h.Mean()
+		}
+	}
 	if len(d) == 0 {
 		return nil
 	}

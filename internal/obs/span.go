@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// spanAttr is one ordered key/value annotation of a span node.
+type spanAttr struct {
+	key, value string
+}
+
+// spanNode is the live tree node behind a Span on a tracing recorder.
+// It is mutated under the recorder's mutex and copied out by Spans.
+type spanNode struct {
+	id       int64
+	name     string
+	start    time.Time
+	end      time.Time // zero while open
+	attrs    []spanAttr
+	children []*spanNode
+}
+
+// SpanNode is one node of an exported span tree: a phase activation
+// with wall-clock offsets relative to the recorder's start, its
+// attributes and its children. It is the JSON shape served by the
+// daemon's /v1/runs/{id} endpoint and written by WriteSpansJSONL.
+type SpanNode struct {
+	ID   int64  `json:"id"`
+	Name string `json:"name"`
+	// StartUS is microseconds from the recorder's creation to the span
+	// opening; DurUS is the span's duration in microseconds (elapsed so
+	// far when Open).
+	StartUS int64 `json:"start_us"`
+	DurUS   int64 `json:"dur_us"`
+	// Open marks a span still running when the tree was snapshotted —
+	// the flight recorder dumps live trees.
+	Open     bool              `json:"open,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*SpanNode       `json:"children,omitempty"`
+}
+
+// Spans snapshots the recorder's span forest (top-level spans in start
+// order). It is safe concurrently with a live run: open spans appear
+// with Open=true and their elapsed-so-far duration. Non-tracing and nil
+// recorders return nil.
+func (r *Recorder) Spans() []*SpanNode {
+	if r == nil {
+		return nil
+	}
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.tracing {
+		return nil
+	}
+	out := make([]*SpanNode, 0, len(r.roots))
+	for _, n := range r.roots {
+		out = append(out, exportSpan(n, r.start, now))
+	}
+	return out
+}
+
+func exportSpan(n *spanNode, base, now time.Time) *SpanNode {
+	e := &SpanNode{
+		ID:      n.id,
+		Name:    n.name,
+		StartUS: n.start.Sub(base).Microseconds(),
+	}
+	if n.end.IsZero() {
+		e.Open = true
+		e.DurUS = now.Sub(n.start).Microseconds()
+	} else {
+		e.DurUS = n.end.Sub(n.start).Microseconds()
+	}
+	if len(n.attrs) > 0 {
+		e.Attrs = make(map[string]string, len(n.attrs))
+		for _, a := range n.attrs {
+			e.Attrs[a.key] = a.value
+		}
+	}
+	for _, c := range n.children {
+		e.Children = append(e.Children, exportSpan(c, base, now))
+	}
+	return e
+}
+
+// SpanSeconds sums the durations of every span named name across the
+// forest, in seconds. It is how the daemon's ledger derives per-phase
+// timings (queue wait, cache, engine, replay) from a request's tree.
+func SpanSeconds(roots []*SpanNode, name string) float64 {
+	var us int64
+	var walk func(n *SpanNode)
+	walk = func(n *SpanNode) {
+		if n.Name == name {
+			us += n.DurUS
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, n := range roots {
+		walk(n)
+	}
+	return float64(us) / 1e6
+}
+
+// CountSpans returns the number of nodes in the forest.
+func CountSpans(roots []*SpanNode) int {
+	n := 0
+	var walk func(s *SpanNode)
+	walk = func(s *SpanNode) {
+		n++
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	for _, s := range roots {
+		walk(s)
+	}
+	return n
+}
+
+// SpanSchema identifies the JSONL span-tree encoding; bump on
+// incompatible changes. It parallels internal/trace's witness schema.
+const SpanSchema = "ravbmc.spans/v1"
+
+// SpanMeta is the header record of an exported span tree. The caller
+// fills the identity fields; Schema and Spans are stamped on export.
+type SpanMeta struct {
+	Schema string `json:"schema"`
+	// Tool and Program identify the run ("vbmc", "vbmcd", benchmark or
+	// file name); RunID is the daemon's run identifier, correlating the
+	// export with log lines and the /v1/runs ledger entry.
+	Tool    string `json:"tool,omitempty"`
+	Program string `json:"program,omitempty"`
+	RunID   string `json:"run_id,omitempty"`
+	Spans   int    `json:"spans"`
+}
+
+// spanLine is the flat JSONL encoding of one node: the tree structure
+// survives through parent_id.
+type spanLine struct {
+	ID       int64             `json:"id"`
+	ParentID int64             `json:"parent_id,omitempty"`
+	Name     string            `json:"name"`
+	StartUS  int64             `json:"start_us"`
+	DurUS    int64             `json:"dur_us"`
+	Open     bool              `json:"open,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// WriteSpansJSONL writes the forest as a JSONL document: the SpanMeta
+// header (Schema and span count filled in), then one line per span in
+// pre-order, children linked to parents by parent_id.
+func WriteSpansJSONL(w io.Writer, meta SpanMeta, roots []*SpanNode) error {
+	meta.Schema = SpanSchema
+	meta.Spans = CountSpans(roots)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(meta); err != nil {
+		return err
+	}
+	var walk func(n *SpanNode, parent int64) error
+	walk = func(n *SpanNode, parent int64) error {
+		if err := enc.Encode(spanLine{
+			ID: n.ID, ParentID: parent, Name: n.Name,
+			StartUS: n.StartUS, DurUS: n.DurUS, Open: n.Open, Attrs: n.Attrs,
+		}); err != nil {
+			return err
+		}
+		for _, c := range n.Children {
+			if err := walk(c, n.ID); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, n := range roots {
+		if err := walk(n, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spanChromeEvent is one record of the Chrome trace-event format, the
+// same encoding internal/trace uses for witness timelines.
+type spanChromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteSpansChrome writes the forest in the Chrome trace-event JSON
+// format consumed by chrome://tracing and Perfetto: every span is a
+// complete ("X") slice with its real microsecond offsets, so nesting
+// renders as a flame graph on one track.
+func WriteSpansChrome(w io.Writer, meta SpanMeta, roots []*SpanNode) error {
+	meta.Schema = SpanSchema
+	meta.Spans = CountSpans(roots)
+	events := []spanChromeEvent{{
+		Name: "process_name", Phase: "M", PID: 0, TID: 0,
+		Args: map[string]any{"name": fmt.Sprintf("%s %s", meta.Tool, meta.Program)},
+	}}
+	var walk func(n *SpanNode)
+	walk = func(n *SpanNode) {
+		args := map[string]any{}
+		for k, v := range n.Attrs {
+			args[k] = v
+		}
+		if n.Open {
+			args["open"] = true
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		events = append(events, spanChromeEvent{
+			Name: n.Name, Cat: "span", Phase: "X",
+			TS: n.StartUS, Dur: n.DurUS, PID: 0, TID: 0, Args: args,
+		})
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, n := range roots {
+		walk(n)
+	}
+	doc := struct {
+		TraceEvents []spanChromeEvent `json:"traceEvents"`
+		Meta        SpanMeta          `json:"ravbmcMeta"`
+	}{TraceEvents: events, Meta: meta}
+	return json.NewEncoder(w).Encode(doc)
+}
+
+// WriteSpansFile writes the forest to path in the given format ("jsonl"
+// or "chrome"), creating or truncating the file.
+func WriteSpansFile(path, format string, meta SpanMeta, roots []*SpanNode) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "jsonl", "":
+		err = WriteSpansJSONL(f, meta, roots)
+	case "chrome":
+		err = WriteSpansChrome(f, meta, roots)
+	default:
+		err = fmt.Errorf("obs: unknown span format %q (want jsonl or chrome)", format)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

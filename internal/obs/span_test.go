@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSpanTree: a tracing recorder turns nested StartPhase calls into a
+// tree with parent links, attributes and durations.
+func TestSpanTree(t *testing.T) {
+	r := NewTracing()
+	root := r.StartPhase("request")
+	root.SetAttr("mode", "vbmc")
+	root.SetAttrInt("k", 2)
+	q := r.StartPhase("queue_wait")
+	q.End()
+	c := r.StartPhase("cache")
+	e := r.StartPhase("engine")
+	time.Sleep(2 * time.Millisecond)
+	e.End()
+	c.End()
+	root.End()
+
+	roots := r.Spans()
+	if len(roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(roots))
+	}
+	rn := roots[0]
+	if rn.Name != "request" || rn.Open {
+		t.Fatalf("root = %+v", rn)
+	}
+	if rn.Attrs["mode"] != "vbmc" || rn.Attrs["k"] != "2" {
+		t.Errorf("root attrs = %v", rn.Attrs)
+	}
+	if len(rn.Children) != 2 {
+		t.Fatalf("root children = %d, want 2 (queue_wait, cache)", len(rn.Children))
+	}
+	cache := rn.Children[1]
+	if cache.Name != "cache" || len(cache.Children) != 1 || cache.Children[0].Name != "engine" {
+		t.Fatalf("cache subtree = %+v", cache)
+	}
+	if eng := cache.Children[0]; eng.DurUS < 1000 {
+		t.Errorf("engine dur = %dus, want >= 1000", eng.DurUS)
+	}
+	if cache.DurUS < cache.Children[0].DurUS {
+		t.Errorf("cache dur %d < child dur %d", cache.DurUS, cache.Children[0].DurUS)
+	}
+	if CountSpans(roots) != 4 {
+		t.Errorf("CountSpans = %d, want 4", CountSpans(roots))
+	}
+	if got := SpanSeconds(roots, "engine"); got <= 0 {
+		t.Errorf("SpanSeconds(engine) = %v, want > 0", got)
+	}
+}
+
+// TestSpanTreeDisabled: a plain recorder retains no tree, and spans of
+// a nil recorder tolerate attribute calls.
+func TestSpanTreeDisabled(t *testing.T) {
+	r := New()
+	s := r.StartPhase("a")
+	s.SetAttr("k", "v") // must not panic or retain
+	s.End()
+	if got := r.Spans(); got != nil {
+		t.Errorf("non-tracing recorder Spans() = %v, want nil", got)
+	}
+
+	var nilRec *Recorder
+	ns := nilRec.StartPhase("x")
+	ns.SetAttr("a", "b")
+	ns.SetAttrInt("n", 1)
+	ns.End()
+	if nilRec.Spans() != nil {
+		t.Error("nil recorder Spans() non-nil")
+	}
+}
+
+// TestSpansLiveSnapshot: snapshotting mid-run marks open spans and
+// reports elapsed-so-far durations — the flight recorder's view.
+func TestSpansLiveSnapshot(t *testing.T) {
+	r := NewTracing()
+	root := r.StartPhase("request")
+	_ = r.StartPhase("engine") // deliberately left open
+	time.Sleep(2 * time.Millisecond)
+	roots := r.Spans()
+	if len(roots) != 1 || !roots[0].Open {
+		t.Fatalf("open root not marked: %+v", roots)
+	}
+	eng := roots[0].Children[0]
+	if !eng.Open || eng.DurUS <= 0 {
+		t.Errorf("open child = %+v, want Open with positive elapsed", eng)
+	}
+	root.End()
+}
+
+// TestWriteSpansJSONL: header first, then one pre-order line per span
+// with parent links intact.
+func TestWriteSpansJSONL(t *testing.T) {
+	r := NewTracing()
+	root := r.StartPhase("request")
+	ch := r.StartPhase("cache")
+	ch.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteSpansJSONL(&buf, SpanMeta{Tool: "vbmcd", RunID: "r42"}, r.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatal("no header line")
+	}
+	var meta SpanMeta
+	if err := json.Unmarshal(sc.Bytes(), &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.Schema != SpanSchema || meta.Spans != 2 || meta.RunID != "r42" {
+		t.Errorf("meta = %+v", meta)
+	}
+	type line struct {
+		ID       int64  `json:"id"`
+		ParentID int64  `json:"parent_id"`
+		Name     string `json:"name"`
+	}
+	var lines []line
+	for sc.Scan() {
+		var l line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, l)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("span lines = %d, want 2", len(lines))
+	}
+	if lines[0].Name != "request" || lines[0].ParentID != 0 {
+		t.Errorf("root line = %+v", lines[0])
+	}
+	if lines[1].Name != "cache" || lines[1].ParentID != lines[0].ID {
+		t.Errorf("child line = %+v (root id %d)", lines[1], lines[0].ID)
+	}
+}
+
+// TestWriteSpansChrome: the trace-event document must be valid JSON
+// with one X slice per span plus the process metadata record.
+func TestWriteSpansChrome(t *testing.T) {
+	r := NewTracing()
+	root := r.StartPhase("request")
+	ch := r.StartPhase("engine")
+	ch.SetAttr("mode", "vbmc")
+	ch.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteSpansChrome(&buf, SpanMeta{Tool: "vbmc", Program: "dekker"}, r.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		Meta SpanMeta `json:"ravbmcMeta"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Meta.Schema != SpanSchema || doc.Meta.Spans != 2 {
+		t.Errorf("meta = %+v", doc.Meta)
+	}
+	var slices, metas int
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "X":
+			slices++
+			if e.Name == "engine" && e.Args["mode"] != "vbmc" {
+				t.Errorf("engine args = %v", e.Args)
+			}
+		case "M":
+			metas++
+		}
+	}
+	if slices != 2 || metas != 1 {
+		t.Errorf("slices = %d metas = %d, want 2 and 1", slices, metas)
+	}
+}
+
+// TestChildMirrors: instruments of a Child() recorder update both the
+// child and the parent; spans stay private to the child.
+func TestChildMirrors(t *testing.T) {
+	parent := New()
+	child := parent.Child()
+	child.Counter("sc.states").Add(7)
+	child.Gauge("sc.max_depth").SetMax(4)
+	child.Gauge("sc.max_depth").SetMax(2) // below the max: no change
+	child.Histogram("core.probe_seconds", nil).Observe(0.02)
+	s := child.StartPhase("engine")
+	s.End()
+
+	if got := parent.Counter("sc.states").Value(); got != 7 {
+		t.Errorf("parent counter = %d, want 7", got)
+	}
+	if got := parent.Gauge("sc.max_depth").Value(); got != 4 {
+		t.Errorf("parent gauge = %d, want 4", got)
+	}
+	ph := parent.Histogram("core.probe_seconds", nil).Snapshot()
+	if ph.Count != 1 || ph.Sum != 0.02 {
+		t.Errorf("parent histogram = %+v", ph)
+	}
+	if got := child.Counter("sc.states").Value(); got != 7 {
+		t.Errorf("child counter = %d, want 7", got)
+	}
+	if parent.Spans() != nil {
+		t.Error("parent recorder grew a span tree from child's spans")
+	}
+	if got := child.Spans(); len(got) != 1 || got[0].Name != "engine" {
+		t.Errorf("child spans = %+v", got)
+	}
+	// A child of the nil recorder is standalone but fully usable.
+	var nilRec *Recorder
+	orphan := nilRec.Child()
+	orphan.Counter("x").Inc()
+	if orphan.Counter("x").Value() != 1 {
+		t.Error("orphan child counter lost its increment")
+	}
+}
+
+// TestSpanSecondsAndTotalsAgree: the phase totals in Report and the
+// span tree must describe the same durations.
+func TestSpanSecondsAndTotalsAgree(t *testing.T) {
+	r := NewTracing()
+	for i := 0; i < 3; i++ {
+		s := r.StartPhase("round")
+		time.Sleep(time.Millisecond)
+		s.End()
+	}
+	rep := r.Report()
+	var phaseSecs float64
+	for _, p := range rep.Phases {
+		if p.Name == "round" {
+			phaseSecs = p.Seconds
+			if p.Count != 3 {
+				t.Errorf("phase count = %d, want 3", p.Count)
+			}
+		}
+	}
+	spanSecs := SpanSeconds(r.Spans(), "round")
+	diff := phaseSecs - spanSecs
+	if diff < 0 {
+		diff = -diff
+	}
+	// Span durations round to whole microseconds; allow that slack.
+	if diff > 0.001 {
+		t.Errorf("phase total %.6fs vs span total %.6fs", phaseSecs, spanSecs)
+	}
+}
+
+// TestWriteSpansFileFormats: the file helper writes both formats and
+// rejects unknown ones.
+func TestWriteSpansFileFormats(t *testing.T) {
+	r := NewTracing()
+	r.StartPhase("run").End()
+	roots := r.Spans()
+	dir := t.TempDir()
+	for _, f := range []string{"jsonl", "chrome"} {
+		path := dir + "/spans." + f
+		if err := WriteSpansFile(path, f, SpanMeta{Tool: "vbmc"}, roots); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+	}
+	if err := WriteSpansFile(dir+"/bad", "xml", SpanMeta{}, roots); err == nil ||
+		!strings.Contains(err.Error(), "unknown span format") {
+		t.Errorf("bad format error = %v", err)
+	}
+}

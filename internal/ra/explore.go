@@ -104,6 +104,9 @@ type Result struct {
 // explicit heap-allocated stack, so deep MaxSteps runs (looping
 // programs) cannot overflow the goroutine stack.
 func (s *System) Explore(opts Options) Result {
+	span := opts.Obs.StartPhase("ra.explore")
+	span.SetAttrInt("view_bound", int64(opts.ViewBound))
+	defer span.End()
 	e := &explorer{
 		sys:     s,
 		opts:    opts,

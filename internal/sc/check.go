@@ -75,6 +75,9 @@ const deadlineStride = 1024
 // heap-allocated stack, so restart-ladder rounds with deep macro-step
 // paths cannot overflow the goroutine stack.
 func (s *System) Check(opts Options) Result {
+	span := opts.Obs.StartPhase("sc.check")
+	span.SetAttrInt("max_contexts", int64(opts.MaxContexts))
+	defer span.End()
 	e := &scChecker{sys: s, opts: opts, visited: fp.NewSet(opts.ExactDedup)}
 	e.cStates = opts.Obs.Counter("sc.states")
 	e.cTransitions = opts.Obs.Counter("sc.transitions")

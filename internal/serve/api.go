@@ -48,6 +48,10 @@ type VerifyResponse struct {
 	// MinK is set by /v1/mink: the smallest bound with an UNSAFE
 	// verdict, or -1 when every bound up to MaxK was SAFE.
 	MinK *int `json:"min_k,omitempty"`
+	// RunID names this request's entry in the run ledger; the same ID
+	// appears in the server's request log and exported span trees, so
+	// `GET /v1/runs/{run_id}` retrieves the full timing breakdown.
+	RunID string `json:"run_id"`
 	// Version is the server's toolchain version (the one in the cache
 	// key); ElapsedSeconds is this request's wall time in the handler.
 	Version        string  `json:"version"`

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
+	"ravbmc/internal/obs"
 	"ravbmc/internal/version"
 )
 
@@ -25,43 +27,81 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics renders Prometheus-style text: the cache's own stats
-// under ravbmc_cache_*, the server's admission state under
-// ravbmc_serve_*, and — when a recorder is attached — every obs
-// counter and gauge under ravbmc_obs_*.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	var b strings.Builder
-	emit := func(name, typ string, v any) {
-		fmt.Fprintf(&b, "# TYPE %s %s\n%s %v\n", name, typ, name, v)
+// metricsWriter accumulates Prometheus exposition text, one family at a
+// time: HELP, then TYPE, then the samples — the ordering promlint
+// demands. Families render in the order the handler emits them, which
+// is fixed, so successive scrapes diff cleanly.
+type metricsWriter struct {
+	b strings.Builder
+}
+
+func (m *metricsWriter) family(name, typ, help string) {
+	fmt.Fprintf(&m.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (m *metricsWriter) scalar(name, typ, help string, v any) {
+	m.family(name, typ, help)
+	fmt.Fprintf(&m.b, "%s %v\n", name, v)
+}
+
+// histogram renders one obs.HistogramSnapshot as a Prometheus histogram
+// family. The snapshot's per-bucket counts are non-cumulative; the
+// exposition format wants cumulative counts per le bound plus the
+// implicit +Inf bucket equal to _count.
+func (m *metricsWriter) histogram(name, help string, h obs.HistogramSnapshot) {
+	m.family(name, "histogram", help)
+	var cum int64
+	for i, bound := range h.Bounds {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		fmt.Fprintf(&m.b, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(bound, 'g', -1, 64), cum)
 	}
+	fmt.Fprintf(&m.b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	fmt.Fprintf(&m.b, "%s_sum %v\n", name, h.Sum)
+	fmt.Fprintf(&m.b, "%s_count %d\n", name, h.Count)
+}
+
+// handleMetrics renders Prometheus exposition text: the cache's stats
+// under ravbmc_cache_*, the server's admission and ledger state plus
+// its latency histograms under ravbmc_serve_*, and — when a recorder
+// is attached — every obs instrument under ravbmc_obs_*. Every family
+// carries HELP and TYPE lines and the family order is fixed.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var m metricsWriter
 
 	st := s.cfg.Cache.Stats()
-	emit("ravbmc_cache_hits_total", "counter", st.Hits)
-	emit("ravbmc_cache_subsumed_hits_total", "counter", st.SubsumedHits)
-	emit("ravbmc_cache_misses_total", "counter", st.Misses)
-	emit("ravbmc_cache_inflight_collapsed_total", "counter", st.InflightCollapsed)
-	emit("ravbmc_cache_stores_total", "counter", st.Stores)
-	emit("ravbmc_cache_evictions_total", "counter", st.Evictions)
-	emit("ravbmc_cache_disk_loaded_total", "counter", st.DiskLoaded)
-	emit("ravbmc_cache_disk_corrupt_total", "counter", st.DiskCorrupt)
-	emit("ravbmc_cache_disk_stale_total", "counter", st.DiskStale)
-	emit("ravbmc_cache_entries", "gauge", st.Entries)
-	emit("ravbmc_cache_bytes_used", "gauge", st.BytesUsed)
-	emit("ravbmc_cache_bytes_budget", "gauge", st.BytesBudget)
+	m.scalar("ravbmc_cache_hits_total", "counter", "Exact-key cache answers.", st.Hits)
+	m.scalar("ravbmc_cache_subsumed_hits_total", "counter", "Cache answers via monotone-K subsumption.", st.SubsumedHits)
+	m.scalar("ravbmc_cache_misses_total", "counter", "Lookups that started an engine execution.", st.Misses)
+	m.scalar("ravbmc_cache_inflight_collapsed_total", "counter", "Requests that waited on an identical in-flight execution.", st.InflightCollapsed)
+	m.scalar("ravbmc_cache_stores_total", "counter", "Entries inserted into the cache.", st.Stores)
+	m.scalar("ravbmc_cache_evictions_total", "counter", "Entries evicted to meet the byte budget.", st.Evictions)
+	m.scalar("ravbmc_cache_disk_loaded_total", "counter", "Disk-store lines installed at startup.", st.DiskLoaded)
+	m.scalar("ravbmc_cache_disk_corrupt_total", "counter", "Disk-store lines skipped as unreadable.", st.DiskCorrupt)
+	m.scalar("ravbmc_cache_disk_stale_total", "counter", "Disk-store lines skipped for a version mismatch.", st.DiskStale)
+	m.scalar("ravbmc_cache_entries", "gauge", "Entries currently in the in-memory layer.", st.Entries)
+	m.scalar("ravbmc_cache_bytes_used", "gauge", "Bytes used by the in-memory layer.", st.BytesUsed)
+	m.scalar("ravbmc_cache_bytes_budget", "gauge", "Configured in-memory byte budget (negative = unlimited).", st.BytesBudget)
+	m.histogram("ravbmc_cache_lookup_seconds", "Cache lookup latency (lock wait plus key and subsumption probe).", s.cfg.Cache.LookupSeconds())
 
-	emit("ravbmc_serve_requests_total", "counter", s.reqs.Value())
-	emit("ravbmc_serve_rejected_total", "counter", s.rejected.Value())
-	emit("ravbmc_serve_errors_total", "counter", s.failed.Value())
-	emit("ravbmc_serve_active", "gauge", len(s.work))
-	emit("ravbmc_serve_queued", "gauge", len(s.admit)-len(s.work))
-	emit("ravbmc_serve_workers", "gauge", s.cfg.Workers)
-	emit("ravbmc_serve_queue_capacity", "gauge", s.cfg.Queue)
+	m.scalar("ravbmc_serve_requests_total", "counter", "Verification requests received.", s.reqs.Value())
+	m.scalar("ravbmc_serve_rejected_total", "counter", "Requests rejected by admission (queue full).", s.rejected.Value())
+	m.scalar("ravbmc_serve_errors_total", "counter", "Requests that failed or expired.", s.failed.Value())
+	m.scalar("ravbmc_serve_slow_dumps_total", "counter", "Flight-recorder dumps taken for slow runs.", s.slowDumps.Value())
+	m.scalar("ravbmc_serve_active", "gauge", "Requests currently executing.", len(s.work))
+	m.scalar("ravbmc_serve_queued", "gauge", "Requests admitted and waiting for a worker.", len(s.admit)-len(s.work))
+	m.scalar("ravbmc_serve_workers", "gauge", "Configured worker slots.", s.cfg.Workers)
+	m.scalar("ravbmc_serve_queue_capacity", "gauge", "Configured queue capacity beyond the workers.", s.cfg.Queue)
+	m.scalar("ravbmc_serve_ledger_runs", "gauge", "Run records currently retained in the ledger.", s.ledger.Len())
 	drain := 0
 	if s.Draining() {
 		drain = 1
 	}
-	emit("ravbmc_serve_draining", "gauge", drain)
-	emit("ravbmc_serve_uptime_seconds", "gauge", time.Since(s.start).Seconds())
+	m.scalar("ravbmc_serve_draining", "gauge", "1 while the server is draining, else 0.", drain)
+	m.scalar("ravbmc_serve_uptime_seconds", "gauge", "Seconds since the server started.", time.Since(s.start).Seconds())
+	m.histogram("ravbmc_serve_request_seconds", "End-to-end request latency, decode to response.", s.hRequest.Snapshot())
+	m.histogram("ravbmc_serve_queue_wait_seconds", "Time from arrival to admission.", s.hQueueWait.Snapshot())
 
 	if s.obs != nil {
 		snap := s.obs.Snapshot()
@@ -71,7 +111,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			emit("ravbmc_obs_"+sanitizeMetric(name)+"_total", "counter", snap.Counters[name])
+			m.scalar("ravbmc_obs_"+sanitizeMetric(name)+"_total", "counter",
+				"Engine counter "+name+".", snap.Counters[name])
 		}
 		names = names[:0]
 		for name := range snap.Gauges {
@@ -79,12 +120,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			emit("ravbmc_obs_"+sanitizeMetric(name), "gauge", snap.Gauges[name])
+			m.scalar("ravbmc_obs_"+sanitizeMetric(name), "gauge",
+				"Engine gauge "+name+".", snap.Gauges[name])
+		}
+		names = names[:0]
+		for name := range snap.Histograms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			m.histogram("ravbmc_obs_"+sanitizeMetric(name),
+				"Engine distribution "+name+".", snap.Histograms[name])
 		}
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	w.Write([]byte(b.String()))
+	w.Write([]byte(m.b.String()))
 }
 
 // sanitizeMetric maps an obs instrument name onto the Prometheus

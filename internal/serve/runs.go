@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// RunsResponse is the body of GET /v1/runs: recent runs, newest first,
+// span trees elided (fetch /v1/runs/{id} for the detail view).
+type RunsResponse struct {
+	Runs []RunRecord `json:"runs"`
+}
+
+// handleRuns serves the ledger summary. `?n=` bounds how many records
+// come back (default: all retained).
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "n must be a non-negative integer")
+			return
+		}
+		n = v
+	}
+	runs := s.ledger.Recent(n)
+	if runs == nil {
+		runs = []RunRecord{}
+	}
+	writeJSON(w, http.StatusOK, RunsResponse{Runs: runs})
+}
+
+// handleRunDetail serves one ledger entry with its span tree and any
+// flight-recorder dump. Evicted or unknown IDs 404: the ledger is a
+// bounded ring, not an archive — the run log (vbmcd -run-log) is.
+func (s *Server) handleRunDetail(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.ledger.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "run %s not found (evicted or never existed)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}

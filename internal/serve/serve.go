@@ -2,9 +2,13 @@ package serve
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -36,8 +40,23 @@ type Config struct {
 	// (<=0 selects the engine default).
 	Jobs int
 	// Obs, when non-nil, is mirrored onto /metrics alongside the
-	// server's own instruments.
+	// server's own instruments; per-request recorders mirror their
+	// engine counters into it.
 	Obs *obs.Recorder
+	// Log receives structured request logs, one line per completed
+	// request carrying the run ID (nil discards them).
+	Log *slog.Logger
+	// LedgerSize bounds the in-memory run ledger behind /v1/runs (<=0
+	// selects 256).
+	LedgerSize int
+	// RunLog, when non-nil, receives one JSON line per completed run
+	// and per flight-recorder dump — the persistent audit trail.
+	RunLog io.Writer
+	// SlowRunThreshold arms the flight recorder: a request still in
+	// flight past this duration has its live span tree and progress
+	// snapshot dumped (once) into its ledger entry, the audit log and
+	// the request log. Zero disables it.
+	SlowRunThreshold time.Duration
 }
 
 // Server handles the verification API. Construct with New, expose
@@ -61,8 +80,15 @@ type Server struct {
 	draining bool
 	inflight sync.WaitGroup
 
+	ledger *Ledger
+	log    *slog.Logger
+
 	reqs, rejected, failed *obs.Counter
+	slowDumps              *obs.Counter
 	gQueued, gActive       *obs.Gauge
+	// hRequest and hQueueWait are standalone (recorder-independent)
+	// histograms so their /metrics families exist on every server.
+	hRequest, hQueueWait *obs.Histogram
 }
 
 // New builds a Server.
@@ -82,31 +108,42 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
+	log := cfg.Log
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
 	base, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:      cfg,
-		obs:      cfg.Obs,
-		start:    time.Now(),
-		admit:    make(chan struct{}, cfg.Workers+cfg.Queue),
-		work:     make(chan struct{}, cfg.Workers),
-		base:     base,
-		cancel:   cancel,
-		reqs:     cfg.Obs.Counter("serve.requests"),
-		rejected: cfg.Obs.Counter("serve.rejected"),
-		failed:   cfg.Obs.Counter("serve.errors"),
-		gQueued:  cfg.Obs.Gauge("serve.queued"),
-		gActive:  cfg.Obs.Gauge("serve.active"),
+		cfg:        cfg,
+		obs:        cfg.Obs,
+		start:      time.Now(),
+		admit:      make(chan struct{}, cfg.Workers+cfg.Queue),
+		work:       make(chan struct{}, cfg.Workers),
+		base:       base,
+		cancel:     cancel,
+		ledger:     NewLedger(cfg.LedgerSize, cfg.RunLog),
+		log:        log,
+		reqs:       cfg.Obs.Counter("serve.requests"),
+		rejected:   cfg.Obs.Counter("serve.rejected"),
+		failed:     cfg.Obs.Counter("serve.errors"),
+		slowDumps:  cfg.Obs.Counter("serve.slow_dumps"),
+		gQueued:    cfg.Obs.Gauge("serve.queued"),
+		gActive:    cfg.Obs.Gauge("serve.active"),
+		hRequest:   obs.NewHistogram("serve.request_seconds", obs.DurationBuckets),
+		hQueueWait: obs.NewHistogram("serve.queue_wait_seconds", obs.DurationBuckets),
 	}
 	return s
 }
 
 // Handler returns the API mux:
 //
-//	POST /v1/verify  — one verification at the request's bounds
-//	POST /v1/mink    — smallest K in [K, MaxK] with an UNSAFE verdict
-//	GET  /healthz    — liveness + drain state
-//	GET  /v1/version — toolchain version
-//	GET  /metrics    — Prometheus-style text metrics
+//	POST /v1/verify    — one verification at the request's bounds
+//	POST /v1/mink      — smallest K in [K, MaxK] with an UNSAFE verdict
+//	GET  /v1/runs      — recent run-ledger entries, newest first
+//	GET  /v1/runs/{id} — one run in full detail (span tree included)
+//	GET  /healthz      — liveness + drain state
+//	GET  /v1/version   — toolchain version
+//	GET  /metrics      — Prometheus text metrics (HELP/TYPE, histograms)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/verify", func(w http.ResponseWriter, r *http.Request) {
@@ -115,11 +152,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/mink", func(w http.ResponseWriter, r *http.Request) {
 		s.handleVerify(w, r, true)
 	})
+	mux.HandleFunc("GET /v1/runs", s.handleRuns)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleRunDetail)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
+
+// Ledger exposes the run ledger (tests and embedding callers).
+func (s *Server) Ledger() *Ledger { return s.ledger }
 
 // Drain stops admitting verification work (healthz flips to draining,
 // verify returns 503) and waits for in-flight requests to finish or
@@ -198,30 +240,115 @@ func (s *Server) admitRequest(ctx context.Context) (release func(), err error) {
 
 var errBusy = errors.New("serve: queue full")
 
+// endpointName maps the mink flag onto the ledger's endpoint label.
+func endpointName(mink bool) string {
+	if mink {
+		return "mink"
+	}
+	return "verify"
+}
+
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request, mink bool) {
 	started := time.Now()
 	s.reqs.Inc()
+
+	// Every request gets a run ID and a private tracing recorder whose
+	// counters mirror into the process-wide one: the span tree is this
+	// request's alone, /metrics keeps aggregating.
+	runID := s.ledger.NewID()
+	rec := s.obs.Child()
+	root := rec.StartPhase("request")
+	record := &RunRecord{
+		ID: runID, Start: started, Endpoint: endpointName(mink), Status: "running",
+	}
+	s.ledger.Add(record)
+	s.log.Debug("request start", "run_id", runID, "endpoint", record.Endpoint)
+
+	// finish seals the span tree and the ledger entry and logs the
+	// request, whatever path ended it.
+	finish := func(status int, verdict, cacheDisp string, states int, errMsg string) {
+		root.End()
+		spans := rec.Spans()
+		total := time.Since(started).Seconds()
+		s.hRequest.Observe(total)
+		queueWait := obs.SpanSeconds(spans, "queue_wait")
+		cacheSecs := obs.SpanSeconds(spans, "cache")
+		engine := obs.SpanSeconds(spans, "engine")
+		replay := obs.SpanSeconds(spans, "replay")
+		lookup := cacheSecs - engine
+		if lookup < 0 {
+			lookup = 0
+		}
+		state := "done"
+		switch {
+		case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+			state = "rejected"
+		case status != http.StatusOK:
+			state = "error"
+		}
+		s.ledger.Update(runID, func(rr *RunRecord) {
+			rr.Status = state
+			rr.HTTPStatus = status
+			rr.Verdict = verdict
+			rr.Cache = cacheDisp
+			rr.States = states
+			rr.Error = errMsg
+			rr.QueueWaitSeconds = queueWait
+			rr.CacheLookupSeconds = lookup
+			rr.EngineSeconds = engine
+			rr.ReplaySeconds = replay
+			rr.TotalSeconds = total
+			rr.Spans = spans
+		})
+		s.ledger.auditLine("run", runID)
+		s.log.Info("request done",
+			"run_id", runID, "endpoint", record.Endpoint, "status", status,
+			"verdict", verdict, "cache", cacheDisp, "seconds", total,
+			"queue_wait_s", queueWait, "engine_s", engine, "err", errMsg)
+	}
+	fail := func(status int, format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		writeError(w, status, "%s", msg)
+		finish(status, "", "", 0, msg)
+	}
+
 	if s.Draining() {
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		fail(http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 
 	var req VerifyRequest
+	span := rec.StartPhase("decode")
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decode request: %v", err)
-		return
+	err := dec.Decode(&req)
+	if err == nil {
+		err = req.validate()
 	}
-	if err := req.validate(); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
-		return
+	var prog *lang.Program
+	if err == nil {
+		prog, err = req.program()
 	}
-	prog, err := req.program()
+	span.End()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		status := http.StatusUnprocessableEntity
+		if prog == nil && req.Mode == "" {
+			status = http.StatusBadRequest
+		}
+		fail(status, "%v", err)
 		return
 	}
+	progSHA := sha256.Sum256([]byte(lang.Canon(prog)))
+	s.ledger.Update(runID, func(rr *RunRecord) {
+		rr.Mode = req.Mode
+		rr.Program = prog.Name
+		rr.ProgramSHA = hex.EncodeToString(progSHA[:])
+		rr.K, rr.MaxK, rr.Unroll = req.K, req.MaxK, req.Unroll
+	})
+	root.SetAttr("run_id", runID)
+	root.SetAttr("mode", req.Mode)
+	root.SetAttr("program", prog.Name)
+	root.SetAttrInt("k", int64(req.K))
 
 	// The request context ends when the client disconnects; the server
 	// hard-stop (Close) ends it too. The compute deadline applies on
@@ -241,16 +368,19 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request, mink bool)
 	ctx, cancelDeadline := context.WithDeadline(ctx, deadline)
 	defer cancelDeadline()
 
+	span = rec.StartPhase("queue_wait")
 	release, err := s.admitRequest(ctx)
+	span.End()
+	s.hQueueWait.ObserveSince(started)
 	if err == errBusy {
 		s.rejected.Inc()
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "verification queue is full")
+		fail(http.StatusTooManyRequests, "verification queue is full")
 		return
 	}
 	if err != nil {
 		s.failed.Inc()
-		writeError(w, http.StatusServiceUnavailable, "request expired while queued: %v", err)
+		fail(http.StatusServiceUnavailable, "request expired while queued: %v", err)
 		return
 	}
 	s.inflight.Add(1)
@@ -260,20 +390,30 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request, mink bool)
 	if s.Draining() {
 		// Drain may have begun while this request queued; refuse rather
 		// than start a run the process is about to abandon.
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		fail(http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 
-	xc := cache.ExecConfig{Timeout: time.Until(deadline), Jobs: s.cfg.Jobs, Obs: s.obs}
+	// Flight recorder: if the run is still going past the threshold,
+	// capture its live span tree and counters into the ledger — the
+	// would-be post-mortem of a timeout, taken pre-mortem.
+	if thr := s.cfg.SlowRunThreshold; thr > 0 {
+		timer := time.AfterFunc(thr, func() { s.dumpSlowRun(runID, rec, thr) })
+		defer timer.Stop()
+	}
+
+	xc := cache.ExecConfig{Timeout: time.Until(deadline), Jobs: s.cfg.Jobs, Obs: rec}
 	var (
 		out  cache.Outcome
 		minK *int
 	)
+	span = rec.StartPhase("cache")
 	if mink {
 		out, minK, err = s.runMinK(ctx, req, prog, deadline, xc)
 	} else {
 		out, err = s.cfg.Cache.Verify(ctx, req.cacheRequest(prog), xc)
 	}
+	span.End()
 	if err != nil {
 		s.failed.Inc()
 		status := http.StatusInternalServerError
@@ -282,17 +422,54 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request, mink bool)
 			// benefit (the client may never see it).
 			status = http.StatusGatewayTimeout
 		}
-		writeError(w, status, "%v", err)
+		fail(status, "%v", err)
 		return
 	}
 	resp := VerifyResponse{
 		Outcome:        out,
 		Witness:        string(out.WitnessJSONL),
 		MinK:           minK,
+		RunID:          runID,
 		Version:        s.cfg.Cache.Version(),
 		ElapsedSeconds: time.Since(started).Seconds(),
 	}
 	writeJSON(w, http.StatusOK, resp)
+	finish(http.StatusOK, out.Verdict, cacheDisposition(out), out.States, "")
+}
+
+// cacheDisposition names how the outcome was obtained, for the ledger
+// and request log.
+func cacheDisposition(out cache.Outcome) string {
+	switch {
+	case out.Subsumed:
+		return "subsumed"
+	case out.Cached:
+		return "hit"
+	case out.Collapsed:
+		return "collapsed"
+	default:
+		return "miss"
+	}
+}
+
+// dumpSlowRun is the flight recorder: invoked once per run by the
+// slow-run timer while the request is still in flight.
+func (s *Server) dumpSlowRun(runID string, rec *obs.Recorder, thr time.Duration) {
+	snap := rec.Snapshot()
+	dump := &SlowDump{
+		AfterSeconds: thr.Seconds(),
+		Phase:        snap.Phase,
+		Counters:     snap.Counters,
+		Spans:        rec.Spans(),
+	}
+	if !s.ledger.SetSlowDump(runID, dump) {
+		return
+	}
+	s.slowDumps.Inc()
+	s.ledger.auditLine("slow_run", runID)
+	s.log.Warn("slow run: flight recorder dump",
+		"run_id", runID, "after_s", thr.Seconds(), "phase", snap.Phase,
+		"spans", obs.CountSpans(dump.Spans))
 }
 
 // defaultMaxK bounds /v1/mink when the request names no MaxK; the

@@ -126,6 +126,9 @@ type Result struct {
 
 // Check runs the selected baseline on the program.
 func Check(prog *lang.Program, opts Options) (Result, error) {
+	span := opts.Obs.StartPhase("smc.check")
+	span.SetAttr("algorithm", opts.Algorithm.String())
+	defer span.End()
 	if err := prog.ValidateRA(); err != nil {
 		return Result{}, err
 	}

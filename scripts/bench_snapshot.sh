@@ -8,12 +8,15 @@
 # PRs can diff states/sec, dedup hit rate and probe behaviour against
 # this snapshot.
 #
-# Every benchmark is run twice: once plainly (trace export disabled)
-# and once with -trace-out (witness export + view capture during
-# replay). The second sweep's reports carry config.trace = "enabled",
-# so diffing seconds between the pairs measures the tracing overhead —
-# which should be confined to the lift/replay/export phases, with the
-# search itself unchanged.
+# Every benchmark is run three times: once plainly, once with
+# -trace-out (witness export + view capture during replay) and once
+# with -span-out (span-tree phase tracing). The trace sweep's reports
+# carry config.trace = "enabled" and the span sweep's config.spans =
+# "enabled", so diffing seconds between the sweeps measures both
+# overheads: witness tracing should be confined to the
+# lift/replay/export phases, and span tracing should be unmeasurable —
+# spans piggyback on the existing phase instrumentation, off the
+# search hot path.
 #
 # After the per-benchmark reports, the quick Tables 1-4 sweep is run
 # twice through cmd/ratables — once serial (-jobs 1), once with one
@@ -89,13 +92,15 @@ EOF
 {
   echo '['
   first=1
-  for mode in disabled enabled; do
+  for mode in disabled enabled spans; do
     for b in "${benches[@]}"; do
       [ "$first" -eq 1 ] || echo ','
       first=0
       args=(-json -k 2 -l 2 -timeout "$timeout" -bench "$b")
       if [ "$mode" = enabled ]; then
         args+=(-trace-out "$tracedir/${b//[^a-z0-9_]/_}.jsonl")
+      elif [ "$mode" = spans ]; then
+        args+=(-span-out "$tracedir/${b//[^a-z0-9_]/_}.spans.jsonl")
       fi
       # vbmc exits 1 for UNSAFE / 2 for INCONCLUSIVE; both still emit a
       # report, so don't let set -e kill the sweep.

@@ -8,7 +8,12 @@
 #      digests) for every benchmark;
 #   2. the second pass is answered ≥90% from the cache, measured by
 #      scraping ravbmc_cache_{hits,subsumed_hits}_total off /metrics;
-#   3. a SIGTERM delivered while a long verification is in flight
+#   3. the ravbmc_serve_request_seconds and ravbmc_cache_lookup_seconds
+#      histogram families are present on /metrics and were observed;
+#   4. the run ledger works end to end: /v1/runs lists the sweep's
+#      runs, /v1/runs/{id} returns a record with a span tree, and the
+#      -run-log audit file is non-empty;
+#   5. a SIGTERM delivered while a long verification is in flight
 #      drains gracefully: the daemon exits 0 and logs "drained, bye".
 #
 # Usage:
@@ -26,6 +31,7 @@ go build -o "$tmp/vbmcd" ./cmd/vbmcd
 go build -o "$tmp/vbmc" ./cmd/vbmc
 
 "$tmp/vbmcd" -addr 127.0.0.1:0 -disk "$tmp/cache.jsonl" -drain-grace 5s \
+  -run-log "$tmp/runs.jsonl" \
   >"$tmp/vbmcd.out" 2>"$tmp/vbmcd.err" &
 daemon_pid=$!
 
@@ -94,6 +100,28 @@ fi
 echo "warm pass: $hits/$rows cache hits" >&2
 
 [ -s "$tmp/cache.jsonl" ] || { echo "FAIL: disk store is empty" >&2; exit 1; }
+
+# Observability: the latency histogram families must exist on /metrics
+# with proper HELP/TYPE lines and a non-zero observation count.
+metrics="$(curl -fsS "$base/metrics")"
+for fam in ravbmc_serve_request_seconds ravbmc_cache_lookup_seconds; do
+  grep -q "^# HELP $fam " <<<"$metrics" || { echo "FAIL: /metrics lacks HELP for $fam" >&2; exit 1; }
+  grep -q "^# TYPE $fam histogram" <<<"$metrics" || { echo "FAIL: /metrics lacks $fam histogram family" >&2; exit 1; }
+  cnt="$(awk -v m="${fam}_count" '$1 == m { print $2 }' <<<"$metrics")"
+  [ "${cnt:-0}" -gt 0 ] || { echo "FAIL: $fam never observed (count=${cnt:-absent})" >&2; exit 1; }
+done
+echo "latency histograms present and populated" >&2
+
+# Run ledger: the sweep's runs must be listed, the newest run's detail
+# record must carry a span tree, and the audit log must be non-empty.
+run_id="$(curl -fsS "$base/v1/runs?n=1" | jq -r '.runs[0].id // empty')"
+[ -n "$run_id" ] || { echo "FAIL: /v1/runs returned no runs" >&2; exit 1; }
+curl -fsS "$base/v1/runs/$run_id" | jq -e '(.spans | length) > 0 and .status == "done"' >/dev/null \
+  || { echo "FAIL: /v1/runs/$run_id has no span tree" >&2; exit 1; }
+[ -s "$tmp/runs.jsonl" ] || { echo "FAIL: run log is empty" >&2; exit 1; }
+grep -q "\"id\":\"$run_id\"" "$tmp/runs.jsonl" || {
+  echo "FAIL: run $run_id missing from the audit log" >&2; exit 1; }
+echo "run ledger OK (latest run $run_id, audit log $(wc -l <"$tmp/runs.jsonl") lines)" >&2
 
 # Graceful drain under fire: park a long verification on the daemon,
 # then SIGTERM it mid-run. The daemon must exit 0 within the grace.
