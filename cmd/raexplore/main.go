@@ -8,6 +8,7 @@
 //	raexplore -file prog.ra -mode exhaustive [-view-bound 2]
 //	raexplore -bench peterson_0 -mode tracer -l 2 -timeout 30s
 //	raexplore -bench peterson_0 -mode exhaustive -json
+//	raexplore -bench peterson_0 -mode exhaustive -progress
 //	raexplore -bench peterson_0 -trace-out w.jsonl -trace-format jsonl
 //
 // The traces raexplore exports are RA-level already (no translation is
@@ -40,6 +41,8 @@ func main() {
 		exactDedup = flag.Bool("exact-dedup", false, "exhaustive mode: exact state keys in the visited set instead of 64-bit fingerprints")
 		stateDedup = flag.Bool("state-dedup", false, "tracer/cdsc/rcmc modes: prune states already fully explored (stateful DFS with state hashing)")
 		jsonOut    = flag.Bool("json", false, "emit a JSON run report on stdout instead of the summary line")
+		progress   = flag.Bool("progress", false, "print periodic live progress snapshots to stderr")
+		progressIv = flag.Duration("progress-interval", time.Second, "interval between -progress snapshots")
 		traceOut   = flag.String("trace-out", "", "write the counterexample trace to this file")
 		traceFmt   = flag.String("trace-format", "jsonl", "trace export format: jsonl | chrome | text")
 		showVer    = flag.Bool("version", false, "print the toolchain version and exit")
@@ -59,6 +62,15 @@ func main() {
 		fail(err)
 	}
 	rec := obs.New()
+	// progressStop runs before every exit path; main os.Exit()s directly
+	// on violations, so a defer alone would be skipped. Stop is
+	// idempotent and nil-safe.
+	if *progress {
+		p := obs.NewProgress(os.Stderr, rec, *progressIv)
+		rec.SetSink(p)
+		progressStop = p.Stop
+	}
+	defer progressStop()
 
 	if *mode == "robust" {
 		res, err := ravbmc.CheckRobustness(prog, *l)
@@ -80,6 +92,7 @@ func main() {
 			}
 		}
 		if !res.Robust {
+			progressStop()
 			os.Exit(1)
 		}
 		return
@@ -155,9 +168,14 @@ func main() {
 		}
 	}
 	if violation {
+		progressStop()
 		os.Exit(1)
 	}
 }
+
+// progressStop retires the -progress printer; exit paths call it before
+// os.Exit so the last snapshot line is not cut mid-write.
+var progressStop = func() {}
 
 // emitJSON prints the structured run report, identified like the vbmc
 // one so BENCH sweeps can mix tools.
@@ -187,6 +205,7 @@ func load(file, bench string) (*ravbmc.Program, error) {
 }
 
 func fail(err error) {
+	progressStop()
 	fmt.Fprintln(os.Stderr, "raexplore:", err)
 	os.Exit(3)
 }

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	rafuzz -n 500 -seed 7 -procs 2 -ops 3 [-k 5] [-v] [-json]
+//	rafuzz -n 5000 -progress     # live snapshots on stderr while fuzzing
 //
 // Every UNSAFE verdict VBMC produces during the fuzz run carries a
 // lifted source-level witness; rafuzz re-validates each one via RA
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"ravbmc"
 	"ravbmc/internal/axiom"
@@ -31,14 +33,16 @@ import (
 
 func main() {
 	var (
-		n       = flag.Int("n", 200, "number of programs")
-		seed    = flag.Int64("seed", 1, "PRNG seed")
-		nprocs  = flag.Int("procs", 2, "processes per program (2..3)")
-		nops    = flag.Int("ops", 3, "operations per process (1..4)")
-		k       = flag.Int("k", 5, "VBMC view bound")
-		verbose = flag.Bool("v", false, "log every program")
-		jsonOut = flag.Bool("json", false, "emit a JSON run report on stdout instead of the summary line")
-		showVer = flag.Bool("version", false, "print the toolchain version and exit")
+		n          = flag.Int("n", 200, "number of programs")
+		seed       = flag.Int64("seed", 1, "PRNG seed")
+		nprocs     = flag.Int("procs", 2, "processes per program (2..3)")
+		nops       = flag.Int("ops", 3, "operations per process (1..4)")
+		k          = flag.Int("k", 5, "VBMC view bound")
+		verbose    = flag.Bool("v", false, "log every program")
+		jsonOut    = flag.Bool("json", false, "emit a JSON run report on stdout instead of the summary line")
+		progress   = flag.Bool("progress", false, "print periodic live progress snapshots to stderr")
+		progressIv = flag.Duration("progress-interval", time.Second, "interval between -progress snapshots")
+		showVer    = flag.Bool("version", false, "print the toolchain version and exit")
 	)
 	flag.Parse()
 	if *showVer {
@@ -47,6 +51,15 @@ func main() {
 	}
 	rng := rand.New(rand.NewSource(*seed))
 	rec := obs.New()
+	// Stop is idempotent and nil-safe, so the mismatch exit below can
+	// retire the printer explicitly even though the defer also runs on
+	// the normal return path.
+	var printer *obs.Progress
+	if *progress {
+		printer = obs.NewProgress(os.Stderr, rec, *progressIv)
+		rec.SetSink(printer)
+	}
+	defer printer.Stop()
 	mismatches := 0
 	for i := 0; i < *n; i++ {
 		prog := randomProgram(rng, *nprocs, *nops)
@@ -80,6 +93,7 @@ func main() {
 		if !*jsonOut {
 			fmt.Printf("%d mismatches out of %d programs\n", mismatches, *n)
 		}
+		printer.Stop()
 		os.Exit(1)
 	}
 }

@@ -7,6 +7,7 @@
 //	ratables -table litmus       # the litmus agreement sweep
 //	ratables -quick -timeout 20s # smaller sweeps, shorter per-run budget
 //	ratables -table 1 -progress  # live per-run snapshots on stderr
+//	ratables -table 1 -watch     # in-place live search dashboard on stderr
 //	ratables -table 1 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	ratables -cache -cache-disk tables.cache  # memoize conclusive cells
 package main
@@ -41,6 +42,7 @@ func run() int {
 		jobs       = flag.Int("jobs", 0, "concurrent tool runs (0 = all CPUs); output is identical for any width")
 		progress   = flag.Bool("progress", false, "print live per-run progress snapshots to stderr")
 		progressIv = flag.Duration("progress-interval", time.Second, "interval between -progress snapshots")
+		watch      = flag.Bool("watch", false, "redraw a live search dashboard on stderr (supersedes -progress)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		showVer    = flag.Bool("version", false, "print the toolchain version and exit")
@@ -88,7 +90,45 @@ func run() int {
 		defer c.Close()
 		cfg.Cache = c
 	}
-	if *progress {
+	if *watch {
+		// Like -progress, one dashboard at a time: each run's hook
+		// retires the previous run's sampler and re-anchors the shared
+		// Watch below a fresh header line, so the redraw block always
+		// tracks the most recently started run.
+		var (
+			mu      sync.Mutex
+			curStop func()
+		)
+		w := obs.NewWatch(os.Stderr)
+		cfg.Obs = func(bench, tool string) *obs.Recorder {
+			mu.Lock()
+			defer mu.Unlock()
+			if curStop != nil {
+				curStop()
+			}
+			fmt.Fprintf(os.Stderr, "== %s / %s\n", bench, tool)
+			w.Reset()
+			rec := obs.New()
+			smp := obs.NewSampler(rec, 250*time.Millisecond)
+			ch, _ := smp.Subscribe(16)
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for p := range ch {
+					w.Update(p)
+				}
+			}()
+			curStop = func() { smp.Stop(); <-done }
+			return rec
+		}
+		defer func() {
+			mu.Lock()
+			if curStop != nil {
+				curStop()
+			}
+			mu.Unlock()
+		}()
+	} else if *progress {
 		// One printer at a time suffices even with -jobs > 1: the hook
 		// retires the previous run's printer and starts a fresh one
 		// against the new run's recorder, so the snapshot stream always

@@ -74,6 +74,8 @@ func run() int {
 		jsonOut    = flag.Bool("json", false, "emit a JSON run report on stdout instead of the summary line")
 		progress   = flag.Bool("progress", false, "print periodic live progress snapshots to stderr")
 		progressIv = flag.Duration("progress-interval", time.Second, "interval between -progress snapshots")
+		watch      = flag.Bool("watch", false, "redraw a live search dashboard on stderr (supersedes -progress)")
+		sampleIv   = flag.Duration("sample-interval", 0, "search-telemetry sampling cadence (0 = off; -watch defaults to 250ms); sampled series lands in the -json report")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		spanOut    = flag.String("span-out", "", "write the run's span tree (phase tracing) to this file")
@@ -99,6 +101,7 @@ func run() int {
 			k: *k, l: *l, autoK: *autoK, contexts: *contexts,
 			exactDedup: *exactDedup, timeout: *timeout,
 			jsonOut: *jsonOut, showTrace: *showTr, traceOut: *traceOut, traceFmt: *traceFmt,
+			watch: *watch,
 		})
 	}
 
@@ -154,11 +157,43 @@ func run() int {
 			}
 		}()
 	}
-	if *progress {
+	if *progress && !*watch {
 		p := obs.NewProgress(os.Stderr, rec, *progressIv)
 		rec.SetSink(p) // phase transitions print immediately, not just on ticks
 		defer p.Stop()
 	}
+	// The sampler runs whenever a cadence is configured; -watch implies
+	// one and additionally renders the samples as an in-place dashboard.
+	interval := *sampleIv
+	if *watch && interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	var smp *obs.Sampler
+	watchDone := make(chan struct{})
+	if interval > 0 {
+		smp = obs.NewSampler(rec, interval)
+		if *watch {
+			ch, _ := smp.Subscribe(16)
+			go func() {
+				defer close(watchDone)
+				w := obs.NewWatch(os.Stderr)
+				for p := range ch {
+					w.Update(p)
+				}
+			}()
+		} else {
+			close(watchDone)
+		}
+	} else {
+		close(watchDone)
+	}
+	// stopSampling is idempotent; it runs before the report is rendered
+	// (so the series is final) and again on early-exit paths via defer.
+	stopSampling := func() {
+		smp.Stop()
+		<-watchDone
+	}
+	defer stopSampling()
 
 	if *portfolio {
 		rep := diff.Run(prog, diff.Options{
@@ -197,6 +232,7 @@ func run() int {
 		}
 	}
 
+	stopSampling()
 	if *jsonOut {
 		rep := res.Report
 		if rep == nil {
@@ -206,7 +242,8 @@ func run() int {
 		}
 		rep.Tool = "vbmc"
 		rep.Bench = prog.Name
-		if *traceOut != "" || *spanOut != "" {
+		rep.Search = smp.Series()
+		if *traceOut != "" || *spanOut != "" || smp != nil {
 			rep.Config = map[string]string{}
 			if *traceOut != "" {
 				rep.Config["trace"] = "enabled"
@@ -215,6 +252,10 @@ func run() int {
 			if *spanOut != "" {
 				rep.Config["spans"] = "enabled"
 				rep.Config["span_format"] = *spanFmt
+			}
+			if smp != nil {
+				rep.Config["sampling"] = "enabled"
+				rep.Config["sample_interval"] = interval.String()
 			}
 		}
 		os.Stdout.Write(append(rep.JSON(), '\n'))

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ravbmc/internal/cache"
+	"ravbmc/internal/obs"
 	"ravbmc/internal/serve"
 )
 
@@ -26,6 +27,7 @@ type remoteOptions struct {
 	showTrace  bool
 	traceOut   string
 	traceFmt   string
+	watch      bool
 }
 
 // runRemote sends the verification to a vbmcd daemon and renders the
@@ -58,6 +60,23 @@ func runRemote(o remoteOptions) int {
 	}
 
 	client := serve.NewClient(o.base)
+
+	// -watch: mint a client_ref so the event stream is addressable
+	// before the verify response returns the run ID, then render the
+	// daemon's SSE search frames as the same dashboard a local -watch
+	// draws. The subscription races request admission, so 404s are
+	// retried until the alias binds.
+	var watchDone chan struct{}
+	var watchCancel context.CancelFunc
+	if o.watch {
+		req.ClientRef = fmt.Sprintf("vbmc-%d-%x", os.Getpid(), time.Now().UnixNano())
+		var wctx context.Context
+		wctx, watchCancel = context.WithCancel(context.Background())
+		defer watchCancel()
+		watchDone = make(chan struct{})
+		go watchRemote(wctx, client, req.ClientRef, watchDone)
+	}
+
 	var (
 		resp serve.VerifyResponse
 		err  error
@@ -71,6 +90,16 @@ func runRemote(o remoteOptions) int {
 		}
 	} else {
 		resp, err = client.Verify(context.Background(), req)
+	}
+	if watchDone != nil {
+		// The stream's done frame trails the verify response by at most
+		// a sampler tick; give it a moment, then cut the subscription.
+		select {
+		case <-watchDone:
+		case <-time.After(3 * time.Second):
+			watchCancel()
+			<-watchDone
+		}
 	}
 	if err != nil {
 		return fail(err)
@@ -124,4 +153,42 @@ func runRemote(o remoteOptions) int {
 		return 4
 	}
 	return 2
+}
+
+// watchRemote drives the -remote -watch dashboard: it subscribes to
+// the run's SSE stream (retrying while the client_ref alias is not yet
+// bound) and redraws a Watch from every search frame until the done
+// frame or cancellation.
+func watchRemote(ctx context.Context, client *serve.Client, ref string, done chan<- struct{}) {
+	defer close(done)
+	w := obs.NewWatch(os.Stderr)
+	for {
+		err := client.StreamEvents(ctx, ref, func(event string, data []byte) error {
+			switch event {
+			case "search":
+				var p obs.SearchPoint
+				if json.Unmarshal(data, &p) == nil {
+					w.Update(p)
+				}
+			case "done":
+				var d struct {
+					Status  string `json:"status"`
+					Verdict string `json:"verdict"`
+				}
+				if json.Unmarshal(data, &d) == nil {
+					w.Close(fmt.Sprintf("run %s: %s", d.Status, d.Verdict))
+				}
+			}
+			return nil
+		})
+		if err == serve.ErrRunNotFound {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(200 * time.Millisecond):
+				continue
+			}
+		}
+		return
+	}
 }

@@ -16,6 +16,7 @@
 //	GET  /metrics       Prometheus text metrics (latency histograms included)
 //	GET  /v1/runs       recent run ledger (summaries, newest first)
 //	GET  /v1/runs/{id}  one run's full record: timings, span tree, slow dump
+//	GET  /v1/runs/{id}/events  SSE search-telemetry stream (live, replayed when done)
 //
 // On SIGINT/SIGTERM the daemon stops admitting work, waits up to
 // -drain-grace for in-flight verifications, then hard-cancels the
@@ -59,6 +60,7 @@ func run() int {
 		ledgerSize = flag.Int("ledger", 256, "run records retained in memory behind /v1/runs (0 = default)")
 		runLog     = flag.String("run-log", "", "append one JSON line per completed run to this file (empty = off)")
 		slowRun    = flag.Duration("slow-run", 0, "flight-recorder threshold: dump a still-running request's span tree into its ledger entry after this long (0 = off)")
+		sampleIv   = flag.Duration("sample-interval", 500*time.Millisecond, "search-telemetry sampling cadence for live runs (SSE stream and ledger series)")
 		logJSON    = flag.Bool("log-json", false, "emit request logs as JSON instead of key=value text")
 		showVer    = flag.Bool("version", false, "print the toolchain version and exit")
 	)
@@ -106,6 +108,7 @@ func run() int {
 		Jobs: *jobs, Obs: rec,
 		Log: slog.New(handler), LedgerSize: *ledgerSize,
 		RunLog: audit, SlowRunThreshold: *slowRun,
+		SampleInterval: *sampleIv,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -106,6 +106,13 @@ func execute(ctx context.Context, req Request, x ExecConfig) (Outcome, error) {
 		if err != nil {
 			return Outcome{}, err
 		}
+		// Stamp the run's bounds into the live search telemetry (core.Run
+		// does the same for VBMC, smc.Check for the stateless modes).
+		unrollProbe := int64(-1)
+		if req.Unroll > 0 {
+			unrollProbe = int64(req.Unroll)
+		}
+		x.Obs.Search().SetProbe(int64(bound), unrollProbe)
 		opts := ra.Options{
 			ViewBound: bound, StopOnViolation: true, MaxStates: req.MaxStates,
 			ExactDedup: req.ExactDedup, Ctx: ctx, Obs: x.Obs,

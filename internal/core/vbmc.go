@@ -165,6 +165,14 @@ func Run(prog *lang.Program, opts Options) (Result, error) {
 	if opts.Timeout > 0 {
 		deadline = time.Now().Add(opts.Timeout)
 	}
+	// Stamp the run's bounds into the live search telemetry, so watchers
+	// see which K/L probe is being searched (L stays -1 for loop-free
+	// programs, where no unrolling applies).
+	unrollProbe := int64(-1)
+	if opts.Unroll > 0 {
+		unrollProbe = int64(opts.Unroll)
+	}
+	rec.Search().SetProbe(int64(opts.K), unrollProbe)
 	out := Result{ContextBound: bound}
 	// finish validates the witness of an Unsafe result and stamps the
 	// observability report onto it. Lifting maps the backend's trace of
@@ -314,6 +322,16 @@ func checkDeepening(translated *lang.Program, bound int, scOpts sc.Options, rec 
 		panic(fmt.Sprintf("core: compiling translation: %v", err))
 	}
 	sys := sc.NewSystem(cp)
+	// Publish how many ladder rounds this call will run (the deepening
+	// pairs plus the final full-bound search) into the cumulative
+	// "core.deepen_total" gauge: progress of "core.deepen_rounds" against
+	// it drives the -watch ETA heuristic.
+	planned := int64(1)
+	if bound > 2 {
+		planned += 2 * int64(bound-2)
+	}
+	gTotal := rec.Gauge("core.deepen_total")
+	gTotal.Set(gTotal.Value() + planned)
 	var res sc.Result
 	var totalStates, totalTransitions int
 	// Restart ladder: each round pairs a small context bound (2 up to
@@ -346,6 +364,9 @@ func checkDeepening(translated *lang.Program, bound int, scOpts sc.Options, rec 
 		}
 	}
 	if !res.Violation && !res.TimedOut {
+		// The final full-bound run is the ladder's last rung: counting it
+		// in deepen_rounds lets the round counter reach deepen_total.
+		rec.Counter("core.deepen_rounds").Inc()
 		span := rec.StartPhase(phase + ".search")
 		res = sys.Check(scOpts)
 		span.End()

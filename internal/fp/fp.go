@@ -50,8 +50,9 @@ func Hash64(b []byte) uint64 {
 // retained; in exact mode the full key bytes are. Searches without a
 // budget dimension pass a constant budget.
 type Set struct {
-	exact map[string]int
-	fp    map[uint64]int
+	exact    map[string]int
+	fp       map[uint64]int
+	keyBytes int64 // exact mode: total bytes of retained keys
 }
 
 // NewSet returns an empty visited set. exact selects exact mode (full
@@ -77,8 +78,12 @@ func (s *Set) Visit(key []byte, budget int) bool {
 	if s.exact != nil {
 		// The map index with an inline []byte->string conversion does
 		// not allocate; only the insert of a genuinely new state does.
-		if prev, ok := s.exact[string(key)]; ok && prev <= budget {
+		prev, ok := s.exact[string(key)]
+		if ok && prev <= budget {
 			return false
+		}
+		if !ok {
+			s.keyBytes += int64(len(key))
 		}
 		s.exact[string(key)] = budget
 		return true
@@ -97,4 +102,23 @@ func (s *Set) Len() int {
 		return len(s.exact)
 	}
 	return len(s.fp)
+}
+
+// Per-entry map overheads for ApproxBytes: a fingerprint entry is a
+// uint64 key plus an int value; an exact entry additionally carries a
+// string header and bucket bookkeeping on top of its key bytes.
+const (
+	fpEntryBytes    = 16
+	exactEntryBytes = 48
+)
+
+// ApproxBytes estimates the heap footprint of the visited set: retained
+// key bytes plus a constant per map entry. It is an O(1) occupancy
+// figure for live telemetry (internal/obs SearchStats), not an exact
+// accounting — Go map buckets over-allocate by up to ~2x.
+func (s *Set) ApproxBytes() int64 {
+	if s.exact != nil {
+		return s.keyBytes + int64(len(s.exact))*exactEntryBytes
+	}
+	return int64(len(s.fp)) * fpEntryBytes
 }

@@ -158,6 +158,8 @@ type Recorder struct {
 	tracing bool // retain the span tree (see span.go)
 	roots   []*spanNode
 	spanSeq int64
+
+	search *SearchStats // live search telemetry (see search.go)
 }
 
 // New returns an empty recorder with no sink.
@@ -246,6 +248,39 @@ func (r *Recorder) Gauge(name string) *Gauge {
 		r.gauges[name] = g
 	}
 	return g
+}
+
+// Search returns the recorder's live search-telemetry block, creating
+// it on first use. Engines resolve it once per search and bulk-update
+// it on their deadline-poll cadence; samplers and metrics endpoints
+// snapshot it concurrently. On the nil recorder it returns the nil
+// (disabled) stats block. Unlike counters and gauges, search stats do
+// not mirror into a parent: each request's search is its own series.
+func (r *Recorder) Search() *SearchStats {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.search == nil {
+		r.search = NewSearchStats()
+	}
+	return r.search
+}
+
+// Phase returns the innermost open phase name ("" when none is open or
+// on the nil recorder) — the cheap single-field version of Snapshot for
+// per-sample stamping.
+func (r *Recorder) Phase() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.open); n > 0 {
+		return r.open[n-1].ph.name
+	}
+	return ""
 }
 
 // Span is one open activation of a phase; close it with End. Spans

@@ -52,6 +52,9 @@ type Report struct {
 	// Derived holds rates computed from well-known counters: dedup hit
 	// rate, states/sec, read-choice branching factors.
 	Derived map[string]float64 `json:"derived,omitempty"`
+	// Search is the sampled search-telemetry time-series
+	// (ravbmc.search/v1), attached by callers that ran a Sampler.
+	Search *SearchSeries `json:"search,omitempty"`
 }
 
 // Report materialises the recorder's current state. It can be called

@@ -1,0 +1,336 @@
+package obs
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSearchTelemetryIsInert: like every obs instrument, the nil
+// stats block, sampler and watch must be safe everywhere.
+func TestNilSearchTelemetryIsInert(t *testing.T) {
+	var s *SearchStats
+	s.Add(1, 2, 3, 4, 5)
+	s.AddExecutions(7)
+	s.SetFrontier(9)
+	s.SetVisited(1, 2)
+	s.SetProbe(3, 4)
+	p := s.Snapshot()
+	if p.States != 0 || p.K != -1 || p.L != -1 {
+		t.Errorf("nil stats snapshot = %+v, want zeros with K=L=-1", p)
+	}
+	var smp *Sampler
+	smp.Stop()
+	if smp.Series() != nil {
+		t.Error("nil sampler series != nil")
+	}
+	if smp.Subscribers() != 0 {
+		t.Error("nil sampler has subscribers")
+	}
+	if q := smp.Snapshot(); q.K != -1 {
+		t.Errorf("nil sampler snapshot = %+v", q)
+	}
+	var r *Recorder
+	if r.Search() != nil {
+		t.Error("nil recorder hands out a live stats block")
+	}
+	if r.Phase() != "" {
+		t.Error("nil recorder reports a phase")
+	}
+	var w *Watch
+	w.Update(SearchPoint{})
+	w.Reset()
+	w.Close("x")
+}
+
+func TestSearchStatsAccumulateAndHighWaterMark(t *testing.T) {
+	s := NewSearchStats()
+	s.Add(10, 20, 30, 5, 0)
+	s.Add(1, 2, 3, 1, 1)
+	s.SetFrontier(7)
+	s.SetFrontier(3) // HWM must survive the frontier shrinking
+	s.SetVisited(11, 176)
+	s.SetProbe(2, 4)
+	p := s.Snapshot()
+	if p.States != 11 || p.Transitions != 22 || p.DedupProbes != 33 || p.DedupHits != 6 || p.Violations != 1 {
+		t.Errorf("snapshot counters = %+v", p)
+	}
+	if p.Frontier != 3 || p.FrontierHWM != 7 {
+		t.Errorf("frontier = %d hwm = %d, want 3 and 7", p.Frontier, p.FrontierHWM)
+	}
+	if p.VisitedEntries != 11 || p.VisitedBytes != 176 {
+		t.Errorf("visited = %d/%d bytes", p.VisitedEntries, p.VisitedBytes)
+	}
+	if p.K != 2 || p.L != 4 {
+		t.Errorf("probe = K=%d L=%d", p.K, p.L)
+	}
+}
+
+// TestSearchStatsRate: the EWMA advances only across snapshots spaced
+// at least rateMinInterval apart, and tracks accumulated work.
+func TestSearchStatsRate(t *testing.T) {
+	s := NewSearchStats()
+	s.Add(100, 0, 0, 0, 0)
+	if p := s.Snapshot(); p.StatesPerSec != 0 {
+		t.Errorf("first snapshot rate = %v, want 0 (baseline seed)", p.StatesPerSec)
+	}
+	s.Add(900, 0, 0, 0, 0)
+	time.Sleep(rateMinInterval + 20*time.Millisecond)
+	if p := s.Snapshot(); p.StatesPerSec <= 0 {
+		t.Errorf("rate after work = %v, want > 0", p.StatesPerSec)
+	}
+	// Executions stand in for states on the stateless baselines.
+	e := NewSearchStats()
+	e.AddExecutions(50)
+	e.Snapshot()
+	e.AddExecutions(50)
+	time.Sleep(rateMinInterval + 20*time.Millisecond)
+	if p := e.Snapshot(); p.StatesPerSec <= 0 {
+		t.Errorf("execution-only rate = %v, want > 0", p.StatesPerSec)
+	}
+}
+
+// TestSamplerSeriesFinalSample: Stop appends one terminal sample, so
+// the series' last snapshot carries the search's final totals.
+func TestSamplerSeriesFinalSample(t *testing.T) {
+	rec := New()
+	stats := rec.Search()
+	smp := NewSampler(rec, 2*time.Millisecond)
+	stats.Add(10, 0, 0, 0, 0)
+	time.Sleep(15 * time.Millisecond)
+	stats.Add(32, 0, 0, 0, 0) // lands between ticks; the final sample must see it
+	smp.Stop()
+	smp.Stop() // idempotent
+	series := smp.Series()
+	if series == nil || series.Schema != SearchSchema {
+		t.Fatalf("series = %+v, want schema %s", series, SearchSchema)
+	}
+	if len(series.Samples) == 0 {
+		t.Fatal("empty series after sampled run")
+	}
+	last := series.Samples[len(series.Samples)-1]
+	if last.States != 42 {
+		t.Errorf("final sample states = %d, want 42", last.States)
+	}
+	for i := 1; i < len(series.Samples); i++ {
+		if series.Samples[i].TMS < series.Samples[i-1].TMS {
+			t.Fatalf("t_ms not monotone at %d: %v", i, series.Samples)
+		}
+	}
+}
+
+// TestSamplerSubscribe: subscribers get live samples, Stop closes
+// their channels, and unsubscribe is idempotent.
+func TestSamplerSubscribe(t *testing.T) {
+	rec := New()
+	rec.Search().Add(5, 0, 0, 0, 0)
+	smp := NewSampler(rec, 2*time.Millisecond)
+	ch, unsub := smp.Subscribe(16)
+	if smp.Subscribers() != 1 {
+		t.Fatalf("subscribers = %d, want 1", smp.Subscribers())
+	}
+	select {
+	case p := <-ch:
+		if p.States != 5 {
+			t.Errorf("sample states = %d, want 5", p.States)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no sample delivered")
+	}
+	smp.Stop()
+	for range ch { // must terminate: Stop closes subscriber channels
+	}
+	unsub() // idempotent after the channel already closed
+	if smp.Subscribers() != 0 {
+		t.Errorf("subscribers after stop = %d", smp.Subscribers())
+	}
+	// Subscribing after Stop yields an already-closed channel.
+	ch2, unsub2 := smp.Subscribe(4)
+	if _, ok := <-ch2; ok {
+		t.Error("post-stop subscription delivered a sample")
+	}
+	unsub2()
+}
+
+// TestSamplerSlowConsumerDropsWithoutStalling (satellite: SSE edge
+// cases): a subscriber that never drains loses samples but the sampler
+// keeps running and Stop still completes promptly.
+func TestSamplerSlowConsumerDropsWithoutStalling(t *testing.T) {
+	rec := New()
+	smp := NewSampler(rec, time.Millisecond)
+	ch, _ := smp.Subscribe(1) // fills after one sample, then drops
+	deadline := time.Now().Add(2 * time.Second)
+	for len(smp.Series().Samples) < 10 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	done := make(chan struct{})
+	go func() { smp.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop stalled behind a slow consumer")
+	}
+	if got := len(smp.Series().Samples); got < 10 {
+		t.Errorf("sampler made only %d samples behind a full subscriber", got)
+	}
+	n := 0
+	for range ch {
+		n++
+	}
+	if n > 1 {
+		t.Errorf("slow consumer drained %d buffered samples from a 1-buffer", n)
+	}
+}
+
+// TestSamplerCompaction: past maxSamples the series halves, keeping
+// full time coverage at coarser resolution.
+func TestSamplerCompaction(t *testing.T) {
+	rec := New()
+	smp := NewSampler(rec, time.Hour) // ticks never fire; drive sample() directly
+	for i := 0; i < 3*maxSamples; i++ {
+		rec.Search().Add(1, 0, 0, 0, 0)
+		smp.sample()
+	}
+	series := smp.Series()
+	if len(series.Samples) > maxSamples {
+		t.Fatalf("series holds %d samples, cap is %d", len(series.Samples), maxSamples)
+	}
+	first, last := series.Samples[0], series.Samples[len(series.Samples)-1]
+	if first.States > int64(maxSamples) {
+		t.Errorf("compaction dropped the early samples: first states = %d", first.States)
+	}
+	if last.States != 3*maxSamples {
+		t.Errorf("compaction dropped the newest sample: last states = %d", last.States)
+	}
+	smp.Stop()
+}
+
+// TestSamplerConcurrentStop: racing Stop calls must not double-close
+// the stop channel.
+func TestSamplerConcurrentStop(t *testing.T) {
+	smp := NewSampler(New(), time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); smp.Stop() }()
+	}
+	wg.Wait()
+}
+
+// TestSamplerRecordsPhaseAndLadder: samples carry the recorder's open
+// phase and the deepening-ladder counters the ETA heuristic reads.
+func TestSamplerRecordsPhaseAndLadder(t *testing.T) {
+	rec := New()
+	sp := rec.StartPhase("sc_search")
+	rec.Counter("core.deepen_rounds").Add(3)
+	rec.Gauge("core.deepen_total").Set(7)
+	smp := NewSampler(rec, time.Hour)
+	smp.sample()
+	sp.End()
+	smp.Stop()
+	s := smp.Series().Samples[0]
+	if s.Phase != "sc_search" {
+		t.Errorf("sample phase = %q", s.Phase)
+	}
+	if s.DeepenRounds != 3 || s.DeepenTotal != 7 {
+		t.Errorf("ladder = %d/%d, want 3/7", s.DeepenRounds, s.DeepenTotal)
+	}
+}
+
+// TestProgressFirstTickRate (satellite: first-tick artifact): the very
+// first -progress line must compute its rate against the printer's
+// start time, not the zero time — a zero prevTime makes dt decades
+// long and the rate collapse to 0/s no matter how fast the search is.
+func TestProgressFirstTickRate(t *testing.T) {
+	var buf strings.Builder
+	r := New()
+	p := NewProgress(&buf, r, time.Hour) // ticks never fire; drive tick() directly
+	defer p.Stop()
+	r.Counter("sc.states").Add(100_000)
+	time.Sleep(20 * time.Millisecond)
+	p.tick()
+	out := buf.String()
+	m := regexp.MustCompile(`states=(\d+) \((\d+)/s\)`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("unparseable first progress line: %q", out)
+	}
+	if m[1] != "100000" {
+		t.Errorf("first line states = %s", m[1])
+	}
+	rate, _ := strconv.Atoi(m[2])
+	if rate <= 0 {
+		t.Errorf("first-tick rate = %d/s, want > 0 (prevTime not seeded?): %q", rate, out)
+	}
+}
+
+func TestWatchRedrawsInPlace(t *testing.T) {
+	var buf strings.Builder
+	w := NewWatch(&buf)
+	w.Update(SearchPoint{States: 10, K: 2, L: 2})
+	first := buf.String()
+	if strings.Contains(first, "\x1b[3A") {
+		t.Errorf("first frame moved the cursor up: %q", first)
+	}
+	if !strings.Contains(first, "K=2") || !strings.Contains(first, "states 10") {
+		t.Errorf("frame missing fields: %q", first)
+	}
+	buf.Reset()
+	w.Update(SearchPoint{States: 20, K: 2, L: 2})
+	if !strings.Contains(buf.String(), "\x1b[3A") {
+		t.Errorf("second frame did not redraw in place: %q", buf.String())
+	}
+	buf.Reset()
+	w.Reset() // foreign output printed between frames
+	w.Update(SearchPoint{States: 30, K: 2, L: 2})
+	if strings.Contains(buf.String(), "\x1b[3A") {
+		t.Errorf("post-Reset frame overwrote foreign lines: %q", buf.String())
+	}
+	buf.Reset()
+	w.Close("done")
+	if !strings.Contains(buf.String(), "done") {
+		t.Errorf("Close dropped the summary: %q", buf.String())
+	}
+}
+
+func TestWatchETA(t *testing.T) {
+	p := SearchPoint{DeepenRounds: 3, DeepenTotal: 7}
+	got := watchETA(p, 30*time.Second)
+	if !strings.Contains(got, "ladder 3/7") || !strings.Contains(got, "eta ~40.0s") {
+		t.Errorf("eta = %q, want ladder 3/7 with ~40s left", got)
+	}
+	if watchETA(SearchPoint{}, time.Second) != "" {
+		t.Error("eta rendered outside a deepening run")
+	}
+	if watchETA(SearchPoint{DeepenRounds: 9, DeepenTotal: 7}, time.Second) != "" {
+		t.Error("eta rendered with rounds > total")
+	}
+	// Stateless runs show executions when there is no state count.
+	lines := renderWatch(SearchPoint{Executions: 12, K: -1, L: 2}, time.Second)
+	if !strings.Contains(lines[1], "executions 12") {
+		t.Errorf("stateless frame = %q", lines[1])
+	}
+	if strings.Contains(lines[0], "K=") {
+		t.Errorf("K=-1 still rendered: %q", lines[0])
+	}
+}
+
+func TestWatchFormatters(t *testing.T) {
+	if got := fmtCount(9_999); got != "9999" {
+		t.Errorf("fmtCount(9999) = %q", got)
+	}
+	if got := fmtCount(123_456); got != "123.5k" {
+		t.Errorf("fmtCount(123456) = %q", got)
+	}
+	if got := fmtCount(12_345_678); got != "12.3M" {
+		t.Errorf("fmtCount(12345678) = %q", got)
+	}
+	if got := fmtBytes(2 << 20); got != "2.0 MiB" {
+		t.Errorf("fmtBytes(2MiB) = %q", got)
+	}
+	if got := fmtDur(90 * time.Second); got != "1.5m" {
+		t.Errorf("fmtDur(90s) = %q", got)
+	}
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Watch is the `-watch` terminal dashboard: a fixed block of plain-text
+// lines redrawn in place (ANSI cursor-up) on every sample. It consumes
+// SearchPoints — from a local Sampler subscription or a remote SSE
+// stream alike — and renders depth, rate and dedup columns plus an ETA
+// extrapolated from progress through the K-deepening ladder.
+//
+// A Watch owns its block of lines only between Update calls; callers
+// that interleave their own output (e.g. ratables' per-bench headers)
+// must call Reset so the next Update draws a fresh block below instead
+// of overwriting foreign lines.
+type Watch struct {
+	mu    sync.Mutex
+	w     io.Writer
+	start time.Time
+	drawn int // lines of the block currently on screen
+}
+
+// NewWatch returns a dashboard writing to w.
+func NewWatch(w io.Writer) *Watch {
+	return &Watch{w: w, start: time.Now()}
+}
+
+// Reset forgets the on-screen block: the next Update draws fresh lines
+// at the cursor instead of moving up over the previous frame.
+func (wt *Watch) Reset() {
+	if wt == nil {
+		return
+	}
+	wt.mu.Lock()
+	wt.drawn = 0
+	wt.mu.Unlock()
+}
+
+// Update redraws the dashboard from p.
+func (wt *Watch) Update(p SearchPoint) {
+	if wt == nil {
+		return
+	}
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	lines := renderWatch(p, time.Since(wt.start))
+	var b strings.Builder
+	if wt.drawn > 0 {
+		fmt.Fprintf(&b, "\x1b[%dA", wt.drawn)
+	}
+	for _, ln := range lines {
+		b.WriteString("\x1b[2K") // clear stale tails of longer old lines
+		b.WriteString(ln)
+		b.WriteByte('\n')
+	}
+	io.WriteString(wt.w, b.String())
+	wt.drawn = len(lines)
+}
+
+// Close finalises the dashboard: the block stays on screen and an
+// optional summary line is printed below it.
+func (wt *Watch) Close(summary string) {
+	if wt == nil {
+		return
+	}
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	if summary != "" {
+		fmt.Fprintf(wt.w, "\x1b[2K%s\n", summary)
+	}
+	wt.drawn = 0
+}
+
+// renderWatch formats one dashboard frame as its block of lines.
+func renderWatch(p SearchPoint, elapsed time.Duration) []string {
+	phase := p.Phase
+	if phase == "" {
+		phase = "-"
+	}
+	bounds := ""
+	if p.K >= 0 {
+		bounds += fmt.Sprintf("  K=%d", p.K)
+	}
+	if p.L >= 0 {
+		bounds += fmt.Sprintf(" L=%d", p.L)
+	}
+	l1 := fmt.Sprintf("phase %-18s%s  elapsed %s%s",
+		phase, bounds, fmtDur(elapsed), watchETA(p, elapsed))
+
+	work := fmt.Sprintf("states %s", fmtCount(p.States))
+	if p.States == 0 && p.Executions > 0 {
+		work = fmt.Sprintf("executions %s", fmtCount(p.Executions))
+	}
+	l2 := fmt.Sprintf("%-22s rate %s/s  transitions %s  frontier %d (hwm %d)",
+		work, fmtCount(int64(p.StatesPerSec)), fmtCount(p.Transitions),
+		p.Frontier, p.FrontierHWM)
+
+	dedup := "dedup -"
+	if p.DedupProbes > 0 {
+		dedup = fmt.Sprintf("dedup %4.1f%% of %s probes",
+			100*float64(p.DedupHits)/float64(p.DedupProbes), fmtCount(p.DedupProbes))
+	}
+	l3 := fmt.Sprintf("%-34s visited %s ≈ %s  violations %d",
+		dedup, fmtCount(p.VisitedEntries), fmtBytes(p.VisitedBytes), p.Violations)
+	return []string{l1, l2, l3}
+}
+
+// watchETA extrapolates time-to-completion from progress through the
+// K-deepening ladder: rounds done over rounds planned, scaled by
+// elapsed wall time. It is a heuristic — later rounds are bigger than
+// earlier ones, so it underestimates — and stays blank outside VBMC
+// runs (no ladder counters) or before the first round completes.
+func watchETA(p SearchPoint, elapsed time.Duration) string {
+	if p.DeepenTotal <= 0 || p.DeepenRounds <= 0 || p.DeepenRounds > p.DeepenTotal {
+		return ""
+	}
+	frac := float64(p.DeepenRounds) / float64(p.DeepenTotal)
+	eta := time.Duration(float64(elapsed) * (1 - frac) / frac)
+	return fmt.Sprintf("  ladder %d/%d eta ~%s", p.DeepenRounds, p.DeepenTotal, fmtDur(eta))
+}
+
+// fmtCount renders n compactly: 1234 -> "1234", 123456 -> "123.5k",
+// 12345678 -> "12.3M".
+func fmtCount(n int64) string {
+	switch {
+	case n >= 10_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// fmtDur renders a duration at ~three significant figures.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Hour:
+		return fmt.Sprintf("%.1fh", d.Hours())
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	default:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	}
+}

@@ -120,6 +120,10 @@ func (s *System) Explore(opts Options) Result {
 	e.cBranchChoices = opts.Obs.Counter("ra.branch_choices")
 	e.gMaxDepth = opts.Obs.Gauge("ra.max_depth")
 	e.gPeakMessages = opts.Obs.Gauge("ra.peak_messages")
+	e.stats = opts.Obs.Search()
+	// The final flush lands the run's totals in the stats block, so the
+	// last telemetry sample matches the Result exactly.
+	defer e.flushStats(0)
 	if e.opts.MaxSteps == 0 {
 		e.opts.MaxSteps = 1 << 20
 	}
@@ -164,12 +168,48 @@ type explorer struct {
 	capture   bool            // per-run view snapshotting
 	path      []trace.Event
 	steps     int // DFS entries, for cancellation sampling
+	revisits  int // dedup hits, for telemetry flushes
 	result    Result
 	exhausted bool
 
 	cStates, cTransitions, cRevisits *obs.Counter
 	cBranchPoints, cBranchChoices    *obs.Counter
 	gMaxDepth, gPeakMessages         *obs.Gauge
+
+	stats *obs.SearchStats // live telemetry; nil when Obs is nil
+	mark  flushMark        // totals as of the last stats flush
+}
+
+// flushMark remembers the totals already pushed into the SearchStats
+// block, so each flush adds only the delta since the previous one.
+type flushMark struct {
+	states, transitions, probes, hits, violations int
+}
+
+// flushStats pushes the since-last-flush deltas into the live telemetry
+// block, plus the current frontier depth and visited-set occupancy. It
+// runs on the deadline-poll cadence (every deadlineStride DFS entries)
+// and once at search end, never per state.
+func (e *explorer) flushStats(depth int) {
+	if e.stats == nil {
+		return
+	}
+	e.stats.Add(
+		int64(e.result.States-e.mark.states),
+		int64(e.result.Transitions-e.mark.transitions),
+		int64(e.steps-e.mark.probes),
+		int64(e.revisits-e.mark.hits),
+		int64(e.result.Violations-e.mark.violations),
+	)
+	e.mark = flushMark{
+		states:      e.result.States,
+		transitions: e.result.Transitions,
+		probes:      e.steps,
+		hits:        e.revisits,
+		violations:  e.result.Violations,
+	}
+	e.stats.SetFrontier(int64(depth))
+	e.stats.SetVisited(int64(e.visited.Len()), e.visited.ApproxBytes())
 }
 
 // child is one accepted transition out of an expanded state: the
@@ -238,16 +278,20 @@ func (e *explorer) search(root *Config) {
 // tracked under a context bound.
 func (e *explorer) expand(c *Config, switches, depth, last, contexts int) ([]child, bool) {
 	e.steps++
-	if e.ctx != nil && e.steps%deadlineStride == 0 && e.ctx.Err() != nil {
-		e.exhausted = false
-		e.result.TimedOut = true
-		return nil, true
+	if e.steps%deadlineStride == 0 {
+		e.flushStats(depth)
+		if e.ctx != nil && e.ctx.Err() != nil {
+			e.exhausted = false
+			e.result.TimedOut = true
+			return nil, true
+		}
 	}
 	e.keyBuf = e.sys.AppendDedupKey(c, e.keyBuf[:0])
 	if e.opts.ContextBound > 0 {
 		e.keyBuf = appendCtxSuffix(e.keyBuf, last, contexts)
 	}
 	if !e.visited.Visit(e.keyBuf, switches) {
+		e.revisits++
 		e.cRevisits.Inc()
 		return nil, false
 	}

@@ -1,0 +1,56 @@
+package ra_test
+
+import (
+	"testing"
+	"time"
+
+	"ravbmc/internal/lang"
+	"ravbmc/internal/litmus"
+	"ravbmc/internal/obs"
+	"ravbmc/internal/ra"
+)
+
+// TestTelemetryParityLitmusCorpus: attaching search telemetry (a
+// recorder with a live sampler polling it) must not change what the
+// explorer computes — identical verdicts, state counts and transition
+// counts with sampling on and off across the litmus corpus — and the
+// final stats snapshot must equal the engine's reported totals.
+func TestTelemetryParityLitmusCorpus(t *testing.T) {
+	corpus := litmus.Generated(2)
+	if len(corpus) < 100 {
+		t.Fatalf("corpus unexpectedly small: %d", len(corpus))
+	}
+	for _, tc := range corpus {
+		sys := ra.NewSystem(lang.MustCompile(tc.Prog))
+		for _, opts := range []ra.Options{
+			{ViewBound: -1, StopOnViolation: true},
+			{ViewBound: 1, StopOnViolation: false},
+		} {
+			plain := sys.Explore(opts)
+
+			rec := obs.New()
+			smp := obs.NewSampler(rec, time.Millisecond)
+			opts.Obs = rec
+			sampled := sys.Explore(opts)
+			smp.Stop()
+
+			if plain.Violation != sampled.Violation ||
+				plain.Violations != sampled.Violations ||
+				plain.States != sampled.States ||
+				plain.Transitions != sampled.Transitions ||
+				plain.Exhausted != sampled.Exhausted {
+				t.Errorf("%s: sampling changed the search:\n off: %+v\n on:  %+v",
+					tc.Name, plain, sampled)
+			}
+			final := rec.Search().Snapshot()
+			if final.States != int64(sampled.States) {
+				t.Errorf("%s: final telemetry states = %d, engine reported %d",
+					tc.Name, final.States, sampled.States)
+			}
+			if final.Transitions != int64(sampled.Transitions) {
+				t.Errorf("%s: final telemetry transitions = %d, engine reported %d",
+					tc.Name, final.Transitions, sampled.Transitions)
+			}
+		}
+	}
+}

@@ -86,6 +86,11 @@ func (s *System) Check(opts Options) Result {
 	e.cMacroSteps = opts.Obs.Counter("sc.macro_steps")
 	e.gMaxDepth = opts.Obs.Gauge("sc.max_depth")
 	e.gMaxContexts = opts.Obs.Gauge("sc.max_contexts_used")
+	e.stats = opts.Obs.Search()
+	// The final flush lands the run's totals in the stats block, so the
+	// last telemetry sample matches the Result exactly. Stats accumulate
+	// across restart-ladder rounds like the counters do.
+	defer e.flushStats(0)
 	e.exhausted = true
 	// Fold the wall-clock deadline into the cancellation context; the
 	// search polls only ctx.Err() from here on.
@@ -132,6 +137,7 @@ type scChecker struct {
 	keyBuf    []byte
 	deadBuf   []int // reused dead-register scratch for dedupKey
 	steps     int   // DFS entries, for cancellation sampling
+	dedupHits int   // visited-set hits, for telemetry flushes
 	result    Result
 	exhausted bool
 
@@ -139,6 +145,45 @@ type scChecker struct {
 	cDedupHits, cDedupMisses *obs.Counter
 	cMacroSteps              *obs.Counter
 	gMaxDepth, gMaxContexts  *obs.Gauge
+
+	stats *obs.SearchStats // live telemetry; nil when Obs is nil
+	mark  flushMark        // totals as of the last stats flush
+}
+
+// flushMark remembers the totals already pushed into the SearchStats
+// block, so each flush adds only the delta since the previous one.
+type flushMark struct {
+	states, transitions, probes, hits, violations int
+}
+
+// flushStats pushes the since-last-flush deltas into the live telemetry
+// block, plus the current frontier depth and visited-set occupancy. It
+// runs on the deadline-poll cadence and once at search end, never per
+// state.
+func (e *scChecker) flushStats(depth int) {
+	if e.stats == nil {
+		return
+	}
+	violations := 0
+	if e.result.Violation {
+		violations = 1
+	}
+	e.stats.Add(
+		int64(e.result.States-e.mark.states),
+		int64(e.result.Transitions-e.mark.transitions),
+		int64(e.steps-e.mark.probes),
+		int64(e.dedupHits-e.mark.hits),
+		int64(violations-e.mark.violations),
+	)
+	e.mark = flushMark{
+		states:      e.result.States,
+		transitions: e.result.Transitions,
+		probes:      e.steps,
+		hits:        e.dedupHits,
+		violations:  violations,
+	}
+	e.stats.SetFrontier(int64(depth))
+	e.stats.SetVisited(int64(e.visited.Len()), e.visited.ApproxBytes())
 }
 
 // scChild is one accepted macro-step out of an expanded state: the
@@ -204,13 +249,17 @@ func (e *scChecker) search(root *Config) bool {
 // counts macro-steps on the current path.
 func (e *scChecker) expand(c *Config, contexts, depth int) ([]scChild, bool) {
 	e.steps++
-	if e.ctx != nil && e.steps%deadlineStride == 0 && e.ctx.Err() != nil {
-		e.exhausted = false
-		e.result.TimedOut = true
-		return nil, true
+	if e.steps%deadlineStride == 0 {
+		e.flushStats(depth)
+		if e.ctx != nil && e.ctx.Err() != nil {
+			e.exhausted = false
+			e.result.TimedOut = true
+			return nil, true
+		}
 	}
 	e.keyBuf, e.deadBuf = e.sys.dedupKey(c, e.keyBuf[:0], e.deadBuf)
 	if !e.visited.Visit(e.keyBuf, contexts) {
+		e.dedupHits++
 		e.cDedupHits.Inc()
 		return nil, false
 	}

@@ -37,6 +37,11 @@ type VerifyRequest struct {
 	// TimeoutSeconds is this request's compute deadline; 0 selects the
 	// server default, and the server cap applies either way.
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	// ClientRef is an optional caller-chosen alias for this run (max 64
+	// chars of [A-Za-z0-9._-]). The server binds it to the minted run ID
+	// in the ledger, so the caller can GET /v1/runs/{client_ref}/events
+	// and watch the run live before the verify response returns the ID.
+	ClientRef string `json:"client_ref,omitempty"`
 }
 
 // VerifyResponse is the body of a successful verification reply.
@@ -95,6 +100,29 @@ func (r *VerifyRequest) validate() error {
 	}
 	if r.TimeoutSeconds < 0 {
 		return fmt.Errorf("timeout_seconds must be non-negative")
+	}
+	if err := validateClientRef(r.ClientRef); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validateClientRef bounds the caller-chosen run alias: it lands in
+// URLs, logs and the ledger, so only a short, URL-safe charset passes.
+func validateClientRef(ref string) error {
+	if ref == "" {
+		return nil
+	}
+	if len(ref) > 64 {
+		return fmt.Errorf("client_ref exceeds 64 characters")
+	}
+	for _, c := range ref {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("client_ref may contain only letters, digits, '.', '_' and '-'")
+		}
 	}
 	return nil
 }

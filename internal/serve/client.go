@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -53,6 +55,69 @@ func (c *Client) Version(ctx context.Context) (string, error) {
 		return "", err
 	}
 	return body.Version, nil
+}
+
+// ErrRunNotFound reports that the server does not (or no longer) knows
+// the run ID or client_ref handed to StreamEvents. Callers racing a
+// just-submitted request's alias should retry briefly on it.
+var ErrRunNotFound = errors.New("serve: run not found")
+
+// StreamEvents consumes GET /v1/runs/{id}/events, invoking fn once per
+// SSE frame with the event name ("search", "phase", "done") and its
+// data payload. id may be a run ID or a client_ref alias. It returns
+// nil when the stream ends (normally right after the "done" frame),
+// ErrRunNotFound on a 404, ctx's error on cancellation, and fn's error
+// if fn aborts the stream.
+func (c *Client) StreamEvents(ctx context.Context, id string, fn func(event string, data []byte) error) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/runs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		return ErrRunNotFound
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		var er ErrorResponse
+		if json.Unmarshal(body, &er) == nil && er.Error != "" {
+			return fmt.Errorf("server: %s (HTTP %d)", er.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server: HTTP %d", resp.StatusCode)
+	}
+	// Minimal SSE parse: accumulate event/data lines, dispatch on the
+	// blank separator line. Comment and id fields are ignored.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var event string
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if event != "" || len(data) > 0 {
+				if err := fn(event, data); err != nil {
+					return err
+				}
+			}
+			event, data = "", nil
+		case strings.HasPrefix(line, "event: "):
+			event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, line[len("data: "):]...)
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return sc.Err()
 }
 
 // maxResponseBytes caps a reply; witnesses are the only large payload

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"ravbmc/internal/obs"
+)
+
+// The SSE stream of GET /v1/runs/{id}/events carries three event types:
+//
+//	event: search — one ravbmc.search/v1 SearchPoint (JSON), per sample
+//	event: phase  — emitted when the sampled phase changes
+//	event: done   — terminal frame: run status, verdict and state count
+//
+// For an in-flight run the handler replays the samples captured so far
+// and then streams live ones; for a completed run it replays the stored
+// series. Either way the stream ends with exactly one done frame. {id}
+// accepts the minted run ID or the request's client_ref alias; unknown
+// and evicted runs 404.
+
+// phaseEvent is the payload of an SSE phase frame.
+type phaseEvent struct {
+	TMS   int64  `json:"t_ms"`
+	Phase string `json:"phase"`
+}
+
+// doneEvent is the payload of the terminal SSE frame.
+type doneEvent struct {
+	RunID   string `json:"run_id"`
+	Status  string `json:"status"`
+	Verdict string `json:"verdict,omitempty"`
+	States  int    `json:"states,omitempty"`
+}
+
+// sseWrite emits one SSE frame and flushes it to the client.
+func sseWrite(w io.Writer, fl http.Flusher, event string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b); err != nil {
+		return err
+	}
+	fl.Flush()
+	return nil
+}
+
+// subscribeBuffer is the per-subscriber channel depth: enough to ride
+// out scheduling hiccups, small enough that a stalled client is simply
+// dropped (the sampler never blocks on it).
+const subscribeBuffer = 64
+
+func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
+	runID, ok := s.ledger.Resolve(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "run %s not found (evicted or never existed)", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+
+	s.watchMu.Lock()
+	smp := s.watches[runID]
+	s.watchMu.Unlock()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	if smp == nil {
+		// Completed run: replay the stored series, then the terminal
+		// frame.
+		rr, ok := s.ledger.Get(runID)
+		if !ok { // evicted between Resolve and Get
+			return
+		}
+		emit := newEventEmitter(w, fl)
+		if rr.Search != nil {
+			for _, p := range rr.Search.Samples {
+				if emit.point(p) != nil {
+					return
+				}
+			}
+		}
+		sseWrite(w, fl, "done", doneEvent{RunID: runID, Status: rr.Status, Verdict: rr.Verdict, States: rr.States})
+		return
+	}
+
+	// In-flight run: subscribe first, then replay what the sampler has
+	// already captured — a sample that lands in both is deduplicated by
+	// its timestamp.
+	ch, unsubscribe := smp.Subscribe(subscribeBuffer)
+	defer unsubscribe()
+	emit := newEventEmitter(w, fl)
+	if series := smp.Series(); series != nil {
+		for _, p := range series.Samples {
+			if emit.point(p) != nil {
+				return
+			}
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case p, open := <-ch:
+			if !open {
+				// Sampler stopped: the run is ending. Its ledger status
+				// flips moments after the channels close, so wait
+				// briefly for the sealed record before the done frame.
+				rr := s.awaitSealed(runID, 2*time.Second)
+				sseWrite(w, fl, "done", doneEvent{RunID: runID, Status: rr.Status, Verdict: rr.Verdict, States: rr.States})
+				return
+			}
+			if p.TMS <= emit.lastTMS {
+				continue // already sent during the replay
+			}
+			if emit.point(p) != nil {
+				return
+			}
+		}
+	}
+}
+
+// awaitSealed polls the ledger until the run's status leaves "running"
+// (or the timeout passes) and returns the record — bridging the gap
+// between the sampler's shutdown and the handler's ledger update.
+func (s *Server) awaitSealed(runID string, timeout time.Duration) RunRecord {
+	deadline := time.Now().Add(timeout)
+	for {
+		rr, ok := s.ledger.Get(runID)
+		if !ok || rr.Status != "running" || time.Now().After(deadline) {
+			return rr
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// eventEmitter writes search frames plus a phase frame whenever the
+// sampled phase changes, tracking the last timestamp sent for replay
+// deduplication.
+type eventEmitter struct {
+	w       io.Writer
+	fl      http.Flusher
+	phase   string
+	lastTMS int64
+}
+
+func newEventEmitter(w io.Writer, fl http.Flusher) *eventEmitter {
+	return &eventEmitter{w: w, fl: fl, lastTMS: -1}
+}
+
+func (e *eventEmitter) point(p obs.SearchPoint) error {
+	if p.Phase != e.phase {
+		e.phase = p.Phase
+		if err := sseWrite(e.w, e.fl, "phase", phaseEvent{TMS: p.TMS, Phase: p.Phase}); err != nil {
+			return err
+		}
+	}
+	e.lastTMS = p.TMS
+	return sseWrite(e.w, e.fl, "search", p)
+}

@@ -56,6 +56,14 @@ type RunRecord struct {
 	// Spans is the request's span tree; populated in /v1/runs/{id}
 	// detail responses and omitted from /v1/runs summaries.
 	Spans []*obs.SpanNode `json:"spans,omitempty"`
+	// ClientRef is the caller-chosen alias of this run (the request's
+	// client_ref), resolvable by /v1/runs/{id}/events before the caller
+	// learns the server-minted run ID.
+	ClientRef string `json:"client_ref,omitempty"`
+	// Search is the sampled ravbmc.search/v1 telemetry series of the
+	// run's engine execution; populated in detail responses and SSE
+	// replays, omitted from /v1/runs summaries.
+	Search *obs.SearchSeries `json:"search,omitempty"`
 }
 
 // SlowDump is what the flight recorder captures when a run exceeds the
@@ -88,7 +96,11 @@ type Ledger struct {
 	head   int
 	count  int
 	byID   map[string]*RunRecord
-	audit  io.Writer
+	// aliases maps caller-chosen client_ref strings to run IDs (latest
+	// binding wins); entries die with their record's eviction.
+	aliases   map[string]string
+	evictions int64
+	audit     io.Writer
 }
 
 // defaultLedgerSize is the ring capacity when the config names none.
@@ -104,11 +116,12 @@ func NewLedger(capacity int, audit io.Writer) *Ledger {
 	var b [4]byte
 	rand.Read(b[:])
 	return &Ledger{
-		cap:    capacity,
-		prefix: hex.EncodeToString(b[:]),
-		ring:   make([]*RunRecord, capacity),
-		byID:   map[string]*RunRecord{},
-		audit:  audit,
+		cap:     capacity,
+		prefix:  hex.EncodeToString(b[:]),
+		ring:    make([]*RunRecord, capacity),
+		byID:    map[string]*RunRecord{},
+		aliases: map[string]string{},
+		audit:   audit,
 	}
 }
 
@@ -128,6 +141,10 @@ func (l *Ledger) Add(rec *RunRecord) {
 	l.mu.Lock()
 	if old := l.ring[l.head]; old != nil {
 		delete(l.byID, old.ID)
+		if old.ClientRef != "" && l.aliases[old.ClientRef] == old.ID {
+			delete(l.aliases, old.ClientRef)
+		}
+		l.evictions++
 	}
 	l.ring[l.head] = rec
 	l.byID[rec.ID] = rec
@@ -136,6 +153,43 @@ func (l *Ledger) Add(rec *RunRecord) {
 		l.count++
 	}
 	l.mu.Unlock()
+}
+
+// Alias binds a caller-chosen reference to a run ID (latest binding
+// wins), so a client can address the run — e.g. subscribe to its event
+// stream — before the verify response delivers the minted ID. No-op
+// for evicted or unknown IDs.
+func (l *Ledger) Alias(ref, id string) {
+	if ref == "" {
+		return
+	}
+	l.mu.Lock()
+	if rec, ok := l.byID[id]; ok {
+		rec.ClientRef = ref
+		l.aliases[ref] = id
+	}
+	l.mu.Unlock()
+}
+
+// Resolve maps a run ID or client_ref alias to the canonical run ID;
+// ok is false when neither names a retained record.
+func (l *Ledger) Resolve(idOrRef string) (string, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.byID[idOrRef]; ok {
+		return idOrRef, true
+	}
+	if id, ok := l.aliases[idOrRef]; ok {
+		return id, true
+	}
+	return "", false
+}
+
+// Evictions returns how many records the ring has discarded.
+func (l *Ledger) Evictions() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evictions
 }
 
 // Update applies f to the record under the ledger lock (records are
@@ -191,6 +245,7 @@ func (l *Ledger) Recent(n int) []RunRecord {
 		sum := *rec
 		sum.Spans = nil
 		sum.SlowDump = nil
+		sum.Search = nil
 		out = append(out, sum)
 	}
 	return out
@@ -221,6 +276,7 @@ func (l *Ledger) auditLine(kind, id string) {
 		RunRecord
 	}{Kind: kind, RunRecord: *rec}
 	line.Spans = nil // audit lines are summaries; slow dumps carry their own tree
+	line.Search = nil
 	b, err := json.Marshal(line)
 	if err != nil {
 		return

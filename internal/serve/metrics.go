@@ -94,6 +94,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.scalar("ravbmc_serve_workers", "gauge", "Configured worker slots.", s.cfg.Workers)
 	m.scalar("ravbmc_serve_queue_capacity", "gauge", "Configured queue capacity beyond the workers.", s.cfg.Queue)
 	m.scalar("ravbmc_serve_ledger_runs", "gauge", "Run records currently retained in the ledger.", s.ledger.Len())
+	m.scalar("ravbmc_serve_ledger_entries", "gauge", "Run records currently retained in the ledger.", s.ledger.Len())
+	m.scalar("ravbmc_serve_ledger_evictions_total", "counter", "Run records evicted from the ledger ring.", s.ledger.Evictions())
 	drain := 0
 	if s.Draining() {
 		drain = 1
@@ -102,6 +104,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.scalar("ravbmc_serve_uptime_seconds", "gauge", "Seconds since the server started.", time.Since(s.start).Seconds())
 	m.histogram("ravbmc_serve_request_seconds", "End-to-end request latency, decode to response.", s.hRequest.Snapshot())
 	m.histogram("ravbmc_serve_queue_wait_seconds", "Time from arrival to admission.", s.hQueueWait.Snapshot())
+
+	// Live search telemetry, aggregated over every in-flight run's
+	// SearchStats snapshot.
+	var agg obs.SearchPoint
+	var rate float64
+	s.watchMu.Lock()
+	active := len(s.watches)
+	samplers := make([]*obs.Sampler, 0, active)
+	for _, smp := range s.watches {
+		samplers = append(samplers, smp)
+	}
+	s.watchMu.Unlock()
+	for _, smp := range samplers {
+		p := smp.Snapshot()
+		agg.States += p.States
+		agg.Transitions += p.Transitions
+		agg.Frontier += p.Frontier
+		agg.DedupProbes += p.DedupProbes
+		agg.DedupHits += p.DedupHits
+		agg.VisitedBytes += p.VisitedBytes
+		rate += p.StatesPerSec
+	}
+	m.scalar("ravbmc_search_active_runs", "gauge", "Runs currently exposing live search telemetry.", active)
+	m.scalar("ravbmc_search_states", "gauge", "States visited across in-flight searches.", agg.States)
+	m.scalar("ravbmc_search_transitions", "gauge", "Transitions explored across in-flight searches.", agg.Transitions)
+	m.scalar("ravbmc_search_frontier_depth", "gauge", "Summed DFS frontier depth of in-flight searches.", agg.Frontier)
+	m.scalar("ravbmc_search_dedup_probes", "gauge", "Visited-set probes across in-flight searches.", agg.DedupProbes)
+	m.scalar("ravbmc_search_dedup_hits", "gauge", "Visited-set hits across in-flight searches.", agg.DedupHits)
+	m.scalar("ravbmc_search_visited_bytes", "gauge", "Approximate visited-set bytes across in-flight searches.", agg.VisitedBytes)
+	m.scalar("ravbmc_search_states_per_sec", "gauge", "Summed EWMA search rate of in-flight searches.", rate)
 
 	if s.obs != nil {
 		snap := s.obs.Snapshot()

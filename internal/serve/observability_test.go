@@ -149,7 +149,12 @@ func TestMetricsConformance(t *testing.T) {
 	for _, want := range []string{
 		"ravbmc_serve_request_seconds", "ravbmc_serve_queue_wait_seconds",
 		"ravbmc_cache_lookup_seconds", "ravbmc_serve_slow_dumps_total",
-		"ravbmc_serve_ledger_runs",
+		"ravbmc_serve_ledger_runs", "ravbmc_serve_ledger_entries",
+		"ravbmc_serve_ledger_evictions_total",
+		"ravbmc_search_active_runs", "ravbmc_search_states",
+		"ravbmc_search_transitions", "ravbmc_search_frontier_depth",
+		"ravbmc_search_dedup_probes", "ravbmc_search_dedup_hits",
+		"ravbmc_search_visited_bytes", "ravbmc_search_states_per_sec",
 	} {
 		if fams[want] == nil {
 			t.Errorf("metrics missing family %q", want)
@@ -528,4 +533,204 @@ func (s *syncBuffer) String() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.b.String()
+}
+
+// TestEventsReplayAfterCompletion: a completed run's SSE stream
+// replays the stored series and ends with a done frame whose final
+// state count matches the verify response — the acceptance check for
+// the ravbmc.search/v1 ledger series.
+func TestEventsReplayAfterCompletion(t *testing.T) {
+	s, client := newTestServer(t, Config{Workers: 1, SampleInterval: time.Millisecond})
+	resp, err := client.Verify(context.Background(), VerifyRequest{
+		Bench: "peterson", Mode: cache.ModeVBMC, K: 2, Unroll: 2, ClientRef: "replay-ref-1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.States == 0 {
+		t.Fatalf("verify reported no states: %+v", resp.Outcome)
+	}
+
+	stream := func(id string) (searches int, last obs.SearchPoint, done doneEvent, dones int) {
+		t.Helper()
+		err := client.StreamEvents(context.Background(), id, func(event string, data []byte) error {
+			switch event {
+			case "search":
+				searches++
+				if err := json.Unmarshal(data, &last); err != nil {
+					t.Fatalf("bad search frame %q: %v", data, err)
+				}
+			case "done":
+				dones++
+				if err := json.Unmarshal(data, &done); err != nil {
+					t.Fatalf("bad done frame %q: %v", data, err)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("stream %s: %v", id, err)
+		}
+		return
+	}
+
+	searches, last, done, dones := stream(resp.RunID)
+	if searches < 1 {
+		t.Fatal("replay delivered no search frames")
+	}
+	if dones != 1 || done.Status != "done" || done.RunID != resp.RunID {
+		t.Errorf("terminal frame = %+v (%d done frames)", done, dones)
+	}
+	if done.States != resp.States {
+		t.Errorf("done frame states = %d, response said %d", done.States, resp.States)
+	}
+	if last.States != int64(resp.States) {
+		t.Errorf("final replayed sample states = %d, engine reported %d", last.States, resp.States)
+	}
+
+	// The client_ref alias resolves to the same stream.
+	if n, _, d, _ := stream("replay-ref-1"); n < 1 || d.RunID != resp.RunID {
+		t.Errorf("alias stream: %d search frames, done = %+v", n, d)
+	}
+
+	// The ledger entry itself carries the sealed series.
+	rec, ok := s.Ledger().Get(resp.RunID)
+	if !ok {
+		t.Fatal("run missing from ledger")
+	}
+	if rec.Search == nil || rec.Search.Schema != obs.SearchSchema || len(rec.Search.Samples) == 0 {
+		t.Fatalf("ledger series = %+v", rec.Search)
+	}
+	if got := rec.Search.Samples[len(rec.Search.Samples)-1].States; got != int64(resp.States) {
+		t.Errorf("ledger final sample states = %d, want %d", got, resp.States)
+	}
+	// Summaries must not ship the bulky series.
+	for _, sum := range s.Ledger().Recent(0) {
+		if sum.Search != nil {
+			t.Errorf("summary view leaked the search series for %s", sum.ID)
+		}
+	}
+}
+
+// TestEventsEvictedRunNotFound: once the ledger ring evicts a run, its
+// event stream 404s instead of hanging or replaying stale data.
+func TestEventsEvictedRunNotFound(t *testing.T) {
+	_, client := newTestServer(t, Config{Workers: 1, LedgerSize: 2, SampleInterval: time.Millisecond})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		resp, err := client.Verify(context.Background(), VerifyRequest{
+			Program: fmt.Sprintf("program ok\nvar x\nproc p0\n  x = %d\nend\n", i+1),
+			Mode:    cache.ModeRA, ClientRef: fmt.Sprintf("evict-ref-%d", i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, resp.RunID)
+	}
+	nop := func(string, []byte) error { return nil }
+	if err := client.StreamEvents(context.Background(), ids[0], nop); err != ErrRunNotFound {
+		t.Errorf("evicted run stream error = %v, want ErrRunNotFound", err)
+	}
+	// The evicted run's alias is cleaned up with it.
+	if err := client.StreamEvents(context.Background(), "evict-ref-0", nop); err != ErrRunNotFound {
+		t.Errorf("evicted alias stream error = %v, want ErrRunNotFound", err)
+	}
+	if err := client.StreamEvents(context.Background(), "r-never-existed", nop); err != ErrRunNotFound {
+		t.Errorf("unknown run stream error = %v, want ErrRunNotFound", err)
+	}
+	// Live runs still stream.
+	if err := client.StreamEvents(context.Background(), ids[2], nop); err != nil {
+		t.Errorf("live run stream error = %v", err)
+	}
+	// A malformed client_ref is rejected at validation time.
+	if _, err := client.Verify(context.Background(), VerifyRequest{
+		Program: "program ok\nvar x\nproc p0\n  x = 1\nend\n",
+		Mode:    cache.ModeRA, ClientRef: "bad ref!",
+	}); err == nil {
+		t.Error("malformed client_ref accepted")
+	}
+}
+
+// TestEventsLiveStreamAndDisconnect: an in-flight run streams live
+// samples, and a client that disconnects mid-stream frees its
+// subscription without disturbing the engine.
+func TestEventsLiveStreamAndDisconnect(t *testing.T) {
+	c, err := cache.New(cache.Config{Version: "v-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	s := New(Config{Cache: c, Workers: 1, SampleInterval: 2 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { s.Close(); ts.Close() })
+	client := NewClient(ts.URL)
+
+	// A run that lasts tens of seconds, so it is mid-flight for the
+	// whole test; Close cancels it at cleanup.
+	posted := make(chan struct{})
+	go func() {
+		defer close(posted)
+		b, _ := json.Marshal(VerifyRequest{Bench: "peterson_1", Mode: cache.ModeVBMC, K: 5, Unroll: 6, TimeoutSeconds: 120})
+		resp, err := http.Post(ts.URL+"/v1/verify", "application/json", strings.NewReader(string(b)))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	// Wait for the run to register its sampler.
+	var runID string
+	var smp *obs.Sampler
+	deadline := time.Now().Add(10 * time.Second)
+	for smp == nil && time.Now().Before(deadline) {
+		s.watchMu.Lock()
+		for id, sm := range s.watches {
+			runID, smp = id, sm
+		}
+		s.watchMu.Unlock()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if smp == nil {
+		t.Fatal("run never registered a sampler")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	gotSample := make(chan struct{})
+	streamDone := make(chan error, 1)
+	go func() {
+		var once sync.Once
+		streamDone <- client.StreamEvents(ctx, runID, func(event string, data []byte) error {
+			if event == "search" {
+				once.Do(func() { close(gotSample) })
+			}
+			return nil
+		})
+	}()
+	select {
+	case <-gotSample:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no live search frame arrived")
+	}
+
+	// Disconnect: the handler must notice and unsubscribe.
+	cancel()
+	select {
+	case <-streamDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream did not end on client disconnect")
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for smp.Subscribers() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := smp.Subscribers(); got != 0 {
+		t.Errorf("subscription leaked after disconnect: %d still attached", got)
+	}
+
+	// The engine kept running through all of it.
+	if rec, ok := s.Ledger().Get(runID); !ok || rec.Status != "running" {
+		t.Errorf("run state after disconnect = %+v", rec)
+	}
+	s.Close() // cancel the long run
+	<-posted
 }

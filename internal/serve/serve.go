@@ -57,6 +57,11 @@ type Config struct {
 	// snapshot dumped (once) into its ledger entry, the audit log and
 	// the request log. Zero disables it.
 	SlowRunThreshold time.Duration
+	// SampleInterval is the search-telemetry sampling cadence of every
+	// request (<=0 selects 500ms): each run's sampler feeds the SSE
+	// event stream live and lands a ravbmc.search/v1 series in its
+	// ledger entry.
+	SampleInterval time.Duration
 }
 
 // Server handles the verification API. Construct with New, expose
@@ -82,6 +87,11 @@ type Server struct {
 
 	ledger *Ledger
 	log    *slog.Logger
+
+	// watches maps in-flight run IDs to their live samplers; the SSE
+	// handler subscribes through it, /metrics aggregates over it.
+	watchMu sync.Mutex
+	watches map[string]*obs.Sampler
 
 	reqs, rejected, failed *obs.Counter
 	slowDumps              *obs.Counter
@@ -123,6 +133,7 @@ func New(cfg Config) *Server {
 		cancel:     cancel,
 		ledger:     NewLedger(cfg.LedgerSize, cfg.RunLog),
 		log:        log,
+		watches:    map[string]*obs.Sampler{},
 		reqs:       cfg.Obs.Counter("serve.requests"),
 		rejected:   cfg.Obs.Counter("serve.rejected"),
 		failed:     cfg.Obs.Counter("serve.errors"),
@@ -141,6 +152,7 @@ func New(cfg Config) *Server {
 //	POST /v1/mink      — smallest K in [K, MaxK] with an UNSAFE verdict
 //	GET  /v1/runs      — recent run-ledger entries, newest first
 //	GET  /v1/runs/{id} — one run in full detail (span tree included)
+//	GET  /v1/runs/{id}/events — SSE search-telemetry stream (live or replay)
 //	GET  /healthz      — liveness + drain state
 //	GET  /v1/version   — toolchain version
 //	GET  /metrics      — Prometheus text metrics (HELP/TYPE, histograms)
@@ -154,6 +166,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/runs", s.handleRuns)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleRunDetail)
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleRunEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -264,10 +277,25 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request, mink bool)
 	s.ledger.Add(record)
 	s.log.Debug("request start", "run_id", runID, "endpoint", record.Endpoint)
 
-	// finish seals the span tree and the ledger entry and logs the
-	// request, whatever path ended it.
+	// Every run gets a search-telemetry sampler, registered so the SSE
+	// endpoint can subscribe to it while the run is in flight.
+	smp := obs.NewSampler(rec, s.cfg.SampleInterval)
+	s.watchMu.Lock()
+	s.watches[runID] = smp
+	s.watchMu.Unlock()
+
+	// finish seals the span tree, the telemetry series and the ledger
+	// entry and logs the request, whatever path ended it.
 	finish := func(status int, verdict, cacheDisp string, states int, errMsg string) {
 		root.End()
+		// Stop the sampler before sealing: its final sample carries the
+		// engine's closing totals, and stopping closes every SSE
+		// subscription so streams see the run end.
+		smp.Stop()
+		series := smp.Series()
+		s.watchMu.Lock()
+		delete(s.watches, runID)
+		s.watchMu.Unlock()
 		spans := rec.Spans()
 		total := time.Since(started).Seconds()
 		s.hRequest.Observe(total)
@@ -299,6 +327,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request, mink bool)
 			rr.ReplaySeconds = replay
 			rr.TotalSeconds = total
 			rr.Spans = spans
+			rr.Search = series
 		})
 		s.ledger.auditLine("run", runID)
 		s.log.Info("request done",
@@ -345,6 +374,10 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request, mink bool)
 		rr.ProgramSHA = hex.EncodeToString(progSHA[:])
 		rr.K, rr.MaxK, rr.Unroll = req.K, req.MaxK, req.Unroll
 	})
+	// Bind the caller's alias as soon as the request is readable: a
+	// client that minted a ref can open the SSE stream now, before the
+	// verify response delivers the run ID.
+	s.ledger.Alias(req.ClientRef, runID)
 	root.SetAttr("run_id", runID)
 	root.SetAttr("mode", req.Mode)
 	root.SetAttr("program", prog.Name)

@@ -152,6 +152,18 @@ func Check(prog *lang.Program, opts Options) (Result, error) {
 	r.cBranchChoices = opts.Obs.Counter("smc.branch_choices")
 	r.cDedupHits = opts.Obs.Counter("smc.dedup_hits")
 	r.gMaxDepth = opts.Obs.Gauge("smc.max_depth")
+	r.stats = opts.Obs.Search()
+	if r.stats != nil {
+		// Stateless searches have no view bound; L is the telemetry probe.
+		unroll := int64(-1)
+		if opts.Unroll > 0 {
+			unroll = int64(opts.Unroll)
+		}
+		r.stats.SetProbe(-1, unroll)
+	}
+	// The final flush lands the run's totals in the stats block, so the
+	// last telemetry sample matches the Result exactly.
+	defer r.flushStats()
 	// Fold the wall-clock budget into the cancellation context; the
 	// search polls only ctx.Err() from here on.
 	if opts.Timeout > 0 {
@@ -198,6 +210,7 @@ type runner struct {
 	keyBuf    []byte          // reused dedup-key buffer
 	path      []trace.Event
 	steps     int // stop() calls, for cancellation sampling
+	dedupHits int // visited-set hits, for telemetry flushes
 	result    Result
 	exhausted bool
 
@@ -205,6 +218,52 @@ type runner struct {
 	cBranchPoints, cBranchChoices     *obs.Counter
 	cDedupHits                        *obs.Counter
 	gMaxDepth                         *obs.Gauge
+
+	stats *obs.SearchStats // live telemetry; nil when Obs is nil
+	mark  flushMark        // totals as of the last stats flush
+}
+
+// flushMark remembers the totals already pushed into the SearchStats
+// block, so each flush adds only the delta since the previous one.
+type flushMark struct {
+	transitions int64
+	executions  int
+	probes      int
+	hits        int
+	violations  int
+}
+
+// flushStats pushes the since-last-flush deltas into the live telemetry
+// block. The stateless searches visit no states, so the transition count
+// carries the rate; the frontier is the current path length. Runs on
+// the cancellation-poll cadence and once at search end.
+func (r *runner) flushStats() {
+	if r.stats == nil {
+		return
+	}
+	violations := 0
+	if r.result.Violation {
+		violations = 1
+	}
+	r.stats.Add(
+		0,
+		r.result.Transitions-r.mark.transitions,
+		int64(r.steps-r.mark.probes),
+		int64(r.dedupHits-r.mark.hits),
+		int64(violations-r.mark.violations),
+	)
+	r.stats.AddExecutions(int64(r.result.Executions - r.mark.executions))
+	r.mark = flushMark{
+		transitions: r.result.Transitions,
+		executions:  r.result.Executions,
+		probes:      r.steps,
+		hits:        r.dedupHits,
+		violations:  violations,
+	}
+	r.stats.SetFrontier(int64(len(r.path)))
+	if r.visited != nil {
+		r.stats.SetVisited(int64(r.visited.Len()), r.visited.ApproxBytes())
+	}
 }
 
 // seen reports (and records) whether the state was already fully
@@ -224,6 +283,7 @@ func (r *runner) seen(c *ra.Config, last int) bool {
 	if r.visited.Visit(r.keyBuf, 0) {
 		return false
 	}
+	r.dedupHits++
 	r.cDedupHits.Inc()
 	return true
 }
@@ -238,10 +298,13 @@ func (r *runner) stop() bool {
 	// sample it. The dedicated step counter advances by exactly one per
 	// call, so the check fires regardless of how Transitions moves.
 	r.steps++
-	if r.ctx != nil && r.steps%1024 == 0 && r.ctx.Err() != nil {
-		r.result.TimedOut = true
-		r.exhausted = false
-		return true
+	if r.steps%1024 == 0 {
+		r.flushStats()
+		if r.ctx != nil && r.ctx.Err() != nil {
+			r.result.TimedOut = true
+			r.exhausted = false
+			return true
+		}
 	}
 	return false
 }

@@ -8,15 +8,18 @@
 # PRs can diff states/sec, dedup hit rate and probe behaviour against
 # this snapshot.
 #
-# Every benchmark is run three times: once plainly, once with
-# -trace-out (witness export + view capture during replay) and once
-# with -span-out (span-tree phase tracing). The trace sweep's reports
-# carry config.trace = "enabled" and the span sweep's config.spans =
-# "enabled", so diffing seconds between the sweeps measures both
-# overheads: witness tracing should be confined to the
-# lift/replay/export phases, and span tracing should be unmeasurable —
+# Every benchmark is run four times: once plainly, once with
+# -trace-out (witness export + view capture during replay), once with
+# -span-out (span-tree phase tracing) and once with -sample-interval
+# 250ms (live search-telemetry sampling). The sweeps' reports carry
+# config.trace / config.spans / config.sampling = "enabled"
+# respectively, so diffing seconds between the sweeps measures each
+# overhead: witness tracing should be confined to the
+# lift/replay/export phases, span tracing should be unmeasurable —
 # spans piggyback on the existing phase instrumentation, off the
-# search hot path.
+# search hot path — and sampling should stay within ~2%: the engines
+# flush a handful of atomics per kilostep and the sampler polls them
+# from its own goroutine.
 #
 # After the per-benchmark reports, the quick Tables 1-4 sweep is run
 # twice through cmd/ratables — once serial (-jobs 1), once with one
@@ -92,7 +95,7 @@ EOF
 {
   echo '['
   first=1
-  for mode in disabled enabled spans; do
+  for mode in disabled enabled spans sampled; do
     for b in "${benches[@]}"; do
       [ "$first" -eq 1 ] || echo ','
       first=0
@@ -101,6 +104,8 @@ EOF
         args+=(-trace-out "$tracedir/${b//[^a-z0-9_]/_}.jsonl")
       elif [ "$mode" = spans ]; then
         args+=(-span-out "$tracedir/${b//[^a-z0-9_]/_}.spans.jsonl")
+      elif [ "$mode" = sampled ]; then
+        args+=(-sample-interval 250ms)
       fi
       # vbmc exits 1 for UNSAFE / 2 for INCONCLUSIVE; both still emit a
       # report, so don't let set -e kill the sweep.

@@ -13,7 +13,11 @@
 #   4. the run ledger works end to end: /v1/runs lists the sweep's
 #      runs, /v1/runs/{id} returns a record with a span tree, and the
 #      -run-log audit file is non-empty;
-#   5. a SIGTERM delivered while a long verification is in flight
+#   5. the SSE event stream works both ways: a completed run's
+#      /v1/runs/{id}/events replays ≥1 search frame and ends with a
+#      done frame, and a live in-flight run (addressed by its
+#      client_ref alias) streams ≥1 search frame mid-run;
+#   6. a SIGTERM delivered while a long verification is in flight
 #      drains gracefully: the daemon exits 0 and logs "drained, bye".
 #
 # Usage:
@@ -122,6 +126,40 @@ curl -fsS "$base/v1/runs/$run_id" | jq -e '(.spans | length) > 0 and .status == 
 grep -q "\"id\":\"$run_id\"" "$tmp/runs.jsonl" || {
   echo "FAIL: run $run_id missing from the audit log" >&2; exit 1; }
 echo "run ledger OK (latest run $run_id, audit log $(wc -l <"$tmp/runs.jsonl") lines)" >&2
+
+# SSE replay: a completed run's event stream must carry at least one
+# search frame (the sampler's terminal sample at minimum) and exactly
+# one terminal done frame.
+curl -sN --max-time 10 "$base/v1/runs/$run_id/events" >"$tmp/replay.sse" || true
+grep -q '^event: search' "$tmp/replay.sse" || {
+  echo "FAIL: completed-run SSE replay has no search frame:" >&2
+  cat "$tmp/replay.sse" >&2; exit 1; }
+[ "$(grep -c '^event: done' "$tmp/replay.sse")" -eq 1 ] || {
+  echo "FAIL: completed-run SSE replay lacks a single done frame" >&2
+  cat "$tmp/replay.sse" >&2; exit 1; }
+echo "SSE replay OK ($(grep -c '^event: search' "$tmp/replay.sse") search frames)" >&2
+
+# Live SSE: park a long verification carrying a client_ref alias and
+# stream its events mid-flight — at least one search frame must arrive
+# while the run executes. Killing the parked POST disconnects its
+# request context, which cancels the run server-side.
+curl -fsS -X POST "$base/v1/verify" -H 'Content-Type: application/json' \
+  -d '{"bench":"peterson_1","mode":"vbmc","k":5,"unroll":6,"timeout_seconds":120,"client_ref":"smoke-live-1"}' \
+  >/dev/null 2>&1 &
+live_pid=$!
+live_ok=""
+for _ in $(seq 1 25); do
+  curl -sN --max-time 3 "$base/v1/runs/smoke-live-1/events" >"$tmp/live.sse" 2>/dev/null || true
+  if grep -q '^event: search' "$tmp/live.sse"; then live_ok=1; break; fi
+  kill -0 "$live_pid" 2>/dev/null || break
+  sleep 0.2
+done
+kill "$live_pid" 2>/dev/null || true
+wait "$live_pid" 2>/dev/null || true
+[ -n "$live_ok" ] || {
+  echo "FAIL: no live search frame arrived on the in-flight stream:" >&2
+  cat "$tmp/live.sse" >&2; exit 1; }
+echo "live SSE OK (in-flight stream delivered search frames)" >&2
 
 # Graceful drain under fire: park a long verification on the daemon,
 # then SIGTERM it mid-run. The daemon must exit 0 within the grace.
