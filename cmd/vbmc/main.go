@@ -70,6 +70,7 @@ func run() int {
 		emit       = flag.Bool("emit", false, "print the translated SC program instead of checking")
 		autoK      = flag.Int("auto-k", -1, "search for the minimal K up to this bound instead of using -k")
 		jobs       = flag.Int("jobs", 0, "concurrent runs for -auto-k and -portfolio (0 = all CPUs, 1 = serial)")
+		swWorkers  = flag.Int("workers", 0, "work-stealing workers inside each backend search (0 = serial, negative = all CPUs); the verdict is identical at any width")
 		portfolio  = flag.Bool("portfolio", false, "run every engine on the program and cross-check the verdicts")
 		jsonOut    = flag.Bool("json", false, "emit a JSON run report on stdout instead of the summary line")
 		progress   = flag.Bool("progress", false, "print periodic live progress snapshots to stderr")
@@ -91,6 +92,15 @@ func run() int {
 	} else if err != nil {
 		return 3
 	}
+	// An explicitly passed -workers (any value, 0 included) is stamped
+	// into the JSON report's config, so bench sweeps over pool widths
+	// are self-describing — including their serial baseline.
+	workersSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			workersSet = true
+		}
+	})
 	if *showVer {
 		fmt.Println(version.String())
 		return 0
@@ -215,7 +225,7 @@ func run() int {
 	start := time.Now()
 	opts := ravbmc.VBMCOptions{
 		K: *k, Unroll: *l, MaxContexts: *contexts, Timeout: *timeout,
-		ExactDedup: *exactDedup, Obs: rec,
+		ExactDedup: *exactDedup, Workers: *swWorkers, Obs: rec,
 	}
 	var res ravbmc.VBMCResult
 	if *autoK >= 0 {
@@ -243,8 +253,11 @@ func run() int {
 		rep.Tool = "vbmc"
 		rep.Bench = prog.Name
 		rep.Search = smp.Series()
-		if *traceOut != "" || *spanOut != "" || smp != nil {
+		if *traceOut != "" || *spanOut != "" || smp != nil || workersSet {
 			rep.Config = map[string]string{}
+			if workersSet {
+				rep.Config["workers"] = fmt.Sprint(*swWorkers)
+			}
 			if *traceOut != "" {
 				rep.Config["trace"] = "enabled"
 				rep.Config["trace_format"] = *traceFmt

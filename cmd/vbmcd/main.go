@@ -56,6 +56,7 @@ func run() int {
 		defTimeout = flag.Duration("default-timeout", 60*time.Second, "compute deadline for requests that name none")
 		maxTimeout = flag.Duration("max-timeout", 10*time.Minute, "cap on a request's compute deadline")
 		jobs       = flag.Int("jobs", 0, "portfolio pool width (0 = engine default)")
+		searchWkrs = flag.Int("search-workers", 0, "work-stealing workers inside each single search (0 = serial); -workers admission slots each running this many workers occupy their product in CPUs at saturation")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long a shutdown waits for in-flight work before hard-cancelling")
 		ledgerSize = flag.Int("ledger", 256, "run records retained in memory behind /v1/runs (0 = default)")
 		runLog     = flag.String("run-log", "", "append one JSON line per completed run to this file (empty = off)")
@@ -105,7 +106,7 @@ func run() int {
 	s := serve.New(serve.Config{
 		Cache: c, Workers: *workers, Queue: *queue,
 		DefaultTimeout: *defTimeout, MaxTimeout: *maxTimeout,
-		Jobs: *jobs, Obs: rec,
+		Jobs: *jobs, SearchWorkers: *searchWkrs, Obs: rec,
 		Log: slog.New(handler), LedgerSize: *ledgerSize,
 		RunLog: audit, SlowRunThreshold: *slowRun,
 		SampleInterval: *sampleIv,

@@ -25,6 +25,12 @@ type ExecConfig struct {
 	// Jobs is the portfolio's pool width (<= 0 selects runtime.NumCPU);
 	// the single-engine modes run serially inside their worker slot.
 	Jobs int
+	// SearchWorkers is the work-stealing pool width inside a single
+	// search (core.Options.Workers / ra.Options.Workers): 0 keeps the
+	// searches serial, n >= 1 runs each on an n-worker pool, negative
+	// selects runtime.NumCPU. Verdict-neutral, so it stays out of the
+	// cache key like every other ExecConfig knob.
+	SearchWorkers int
 	// Obs, when non-nil, instruments the run.
 	Obs *obs.Recorder
 }
@@ -61,7 +67,7 @@ func execute(ctx context.Context, req Request, x ExecConfig) (Outcome, error) {
 		res, err := core.Run(prog, core.Options{
 			K: req.K, Unroll: req.Unroll, MaxContexts: req.MaxContexts,
 			MaxStates: req.MaxStates, Timeout: x.Timeout, Ctx: ctx,
-			ExactDedup: req.ExactDedup, Obs: x.Obs,
+			ExactDedup: req.ExactDedup, Workers: x.SearchWorkers, Obs: x.Obs,
 		})
 		if err != nil {
 			return Outcome{}, err
@@ -115,7 +121,7 @@ func execute(ctx context.Context, req Request, x ExecConfig) (Outcome, error) {
 		x.Obs.Search().SetProbe(int64(bound), unrollProbe)
 		opts := ra.Options{
 			ViewBound: bound, StopOnViolation: true, MaxStates: req.MaxStates,
-			ExactDedup: req.ExactDedup, Ctx: ctx, Obs: x.Obs,
+			ExactDedup: req.ExactDedup, Workers: x.SearchWorkers, Ctx: ctx, Obs: x.Obs,
 		}
 		if x.Timeout > 0 {
 			opts.Deadline = time.Now().Add(x.Timeout)

@@ -73,6 +73,15 @@ type Options struct {
 	// keys instead of 64-bit fingerprints (see sc.Options.ExactDedup and
 	// internal/fp); for collision-paranoid runs and parity testing.
 	ExactDedup bool
+	// Workers selects intra-query parallel exploration in the SC
+	// backend: 0 keeps every search serial, n >= 1 runs each backend
+	// search on an n-worker work-stealing pool, negative selects
+	// runtime.NumCPU. The verdict is identical either way (see
+	// internal/partest); only wall clock changes.
+	Workers int
+	// StealSeed seeds the backend pools' steal-order randomization;
+	// exposed for the differential fuzz harness.
+	StealSeed int64
 	// Obs, when non-nil, instruments the run: the driver records
 	// per-phase spans (validate, unroll, per-probe translate / compile /
 	// deepen / search, the full translate, and the final compile /
@@ -232,7 +241,7 @@ func Run(prog *lang.Program, opts Options) (Result, error) {
 			if err != nil {
 				return Result{}, err
 			}
-			probeOpts := sc.Options{MaxContexts: bound, MaxStates: tier.maxStates, Ctx: opts.Ctx, ExactDedup: opts.ExactDedup, Obs: rec}
+			probeOpts := sc.Options{MaxContexts: bound, MaxStates: tier.maxStates, Ctx: opts.Ctx, ExactDedup: opts.ExactDedup, Workers: opts.Workers, StealSeed: opts.StealSeed, Obs: rec}
 			if opts.MaxStates > 0 && opts.MaxStates < probeOpts.MaxStates {
 				probeOpts.MaxStates = opts.MaxStates
 			}
@@ -275,7 +284,7 @@ func Run(prog *lang.Program, opts Options) (Result, error) {
 	}
 	out.TranslatedStmts = translated.CountStmts()
 	rec.Gauge("translate.stmts").Set(int64(out.TranslatedStmts))
-	scOpts := sc.Options{MaxContexts: bound, MaxStates: opts.MaxStates, Deadline: deadline, Ctx: opts.Ctx, ExactDedup: opts.ExactDedup, Obs: rec}
+	scOpts := sc.Options{MaxContexts: bound, MaxStates: opts.MaxStates, Deadline: deadline, Ctx: opts.Ctx, ExactDedup: opts.ExactDedup, Workers: opts.Workers, StealSeed: opts.StealSeed, Obs: rec}
 	finalStart := time.Now()
 	res := checkDeepening(translated, bound, scOpts, rec, "final")
 	finalSecs := time.Since(finalStart).Seconds()

@@ -96,6 +96,31 @@ func (s *Set) Visit(key []byte, budget int) bool {
 	return true
 }
 
+// VisitHash is Visit for callers that already computed Hash64(key): the
+// engines hash each state key once and reuse the fingerprint for both
+// the probe and violation tie-breaking (MixOrdinal). In exact mode the
+// hash is ignored and the full key decides.
+func (s *Set) VisitHash(h uint64, key []byte, budget int) bool {
+	if s.exact != nil {
+		return s.Visit(key, budget)
+	}
+	if prev, ok := s.fp[h]; ok && prev <= budget {
+		return false
+	}
+	s.fp[h] = budget
+	return true
+}
+
+// MixOrdinal derives the fingerprint of the ord-th transition scanned
+// out of a state whose key fingerprint is h. The engines' census mode
+// keeps the violation with the smallest mixed fingerprint as its
+// witness — a tie-break any worker can apply locally, making the chosen
+// witness independent of discovery order (see DESIGN.md). One FNV step
+// disperses both the ordinal and the state bits.
+func MixOrdinal(h uint64, ord int) uint64 {
+	return (h ^ uint64(ord+1)) * prime64
+}
+
 // Len returns the number of distinct states recorded.
 func (s *Set) Len() int {
 	if s.exact != nil {

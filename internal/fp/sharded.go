@@ -1,0 +1,147 @@
+package fp
+
+import "sync"
+
+// shardCount is the number of shards of a ShardedSet. 256 shards keep
+// the probability of two of even 32 workers colliding on one shard
+// lock below 2% per probe pair, while the per-shard maps stay large
+// enough to amortise map overhead. Must be a power of two: shards are
+// selected by the high bits of the 64-bit fingerprint, so the
+// selection reuses the hash the probe needs anyway and every shard
+// receives a uniform slice of the key space.
+const shardCount = 256
+
+// shardShift extracts the shard index from the top bits of a
+// fingerprint. The low bits keep their full entropy for the in-shard
+// map, so sharding never degrades map bucket distribution.
+const shardShift = 64 - 8
+
+// ShardedSet is the concurrent counterpart of Set: a visited set for
+// budget-bounded searches that many workers probe and update at once.
+// The key space is partitioned into shardCount independent shards by
+// the high bits of the key's 64-bit fingerprint, each shard guarded by
+// its own mutex, so concurrent probes contend only when their states
+// land in the same 1/256th of the fingerprint space.
+//
+// Semantics are identical to Set.Visit: first visit wins, a revisit
+// with at least as much budget used is pruned, a revisit with strictly
+// less budget re-explores. Because the outcome of Visit depends only
+// on the key and the budget history of that key — never on which
+// worker asks — the set of "explore" answers over any concurrent
+// schedule equals the serial set's answers when the engines pass a
+// constant budget (the order-independent discipline of the parallel
+// explorers; see DESIGN.md).
+type ShardedSet struct {
+	exact  bool
+	shards [shardCount]shard
+}
+
+// shard is one lock-striped slice of the set. The maps mirror Set's
+// fingerprint/exact modes.
+type shard struct {
+	mu       sync.Mutex
+	fp       map[uint64]int
+	exact    map[string]int
+	keyBytes int64 // exact mode: retained key bytes of this shard
+}
+
+// NewShardedSet returns an empty concurrent visited set; exact selects
+// full-key retention over the default 64-bit fingerprint mode (same
+// trade-off as NewSet).
+func NewShardedSet(exact bool) *ShardedSet {
+	s := &ShardedSet{exact: exact}
+	for i := range s.shards {
+		if exact {
+			s.shards[i].exact = make(map[string]int)
+		} else {
+			s.shards[i].fp = make(map[uint64]int)
+		}
+	}
+	return s
+}
+
+// Exact reports whether the set retains full keys.
+func (s *ShardedSet) Exact() bool { return s.exact }
+
+// Visit records that the state serialised as key has been reached with
+// the given budget used and reports whether it must be explored (see
+// Set.Visit). Safe for concurrent use; key may reuse a caller-owned
+// buffer (it is copied only on a new exact-mode insert). The probe
+// path is allocation-free in both modes.
+func (s *ShardedSet) Visit(key []byte, budget int) bool {
+	h := Hash64(key)
+	sh := &s.shards[h>>shardShift]
+	sh.mu.Lock()
+	ok := sh.visitLocked(s.exact, h, key, budget)
+	sh.mu.Unlock()
+	return ok
+}
+
+// VisitHash is Visit for callers that already computed Hash64(key) —
+// the parallel explorers hash once and reuse the fingerprint for both
+// shard selection and violation tie-breaking.
+func (s *ShardedSet) VisitHash(h uint64, key []byte, budget int) bool {
+	sh := &s.shards[h>>shardShift]
+	sh.mu.Lock()
+	ok := sh.visitLocked(s.exact, h, key, budget)
+	sh.mu.Unlock()
+	return ok
+}
+
+func (sh *shard) visitLocked(exact bool, h uint64, key []byte, budget int) bool {
+	if exact {
+		prev, ok := sh.exact[string(key)]
+		if ok && prev <= budget {
+			return false
+		}
+		if !ok {
+			sh.keyBytes += int64(len(key))
+		}
+		sh.exact[string(key)] = budget
+		return true
+	}
+	if prev, ok := sh.fp[h]; ok && prev <= budget {
+		return false
+	}
+	sh.fp[h] = budget
+	return true
+}
+
+// Len returns the number of distinct states recorded, summed across
+// shards. It locks each shard in turn, so concurrent Visits may land
+// between shard reads; engines call it on their flush cadence, where a
+// momentarily stale occupancy is fine.
+func (s *ShardedSet) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if s.exact {
+			n += len(sh.exact)
+		} else {
+			n += len(sh.fp)
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// ApproxBytes estimates the heap footprint across all shards, using
+// the same per-entry constants as Set.ApproxBytes. Like Len it is a
+// flush-cadence figure, not a linearizable one, but it is monotone
+// over any quiescent sequence of snapshots: entries are only ever
+// added.
+func (s *ShardedSet) ApproxBytes() int64 {
+	var b int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if s.exact {
+			b += sh.keyBytes + int64(len(sh.exact))*exactEntryBytes
+		} else {
+			b += int64(len(sh.fp)) * fpEntryBytes
+		}
+		sh.mu.Unlock()
+	}
+	return b
+}

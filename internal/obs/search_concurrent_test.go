@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSearchStatsConcurrentTotalsMonotone models the parallel engines'
+// telemetry pattern — several workers flushing deltas while a sampler
+// snapshots concurrently — and asserts what the dashboard relies on:
+// no snapshot ever shows a total going backwards or a torn partial
+// value, and the final totals equal the exact sum of all flushed
+// deltas.
+func TestSearchStatsConcurrentTotalsMonotone(t *testing.T) {
+	s := NewSearchStats()
+	const workers = 8
+	const flushes = 2000
+	var stop atomic.Bool
+	var snapErr atomic.Value
+
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		var prev SearchPoint
+		for !stop.Load() {
+			p := s.Snapshot()
+			if p.States < prev.States || p.Transitions < prev.Transitions ||
+				p.DedupProbes < prev.DedupProbes || p.DedupHits < prev.DedupHits ||
+				p.Violations < prev.Violations || p.FrontierHWM < prev.FrontierHWM {
+				snapErr.Store(p)
+				return
+			}
+			prev = p
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < flushes; i++ {
+				s.Add(1, 2, 3, 1, int64(w%2))
+				s.SetFrontier(int64(i % 100))
+			}
+		}()
+	}
+	wg.Wait()
+	stop.Store(true)
+	snapWG.Wait()
+
+	if v := snapErr.Load(); v != nil {
+		t.Fatalf("a snapshot observed a decreasing total: %+v", v)
+	}
+	final := s.Snapshot()
+	if final.States != workers*flushes {
+		t.Errorf("states = %d, want %d", final.States, workers*flushes)
+	}
+	if final.Transitions != 2*workers*flushes {
+		t.Errorf("transitions = %d, want %d", final.Transitions, 2*workers*flushes)
+	}
+	if final.Violations != flushes*(workers/2) {
+		t.Errorf("violations = %d, want %d", final.Violations, flushes*(workers/2))
+	}
+}
+
+// TestSearchStatsConcurrentFrontierHWM hammers SetFrontier from many
+// goroutines with interleaved shrinking and growing depths: the
+// high-water mark must end exactly at the global maximum — the CAS
+// max-loop may lose a race to a larger value but never to a smaller
+// one.
+func TestSearchStatsConcurrentFrontierHWM(t *testing.T) {
+	s := NewSearchStats()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for d := 0; d < 1000; d++ {
+				// Worker w peaks at 1000*(w+1); the global max is
+				// worker 7's 8000.
+				s.SetFrontier(int64((d % 1000) * (w + 1)))
+				s.SetFrontier(0) // shrink must never move the HWM
+			}
+			s.SetFrontier(int64(1000 * (w + 1)))
+		}()
+	}
+	wg.Wait()
+	if got := s.Snapshot().FrontierHWM; got != 8000 {
+		t.Errorf("FrontierHWM = %d, want the global max 8000", got)
+	}
+}
+
+// TestSearchStatsConcurrentSnapshotRate lets many snapshotters race
+// the EWMA update while workers add progress: the rate must stay
+// finite and non-negative in every observed snapshot (the CAS
+// single-winner rule is what prevents near-zero-dt spikes and torn
+// float updates).
+func TestSearchStatsConcurrentSnapshotRate(t *testing.T) {
+	s := NewSearchStats()
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	bad := make(chan float64, 1)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				r := s.Snapshot().StatesPerSec
+				if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+					select {
+					case bad <- r:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50000; i++ {
+		s.Add(1, 1, 0, 0, 0)
+	}
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case r := <-bad:
+		t.Fatalf("snapshot observed an invalid rate %v", r)
+	default:
+	}
+}

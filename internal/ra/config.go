@@ -343,6 +343,20 @@ func appendCtxSuffix(buf []byte, last, contexts int) []byte {
 	return buf
 }
 
+// appendSwitchSuffix folds the view-switch coordinate into the key.
+// Under a view bound the explorers key each state by the exact number
+// of switches used, so the visited set's answers — and with them the
+// state and transition counts — depend only on the annotated state
+// graph, never on the order the search walks it (the serial/parallel
+// parity discipline; see DESIGN.md). The suffix reuses the keyCtx
+// marker: which suffixes are present is fixed per run by the Options,
+// so the encoding stays injective within a run.
+func appendSwitchSuffix(buf []byte, switches int) []byte {
+	buf = append(buf, keyCtx)
+	buf = appendKeyVal(buf, int64(switches))
+	return buf
+}
+
 // MemoryString renders the message pool for debugging and examples:
 // one line per variable with the modification order of values, glue
 // marks (*) and writer annotations.

@@ -30,10 +30,29 @@ type Options struct {
 	// mode of all tools in the paper's evaluation). When false the
 	// search continues past failing assertions: Result.Violation is
 	// still set, Result.Violations counts every violating transition
-	// encountered, Result.Trace witnesses the first one, and Exhausted
-	// reports full coverage as usual — use this mode to census a
-	// program's bugs rather than stop at the first.
+	// encountered, Result.Trace witnesses the violation with the
+	// minimal fingerprint (a deterministic tie-break independent of
+	// search order, so serial and parallel censuses agree byte for
+	// byte), and Exhausted reports full coverage as usual — use this
+	// mode to census a program's bugs rather than stop at the first.
 	StopOnViolation bool
+	// Workers selects intra-query parallel exploration: 0 runs the
+	// serial explorer, n >= 1 runs n workers over a work-stealing
+	// frontier with a sharded visited set (1 is a one-worker pool — the
+	// differential harness's anchor), and a negative value uses all
+	// CPUs.
+	// Verdicts are identical at every width; in census mode
+	// (StopOnViolation=false) state counts, transition counts and the
+	// witness are identical too (see DESIGN.md on the parity
+	// discipline). A stopped search (first violation or target) returns
+	// a valid witness, but which one — and the partial counts — depend
+	// on the schedule.
+	Workers int
+	// StealSeed seeds the work-stealing victim order of the parallel
+	// explorer. Any value is fine (0 included); the partest fuzz mode
+	// varies it to perturb steal schedules while asserting identical
+	// results. Ignored by the serial explorer.
+	StealSeed int64
 	// ContextBound limits the number of contexts (maximal blocks of
 	// steps by one process); 0 or negative means unbounded. Used to
 	// check the paper's remark that the Theorem 4.1 reduction works
@@ -98,20 +117,27 @@ type Result struct {
 }
 
 // Explore runs a depth-first search over the RA transition system with
-// state dedup. Dedup accounts for the remaining view-switch budget: a
-// state revisited with a smaller number of used switches is re-explored,
-// since more behaviours are reachable from it. The DFS itself runs on an
-// explicit heap-allocated stack, so deep MaxSteps runs (looping
-// programs) cannot overflow the goroutine stack.
+// state dedup. Under a view bound, states are keyed by (configuration,
+// switches used) — see appendSwitchSuffix — so the reached node set is
+// a property of the annotated state graph alone and serial and parallel
+// explorations agree exactly. The DFS itself runs on an explicit
+// heap-allocated stack, so deep MaxSteps runs (looping programs) cannot
+// overflow the goroutine stack. With Options.Workers > 1 the frontier
+// is partitioned across a work-stealing pool instead (see parallel.go).
 func (s *System) Explore(opts Options) Result {
 	span := opts.Obs.StartPhase("ra.explore")
 	span.SetAttrInt("view_bound", int64(opts.ViewBound))
 	defer span.End()
+	if w := resolveWorkers(opts.Workers); w >= 1 {
+		span.SetAttrInt("workers", int64(w))
+		return s.exploreParallel(opts, w)
+	}
 	e := &explorer{
 		sys:     s,
 		opts:    opts,
 		visited: fp.NewSet(opts.ExactDedup),
 		capture: opts.CaptureViews || s.CaptureViews,
+		bestVFP: ^uint64(0),
 	}
 	e.cStates = opts.Obs.Counter("ra.states")
 	e.cTransitions = opts.Obs.Counter("ra.transitions")
@@ -163,7 +189,7 @@ type explorer struct {
 	sys       *System
 	opts      Options
 	ctx       context.Context // nil when the search has no deadline/cancel scope
-	visited   *fp.Set         // state key -> min view switches used
+	visited   *fp.Set         // suffixed state key, constant budget (see expand)
 	keyBuf    []byte          // reused dedup-key buffer
 	capture   bool            // per-run view snapshotting
 	path      []trace.Event
@@ -171,6 +197,17 @@ type explorer struct {
 	revisits  int // dedup hits, for telemetry flushes
 	result    Result
 	exhausted bool
+
+	// bestVFP is the smallest violation fingerprint seen so far in
+	// census mode; its trace is the deterministic witness.
+	bestVFP uint64
+	// directed, when set, turns the census into a witness regeneration
+	// run: the search stops with the trace of the violation whose
+	// fingerprint equals stopAtVFP (the parallel census finds the
+	// minimal fingerprint concurrently, then replays serially for the
+	// canonical path; see exploreParallel).
+	directed  bool
+	stopAtVFP uint64
 
 	cStates, cTransitions, cRevisits *obs.Counter
 	cBranchPoints, cBranchChoices    *obs.Counter
@@ -286,11 +323,20 @@ func (e *explorer) expand(c *Config, switches, depth, last, contexts int) ([]chi
 			return nil, true
 		}
 	}
+	// Order-independent dedup: every active budget coordinate is folded
+	// into the key and the budget argument is constant, so whether a
+	// node is explored depends only on the node — never on which path
+	// or worker reached it first. Serial and parallel explorations
+	// therefore expand the same node set (the parity discipline).
 	e.keyBuf = e.sys.AppendDedupKey(c, e.keyBuf[:0])
 	if e.opts.ContextBound > 0 {
 		e.keyBuf = appendCtxSuffix(e.keyBuf, last, contexts)
 	}
-	if !e.visited.Visit(e.keyBuf, switches) {
+	if e.opts.ViewBound >= 0 {
+		e.keyBuf = appendSwitchSuffix(e.keyBuf, switches)
+	}
+	h := fp.Hash64(e.keyBuf)
+	if !e.visited.VisitHash(h, e.keyBuf, 0) {
 		e.revisits++
 		e.cRevisits.Inc()
 		return nil, false
@@ -316,6 +362,7 @@ func (e *explorer) expand(c *Config, switches, depth, last, contexts int) ([]chi
 		return nil, false
 	}
 	var kids []child
+	ord := 0 // transition ordinal within this node, for MixOrdinal
 	for p := 0; p < e.sys.NumProcs(); p++ {
 		nc := contexts
 		if p != last {
@@ -332,16 +379,30 @@ func (e *explorer) expand(c *Config, switches, depth, last, contexts int) ([]chi
 			e.cBranchChoices.Add(int64(len(succs)))
 		}
 		for _, succ := range succs {
+			vord := ord
+			ord++
 			e.result.Transitions++
 			e.cTransitions.Inc()
 			if succ.Violation {
 				e.result.Violation = true
 				e.result.Violations++
-				if e.result.Trace == nil {
-					e.result.Trace = &trace.Trace{Events: append(append([]trace.Event(nil), e.path...), succ.Event)}
-				}
-				if e.opts.StopOnViolation {
+				vfp := fp.MixOrdinal(h, vord)
+				switch {
+				case e.directed:
+					if vfp == e.stopAtVFP {
+						e.result.Trace = &trace.Trace{Events: append(append([]trace.Event(nil), e.path...), succ.Event)}
+						return nil, true
+					}
+				case e.opts.StopOnViolation:
+					if e.result.Trace == nil {
+						e.result.Trace = &trace.Trace{Events: append(append([]trace.Event(nil), e.path...), succ.Event)}
+					}
 					return nil, true
+				case e.result.Trace == nil || vfp < e.bestVFP:
+					// Census witness: keep the minimal-fingerprint
+					// violation, the schedule-independent tie-break.
+					e.bestVFP = vfp
+					e.result.Trace = &trace.Trace{Events: append(append([]trace.Event(nil), e.path...), succ.Event)}
 				}
 				continue
 			}
@@ -359,15 +420,21 @@ func (e *explorer) expand(c *Config, switches, depth, last, contexts int) ([]chi
 }
 
 func (e *explorer) targetReached(c *Config) bool {
-	if len(e.opts.TargetLabels) == 0 {
+	return e.sys.targetAt(c, e.opts.TargetLabels)
+}
+
+// targetAt reports whether every process listed in targets is at its
+// label in c; shared by the serial and parallel explorers.
+func (s *System) targetAt(c *Config, targets map[string]string) bool {
+	if len(targets) == 0 {
 		return false
 	}
-	for name, label := range e.opts.TargetLabels {
-		pi := e.sys.Prog.ProcIndex(name)
+	for name, label := range targets {
+		pi := s.Prog.ProcIndex(name)
 		if pi < 0 {
 			return false
 		}
-		if e.sys.Prog.Procs[pi].LabelAt(c.pcs[pi]) != label {
+		if s.Prog.Procs[pi].LabelAt(c.pcs[pi]) != label {
 			return false
 		}
 	}

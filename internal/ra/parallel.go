@@ -1,0 +1,391 @@
+package ra
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ravbmc/internal/fp"
+	"ravbmc/internal/obs"
+	"ravbmc/internal/sched"
+	"ravbmc/internal/trace"
+)
+
+// resolveWorkers maps Options.Workers to a pool width: 0 selects the
+// serial explorer, n >= 1 exactly n workers, negative all CPUs.
+func resolveWorkers(w int) int {
+	if w < 0 {
+		return runtime.NumCPU()
+	}
+	return w
+}
+
+// errStopSearch is returned by a worker's expand to halt the whole pool
+// on a terminal condition: first violation under StopOnViolation, the
+// target configuration, or the MaxStates cap.
+var errStopSearch = errors.New("ra: search stopped")
+
+// testParallelExpandHook, when non-nil, runs at the top of every
+// parallel expansion. The worker-panic regression test injects a crash
+// here to prove a dying worker surfaces as a panic on the caller, not a
+// hang.
+var testParallelExpandHook func(worker, depth int)
+
+// pathNode is one link of a worker's path to a state. The serial
+// explorer keeps a single mutable path slice alongside its stack;
+// parallel workers interleave unrelated subtrees, so each frontier item
+// instead carries an immutable parent chain, shared structurally
+// between siblings.
+type pathNode struct {
+	parent *pathNode
+	event  trace.Event
+}
+
+// toTrace materialises the chain root-first, appending extra events
+// (the violating transition itself, which never becomes a frontier
+// item). Safe on a nil chain (a violation right out of the root).
+func (n *pathNode) toTrace(extra ...trace.Event) *trace.Trace {
+	depth := 0
+	for m := n; m != nil; m = m.parent {
+		depth++
+	}
+	events := make([]trace.Event, depth+len(extra))
+	i := depth
+	for m := n; m != nil; m = m.parent {
+		i--
+		events[i] = m.event
+	}
+	copy(events[depth:], extra)
+	return &trace.Trace{Events: events}
+}
+
+// pitem is one frontier item of the parallel exploration: a
+// configuration plus the search coordinates it is entered with — the
+// same tuple the serial explorer threads through expand.
+type pitem struct {
+	cfg      *Config
+	path     *pathNode
+	depth    int
+	last     int
+	contexts int
+	switches int
+}
+
+// pexplorer is the shared state of one parallel exploration. Counters
+// are atomics the workers update directly; the terminal artifacts
+// (stop-mode trace, target flag) go under stopMu, written once by the
+// winning worker.
+type pexplorer struct {
+	sys     *System
+	opts    Options
+	visited *fp.ShardedSet
+	capture bool
+
+	states       atomic.Int64
+	transitions  atomic.Int64
+	violations   atomic.Int64
+	revisits     atomic.Int64
+	steps        atomic.Int64
+	peakMessages atomic.Int64
+	incomplete   atomic.Bool // MaxSteps or MaxStates cut a branch
+	bestVFP      atomic.Uint64
+
+	stopMu        sync.Mutex
+	stopTrace     *trace.Trace
+	targetReached bool
+
+	// bufs[w] is worker w's reusable dedup-key buffer: encode+probe
+	// stays allocation-free per worker, as in the serial explorer.
+	bufs [][]byte
+
+	cStates, cTransitions, cRevisits *obs.Counter
+	cBranchPoints, cBranchChoices    *obs.Counter
+	gMaxDepth, gPeakMessages         *obs.Gauge
+
+	stats   *obs.SearchStats
+	flushMu sync.Mutex
+	mark    flushMark
+}
+
+// exploreParallel partitions the DFS frontier across a work-stealing
+// pool. The dedup discipline (expand in explore.go) makes the explored
+// node set schedule-invariant, so a full run reproduces the serial
+// States/Transitions/Violations exactly; the census witness is
+// regenerated serially from the minimal violation fingerprint so it is
+// byte-identical too. Stopped searches (violation under
+// StopOnViolation, target) report whichever worker won, with a valid
+// witness reconstructed from its path chain.
+func (s *System) exploreParallel(opts Options, workers int) Result {
+	p := &pexplorer{
+		sys:     s,
+		opts:    opts,
+		visited: fp.NewShardedSet(opts.ExactDedup),
+		capture: opts.CaptureViews || s.CaptureViews,
+		bufs:    make([][]byte, workers),
+	}
+	if p.opts.MaxSteps == 0 {
+		p.opts.MaxSteps = 1 << 20
+	}
+	p.bestVFP.Store(^uint64(0))
+	p.cStates = opts.Obs.Counter("ra.states")
+	p.cTransitions = opts.Obs.Counter("ra.transitions")
+	p.cRevisits = opts.Obs.Counter("ra.revisits")
+	p.cBranchPoints = opts.Obs.Counter("ra.branch_points")
+	p.cBranchChoices = opts.Obs.Counter("ra.branch_choices")
+	p.gMaxDepth = opts.Obs.Gauge("ra.max_depth")
+	p.gPeakMessages = opts.Obs.Gauge("ra.peak_messages")
+	p.stats = opts.Obs.Search()
+
+	ctx := opts.Ctx
+	if !opts.Deadline.IsZero() {
+		base := ctx
+		if base == nil {
+			base = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(base, opts.Deadline)
+		defer cancel()
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Err() != nil {
+		return Result{TimedOut: true}
+	}
+
+	pool := sched.NewSteal[pitem](workers, opts.StealSeed)
+	err := pool.Run(ctx, []pitem{{cfg: s.Init(), last: -1}}, p.expand)
+	var pe *sched.PanicError
+	if errors.As(err, &pe) {
+		// A worker panic is a broken invariant, not a verdict: re-raise
+		// it on the caller like the serial explorer would have.
+		panic(pe)
+	}
+
+	res := Result{
+		States:       int(p.states.Load()),
+		Transitions:  int(p.transitions.Load()),
+		Violations:   int(p.violations.Load()),
+		PeakMessages: int(p.peakMessages.Load()),
+	}
+	res.Violation = res.Violations > 0
+	p.stopMu.Lock()
+	res.TargetReached = p.targetReached
+	res.Trace = p.stopTrace
+	p.stopMu.Unlock()
+	if err != nil && !errors.Is(err, errStopSearch) {
+		res.TimedOut = true
+	}
+	res.Exhausted = !p.incomplete.Load() && !res.TimedOut &&
+		!res.TargetReached && !(res.Violation && opts.StopOnViolation)
+	if res.Violation && !opts.StopOnViolation && !res.TargetReached && !res.TimedOut {
+		// Census witness: the workers agreed on the minimal violation
+		// fingerprint; replay serially for its canonical path, which is
+		// exactly the trace the serial census records.
+		res.Trace = s.regenWitness(opts, p.bestVFP.Load())
+	}
+	p.finalFlush()
+	return res
+}
+
+// expand visits one frontier item: the same dedup, counters, caps,
+// target and successor scan as the serial explorer's expand, with
+// accepted children pushed onto the worker's deque instead of a stack
+// frame.
+func (p *pexplorer) expand(ctx context.Context, w int, it pitem, push func(pitem), f sched.Frontier) error {
+	if hook := testParallelExpandHook; hook != nil {
+		hook(w, it.depth)
+	}
+	if p.steps.Add(1)%deadlineStride == 0 {
+		p.flush(f)
+	}
+	buf := p.sys.AppendDedupKey(it.cfg, p.bufs[w][:0])
+	if p.opts.ContextBound > 0 {
+		buf = appendCtxSuffix(buf, it.last, it.contexts)
+	}
+	if p.opts.ViewBound >= 0 {
+		buf = appendSwitchSuffix(buf, it.switches)
+	}
+	p.bufs[w] = buf
+	h := fp.Hash64(buf)
+	if !p.visited.VisitHash(h, buf, 0) {
+		p.revisits.Add(1)
+		p.cRevisits.Inc()
+		return nil
+	}
+	states := p.states.Add(1)
+	p.cStates.Inc()
+	p.gMaxDepth.SetMax(int64(it.depth))
+	if n := int64(it.cfg.MsgCount()); n > p.peakMessages.Load() {
+		storeMax(&p.peakMessages, n)
+		p.gPeakMessages.SetMax(n)
+	}
+	if p.opts.MaxStates > 0 && states >= int64(p.opts.MaxStates) {
+		p.incomplete.Store(true)
+		return errStopSearch
+	}
+	if p.sys.targetAt(it.cfg, p.opts.TargetLabels) {
+		p.stopMu.Lock()
+		if !p.targetReached {
+			p.targetReached = true
+			p.stopTrace = it.path.toTrace()
+		}
+		p.stopMu.Unlock()
+		return errStopSearch
+	}
+	if it.depth >= p.opts.MaxSteps {
+		p.incomplete.Store(true)
+		return nil
+	}
+	ord := 0
+	for proc := 0; proc < p.sys.NumProcs(); proc++ {
+		nc := it.contexts
+		if proc != it.last {
+			nc++
+			if p.opts.ContextBound > 0 && nc > p.opts.ContextBound {
+				continue
+			}
+		}
+		succs := p.sys.successors(it.cfg, proc, p.capture)
+		if len(succs) > 1 {
+			p.cBranchPoints.Inc()
+			p.cBranchChoices.Add(int64(len(succs)))
+		}
+		for _, succ := range succs {
+			vord := ord
+			ord++
+			p.transitions.Add(1)
+			p.cTransitions.Inc()
+			if succ.Violation {
+				p.violations.Add(1)
+				if p.opts.StopOnViolation {
+					p.stopMu.Lock()
+					if p.stopTrace == nil {
+						p.stopTrace = it.path.toTrace(succ.Event)
+					}
+					p.stopMu.Unlock()
+					return errStopSearch
+				}
+				storeMin(&p.bestVFP, fp.MixOrdinal(h, vord))
+				continue
+			}
+			if succ.ViewSwitch && p.opts.ViewBound >= 0 && it.switches >= p.opts.ViewBound {
+				continue
+			}
+			ns := it.switches
+			if succ.ViewSwitch {
+				ns++
+			}
+			push(pitem{
+				cfg:      succ.Config,
+				path:     &pathNode{parent: it.path, event: succ.Event},
+				depth:    it.depth + 1,
+				last:     proc,
+				contexts: nc,
+				switches: ns,
+			})
+		}
+	}
+	return nil
+}
+
+// flush pushes since-last-flush deltas into the live telemetry block.
+// The mark lives under flushMu so concurrent flushes never double-count
+// a delta: totals in the sampled series only ever grow.
+func (p *pexplorer) flush(f sched.Frontier) {
+	if p.stats == nil {
+		return
+	}
+	p.flushMu.Lock()
+	cur := flushMark{
+		states:      int(p.states.Load()),
+		transitions: int(p.transitions.Load()),
+		probes:      int(p.steps.Load()),
+		hits:        int(p.revisits.Load()),
+		violations:  int(p.violations.Load()),
+	}
+	p.stats.Add(
+		int64(cur.states-p.mark.states),
+		int64(cur.transitions-p.mark.transitions),
+		int64(cur.probes-p.mark.probes),
+		int64(cur.hits-p.mark.hits),
+		int64(cur.violations-p.mark.violations),
+	)
+	p.mark = cur
+	p.flushMu.Unlock()
+	if f != nil {
+		p.stats.SetFrontier(f.Pending())
+	}
+	p.stats.SetVisited(int64(p.visited.Len()), p.visited.ApproxBytes())
+}
+
+// finalFlush lands the run's totals after the pool has drained, so the
+// last telemetry sample matches the Result exactly.
+func (p *pexplorer) finalFlush() {
+	if p.stats == nil {
+		return
+	}
+	p.flush(nil)
+	p.stats.SetFrontier(0)
+}
+
+// regenWitness reruns the census serially in directed mode, stopping at
+// the violation whose fingerprint the parallel census selected. The
+// replay shares the dedup discipline, so it walks the same node set and
+// must encounter the fingerprint; its path is the canonical witness.
+// Observability and budgets are stripped: the replay must neither
+// double-count telemetry nor be cut short of the known violation.
+func (s *System) regenWitness(opts Options, vfp uint64) *trace.Trace {
+	o := opts
+	o.Workers = 0
+	o.Obs = nil
+	o.Ctx = nil
+	o.Deadline = time.Time{}
+	o.MaxStates = 0
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 1 << 20
+	}
+	e := &explorer{
+		sys:       s,
+		opts:      o,
+		visited:   fp.NewSet(o.ExactDedup),
+		capture:   o.CaptureViews || s.CaptureViews,
+		bestVFP:   ^uint64(0),
+		directed:  true,
+		stopAtVFP: vfp,
+	}
+	e.cStates = o.Obs.Counter("ra.states")
+	e.cTransitions = o.Obs.Counter("ra.transitions")
+	e.cRevisits = o.Obs.Counter("ra.revisits")
+	e.cBranchPoints = o.Obs.Counter("ra.branch_points")
+	e.cBranchChoices = o.Obs.Counter("ra.branch_choices")
+	e.gMaxDepth = o.Obs.Gauge("ra.max_depth")
+	e.gPeakMessages = o.Obs.Gauge("ra.peak_messages")
+	e.stats = o.Obs.Search()
+	e.exhausted = true
+	e.search(s.Init())
+	return e.result.Trace
+}
+
+// storeMin lowers a to v if v is smaller (lock-free running minimum).
+func storeMin(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v >= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// storeMax raises a to v if v is larger (lock-free running maximum).
+func storeMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

@@ -25,6 +25,9 @@ func TestTelemetryParityLitmusCorpus(t *testing.T) {
 		for _, opts := range []ra.Options{
 			{ViewBound: -1, StopOnViolation: true},
 			{ViewBound: 1, StopOnViolation: false},
+			// Parallel census: the workers flush shared atomic stats,
+			// and the final snapshot must still equal the engine totals.
+			{ViewBound: -1, Workers: 4},
 		} {
 			plain := sys.Explore(opts)
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ravbmc/internal/fp"
+	"ravbmc/internal/lang"
 	"ravbmc/internal/obs"
 	"ravbmc/internal/trace"
 )
@@ -39,6 +40,22 @@ type Options struct {
 	// ExactDedup makes the visited set retain full state keys instead of
 	// 64-bit fingerprints. See ra.Options.ExactDedup and internal/fp.
 	ExactDedup bool
+	// CensusViolations makes the search continue past failing assertions
+	// instead of stopping at the first (the zero value keeps the
+	// stop-at-first behaviour): Result.Violations counts every violating
+	// macro-step, Result.Trace witnesses the violation with the minimal
+	// fingerprint (init-closure violations, scanned in their
+	// deterministic order, take priority), and Exhausted reports full
+	// coverage. Census results are schedule-invariant, which is what the
+	// serial/parallel parity harness asserts.
+	CensusViolations bool
+	// Workers selects intra-query parallel checking: 0 serial, n >= 1
+	// that many work-stealing workers, negative all CPUs. See
+	// ra.Options.Workers for the determinism contract.
+	Workers int
+	// StealSeed seeds the parallel checker's steal-order RNG; see
+	// ra.Options.StealSeed.
+	StealSeed int64
 	// Obs, when non-nil, receives the search counters ("sc.states",
 	// "sc.transitions", "sc.dedup_hits", "sc.dedup_misses",
 	// "sc.macro_steps") and gauges ("sc.max_depth",
@@ -54,6 +71,10 @@ type Result struct {
 	Trace         *trace.Trace
 	States        int
 	Transitions   int
+	// Violations counts the violating macro-steps encountered: at most
+	// 1 in the default stop-at-first mode, the full census under
+	// CensusViolations.
+	Violations int
 	// Exhausted is true if every quiescent state reachable within the
 	// context bound was covered, so "no violation" is conclusive for
 	// that bound.
@@ -78,7 +99,11 @@ func (s *System) Check(opts Options) Result {
 	span := opts.Obs.StartPhase("sc.check")
 	span.SetAttrInt("max_contexts", int64(opts.MaxContexts))
 	defer span.End()
-	e := &scChecker{sys: s, opts: opts, visited: fp.NewSet(opts.ExactDedup)}
+	if w := resolveWorkers(opts.Workers); w >= 1 {
+		span.SetAttrInt("workers", int64(w))
+		return s.checkParallel(opts, w)
+	}
+	e := &scChecker{sys: s, opts: opts, visited: fp.NewSet(opts.ExactDedup), bestVFP: ^uint64(0)}
 	e.cStates = opts.Obs.Counter("sc.states")
 	e.cTransitions = opts.Obs.Counter("sc.transitions")
 	e.cDedupHits = opts.Obs.Counter("sc.dedup_hits")
@@ -116,15 +141,26 @@ func (s *System) Check(opts Options) Result {
 	for _, oc := range s.initClosure(s.Init()) {
 		if oc.violation {
 			e.result.Violation = true
-			e.result.Trace = &trace.Trace{Events: oc.events}
-			break
+			e.result.Violations++
+			// Init-closure violations are scanned in a deterministic
+			// order, so "the first one" is a schedule-invariant witness;
+			// it outranks any search violation under the census.
+			if e.result.Trace == nil {
+				e.result.Trace = &trace.Trace{Events: oc.events}
+				e.initWitness = true
+			}
+			if !e.opts.CensusViolations {
+				break
+			}
+			continue
 		}
 		e.path = append(e.path[:0], oc.events...)
 		if e.search(oc.cfg) {
 			break
 		}
 	}
-	e.result.Exhausted = e.exhausted && !e.result.Violation && !e.result.TargetReached
+	e.result.Exhausted = e.exhausted && !e.result.TargetReached &&
+		!(e.result.Violation && !e.opts.CensusViolations)
 	return e.result
 }
 
@@ -140,6 +176,16 @@ type scChecker struct {
 	dedupHits int   // visited-set hits, for telemetry flushes
 	result    Result
 	exhausted bool
+
+	// bestVFP is the smallest violation fingerprint seen so far by the
+	// census; initWitness pins the trace to an init-closure violation,
+	// which outranks any search violation. directed/stopAtVFP turn the
+	// census into the parallel checker's witness-regeneration replay
+	// (see ra.regenWitness for the pattern).
+	bestVFP     uint64
+	initWitness bool
+	directed    bool
+	stopAtVFP   uint64
 
 	cStates, cTransitions    *obs.Counter
 	cDedupHits, cDedupMisses *obs.Counter
@@ -164,10 +210,7 @@ func (e *scChecker) flushStats(depth int) {
 	if e.stats == nil {
 		return
 	}
-	violations := 0
-	if e.result.Violation {
-		violations = 1
-	}
+	violations := e.result.Violations
 	e.stats.Add(
 		int64(e.result.States-e.mark.states),
 		int64(e.result.Transitions-e.mark.transitions),
@@ -257,8 +300,18 @@ func (e *scChecker) expand(c *Config, contexts, depth int) ([]scChild, bool) {
 			return nil, true
 		}
 	}
+	// Order-independent dedup (the serial/parallel parity discipline,
+	// mirroring ra): under a context bound the contexts-used coordinate
+	// is folded into the key and the Visit budget is constant, so
+	// whether a node is explored depends only on the node itself, never
+	// on discovery order. appendKey ends with the current-process value,
+	// so one more appended value stays injective within a run.
 	e.keyBuf, e.deadBuf = e.sys.dedupKey(c, e.keyBuf[:0], e.deadBuf)
-	if !e.visited.Visit(e.keyBuf, contexts) {
+	if e.opts.MaxContexts > 0 {
+		e.keyBuf = appendVal(e.keyBuf, lang.Value(contexts))
+	}
+	h := fp.Hash64(e.keyBuf)
+	if !e.visited.VisitHash(h, e.keyBuf, 0) {
 		e.dedupHits++
 		e.cDedupHits.Inc()
 		return nil, false
@@ -296,6 +349,7 @@ func (e *scChecker) expand(c *Config, contexts, depth int) ([]scChild, bool) {
 		}
 	}
 	var kids []scChild
+	ord := 0 // macro-step ordinal within this node, for MixOrdinal
 	for _, p := range order {
 		if e.sys.status(c, p) != statusReady {
 			continue
@@ -309,13 +363,34 @@ func (e *scChecker) expand(c *Config, contexts, depth int) ([]scChild, bool) {
 		}
 		e.cMacroSteps.Inc()
 		for _, oc := range e.sys.macroStep(c, p) {
+			vord := ord
+			ord++
 			e.result.Transitions++
 			e.cTransitions.Inc()
 			if oc.violation {
 				e.result.Violation = true
-				evs := append(append([]trace.Event(nil), e.path...), oc.events...)
-				e.result.Trace = &trace.Trace{Events: evs}
-				return nil, true
+				e.result.Violations++
+				vfp := fp.MixOrdinal(h, vord)
+				switch {
+				case e.directed:
+					if vfp == e.stopAtVFP {
+						evs := append(append([]trace.Event(nil), e.path...), oc.events...)
+						e.result.Trace = &trace.Trace{Events: evs}
+						return nil, true
+					}
+				case !e.opts.CensusViolations:
+					evs := append(append([]trace.Event(nil), e.path...), oc.events...)
+					e.result.Trace = &trace.Trace{Events: evs}
+					return nil, true
+				case !e.initWitness && (e.result.Trace == nil || vfp < e.bestVFP):
+					// Census witness: minimal fingerprint wins, the
+					// schedule-independent tie-break shared with the
+					// parallel checker.
+					e.bestVFP = vfp
+					evs := append(append([]trace.Event(nil), e.path...), oc.events...)
+					e.result.Trace = &trace.Trace{Events: evs}
+				}
+				continue
 			}
 			kids = append(kids, scChild{cfg: oc.cfg, events: oc.events, contexts: nc})
 		}
@@ -324,17 +399,5 @@ func (e *scChecker) expand(c *Config, contexts, depth int) ([]scChild, bool) {
 }
 
 func (e *scChecker) targetReached(c *Config) bool {
-	if len(e.opts.TargetLabels) == 0 {
-		return false
-	}
-	for name, label := range e.opts.TargetLabels {
-		pi := e.sys.Prog.ProcIndex(name)
-		if pi < 0 {
-			return false
-		}
-		if e.sys.Prog.Procs[pi].LabelAt(c.pcs[pi]) != label {
-			return false
-		}
-	}
-	return true
+	return e.sys.targetAt(c, e.opts.TargetLabels)
 }

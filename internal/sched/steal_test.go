@@ -1,0 +1,213 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStealPoolProcessesEveryItem explores a synthetic tree (each item
+// below a depth cap pushes two children) at several widths and seeds:
+// every node must be expanded exactly once and Run must return nil.
+func TestStealPoolProcessesEveryItem(t *testing.T) {
+	type node struct{ depth int }
+	const depth = 12 // 2^13 - 1 nodes
+	want := int64(1<<(depth+1) - 1)
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, seed := range []int64{0, 1, 99} {
+			var count atomic.Int64
+			p := NewSteal[node](workers, seed)
+			err := p.Run(context.Background(), []node{{0}},
+				func(_ context.Context, _ int, it node, push func(node), _ Frontier) error {
+					count.Add(1)
+					if it.depth < depth {
+						push(node{it.depth + 1})
+						push(node{it.depth + 1})
+					}
+					return nil
+				})
+			if err != nil {
+				t.Fatalf("workers=%d seed=%d: %v", workers, seed, err)
+			}
+			if count.Load() != want {
+				t.Errorf("workers=%d seed=%d: expanded %d nodes, want %d", workers, seed, count.Load(), want)
+			}
+		}
+	}
+}
+
+// TestStealPoolWorkerIndexIsStable checks that the worker index passed
+// to expand addresses per-worker scratch safely: concurrent increments
+// of per-worker slots must sum to the item count without a single slot
+// being shared (guarded by -race).
+func TestStealPoolWorkerIndexIsStable(t *testing.T) {
+	const workers = 4
+	counts := make([]int, workers) // intentionally not atomic: per-worker only
+	roots := make([]int, 1000)
+	p := NewSteal[int](workers, 1)
+	err := p.Run(context.Background(), roots,
+		func(_ context.Context, w int, _ int, _ func(int), _ Frontier) error {
+			counts[w]++
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(roots) {
+		t.Errorf("per-worker counts sum to %d, want %d", total, len(roots))
+	}
+}
+
+// TestStealPoolPanicSurfacesAsError is the no-hang regression test: a
+// panicking expand must cancel the group and Run must return a
+// *PanicError promptly instead of deadlocking on the dead worker's
+// abandoned items.
+func TestStealPoolPanicSurfacesAsError(t *testing.T) {
+	p := NewSteal[int](4, 0)
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Run(context.Background(), []int{0},
+			func(_ context.Context, _ int, it int, push func(int), _ Frontier) error {
+				if it == 500 {
+					panic("worker died mid-exploration")
+				}
+				if it < 2000 {
+					push(it + 1)
+					push(it + 2)
+				}
+				return nil
+			})
+	}()
+	select {
+	case err := <-done:
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("Run returned %v, want *PanicError", err)
+		}
+		if pe.Val != "worker died mid-exploration" {
+			t.Errorf("panic value %v not preserved", pe.Val)
+		}
+		if len(pe.Stack) == 0 {
+			t.Error("panic stack not captured")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run hung after a worker panic")
+	}
+}
+
+// TestStealPoolExpandErrorCancels: an error return cancels the rest of
+// the exploration and is returned by Run.
+func TestStealPoolExpandErrorCancels(t *testing.T) {
+	sentinel := errors.New("stop the world")
+	var after atomic.Int64
+	p := NewSteal[int](4, 0)
+	err := p.Run(context.Background(), []int{0},
+		func(ctx context.Context, _ int, it int, push func(int), _ Frontier) error {
+			if it == 100 {
+				return sentinel
+			}
+			if ctx.Err() != nil {
+				after.Add(1)
+				return nil
+			}
+			if it < 5000 {
+				push(it + 1)
+				push(it + 100)
+			}
+			return nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Run returned %v, want the expand error", err)
+	}
+}
+
+// TestStealPoolContextCancellation cancels mid-run: Run must join all
+// workers and report the context error, leaving the frontier abandoned.
+func TestStealPoolContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var seen atomic.Int64
+	p := NewSteal[int](4, 0)
+	err := p.Run(ctx, []int{0},
+		func(ctx context.Context, _ int, it int, push func(int), _ Frontier) error {
+			if seen.Add(1) == 200 {
+				cancel()
+			}
+			// Keep the frontier alive forever unless cancelled.
+			push(it + 1)
+			push(it + 2)
+			return nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+}
+
+// TestStealPoolFrontierPending samples the Frontier handle during a
+// run: it must be positive while items are queued and zero after Run
+// returns (every push matched by a completed expansion).
+func TestStealPoolFrontierPending(t *testing.T) {
+	var sawPending atomic.Bool
+	var last atomic.Int64
+	p := NewSteal[int](2, 0)
+	err := p.Run(context.Background(), []int{0},
+		func(_ context.Context, _ int, it int, push func(int), f Frontier) error {
+			if f.Pending() > 1 {
+				sawPending.Store(true)
+			}
+			// +1/+2 without dedup enumerates every path to the cap, so
+			// keep the cap small: ~10k items, enough to see a frontier.
+			if it < 20 {
+				push(it + 1)
+				push(it + 2)
+			}
+			last.Store(f.Pending())
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawPending.Load() {
+		t.Error("Pending never exceeded 1 during a branching exploration")
+	}
+}
+
+// TestStealPoolStealsAcrossWorkers pins the load-balancing property:
+// with one root and a deep unbalanced expansion, more than one worker
+// must end up expanding items (on any multi-worker pool the thieves
+// must eventually acquire work).
+func TestStealPoolStealsAcrossWorkers(t *testing.T) {
+	const workers = 4
+	var counts [workers]atomic.Int64
+	p := NewSteal[int](workers, 3)
+	err := p.Run(context.Background(), []int{0},
+		func(_ context.Context, w int, it int, push func(int), _ Frontier) error {
+			counts[w].Add(1)
+			if it < 12 { // every +1/+2 path: a few hundred items
+				push(it + 1)
+				push(it + 2)
+			}
+			// Simulate real per-state work; on a single-core runner the
+			// sleep also yields the P so thieves get scheduled while the
+			// owner's deque is non-empty.
+			time.Sleep(100 * time.Microsecond)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := 0
+	for i := range counts {
+		if counts[i].Load() > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Errorf("only %d of %d workers expanded anything; stealing never happened", busy, workers)
+	}
+}

@@ -39,6 +39,12 @@ type Config struct {
 	// Jobs is the portfolio pool width passed through to executions
 	// (<=0 selects the engine default).
 	Jobs int
+	// SearchWorkers is the work-stealing pool width inside each single
+	// search (0 = serial). It trades intra-query latency against the
+	// admission Workers above: n admission slots each running w search
+	// workers occupy n*w CPUs at saturation, so size the product to the
+	// machine.
+	SearchWorkers int
 	// Obs, when non-nil, is mirrored onto /metrics alongside the
 	// server's own instruments; per-request recorders mirror their
 	// engine counters into it.
@@ -435,7 +441,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request, mink bool)
 		defer timer.Stop()
 	}
 
-	xc := cache.ExecConfig{Timeout: time.Until(deadline), Jobs: s.cfg.Jobs, Obs: rec}
+	xc := cache.ExecConfig{Timeout: time.Until(deadline), Jobs: s.cfg.Jobs, SearchWorkers: s.cfg.SearchWorkers, Obs: rec}
 	var (
 		out  cache.Outcome
 		minK *int
