@@ -32,7 +32,7 @@ func main() {
 	var (
 		file       = flag.String("file", "", "program source file")
 		bench      = flag.String("bench", "", "built-in benchmark name")
-		mode       = flag.String("mode", "exhaustive", "exhaustive | tracer | cdsc | rcmc | random | robust")
+		mode       = flag.String("mode", "exhaustive", "exhaustive | tracer | cdsc | rcmc | random | robust | tmai")
 		vb         = flag.Int("view-bound", -1, "view-switch bound for exhaustive mode (-1 = unbounded)")
 		l          = flag.Int("l", 2, "loop unrolling bound")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
@@ -72,6 +72,25 @@ func main() {
 		progressStop = p.Stop
 	}
 	defer progressStop()
+
+	if *mode == "tmai" {
+		// Thread-modular abstract interpretation: a SAFE here is
+		// unbounded (every K, every L — loops need no unrolling), an
+		// UNKNOWN is the abstraction giving up, never a bug.
+		res := ravbmc.TMAI(prog, ravbmc.TMAIOptions{})
+		verdict := "UNKNOWN"
+		if res.Verdict == ravbmc.TMAISafe {
+			verdict = "SAFE"
+		}
+		if *jsonOut {
+			emitJSON(rec, *mode, prog.Name, verdict, *l)
+		} else if res.Verdict == ravbmc.TMAISafe {
+			fmt.Printf("%s: SAFE (unbounded: holds for every K, %d interference rounds)\n", prog.Name, res.Rounds)
+		} else {
+			fmt.Printf("%s: UNKNOWN (%s)\n", prog.Name, res.Detail)
+		}
+		return
+	}
 
 	if *mode == "robust" {
 		res, err := ravbmc.CheckRobustness(prog, *l)

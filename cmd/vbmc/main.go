@@ -71,6 +71,8 @@ func run() int {
 		autoK      = flag.Int("auto-k", -1, "search for the minimal K up to this bound instead of using -k")
 		jobs       = flag.Int("jobs", 0, "concurrent runs for -auto-k and -portfolio (0 = all CPUs, 1 = serial)")
 		swWorkers  = flag.Int("workers", 0, "work-stealing workers inside each backend search (0 = serial, negative = all CPUs); the verdict is identical at any width")
+		reduce     = flag.Bool("reduce", false, "source-DPOR reduction in the SC backend: explore only representative interleavings (verdict-neutral; forces an unbounded context bound, falls back to the full search where inapplicable)")
+		tmai       = flag.Bool("tmai", false, "thread-modular pre-pass: if the abstraction proves the program, report SAFE (unbounded, for every K) without searching")
 		portfolio  = flag.Bool("portfolio", false, "run every engine on the program and cross-check the verdicts")
 		jsonOut    = flag.Bool("json", false, "emit a JSON run report on stdout instead of the summary line")
 		progress   = flag.Bool("progress", false, "print periodic live progress snapshots to stderr")
@@ -225,7 +227,8 @@ func run() int {
 	start := time.Now()
 	opts := ravbmc.VBMCOptions{
 		K: *k, Unroll: *l, MaxContexts: *contexts, Timeout: *timeout,
-		ExactDedup: *exactDedup, Workers: *swWorkers, Obs: rec,
+		ExactDedup: *exactDedup, Workers: *swWorkers,
+		Reduce: *reduce, TMAI: *tmai, Obs: rec,
 	}
 	var res ravbmc.VBMCResult
 	if *autoK >= 0 {
@@ -253,10 +256,16 @@ func run() int {
 		rep.Tool = "vbmc"
 		rep.Bench = prog.Name
 		rep.Search = smp.Series()
-		if *traceOut != "" || *spanOut != "" || smp != nil || workersSet {
+		if *traceOut != "" || *spanOut != "" || smp != nil || workersSet || *reduce || *tmai {
 			rep.Config = map[string]string{}
 			if workersSet {
 				rep.Config["workers"] = fmt.Sprint(*swWorkers)
+			}
+			if *reduce {
+				rep.Config["reduce"] = "enabled"
+			}
+			if *tmai {
+				rep.Config["tmai"] = "enabled"
 			}
 			if *traceOut != "" {
 				rep.Config["trace"] = "enabled"
@@ -272,6 +281,9 @@ func run() int {
 			}
 		}
 		os.Stdout.Write(append(rep.JSON(), '\n'))
+	} else if res.Unbounded {
+		fmt.Printf("%s: %s (unbounded: proved for every K by the thread-modular pre-pass, %.3fs)\n",
+			prog.Name, res.Verdict, time.Since(start).Seconds())
 	} else {
 		fmt.Printf("%s: %s (K=%d, L=%d, contexts<=%d, %d states, %d transitions, %.3fs)\n",
 			prog.Name, res.Verdict, *k, *l, res.ContextBound, res.States, res.Transitions,

@@ -57,6 +57,8 @@ func run() int {
 		maxTimeout = flag.Duration("max-timeout", 10*time.Minute, "cap on a request's compute deadline")
 		jobs       = flag.Int("jobs", 0, "portfolio pool width (0 = engine default)")
 		searchWkrs = flag.Int("search-workers", 0, "work-stealing workers inside each single search (0 = serial); -workers admission slots each running this many workers occupy their product in CPUs at saturation")
+		reduce     = flag.Bool("reduce", false, "source-DPOR reduction in every vbmc request's SC backend (verdict-neutral; falls back to the full search where inapplicable)")
+		tmai       = flag.Bool("tmai", false, "thread-modular pre-pass on vbmc requests: programs it proves get an unbounded SAFE that the cache reuses at every K")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long a shutdown waits for in-flight work before hard-cancelling")
 		ledgerSize = flag.Int("ledger", 256, "run records retained in memory behind /v1/runs (0 = default)")
 		runLog     = flag.String("run-log", "", "append one JSON line per completed run to this file (empty = off)")
@@ -106,7 +108,8 @@ func run() int {
 	s := serve.New(serve.Config{
 		Cache: c, Workers: *workers, Queue: *queue,
 		DefaultTimeout: *defTimeout, MaxTimeout: *maxTimeout,
-		Jobs: *jobs, SearchWorkers: *searchWkrs, Obs: rec,
+		Jobs: *jobs, SearchWorkers: *searchWkrs,
+		Reduce: *reduce, TMAI: *tmai, Obs: rec,
 		Log: slog.New(handler), LedgerSize: *ledgerSize,
 		RunLog: audit, SlowRunThreshold: *slowRun,
 		SampleInterval: *sampleIv,

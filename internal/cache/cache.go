@@ -74,6 +74,10 @@ type Outcome struct {
 	// operational semantics (true by construction for the engines that
 	// execute RA directly).
 	WitnessValidated bool `json:"witness_validated,omitempty"`
+	// Unbounded marks a SAFE that holds for every K and L (the
+	// thread-modular proof): top of the verdict lattice. An unbounded
+	// entry answers a query at any K through subsumption.
+	Unbounded bool `json:"unbounded,omitempty"`
 	// Detail carries free-form engine output (the portfolio's rendered
 	// report, an engine error message).
 	Detail string `json:"detail,omitempty"`
@@ -141,10 +145,30 @@ type entry struct {
 	elem   *list.Element
 }
 
-// group indexes a subsumption family's entries by K and verdict.
+// group indexes a subsumption family's entries by K and verdict, plus
+// the unbounded-SAFE tier: one entry proved for every K, dominating
+// the whole safe map.
 type group struct {
 	safe   map[int]Digest // K -> digest of a SAFE entry
 	unsafe map[int]Digest // K -> digest of a validated-UNSAFE entry
+	// unbounded is the digest of an unbounded-SAFE entry (valid only
+	// when hasUnbounded); it answers a query at any K.
+	unbounded    Digest
+	hasUnbounded bool
+}
+
+// index registers a stored entry in the subsumption tiers. The
+// unbounded tier is keyed off Outcome.Unbounded, never off K: a SAFE@K
+// must not be promoted to a proof for all K.
+func (gr *group) index(k int, d Digest, out Outcome) {
+	switch {
+	case out.Verdict == VerdictSafe && out.Unbounded:
+		gr.unbounded, gr.hasUnbounded = d, true
+	case out.Verdict == VerdictSafe:
+		gr.safe[k] = d
+	case out.Verdict == VerdictUnsafe:
+		gr.unsafe[k] = d
+	}
 }
 
 // flight is one in-progress execution; concurrent identical requests
@@ -386,6 +410,12 @@ func (c *Cache) lookupLocked(d, g Digest, r Request) (Outcome, bool) {
 	if !ok {
 		return Outcome{}, false
 	}
+	// The unbounded tier first: a thread-modular proof answers every K.
+	if gr.hasUnbounded {
+		if e, ok := c.entries[gr.unbounded]; ok {
+			return c.subsumedLocked(e.digest, e.k)
+		}
+	}
 	// A SAFE at the smallest K' ≥ k answers k: no behaviour within k
 	// view switches fails, because none within K' does.
 	bestK, found := 0, false
@@ -451,12 +481,7 @@ func (c *Cache) storeLocked(d, g Digest, r Request, out Outcome) {
 			gr = &group{safe: map[int]Digest{}, unsafe: map[int]Digest{}}
 			c.groups[g] = gr
 		}
-		switch out.Verdict {
-		case VerdictSafe:
-			gr.safe[r.K] = d
-		case VerdictUnsafe:
-			gr.unsafe[r.K] = d
-		}
+		gr.index(r.K, d, out)
 	}
 	c.stores.Add(1)
 	c.obsStores.Inc()
@@ -488,7 +513,10 @@ func (c *Cache) evictLocked() {
 			if gr.unsafe[e.k] == e.digest {
 				delete(gr.unsafe, e.k)
 			}
-			if len(gr.safe) == 0 && len(gr.unsafe) == 0 {
+			if gr.hasUnbounded && gr.unbounded == e.digest {
+				gr.hasUnbounded = false
+			}
+			if len(gr.safe) == 0 && len(gr.unsafe) == 0 && !gr.hasUnbounded {
 				delete(c.groups, e.group)
 			}
 		}

@@ -37,6 +37,7 @@ type record struct {
 	ContextBound     int     `json:"context_bound,omitempty"`
 	Witness          string  `json:"witness_jsonl,omitempty"`
 	WitnessValidated bool    `json:"witness_validated,omitempty"`
+	Unbounded        bool    `json:"unbounded,omitempty"`
 	Detail           string  `json:"detail,omitempty"`
 	Seconds          float64 `json:"seconds,omitempty"`
 	CreatedUnix      int64   `json:"created_unix,omitempty"`
@@ -57,6 +58,7 @@ func diskRecord(e *entry, version string) record {
 		ContextBound:     e.out.ContextBound,
 		Witness:          string(e.out.WitnessJSONL),
 		WitnessValidated: e.out.WitnessValidated,
+		Unbounded:        e.out.Unbounded,
 		Detail:           e.out.Detail,
 		Seconds:          e.out.Seconds,
 		CreatedUnix:      time.Now().Unix(),
@@ -145,6 +147,7 @@ func (c *Cache) installRecord(rec record) {
 		ContextBound:     rec.ContextBound,
 		WitnessJSONL:     []byte(rec.Witness),
 		WitnessValidated: rec.WitnessValidated,
+		Unbounded:        rec.Unbounded,
 		Detail:           rec.Detail,
 		Seconds:          rec.Seconds,
 	}
@@ -176,12 +179,7 @@ func (c *Cache) installRecord(rec record) {
 				gr = &group{safe: map[int]Digest{}, unsafe: map[int]Digest{}}
 				c.groups[g] = gr
 			}
-			switch out.Verdict {
-			case VerdictSafe:
-				gr.safe[rec.K] = d
-			case VerdictUnsafe:
-				gr.unsafe[rec.K] = d
-			}
+			gr.index(rec.K, d, out)
 		}
 		c.evictLocked()
 		c.diskLoaded.Add(1)

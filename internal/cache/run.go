@@ -31,6 +31,16 @@ type ExecConfig struct {
 	// selects runtime.NumCPU. Verdict-neutral, so it stays out of the
 	// cache key like every other ExecConfig knob.
 	SearchWorkers int
+	// Reduce turns on source-DPOR in the vbmc mode's SC backend
+	// (core.Options.Reduce). Verdict-neutral — only representative
+	// interleavings are pruned — so it stays out of the cache key.
+	Reduce bool
+	// TMAI enables the thread-modular pre-pass in the vbmc mode
+	// (core.Options.TMAI). Any verdict it produces is correct for the
+	// requested K (an unbounded proof answers every bound), so it too
+	// stays out of the key; an unbounded SAFE it proves is stored with
+	// Outcome.Unbounded and subsumes every later K.
+	TMAI bool
 	// Obs, when non-nil, instruments the run.
 	Obs *obs.Recorder
 }
@@ -67,7 +77,8 @@ func execute(ctx context.Context, req Request, x ExecConfig) (Outcome, error) {
 		res, err := core.Run(prog, core.Options{
 			K: req.K, Unroll: req.Unroll, MaxContexts: req.MaxContexts,
 			MaxStates: req.MaxStates, Timeout: x.Timeout, Ctx: ctx,
-			ExactDedup: req.ExactDedup, Workers: x.SearchWorkers, Obs: x.Obs,
+			ExactDedup: req.ExactDedup, Workers: x.SearchWorkers,
+			Reduce: x.Reduce, TMAI: x.TMAI, Obs: x.Obs,
 		})
 		if err != nil {
 			return Outcome{}, err
@@ -79,6 +90,7 @@ func execute(ctx context.Context, req Request, x ExecConfig) (Outcome, error) {
 			TranslatedStmts:  res.TranslatedStmts,
 			ContextBound:     res.ContextBound,
 			WitnessValidated: res.WitnessValidated,
+			Unbounded:        res.Unbounded,
 		}
 		if res.Verdict == core.Unsafe {
 			engine, w := "replay", res.Witness

@@ -11,6 +11,7 @@ import (
 	"ravbmc/internal/replay"
 	"ravbmc/internal/sc"
 	"ravbmc/internal/sched"
+	"ravbmc/internal/tmai"
 	"ravbmc/internal/trace"
 )
 
@@ -82,6 +83,22 @@ type Options struct {
 	// StealSeed seeds the backend pools' steal-order randomization;
 	// exposed for the differential fuzz harness.
 	StealSeed int64
+	// Reduce turns on the SC backend's source-DPOR partial-order
+	// reduction (sc.Options.Reduce): only representative interleavings
+	// of commuting independent steps are explored. The backend forces
+	// an unbounded context bound when reducing (bounded contexts do not
+	// commute), so the iterative context-deepening ladder is skipped;
+	// verdicts are unchanged, state counts shrink. Falls back to the
+	// unreduced search on programs where the reduction does not apply.
+	Reduce bool
+	// TMAI runs the thread-modular abstract-interpretation pre-pass
+	// (internal/tmai) before any bounded search: if it proves the
+	// program safe, the Result is Safe with Unbounded=true — a proof
+	// for every K and L, not just the requested bounds. The pre-pass
+	// handles loops by widening, so it runs before the unroll
+	// requirement check. On Unknown the bounded pipeline proceeds
+	// normally.
+	TMAI bool
 	// Obs, when non-nil, instruments the run: the driver records
 	// per-phase spans (validate, unroll, per-probe translate / compile /
 	// deepen / search, the full translate, and the final compile /
@@ -121,6 +138,12 @@ type Result struct {
 	// TimedOut is true when the Timeout cut the backend search short
 	// (the verdict is then Inconclusive).
 	TimedOut bool
+	// Unbounded reports that a Safe verdict holds for every view-switch
+	// budget K and unroll bound L — the thread-modular abstract-
+	// interpretation pre-pass proved the program outright, so the
+	// under-approximate SAFE@K caveat does not apply. Always false for
+	// Unsafe/Inconclusive verdicts.
+	Unbounded bool
 	// Report is the structured observability report (per-phase wall
 	// times, engine counters, derived rates); nil unless Options.Obs
 	// was set.
@@ -149,6 +172,27 @@ func Run(prog *lang.Program, opts Options) (Result, error) {
 	span.End()
 	if err != nil {
 		return Result{}, err
+	}
+	// Thread-modular pre-pass: runs before the unroll requirement check
+	// because the abstract interpretation handles loops by widening — a
+	// loopy program can be proved safe with no L at all.
+	if opts.TMAI {
+		span = rec.StartPhase("tmai")
+		ar := tmai.Analyze(prog, tmai.Options{})
+		span.End()
+		if ar.Verdict == tmai.Safe {
+			rec.Counter("core.tmai_proofs").Inc()
+			out := Result{Verdict: Safe, Unbounded: true}
+			if rec != nil {
+				rep := rec.Report()
+				rep.Verdict = out.Verdict.String()
+				rep.K = opts.K
+				rep.L = opts.Unroll
+				out.Report = rep
+			}
+			return out, nil
+		}
+		rec.Counter("core.tmai_unknown").Inc()
 	}
 	src := prog
 	if lang.MaxLoopDepth(prog) > 0 {
@@ -241,7 +285,7 @@ func Run(prog *lang.Program, opts Options) (Result, error) {
 			if err != nil {
 				return Result{}, err
 			}
-			probeOpts := sc.Options{MaxContexts: bound, MaxStates: tier.maxStates, Ctx: opts.Ctx, ExactDedup: opts.ExactDedup, Workers: opts.Workers, StealSeed: opts.StealSeed, Obs: rec}
+			probeOpts := sc.Options{MaxContexts: bound, MaxStates: tier.maxStates, Ctx: opts.Ctx, ExactDedup: opts.ExactDedup, Reduce: opts.Reduce, Workers: opts.Workers, StealSeed: opts.StealSeed, Obs: rec}
 			if opts.MaxStates > 0 && opts.MaxStates < probeOpts.MaxStates {
 				probeOpts.MaxStates = opts.MaxStates
 			}
@@ -284,7 +328,7 @@ func Run(prog *lang.Program, opts Options) (Result, error) {
 	}
 	out.TranslatedStmts = translated.CountStmts()
 	rec.Gauge("translate.stmts").Set(int64(out.TranslatedStmts))
-	scOpts := sc.Options{MaxContexts: bound, MaxStates: opts.MaxStates, Deadline: deadline, Ctx: opts.Ctx, ExactDedup: opts.ExactDedup, Workers: opts.Workers, StealSeed: opts.StealSeed, Obs: rec}
+	scOpts := sc.Options{MaxContexts: bound, MaxStates: opts.MaxStates, Deadline: deadline, Ctx: opts.Ctx, ExactDedup: opts.ExactDedup, Reduce: opts.Reduce, Workers: opts.Workers, StealSeed: opts.StealSeed, Obs: rec}
 	finalStart := time.Now()
 	res := checkDeepening(translated, bound, scOpts, rec, "final")
 	finalSecs := time.Since(finalStart).Seconds()
@@ -336,7 +380,7 @@ func checkDeepening(translated *lang.Program, bound int, scOpts sc.Options, rec 
 	// "core.deepen_total" gauge: progress of "core.deepen_rounds" against
 	// it drives the -watch ETA heuristic.
 	planned := int64(1)
-	if bound > 2 {
+	if bound > 2 && !scOpts.Reduce {
 		planned += 2 * int64(bound-2)
 	}
 	gTotal := rec.Gauge("core.deepen_total")
@@ -354,7 +398,11 @@ func checkDeepening(translated *lang.Program, bound int, scOpts sc.Options, rec 
 	if scOpts.MaxStates > 0 && budget > scOpts.MaxStates {
 		budget = scOpts.MaxStates
 	}
-	for cb := 2; bound > 0 && cb < bound; cb++ {
+	// The restart ladder pairs small context bounds with process-order
+	// biases; under the reduction the backend forces unbounded contexts,
+	// so every ladder rung would re-run the same full search — skip
+	// straight to the final run instead.
+	for cb := 2; !scOpts.Reduce && bound > 0 && cb < bound; cb++ {
 		for _, rev := range []bool{false, true} {
 			rec.Counter("core.deepen_rounds").Inc()
 			round := scOpts

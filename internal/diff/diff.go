@@ -18,6 +18,10 @@
 //     unsafety, so it contradicts any exact SAFE. The converse does
 //     not hold: a K-bounded SAFE against an exact UNSAFE just means
 //     the bug needs more than K view switches — not a disagreement.
+//   - tmai (thread-modular abstract interpretation) proves unbounded
+//     safety or abstains with UNKNOWN: its SAFE covers every K and L,
+//     so it is cross-checked as an exact tool; UNKNOWN is never
+//     compared.
 //   - Timeouts and cancelled runs are inconclusive and never compared;
 //     tool errors are reported as disagreements (the corpus programs
 //     are all inside every tool's supported fragment).
@@ -35,6 +39,7 @@ import (
 	"ravbmc/internal/ra"
 	"ravbmc/internal/sched"
 	"ravbmc/internal/smc"
+	"ravbmc/internal/tmai"
 )
 
 // Verdict is one tool's conclusion in the portfolio.
@@ -45,11 +50,16 @@ const (
 	Safe    Verdict = "SAFE"
 	Timeout Verdict = "T.O"
 	Error   Verdict = "ERR"
+	// Unknown is the thread-modular analyser's inconclusive verdict: the
+	// abstraction could not prove safety. Unlike Timeout it is inherent
+	// (no budget would change it); like Timeout it is never compared.
+	Unknown Verdict = "UNKNOWN"
 )
 
 // Tool names, in report order. The bounded pair decides K-bounded
-// reachability; the rest are exact for the unrolled program.
-var Tools = []string{"vbmc", "ra[K]", "ra", "tracer", "cdsc", "rcmc"}
+// reachability; tmai proves unbounded safety or abstains; the rest are
+// exact for the unrolled program.
+var Tools = []string{"vbmc", "ra[K]", "ra", "tracer", "cdsc", "rcmc", "tmai"}
 
 // boundedTools decide the K-bounded problem only.
 var boundedTools = map[string]bool{"vbmc": true, "ra[K]": true}
@@ -109,6 +119,10 @@ type ToolResult struct {
 	Seconds float64
 	// Bounded marks verdicts that cover only K-bounded behaviours.
 	Bounded bool
+	// Unbounded marks a SAFE that holds for every K and L (the
+	// thread-modular proof): the top of the verdict lattice, dominating
+	// both the exact SAFE for one unrolling and SAFE@K.
+	Unbounded bool
 	// Validated marks an UNSAFE whose witness replayed under RA
 	// (always true for the non-vbmc tools: they execute the RA
 	// semantics directly, so their violations are witnesses by
@@ -188,9 +202,20 @@ func runTool(ctx context.Context, tool string, prog *lang.Program, opts Options)
 		case res.Verdict == core.Unsafe:
 			tr.Verdict, tr.Validated = Unsafe, true
 		case res.Verdict == core.Safe:
-			tr.Verdict = Safe
+			tr.Verdict, tr.Unbounded = Safe, res.Unbounded
 		default:
 			tr.Verdict = Timeout
+		}
+	case "tmai":
+		// The thread-modular abstract interpretation proves unbounded
+		// safety or abstains; it never reports UNSAFE, so its SAFE joins
+		// the exact tools in the cross-check (a thread-modular proof
+		// covers every unrolling, in particular the portfolio's L).
+		res := tmai.Analyze(prog, tmai.Options{})
+		if res.Verdict == tmai.Safe {
+			tr.Verdict, tr.Unbounded = Safe, true
+		} else {
+			tr.Verdict = Unknown
 		}
 	case "ra[K]", "ra":
 		bound := -1
@@ -303,12 +328,19 @@ func conclusive(tr ToolResult) bool {
 func (r Report) Agree() bool { return len(r.Disagreements) == 0 }
 
 // Verdict is the portfolio's combined conclusion: an exact or
-// validated-bounded UNSAFE wins, then an exact SAFE, then a bounded
-// SAFE (conclusive only for K), else inconclusive (T.O).
+// validated-bounded UNSAFE wins, then an unbounded SAFE (the
+// thread-modular proof, good for every K and L), then an exact SAFE
+// for the given unrolling, then a bounded SAFE (conclusive only for
+// K), else inconclusive (T.O).
 func (r Report) Verdict() Verdict {
 	for _, tr := range r.Results {
 		if tr.Verdict == Unsafe && tr.Validated {
 			return Unsafe
+		}
+	}
+	for _, tr := range r.Results {
+		if tr.Verdict == Safe && tr.Unbounded {
+			return Safe
 		}
 	}
 	for _, tr := range r.Results {
@@ -333,6 +365,9 @@ func (r Report) Render() string {
 		fmt.Fprintf(&b, "  %-8s %-8s %8.2fs", tr.Tool, tr.Verdict, tr.Seconds)
 		if tr.Bounded {
 			b.WriteString("  [K-bounded]")
+		}
+		if tr.Unbounded {
+			b.WriteString("  [unbounded]")
 		}
 		if tr.Err != nil {
 			fmt.Fprintf(&b, "  (%v)", tr.Err)

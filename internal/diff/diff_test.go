@@ -29,6 +29,10 @@ func testJobs() int {
 func mustConclude(t *testing.T, name string, rep Report) {
 	t.Helper()
 	for _, tr := range rep.Results {
+		// tmai's UNKNOWN is an inherent abstention, not a budget problem.
+		if tr.Tool == "tmai" && tr.Verdict == Unknown {
+			continue
+		}
 		if !conclusive(tr) {
 			t.Errorf("%s: %s did not conclude (%s)", name, tr.Tool, tr.Verdict)
 		}
@@ -165,6 +169,15 @@ func TestCrossCheckRules(t *testing.T) {
 		{"timeouts are not compared",
 			[]ToolResult{mk("vbmc", Timeout), mk("ra[K]", Safe), mk("ra", Timeout), mk("cdsc", Safe)},
 			false},
+		{"tmai unknown is not compared",
+			[]ToolResult{mk("vbmc", Unsafe), mk("ra", Unsafe), mk("tmai", Unknown)},
+			false},
+		{"tmai safe vs exact unsafe",
+			[]ToolResult{mk("ra", Unsafe), mk("tmai", Safe)},
+			true},
+		{"tmai safe vs bounded unsafe",
+			[]ToolResult{mk("vbmc", Unsafe), mk("tmai", Safe)},
+			true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -245,9 +245,104 @@ func CoreDiff(prog *lang.Program, opts core.Options, workers int, seed int64) st
 	return ""
 }
 
+// SCReduceDiff checks the source-DPOR reduction against the unreduced
+// search, both serial and both at an unbounded context bound (the
+// reduction's own precondition). The contract mirrors the serial/
+// parallel one: identical Violation and Exhausted, a witness whenever
+// the search stops on one, and — since the reduced search explores a
+// representative subset — a state count never above the unreduced run's.
+func SCReduceDiff(prog *lang.Program, opts sc.Options) string {
+	cp, err := lang.Compile(prog)
+	if err != nil {
+		return "" // a shrink candidate left the RA fragment; not a parity issue
+	}
+	sys := sc.NewSystem(cp)
+	fopts := opts
+	fopts.Reduce = false
+	fopts.MaxContexts = 0
+	fopts.Workers = 0
+	full := sys.Check(fopts)
+	ropts := opts
+	ropts.Reduce = true
+	ropts.MaxContexts = 0
+	ropts.Workers = 0
+	red := sys.Check(ropts)
+	if full.TimedOut || red.TimedOut {
+		return fmt.Sprintf("timed out (full=%v reduced=%v): parity unverifiable", full.TimedOut, red.TimedOut)
+	}
+	if red.Violation != full.Violation {
+		return fmt.Sprintf("reduce: Violation %v (reduced) vs %v (unreduced)", red.Violation, full.Violation)
+	}
+	if red.Exhausted != full.Exhausted {
+		return fmt.Sprintf("reduce: Exhausted %v (reduced) vs %v (unreduced)", red.Exhausted, full.Exhausted)
+	}
+	if red.Violation && red.Trace == nil {
+		return "reduce: violation without a witness"
+	}
+	// State counts are comparable only when both searches ran to
+	// completion: a stop-mode violation ends each exploration at an
+	// order-dependent prefix, and the reduced order may legitimately
+	// reach its first violation later.
+	if red.Exhausted && full.Exhausted && red.States > full.States {
+		return fmt.Sprintf("reduce: reduced search visited MORE states (%d) than unreduced (%d)", red.States, full.States)
+	}
+	return ""
+}
+
+// CoreReduceDiff runs the full VBMC pipeline with and without the
+// reduction and compares verdicts; an UNSAFE from the reduced pipeline
+// must still carry a replay-validated witness. (State counts are not
+// compared at this layer: the unreduced pipeline climbs the context
+// ladder, the reduced one runs a single unbounded search.)
+func CoreReduceDiff(prog *lang.Program, opts core.Options) string {
+	fopts := opts
+	fopts.Reduce = false
+	full, err := core.Run(prog, fopts)
+	if err != nil {
+		return ""
+	}
+	ropts := opts
+	ropts.Reduce = true
+	red, rerr := core.Run(prog, ropts)
+	if rerr != nil {
+		return fmt.Sprintf("reduce: reduced run failed: %v", rerr)
+	}
+	if red.Verdict != full.Verdict {
+		return fmt.Sprintf("reduce: verdict %v (reduced) vs %v (unreduced)", red.Verdict, full.Verdict)
+	}
+	if red.Verdict == core.Unsafe && !red.WitnessValidated {
+		return fmt.Sprintf("reduce: reduced witness failed validation: %s", red.WitnessErr)
+	}
+	return ""
+}
+
 // Diff is a single-program differential check: it returns the first
 // mismatch across all pool widths, or "".
 type Diff func(*lang.Program) string
+
+// SCReduce builds a Diff running SCReduceDiff under opts.
+func SCReduce(opts sc.Options) Diff {
+	return func(p *lang.Program) (d string) {
+		defer func() {
+			if r := recover(); r != nil {
+				d = fmt.Sprintf("panic: %v", r)
+			}
+		}()
+		return SCReduceDiff(p, opts)
+	}
+}
+
+// CoreReduce builds a Diff running CoreReduceDiff under opts.
+func CoreReduce(opts core.Options) Diff {
+	return func(p *lang.Program) (d string) {
+		defer func() {
+			if r := recover(); r != nil {
+				d = fmt.Sprintf("panic: %v", r)
+			}
+		}()
+		return CoreReduceDiff(p, opts)
+	}
+}
 
 // RAAllWidths builds a Diff running RADiff at every width.
 func RAAllWidths(opts ra.Options, seed int64) Diff {

@@ -49,6 +49,22 @@ type Options struct {
 	// coverage. Census results are schedule-invariant, which is what the
 	// serial/parallel parity harness asserts.
 	CensusViolations bool
+	// Reduce enables partial-order reduction: at each state only a
+	// persistent set of processes is scheduled, pruned further by sleep
+	// sets (see reduce.go and DESIGN.md). Reduction requires an acyclic
+	// macro-step graph, so it silently falls back to the unreduced
+	// search for programs with loops (run lang.Unroll first) or more
+	// than 64 processes, and it is disabled under TargetLabels
+	// (reduction preserves violations and final states, not arbitrary
+	// intermediate global label combinations). Because commuting
+	// independent steps changes context-switch counts, a reduced search
+	// always runs with an unbounded context bound: MaxContexts is
+	// forced to 0, which only ever adds behaviours, so SAFE+Exhausted
+	// remains conclusive for any bound and UNSAFE witnesses are real.
+	// With Workers >= 1 a reduced serial search races the unreduced
+	// parallel one (first conclusive result wins), trading the
+	// deterministic-counts contract for wall-clock.
+	Reduce bool
 	// Workers selects intra-query parallel checking: 0 serial, n >= 1
 	// that many work-stealing workers, negative all CPUs. See
 	// ra.Options.Workers for the determinism contract.
@@ -99,11 +115,28 @@ func (s *System) Check(opts Options) Result {
 	span := opts.Obs.StartPhase("sc.check")
 	span.SetAttrInt("max_contexts", int64(opts.MaxContexts))
 	defer span.End()
+	if opts.Reduce {
+		if len(opts.TargetLabels) > 0 || !s.ReduceApplies() {
+			opts.Reduce = false
+		} else {
+			opts.MaxContexts = 0
+		}
+	}
 	if w := resolveWorkers(opts.Workers); w >= 1 {
 		span.SetAttrInt("workers", int64(w))
+		if opts.Reduce {
+			return s.raceReduced(opts, w)
+		}
 		return s.checkParallel(opts, w)
 	}
 	e := &scChecker{sys: s, opts: opts, visited: fp.NewSet(opts.ExactDedup), bestVFP: ^uint64(0)}
+	if opts.Reduce {
+		if opts.ExactDedup {
+			e.rmEx = make(map[string]uint64)
+		} else {
+			e.rm = make(map[uint64]uint64)
+		}
+	}
 	e.cStates = opts.Obs.Counter("sc.states")
 	e.cTransitions = opts.Obs.Counter("sc.transitions")
 	e.cDedupHits = opts.Obs.Counter("sc.dedup_hits")
@@ -187,6 +220,16 @@ type scChecker struct {
 	directed    bool
 	stopAtVFP   uint64
 
+	// Reduced-search state (Options.Reduce): the visited maps store the
+	// first-visit sleep mask per state (fingerprint or exact keyed),
+	// psQueue/orderBuf/execFoot are reusable scratch. See reduce.go.
+	rm         map[uint64]uint64
+	rmEx       map[string]uint64
+	rmKeyBytes int64
+	psQueue    []int
+	orderBuf   []int
+	execFoot   locFoot
+
 	cStates, cTransitions    *obs.Counter
 	cDedupHits, cDedupMisses *obs.Counter
 	cMacroSteps              *obs.Counter
@@ -226,7 +269,12 @@ func (e *scChecker) flushStats(depth int) {
 		violations:  violations,
 	}
 	e.stats.SetFrontier(int64(depth))
-	e.stats.SetVisited(int64(e.visited.Len()), e.visited.ApproxBytes())
+	if e.opts.Reduce {
+		n, b := e.reducedVisited()
+		e.stats.SetVisited(int64(n), b)
+	} else {
+		e.stats.SetVisited(int64(e.visited.Len()), e.visited.ApproxBytes())
+	}
 }
 
 // scChild is one accepted macro-step out of an expanded state: the
@@ -237,6 +285,8 @@ type scChild struct {
 	cfg      *Config
 	events   []trace.Event
 	contexts int
+	// sleep is the child's inherited sleep mask (reduced search only).
+	sleep uint64
 }
 
 // scFrame is one explicit-stack DFS frame.
@@ -251,7 +301,7 @@ type scFrame struct {
 // stack; it returns true when the search should stop (violation/target
 // found, state cap hit, or deadline expired).
 func (e *scChecker) search(root *Config) bool {
-	kids, done := e.expand(root, 0, 0)
+	kids, done := e.expandAny(root, 0, 0, 0)
 	if done {
 		return true
 	}
@@ -271,7 +321,7 @@ func (e *scChecker) search(root *Config) bool {
 		f.idx++
 		base := len(e.path)
 		e.path = append(e.path, k.events...)
-		kids, done := e.expand(k.cfg, k.contexts, f.depth+1)
+		kids, done := e.expandAny(k.cfg, k.contexts, f.depth+1, k.sleep)
 		if done {
 			return true
 		}
@@ -283,6 +333,15 @@ func (e *scChecker) search(root *Config) bool {
 		stack = append(stack, scFrame{kids: kids, depth: f.depth + 1, pathLen: base})
 	}
 	return false
+}
+
+// expandAny dispatches a node expansion to the reduced or unreduced
+// path; sleep is only meaningful under Options.Reduce.
+func (e *scChecker) expandAny(c *Config, contexts, depth int, sleep uint64) ([]scChild, bool) {
+	if e.opts.Reduce {
+		return e.expandReduced(c, depth, sleep)
+	}
+	return e.expand(c, contexts, depth)
 }
 
 // expand visits one state: dedup, counters, caps and target checks,

@@ -343,6 +343,7 @@ func (s *System) regenWitness(opts Options, vfp uint64) *trace.Trace {
 	o.Ctx = nil
 	o.Deadline = time.Time{}
 	o.MaxStates = 0
+	o.Reduce = false
 	e := &scChecker{
 		sys:       s,
 		opts:      o,

@@ -1,0 +1,556 @@
+package sc
+
+// Partial-order reduction for the macro-step SC checker.
+//
+// The reduced search explores, at each state, only a persistent set of
+// processes (a source-set-style closure computed from the action
+// metadata of the compiled program) further pruned by sleep sets. Two
+// macro steps of different processes are independent when their shared
+// footprints do not conflict (no location accessed by both with a write
+// on either side): executing them in either order from the same state
+// reaches the same state, so one representative interleaving suffices.
+// A macro step's shared footprint is exactly its one visible operation
+// (plus the body of its atomic block) — the trailing local run touches
+// no shared state by construction — which is what makes the macro-step
+// granularity such a good fit for the reduction.
+//
+// Soundness requires an acyclic macro-step graph (loop-unrolled
+// programs; Check falls back to the unreduced search otherwise, see
+// reduceTables.ok) and, because commuting independent steps changes
+// context-switch counts, the reduced search always runs with an
+// unbounded context bound: its state graph is then a subgraph of the
+// unreduced unbounded one, so verdicts agree and state counts can only
+// shrink. The sleep-set interaction with state dedup follows the
+// classical state-caching rule: the visited set stores the sleep mask
+// of the first visit, a revisit whose mask is a superset is pruned, and
+// a revisit needing more is woken up for exactly the difference.
+
+import (
+	"context"
+	"sync"
+
+	"ravbmc/internal/fp"
+	"ravbmc/internal/lang"
+	"ravbmc/internal/trace"
+)
+
+// bitset is a fixed-width bit vector over shared locations (scalars
+// first, then one bit per whole array — array accesses are tracked at
+// whole-array granularity).
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int) { b[i/64] |= 1 << uint(i%64) }
+
+// or unions c into b and reports whether b changed.
+func (b bitset) or(c bitset) bool {
+	changed := false
+	for i, w := range c {
+		if b[i]|w != b[i] {
+			b[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b bitset) intersects(c bitset) bool {
+	for i := range b {
+		if b[i]&c[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (b bitset) clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// locFoot is a read/write footprint over shared locations.
+type locFoot struct{ rd, wr bitset }
+
+func newLocFoot(n int) locFoot { return locFoot{rd: newBitset(n), wr: newBitset(n)} }
+
+// conflicts reports whether two footprints are dependent: a common
+// location with a write on either side.
+func (f locFoot) conflicts(g locFoot) bool {
+	return f.wr.intersects(g.rd) || f.wr.intersects(g.wr) || f.rd.intersects(g.wr)
+}
+
+// reduceTables is the per-program static dependence metadata, computed
+// once per System on first reduced search.
+type reduceTables struct {
+	// ok is false when the reduction does not apply: more than 64
+	// processes (sleep masks are one word) or a cyclic control-flow
+	// graph (non-unrolled loops make the macro-step graph cyclic, where
+	// persistent sets with state dedup are unsound — the ignoring
+	// problem). Check silently falls back to the unreduced search.
+	ok bool
+	// step[p][pc] over-approximates the shared footprint of the next
+	// macro step of process p at pc: the first visible operation
+	// reachable through local code, or the whole atomic block when that
+	// operation opens one.
+	step [][]locFoot
+	// future[p][pc] over-approximates the shared footprint of every
+	// instruction reachable from pc — the closure's "anything q may
+	// ever do".
+	future [][]locFoot
+}
+
+// nLocs returns the number of shared locations: scalars plus arrays.
+func (s *System) nLocs() int { return len(s.Prog.Vars) + len(s.Prog.Arrays) }
+
+// locOfVar maps a scalar variable to its location bit; locOfArr an array.
+func (s *System) locOfVar(name string) int { return s.VarIdx[name] }
+func (s *System) locOfArr(name string) int { return len(s.Prog.Vars) + s.ArrIdx[name] }
+
+// reduction returns the lazily-built dependence tables. The sync.Once
+// makes it safe to build while an unreduced parallel search shares the
+// System (the Workers race in raceReduced).
+func (s *System) reduction() *reduceTables {
+	s.redOnce.Do(func() { s.red = s.buildReduction() })
+	return s.red
+}
+
+// ReduceApplies reports whether the partial-order reduction applies to
+// this program (acyclic control flow, at most 64 processes).
+func (s *System) ReduceApplies() bool { return s.reduction().ok }
+
+// ownFoot adds the shared accesses of one instruction to f.
+func (s *System) ownFoot(f locFoot, in *lang.Instr) {
+	switch in.Op {
+	case lang.OpReadVar:
+		f.rd.set(s.locOfVar(in.Var))
+	case lang.OpWriteVar:
+		f.wr.set(s.locOfVar(in.Var))
+	case lang.OpCASVar:
+		// A CAS reads and writes its variable; a parked CAS is also
+		// re-enabled by writes to it, which the read bit captures.
+		f.rd.set(s.locOfVar(in.Var))
+		f.wr.set(s.locOfVar(in.Var))
+	case lang.OpLoadArrEl:
+		f.rd.set(s.locOfArr(in.Var))
+	case lang.OpStoreArrEl:
+		f.wr.set(s.locOfArr(in.Var))
+	}
+}
+
+func (s *System) buildReduction() *reduceTables {
+	r := &reduceTables{}
+	if len(s.Prog.Procs) > 64 {
+		return r
+	}
+	// The reduction requires forward-only control flow (acyclic
+	// macro-step graph). Compiled programs only have backward edges for
+	// while loops and the term self-loop sink.
+	for _, pr := range s.Prog.Procs {
+		for pc := range pr.Code {
+			in := &pr.Code[pc]
+			if in.Op == lang.OpTermProc {
+				continue
+			}
+			if in.Next <= pc || (in.Op == lang.OpCJmp && in.Else <= pc) {
+				return r
+			}
+		}
+	}
+	n := s.nLocs()
+	for _, pr := range s.Prog.Procs {
+		code := pr.Code
+		fut := make([]locFoot, len(code))
+		stp := make([]locFoot, len(code))
+		// Forward-only edges: one reverse pass computes both fixpoints.
+		for pc := len(code) - 1; pc >= 0; pc-- {
+			in := &code[pc]
+			f := newLocFoot(n)
+			s.ownFoot(f, in)
+			if in.Op != lang.OpTermProc {
+				f.rd.or(fut[in.Next].rd)
+				f.wr.or(fut[in.Next].wr)
+				if in.Op == lang.OpCJmp {
+					f.rd.or(fut[in.Else].rd)
+					f.wr.or(fut[in.Else].wr)
+				}
+			}
+			fut[pc] = f
+			switch {
+			case in.Op == lang.OpAtomicBegin:
+				stp[pc] = s.atomicFoot(pr, pc)
+			case in.GloballyVisible():
+				g := newLocFoot(n)
+				s.ownFoot(g, in)
+				stp[pc] = g
+			case in.Op == lang.OpTermProc:
+				stp[pc] = newLocFoot(n)
+			default:
+				// Local instruction: the next macro step starts at
+				// whatever visible operation follows.
+				g := newLocFoot(n)
+				g.rd.or(stp[in.Next].rd)
+				g.wr.or(stp[in.Next].wr)
+				if in.Op == lang.OpCJmp {
+					g.rd.or(stp[in.Else].rd)
+					g.wr.or(stp[in.Else].wr)
+				}
+				stp[pc] = g
+			}
+		}
+		r.future = append(r.future, fut)
+		r.step = append(r.step, stp)
+	}
+	r.ok = true
+	return r
+}
+
+// atomicFoot over-approximates the shared footprint of the atomic block
+// opening at pc0: every instruction reachable before the matching
+// AtomicEnd. The local run after the block touches no shared state, so
+// this covers the whole macro step.
+func (s *System) atomicFoot(pr *lang.CompiledProc, pc0 int) locFoot {
+	f := newLocFoot(s.nLocs())
+	type node struct{ pc, depth int }
+	seen := map[node]bool{}
+	stack := []node{{pr.Code[pc0].Next, 1}}
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[nd] {
+			continue
+		}
+		seen[nd] = true
+		in := &pr.Code[nd.pc]
+		switch in.Op {
+		case lang.OpTermProc:
+			continue
+		case lang.OpAtomicBegin:
+			stack = append(stack, node{in.Next, nd.depth + 1})
+		case lang.OpAtomicEnd:
+			if nd.depth > 1 {
+				stack = append(stack, node{in.Next, nd.depth - 1})
+			}
+		case lang.OpCJmp:
+			stack = append(stack, node{in.Next, nd.depth}, node{in.Else, nd.depth})
+		default:
+			s.ownFoot(f, in)
+			stack = append(stack, node{in.Next, nd.depth})
+		}
+	}
+	return f
+}
+
+// procBit is the sleep/persistent mask bit of process p.
+func procBit(p int) uint64 { return 1 << uint(p) }
+
+// persistentSet computes the persistent set at c: a deterministic
+// source-set-style closure seeded with the context holder (or the first
+// ready process in scan order). Invariant after the closure: no process
+// outside the set can ever perform a step conflicting with the *next*
+// step of any member, so deferring outsiders until after a member moved
+// loses no behaviour. The returned mask is restricted to ready
+// processes (stuck-at-CAS members contribute constraints but no
+// transitions; permanently-stuck and terminated processes neither).
+func (e *scChecker) persistentSet(c *Config) uint64 {
+	r := e.sys.reduction()
+	n := len(e.sys.Prog.Procs)
+	var ready, live uint64
+	for p := 0; p < n; p++ {
+		in := &e.sys.Prog.Procs[p].Code[c.pcs[p]]
+		switch e.sys.status(c, p) {
+		case statusTerminated:
+		case statusStuck:
+			// A failed assume reads only the process's own registers,
+			// which nothing else can change: stuck forever. A parked
+			// CAS can be re-enabled by another process's write.
+			if in.Op != lang.OpAssumeCond {
+				live |= procBit(p)
+			}
+		case statusReady:
+			ready |= procBit(p)
+			live |= procBit(p)
+		}
+	}
+	if ready == 0 {
+		return 0
+	}
+	seed := -1
+	for _, p := range e.scanOrder(c) {
+		if ready&procBit(p) != 0 {
+			seed = p
+			break
+		}
+	}
+	var inP uint64
+	queue := e.psQueue[:0]
+	queue = append(queue, seed)
+	for len(queue) > 0 {
+		p := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if inP&procBit(p) != 0 {
+			continue
+		}
+		inP |= procBit(p)
+		pf := r.step[p][c.pcs[p]]
+		for q := 0; q < n; q++ {
+			if q == p || inP&procBit(q) != 0 || live&procBit(q) == 0 {
+				continue
+			}
+			if r.future[q][c.pcs[q]].conflicts(pf) {
+				queue = append(queue, q)
+			}
+		}
+	}
+	e.psQueue = queue[:0]
+	return inP & ready
+}
+
+// scanOrder returns the canonical process scan order at c: the context
+// holder first, then declaration (or reversed) order — identical to the
+// unreduced checker's bias towards near-serial schedules.
+func (e *scChecker) scanOrder(c *Config) []int {
+	order := e.orderBuf[:0]
+	if c.cur >= 0 {
+		order = append(order, c.cur)
+	}
+	n := len(e.sys.Prog.Procs)
+	for i := 0; i < n; i++ {
+		p := i
+		if e.opts.ReverseProcs {
+			p = n - 1 - i
+		}
+		if p != c.cur {
+			order = append(order, p)
+		}
+	}
+	e.orderBuf = order
+	return order
+}
+
+// stepEventsFoot fills e.execFoot with the dynamic shared footprint of
+// one executed macro step, read off its trace events (precise per
+// nondeterministic branch, unlike the static tables).
+func (e *scChecker) stepEventsFoot(events []trace.Event) locFoot {
+	if e.execFoot.rd == nil {
+		e.execFoot = newLocFoot(e.sys.nLocs())
+	}
+	e.execFoot.rd.clear()
+	e.execFoot.wr.clear()
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case trace.KindRead:
+			if ev.HasIdx {
+				e.execFoot.rd.set(e.sys.locOfArr(ev.Var))
+			} else {
+				e.execFoot.rd.set(e.sys.locOfVar(ev.Var))
+			}
+		case trace.KindWrite:
+			if ev.HasIdx {
+				e.execFoot.wr.set(e.sys.locOfArr(ev.Var))
+			} else {
+				e.execFoot.wr.set(e.sys.locOfVar(ev.Var))
+			}
+		case trace.KindCAS:
+			e.execFoot.rd.set(e.sys.locOfVar(ev.Var))
+			e.execFoot.wr.set(e.sys.locOfVar(ev.Var))
+		}
+	}
+	return e.execFoot
+}
+
+// filterSleep keeps asleep only the processes whose next step is
+// independent of the executed step: the classical sleep-set inheritance
+// rule.
+func (e *scChecker) filterSleep(mask uint64, stepFoot locFoot, c *Config) uint64 {
+	if mask == 0 {
+		return 0
+	}
+	r := e.sys.reduction()
+	out := mask
+	for q := 0; mask != 0; q, mask = q+1, mask>>1 {
+		if mask&1 == 0 {
+			continue
+		}
+		if r.step[q][c.pcs[q]].conflicts(stepFoot) {
+			out &^= procBit(q)
+		}
+	}
+	return out
+}
+
+// lookupMask returns the stored first-visit sleep mask of the state
+// currently encoded in e.keyBuf (hash h), if any.
+func (e *scChecker) lookupMask(h uint64) (uint64, bool) {
+	if e.rmEx != nil {
+		m, ok := e.rmEx[string(e.keyBuf)]
+		return m, ok
+	}
+	m, ok := e.rm[h]
+	return m, ok
+}
+
+func (e *scChecker) storeMask(h uint64, m uint64) {
+	if e.rmEx != nil {
+		e.rmEx[string(e.keyBuf)] = m
+		return
+	}
+	e.rm[h] = m
+}
+
+// reducedVisited returns the visited-set occupancy of the reduced
+// search, for telemetry.
+func (e *scChecker) reducedVisited() (int, int64) {
+	if e.rmEx != nil {
+		n := len(e.rmEx)
+		return n, e.rmKeyBytes + int64(n)*exactMaskEntryBytes
+	}
+	return len(e.rm), int64(len(e.rm)) * fpMaskEntryBytes
+}
+
+// Per-entry map overheads of the mask maps, mirroring fp.Set's.
+const (
+	fpMaskEntryBytes    = 24
+	exactMaskEntryBytes = 56
+)
+
+// expandReduced is expand for the reduced search: persistent-set
+// restricted scan, sleep-mask-aware dedup with wake-ups, sleep
+// inheritance into children. The context bound is always unbounded here
+// (Check forces it), so the dedup key carries no contexts coordinate.
+func (e *scChecker) expandReduced(c *Config, depth int, sleep uint64) ([]scChild, bool) {
+	e.steps++
+	if e.steps%deadlineStride == 0 {
+		e.flushStats(depth)
+		if e.ctx != nil && e.ctx.Err() != nil {
+			e.exhausted = false
+			e.result.TimedOut = true
+			return nil, true
+		}
+	}
+	e.keyBuf, e.deadBuf = e.sys.dedupKey(c, e.keyBuf[:0], e.deadBuf)
+	h := fp.Hash64(e.keyBuf)
+	pset := e.persistentSet(c)
+	var explore, exploredBefore uint64
+	prev, revisit := e.lookupMask(h)
+	if !revisit {
+		if e.rmEx != nil {
+			e.rmKeyBytes += int64(len(e.keyBuf))
+		}
+		e.storeMask(h, sleep)
+		explore = pset &^ sleep
+		e.result.States++
+		e.cStates.Inc()
+		e.cDedupMisses.Inc()
+		e.gMaxDepth.SetMax(int64(depth))
+		if e.opts.MaxStates > 0 && e.result.States >= e.opts.MaxStates {
+			e.exhausted = false
+			return nil, true
+		}
+	} else {
+		if prev&^sleep == prev {
+			// First visit explored at least everything this visit
+			// needs: prune, exactly like a plain dedup hit.
+			e.dedupHits++
+			e.cDedupHits.Inc()
+			return nil, false
+		}
+		// Wake-up: the state was first visited with a larger sleep
+		// set. Explore exactly the newly-needed processes and lower
+		// the stored mask to the intersection.
+		exploredBefore = pset &^ prev
+		explore = pset & prev &^ sleep
+		e.storeMask(h, prev&sleep)
+	}
+	if explore == 0 {
+		return nil, false
+	}
+	running := sleep | exploredBefore
+	var kids []scChild
+	ord := 0
+	for _, p := range e.scanOrder(c) {
+		if explore&procBit(p) == 0 {
+			continue
+		}
+		e.cMacroSteps.Inc()
+		for _, oc := range e.sys.macroStep(c, p) {
+			vord := ord
+			ord++
+			e.result.Transitions++
+			e.cTransitions.Inc()
+			if oc.violation {
+				e.result.Violation = true
+				e.result.Violations++
+				vfp := fp.MixOrdinal(h, vord)
+				switch {
+				case !e.opts.CensusViolations:
+					evs := append(append([]trace.Event(nil), e.path...), oc.events...)
+					e.result.Trace = &trace.Trace{Events: evs}
+					return nil, true
+				case !e.initWitness && (e.result.Trace == nil || vfp < e.bestVFP):
+					e.bestVFP = vfp
+					evs := append(append([]trace.Event(nil), e.path...), oc.events...)
+					e.result.Trace = &trace.Trace{Events: evs}
+				}
+				continue
+			}
+			kids = append(kids, scChild{
+				cfg:    oc.cfg,
+				events: oc.events,
+				sleep:  e.filterSleep(running, e.stepEventsFoot(oc.events), c),
+			})
+		}
+		running |= procBit(p)
+	}
+	return kids, false
+}
+
+// raceReduced composes the reduction with Workers: a reduced serial
+// search races the unreduced parallel one, first conclusive result
+// wins and cancels the other. Verdicts agree by the parity invariant;
+// the counters (and, in stop mode, the specific witness) are those of
+// whichever arm won, so this mode trades the deterministic-counts
+// contract for wall-clock. The shared Obs recorder stays on the
+// parallel arm.
+func (s *System) raceReduced(opts Options, workers int) Result {
+	base := opts.Ctx
+	if base == nil {
+		base = context.Background()
+	}
+	ctx, cancel := context.WithCancel(base)
+	defer cancel()
+	ch := make(chan Result, 2)
+	go func() {
+		o := opts
+		o.Workers = 0
+		o.Ctx = ctx
+		o.Obs = nil
+		ch <- s.Check(o)
+	}()
+	go func() {
+		o := opts
+		o.Reduce = false
+		o.Ctx = ctx
+		ch <- s.Check(o)
+	}()
+	a := <-ch
+	if !a.TimedOut {
+		cancel()
+		go func() { <-ch }()
+		return a
+	}
+	b := <-ch
+	if !b.TimedOut {
+		return b
+	}
+	return a
+}
+
+// redOnce/red live on System so the tables are built once per program;
+// declared here to keep all reduction state in one file.
+type reduceState struct {
+	redOnce sync.Once
+	red     *reduceTables
+}

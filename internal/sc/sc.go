@@ -38,6 +38,10 @@ type System struct {
 	arrTotal int
 	regOff   []int
 	regTotal int
+
+	// Partial-order-reduction dependence tables, built lazily on first
+	// reduced search (see reduce.go).
+	reduceState
 }
 
 // NewSystem prepares a compiled program for SC execution.

@@ -20,7 +20,10 @@ import (
 // and then streams live ones; for a completed run it replays the stored
 // series. Either way the stream ends with exactly one done frame. {id}
 // accepts the minted run ID or the request's client_ref alias; unknown
-// and evicted runs 404.
+// and evicted runs 404. A run the ring evicts after the stream opened
+// can no longer 404 — its stream ends with a done frame whose status is
+// "evicted". An alias is resolved once, at open: rebinding the ref to a
+// newer run leaves established streams pinned to their original run.
 
 // phaseEvent is the payload of an SSE phase frame.
 type phaseEvent struct {
@@ -79,7 +82,12 @@ func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
 		// Completed run: replay the stored series, then the terminal
 		// frame.
 		rr, ok := s.ledger.Get(runID)
-		if !ok { // evicted between Resolve and Get
+		if !ok {
+			// Evicted between Resolve and Get. The SSE headers are already
+			// written, so a 404 is no longer possible; honour the
+			// exactly-one-done-frame contract with a terminal frame naming
+			// the eviction instead of a silent EOF.
+			sseWrite(w, fl, "done", doneEvent{RunID: runID, Status: "evicted"})
 			return
 		}
 		emit := newEventEmitter(w, fl)
@@ -116,8 +124,7 @@ func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
 				// Sampler stopped: the run is ending. Its ledger status
 				// flips moments after the channels close, so wait
 				// briefly for the sealed record before the done frame.
-				rr := s.awaitSealed(runID, 2*time.Second)
-				sseWrite(w, fl, "done", doneEvent{RunID: runID, Status: rr.Status, Verdict: rr.Verdict, States: rr.States})
+				sseWrite(w, fl, "done", s.awaitSealed(runID, 2*time.Second))
 				return
 			}
 			if p.TMS <= emit.lastTMS {
@@ -131,14 +138,19 @@ func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 // awaitSealed polls the ledger until the run's status leaves "running"
-// (or the timeout passes) and returns the record — bridging the gap
-// between the sampler's shutdown and the handler's ledger update.
-func (s *Server) awaitSealed(runID string, timeout time.Duration) RunRecord {
+// (or the timeout passes) and returns the terminal frame — bridging the
+// gap between the sampler's shutdown and the handler's ledger update. A
+// run whose record the ring evicted while its stream was live has no
+// verdict left to report, only the fact of eviction.
+func (s *Server) awaitSealed(runID string, timeout time.Duration) doneEvent {
 	deadline := time.Now().Add(timeout)
 	for {
 		rr, ok := s.ledger.Get(runID)
-		if !ok || rr.Status != "running" || time.Now().After(deadline) {
-			return rr
+		if !ok {
+			return doneEvent{RunID: runID, Status: "evicted"}
+		}
+		if rr.Status != "running" || time.Now().After(deadline) {
+			return doneEvent{RunID: runID, Status: rr.Status, Verdict: rr.Verdict, States: rr.States}
 		}
 		time.Sleep(10 * time.Millisecond)
 	}

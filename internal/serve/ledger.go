@@ -155,20 +155,41 @@ func (l *Ledger) Add(rec *RunRecord) {
 	l.mu.Unlock()
 }
 
-// Alias binds a caller-chosen reference to a run ID (latest binding
-// wins), so a client can address the run — e.g. subscribe to its event
-// stream — before the verify response delivers the minted ID. No-op
-// for evicted or unknown IDs.
+// Alias binds a caller-chosen reference to a run ID, so a client can
+// address the run — e.g. subscribe to its event stream — before the
+// verify response delivers the minted ID. The newest run wins the
+// binding: concurrent requests sharing a ref can deliver their Alias
+// calls out of run order, so the decision is made on the records'
+// start times, not call arrival. The superseded record's ClientRef is
+// cleared — exactly one retained record claims a ref at a time, and a
+// stream already resolved through the old binding stays pinned to its
+// run ID. No-op for evicted or unknown IDs.
 func (l *Ledger) Alias(ref, id string) {
 	if ref == "" {
 		return
 	}
 	l.mu.Lock()
-	if rec, ok := l.byID[id]; ok {
-		rec.ClientRef = ref
-		l.aliases[ref] = id
+	defer l.mu.Unlock()
+	rec, ok := l.byID[id]
+	if !ok {
+		return
 	}
-	l.mu.Unlock()
+	if prevID, bound := l.aliases[ref]; bound && prevID != id {
+		if prev, live := l.byID[prevID]; live {
+			if prev.Start.After(rec.Start) {
+				return // a newer run already holds the ref
+			}
+			prev.ClientRef = ""
+		}
+	}
+	if rec.ClientRef != "" && rec.ClientRef != ref && l.aliases[rec.ClientRef] == id {
+		// The record abandons its previous ref; without this the old
+		// alias entry dangles past the record's eviction and Resolve
+		// hands out a dead run ID.
+		delete(l.aliases, rec.ClientRef)
+	}
+	rec.ClientRef = ref
+	l.aliases[ref] = id
 }
 
 // Resolve maps a run ID or client_ref alias to the canonical run ID;

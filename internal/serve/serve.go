@@ -45,6 +45,13 @@ type Config struct {
 	// workers occupy n*w CPUs at saturation, so size the product to the
 	// machine.
 	SearchWorkers int
+	// Reduce turns on source-DPOR in every vbmc-mode request's SC
+	// backend; TMAI enables the thread-modular pre-pass, whose unbounded
+	// SAFE proofs land in the cache's unbounded tier and answer every
+	// later K. Both are verdict-neutral execution knobs
+	// (cache.ExecConfig), not request parameters.
+	Reduce bool
+	TMAI   bool
 	// Obs, when non-nil, is mirrored onto /metrics alongside the
 	// server's own instruments; per-request recorders mirror their
 	// engine counters into it.
@@ -441,7 +448,10 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request, mink bool)
 		defer timer.Stop()
 	}
 
-	xc := cache.ExecConfig{Timeout: time.Until(deadline), Jobs: s.cfg.Jobs, SearchWorkers: s.cfg.SearchWorkers, Obs: rec}
+	xc := cache.ExecConfig{
+		Timeout: time.Until(deadline), Jobs: s.cfg.Jobs, SearchWorkers: s.cfg.SearchWorkers,
+		Reduce: s.cfg.Reduce, TMAI: s.cfg.TMAI, Obs: rec,
+	}
 	var (
 		out  cache.Outcome
 		minK *int

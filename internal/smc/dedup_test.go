@@ -1,0 +1,96 @@
+package smc
+
+import (
+	"testing"
+
+	"ravbmc/internal/fp"
+	"ravbmc/internal/lang"
+	"ravbmc/internal/litmus"
+	"ravbmc/internal/obs"
+	"ravbmc/internal/ra"
+)
+
+// TestSeenDistinguishesWideSchedulingContexts is the regression test
+// for the dedup-key audit: the scheduling context used to be encoded
+// as a single truncated byte, so contexts last and last+256 aliased to
+// one key on programs with more than 256 processes — merging subtrees
+// the key is documented to distinguish.
+func TestSeenDistinguishesWideSchedulingContexts(t *testing.T) {
+	p := lang.NewProgram("w", "x")
+	p.AddProc("p0").Add(lang.WriteC("x", 1))
+	r := &runner{
+		sys:        ra.NewSystem(lang.MustCompile(p)),
+		visited:    fp.NewSet(true),
+		cDedupHits: (*obs.Recorder)(nil).Counter("smc.dedup_hits"),
+	}
+	c := r.sys.Init()
+	if r.seen(c, 1) {
+		t.Fatal("first visit of context 1 reported as seen")
+	}
+	if r.seen(c, 257) {
+		t.Fatal("context 257 aliased with context 1")
+	}
+	if r.seen(c, 1<<20) {
+		t.Fatal("context 1<<20 aliased with a low context")
+	}
+	if !r.seen(c, 1) {
+		t.Fatal("revisit of context 1 not recognised")
+	}
+	if !r.seen(c, 257) {
+		t.Fatal("revisit of context 257 not recognised")
+	}
+}
+
+// TestDedupVerdictParity is the outcome-masking guard for the bug
+// class the paper-repo history calls "depth-truncated first visit":
+// smc's searches have no per-path budget (their only truncations —
+// transition cap, deadline — abort the whole search), so a constant-
+// budget visited set must never change Violation or Exhausted relative
+// to the stateless baseline, on safe and unsafe shapes alike. If a
+// budget dimension is ever added to these searches without moving it
+// into the dedup key (or the fp.Set budget argument), this sweep is
+// what fails.
+func TestDedupVerdictParity(t *testing.T) {
+	progs := map[string]*lang.Program{"mp_safe": mpSafe(), "mp_bug": mpBug()}
+	for _, lt := range litmus.Classic() {
+		progs[lt.Name] = lt.Prog
+	}
+	for _, alg := range []Algorithm{AlgorithmCDS, AlgorithmTracer, AlgorithmRCMC} {
+		for name, p := range progs {
+			base, err := Check(p, Options{Algorithm: alg})
+			if err != nil {
+				t.Fatalf("%v/%s: %v", alg, name, err)
+			}
+			dedup, err := Check(p, Options{Algorithm: alg, StateDedup: true})
+			if err != nil {
+				t.Fatalf("%v/%s: %v", alg, name, err)
+			}
+			if dedup.Violation != base.Violation || dedup.Exhausted != base.Exhausted {
+				t.Errorf("%v/%s: dedup Violation=%v Exhausted=%v, baseline Violation=%v Exhausted=%v",
+					alg, name, dedup.Violation, dedup.Exhausted, base.Violation, base.Exhausted)
+			}
+			if dedup.Violation && dedup.Trace == nil {
+				t.Errorf("%v/%s: dedup violation without trace", alg, name)
+			}
+		}
+	}
+}
+
+// TestDedupTruncationNeverClaimsExhaustion: a transition-capped dedup
+// run has visited-marked states whose subtrees were cut short; the
+// abort must take the whole search down with Exhausted=false, never
+// convert the partial coverage into a SAFE claim.
+func TestDedupTruncationNeverClaimsExhaustion(t *testing.T) {
+	for _, alg := range []Algorithm{AlgorithmCDS, AlgorithmTracer, AlgorithmRCMC} {
+		res, err := Check(mpSafe(), Options{Algorithm: alg, StateDedup: true, MaxTransitions: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Exhausted {
+			t.Errorf("%v: capped dedup run claimed exhaustion", alg)
+		}
+		if res.Violation {
+			t.Errorf("%v: capped dedup run fabricated a violation", alg)
+		}
+	}
+}

@@ -278,7 +278,11 @@ func (r *runner) seen(c *ra.Config, last int) bool {
 	}
 	r.keyBuf = c.AppendKey(r.keyBuf[:0])
 	if last >= 0 {
-		r.keyBuf = append(r.keyBuf, 0xFA, byte(last))
+		// Full-width encoding: a single truncated byte would alias
+		// contexts last and last+256 on wide programs, merging scheduling
+		// contexts the key is meant to distinguish.
+		r.keyBuf = append(r.keyBuf, 0xFA,
+			byte(last), byte(last>>8), byte(last>>16), byte(last>>24))
 	}
 	if r.visited.Visit(r.keyBuf, 0) {
 		return false

@@ -1,0 +1,538 @@
+// Package tmai is a thread-modular abstract interpretation pass over
+// the language: the portfolio's only member whose SAFE verdict is not
+// bounded by a view budget K, an unroll bound L, or a context bound.
+//
+// The analysis follows the interference style of thread-modular
+// analyses of release-acquire programs ("Thread-modular Analysis of
+// Release-Acquire Concurrency", PAPERS.md): each process is analysed
+// alone over its own control-flow graph, every read of a shared
+// location returns the location's *interference set* — its initial
+// value joined with every value any process may ever write to it — and
+// every write contributes to that set. The per-process analyses and the
+// interference map are iterated to a joint fixpoint.
+//
+// The abstract domain is the value-set domain: a register or location
+// holds a small finite set of concrete values, widened to Top beyond
+// Options.MaxVals. Reads are flow-insensitive in the interference set,
+// which over-approximates *any* memory model in which a read returns
+// some value written (or initial) for its location — sequential
+// consistency, release-acquire, and every K-view-bounded restriction
+// alike. A SAFE verdict therefore holds unconditionally: no assertion
+// can fail and no array access can go out of bounds in any interleaving
+// under RA, for every K. An Unknown verdict means nothing (the
+// abstraction lost too much); tmai never reports UNSAFE.
+package tmai
+
+import (
+	"fmt"
+	"sort"
+
+	"ravbmc/internal/lang"
+)
+
+// Verdict is the outcome of the analysis.
+type Verdict int
+
+// Verdicts: Safe is unbounded (holds for every K/L/context budget);
+// Unknown is the abstraction giving up, never a bug report.
+const (
+	Safe Verdict = iota
+	Unknown
+)
+
+// String renders the verdict as the tools print it.
+func (v Verdict) String() string {
+	if v == Safe {
+		return "SAFE"
+	}
+	return "UNKNOWN"
+}
+
+// Options configures the analysis.
+type Options struct {
+	// MaxVals caps a value set's cardinality before it widens to Top;
+	// 0 selects the default (16).
+	MaxVals int
+	// MaxCombos caps the register-combination enumeration of one
+	// abstract expression evaluation; 0 selects the default (256).
+	MaxCombos int
+}
+
+const (
+	defaultMaxVals   = 16
+	defaultMaxCombos = 256
+)
+
+// Result reports the verdict with fixpoint statistics.
+type Result struct {
+	Verdict Verdict
+	// Rounds is the number of interference fixpoint rounds.
+	Rounds int
+	// Detail names the first assertion (or array access) the
+	// abstraction could not prove, for Unknown verdicts.
+	Detail string
+}
+
+// vset is a value set: a small sorted set of concrete values, or Top.
+type vset struct {
+	top  bool
+	vals []lang.Value // sorted, unique; nil+!top = bottom (unreachable)
+}
+
+func topSet() vset { return vset{top: true} }
+
+func single(v lang.Value) vset { return vset{vals: []lang.Value{v}} }
+
+func (s vset) isBottom() bool { return !s.top && len(s.vals) == 0 }
+
+// join unions two sets, widening to Top past max.
+func join(a, b vset, max int) vset {
+	if a.top || b.top {
+		return topSet()
+	}
+	if len(a.vals) == 0 {
+		return b
+	}
+	if len(b.vals) == 0 {
+		return a
+	}
+	merged := make([]lang.Value, 0, len(a.vals)+len(b.vals))
+	merged = append(merged, a.vals...)
+	merged = append(merged, b.vals...)
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	out := merged[:1]
+	for _, v := range merged[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	if len(out) > max {
+		return topSet()
+	}
+	return vset{vals: out}
+}
+
+func (s vset) equal(t vset) bool {
+	if s.top != t.top || len(s.vals) != len(t.vals) {
+		return false
+	}
+	for i := range s.vals {
+		if s.vals[i] != t.vals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// env is the abstract register file of one process at one pc.
+type env []vset
+
+func (e env) clone() env {
+	out := make(env, len(e))
+	copy(out, e)
+	return out
+}
+
+func (e env) equal(f env) bool {
+	for i := range e {
+		if !e[i].equal(f[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// analyzer is one fixpoint computation over a compiled program.
+type analyzer struct {
+	cp        *lang.CompiledProgram
+	maxVals   int
+	maxCombos int
+	// interference: per shared scalar (by name), the set of values it
+	// may ever hold: its initial value joined with every abstract
+	// write. Arrays are smashed to one set per array.
+	vars map[string]vset
+	arrs map[string]vset
+	// arrSizes for bounds proofs.
+	arrSizes map[string]int
+	changed  bool // an interference set grew this round
+	unknown  string
+}
+
+// Analyze runs the thread-modular abstract interpretation on prog.
+// Programs that fail RA validation are Unknown (the caller's pipeline
+// will surface the validation error through its own path).
+func Analyze(prog *lang.Program, opts Options) Result {
+	cp, err := lang.Compile(prog)
+	if err != nil {
+		return Result{Verdict: Unknown, Detail: "compile: " + err.Error()}
+	}
+	maxVals := opts.MaxVals
+	if maxVals <= 0 {
+		maxVals = defaultMaxVals
+	}
+	maxCombos := opts.MaxCombos
+	if maxCombos <= 0 {
+		maxCombos = defaultMaxCombos
+	}
+	a := &analyzer{
+		cp:        cp,
+		maxVals:   maxVals,
+		maxCombos: maxCombos,
+		vars:      map[string]vset{},
+		arrs:      map[string]vset{},
+		arrSizes:  map[string]int{},
+	}
+	for _, v := range cp.Vars {
+		a.vars[v] = single(0)
+	}
+	for _, arr := range cp.Arrays {
+		a.arrs[arr.Name] = single(arr.Init)
+		a.arrSizes[arr.Name] = arr.Size
+	}
+	// Interference fixpoint: every round re-analyses each process
+	// against the current interference map; writes grow the map
+	// monotonically, so the rounds terminate (each set grows at most
+	// maxVals times before widening to Top).
+	rounds := 0
+	for {
+		rounds++
+		a.changed = false
+		for _, pr := range cp.Procs {
+			a.analyzeProc(pr, false)
+		}
+		if !a.changed {
+			break
+		}
+	}
+	// Verdict pass against the stable interference map: only now are
+	// the per-assert checks meaningful.
+	a.unknown = ""
+	for _, pr := range cp.Procs {
+		a.analyzeProc(pr, true)
+		if a.unknown != "" {
+			return Result{Verdict: Unknown, Rounds: rounds, Detail: a.unknown}
+		}
+	}
+	return Result{Verdict: Safe, Rounds: rounds}
+}
+
+// analyzeProc runs one per-process abstract reachability fixpoint.
+// When verdict is set, unprovable asserts and array accesses are
+// recorded in a.unknown.
+func (a *analyzer) analyzeProc(pr *lang.CompiledProc, verdict bool) {
+	regIdx := make(map[string]int, len(pr.Regs))
+	for i, r := range pr.Regs {
+		regIdx[r] = i
+	}
+	states := make([]env, len(pr.Code))
+	init := make(env, len(pr.Regs))
+	for i := range init {
+		init[i] = single(0)
+	}
+	states[0] = init
+	work := []int{0}
+	inWork := make([]bool, len(pr.Code))
+	inWork[0] = true
+	// push joins e into states[pc] and enqueues pc on growth.
+	push := func(pc int, e env) {
+		if states[pc] == nil {
+			states[pc] = e.clone()
+		} else {
+			joined := states[pc].clone()
+			for i := range joined {
+				joined[i] = join(joined[i], e[i], a.maxVals)
+			}
+			if joined.equal(states[pc]) {
+				return
+			}
+			states[pc] = joined
+		}
+		if !inWork[pc] {
+			inWork[pc] = true
+			work = append(work, pc)
+		}
+	}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[pc] = false
+		e := states[pc]
+		if e == nil {
+			continue
+		}
+		in := &pr.Code[pc]
+		switch in.Op {
+		case lang.OpTermProc:
+			// Sink.
+		case lang.OpReadVar:
+			ne := e.clone()
+			ne[regIdx[in.Reg]] = a.vars[in.Var]
+			push(in.Next, ne)
+		case lang.OpWriteVar:
+			w := a.evalExpr(in.Val, e, regIdx)
+			a.addInterference(a.vars, in.Var, w)
+			push(in.Next, e)
+		case lang.OpCASVar:
+			// The CAS can succeed whenever its expected value is
+			// possible for the variable; its new value then joins the
+			// interference set. Whether it ever actually succeeds is
+			// an enabledness question the over-approximation skips.
+			old := a.evalExpr(in.Old, e, regIdx)
+			cur := a.vars[in.Var]
+			if old.top || cur.top || intersects(old, cur) {
+				w := a.evalExpr(in.Val, e, regIdx)
+				a.addInterference(a.vars, in.Var, w)
+			}
+			push(in.Next, e)
+		case lang.OpFenceOp, lang.OpAtomicBegin, lang.OpAtomicEnd:
+			push(in.Next, e)
+		case lang.OpAssignReg:
+			ne := e.clone()
+			ne[regIdx[in.Reg]] = a.evalExpr(in.Val, e, regIdx)
+			push(in.Next, ne)
+		case lang.OpNondetReg:
+			ne := e.clone()
+			n := int(in.Hi - in.Lo + 1)
+			if n <= 0 || n > a.maxVals {
+				ne[regIdx[in.Reg]] = topSet()
+			} else {
+				vals := make([]lang.Value, 0, n)
+				for v := in.Lo; v <= in.Hi; v++ {
+					vals = append(vals, v)
+				}
+				ne[regIdx[in.Reg]] = vset{vals: vals}
+			}
+			push(in.Next, ne)
+		case lang.OpAssumeCond:
+			if ne, live := a.refine(in.Cond, e, regIdx, true); live {
+				push(in.Next, ne)
+			}
+		case lang.OpAssertCond:
+			if verdict && a.unknown == "" && a.mayBeZero(in.Cond, e, regIdx) {
+				a.unknown = fmt.Sprintf("%s/%s: cannot prove assert %s", pr.Name, in.Label, in.Cond.String())
+			}
+			// Executions past a failed assert do not exist; continue
+			// with the refined env like an assume.
+			if ne, live := a.refine(in.Cond, e, regIdx, true); live {
+				push(in.Next, ne)
+			}
+		case lang.OpCJmp:
+			if ne, live := a.refine(in.Cond, e, regIdx, true); live {
+				push(in.Next, ne)
+			}
+			if ne, live := a.refine(in.Cond, e, regIdx, false); live {
+				push(in.Else, ne)
+			}
+		case lang.OpLoadArrEl:
+			if verdict && a.unknown == "" {
+				a.checkBounds(pr, in, e, regIdx)
+			}
+			ne := e.clone()
+			ne[regIdx[in.Reg]] = a.arrs[in.Var]
+			push(in.Next, ne)
+		case lang.OpStoreArrEl:
+			if verdict && a.unknown == "" {
+				a.checkBounds(pr, in, e, regIdx)
+			}
+			w := a.evalExpr(in.Val, e, regIdx)
+			a.addInterference(a.arrs, in.Var, w)
+			push(in.Next, e)
+		case lang.OpJmp:
+			push(in.Next, e)
+		default:
+			if a.unknown == "" {
+				a.unknown = fmt.Sprintf("%s: unsupported opcode %s", pr.Name, in.Op)
+			}
+		}
+	}
+}
+
+// addInterference joins w into the named location's set, flagging
+// growth for the outer fixpoint.
+func (a *analyzer) addInterference(m map[string]vset, name string, w vset) {
+	joined := join(m[name], w, a.maxVals)
+	if !joined.equal(m[name]) {
+		m[name] = joined
+		a.changed = true
+	}
+}
+
+// checkBounds proves an array index in range, or records Unknown.
+func (a *analyzer) checkBounds(pr *lang.CompiledProc, in *lang.Instr, e env, regIdx map[string]int) {
+	idx := a.evalExpr(in.Index, e, regIdx)
+	size := lang.Value(a.arrSizes[in.Var])
+	if idx.top {
+		a.unknown = fmt.Sprintf("%s/%s: cannot bound index of %s", pr.Name, in.Label, in.Var)
+		return
+	}
+	for _, v := range idx.vals {
+		if v < 0 || v >= size {
+			a.unknown = fmt.Sprintf("%s/%s: cannot prove %s[%d] in bounds", pr.Name, in.Label, in.Var, v)
+			return
+		}
+	}
+}
+
+func intersects(a, b vset) bool {
+	i, j := 0, 0
+	for i < len(a.vals) && j < len(b.vals) {
+		switch {
+		case a.vals[i] == b.vals[j]:
+			return true
+		case a.vals[i] < b.vals[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// evalExpr evaluates an expression abstractly by enumerating the
+// concrete combinations of the registers it mentions, capped at
+// maxCombos (Top beyond the cap or when any mentioned register is Top).
+func (a *analyzer) evalExpr(ex lang.Expr, e env, regIdx map[string]int) vset {
+	regs := dedupRegs(lang.Regs(ex, nil))
+	combos := 1
+	sets := make([]vset, len(regs))
+	for i, r := range regs {
+		ri, ok := regIdx[r]
+		if !ok {
+			sets[i] = single(0) // unknown registers read as 0
+			continue
+		}
+		s := e[ri]
+		if s.top {
+			return topSet()
+		}
+		if s.isBottom() {
+			return vset{}
+		}
+		sets[i] = s
+		combos *= len(s.vals)
+		if combos > a.maxCombos {
+			return topSet()
+		}
+	}
+	out := vset{}
+	val := make(map[string]lang.Value, len(regs))
+	lookup := func(name string) lang.Value { return val[name] }
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(regs) {
+			out = join(out, single(ex.Eval(lookup)), a.maxVals)
+			return !out.top
+		}
+		for _, v := range sets[i].vals {
+			val[regs[i]] = v
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	return out
+}
+
+// refine filters e through a condition: registers keep only the values
+// that appear in some register combination where the condition is true
+// (want=true) or false (want=false). Correlations between registers are
+// lost in the projection, which is sound. When the combination space is
+// too large or any mentioned register is Top, e is returned unrefined.
+// The second return is false when no combination matches: the branch is
+// dead.
+func (a *analyzer) refine(cond lang.Expr, e env, regIdx map[string]int, want bool) (env, bool) {
+	regs := dedupRegs(lang.Regs(cond, nil))
+	if len(regs) == 0 {
+		v := cond.Eval(func(string) lang.Value { return 0 })
+		return e, (v != 0) == want
+	}
+	combos := 1
+	sets := make([]vset, len(regs))
+	for i, r := range regs {
+		ri, ok := regIdx[r]
+		if !ok {
+			sets[i] = single(0)
+			continue
+		}
+		s := e[ri]
+		if s.top || s.isBottom() || combos*len(s.vals) > a.maxCombos {
+			return e, true // unrefinable: keep everything, stay sound
+		}
+		sets[i] = s
+		combos *= len(s.vals)
+	}
+	kept := make([]vset, len(regs))
+	val := make(map[string]lang.Value, len(regs))
+	lookup := func(name string) lang.Value { return val[name] }
+	any := false
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(regs) {
+			if (cond.Eval(lookup) != 0) == want {
+				any = true
+				for j, r := range regs {
+					kept[j] = join(kept[j], single(val[r]), a.maxVals)
+				}
+			}
+			return
+		}
+		for _, v := range sets[i].vals {
+			val[regs[i]] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	if !any {
+		return nil, false
+	}
+	ne := e.clone()
+	for j, r := range regs {
+		if ri, ok := regIdx[r]; ok {
+			ne[ri] = kept[j]
+		}
+	}
+	return ne, true
+}
+
+// mayBeZero reports whether the condition can evaluate to 0 under some
+// combination of the abstract register values (or the abstraction lost
+// enough that it cannot tell).
+func (a *analyzer) mayBeZero(cond lang.Expr, e env, regIdx map[string]int) bool {
+	_, live := a.refine(cond, e, regIdx, false)
+	if !live {
+		return false
+	}
+	// refine returning "live" can also mean "unrefinable": distinguish
+	// a genuine falsifying combination from a Top fallback.
+	regs := dedupRegs(lang.Regs(cond, nil))
+	combos := 1
+	for _, r := range regs {
+		ri, ok := regIdx[r]
+		if !ok {
+			continue
+		}
+		s := e[ri]
+		if s.top {
+			return true
+		}
+		combos *= len(s.vals)
+		if combos > a.maxCombos {
+			return true
+		}
+	}
+	return live
+}
+
+func dedupRegs(rs []string) []string {
+	seen := map[string]bool{}
+	out := rs[:0]
+	for _, r := range rs {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package tmai_test
+
+import (
+	"testing"
+
+	"ravbmc/internal/core"
+	"ravbmc/internal/lang"
+	"ravbmc/internal/litmus"
+	"ravbmc/internal/tmai"
+)
+
+// TestProvesValueBoundedAssert: a coherence-style shape whose assertion
+// is purely value-based is exactly what the interference abstraction
+// proves — for every K, unroll bound, and interleaving.
+func TestProvesValueBoundedAssert(t *testing.T) {
+	p := &lang.Program{
+		Name: "coherence-values",
+		Vars: []string{"x"},
+		Procs: []*lang.Proc{
+			{Name: "P0", Body: []lang.Stmt{lang.Write{Var: "x", Val: lang.C(1)}}},
+			{Name: "P1", Body: []lang.Stmt{lang.Write{Var: "x", Val: lang.C(2)}}},
+			{Name: "P2", Regs: []string{"r"}, Body: []lang.Stmt{
+				lang.Read{Reg: "r", Var: "x"},
+				lang.Assert{Cond: lang.Le(lang.R("r"), lang.C(2))},
+			}},
+		},
+	}
+	res := tmai.Analyze(p, tmai.Options{})
+	if res.Verdict != tmai.Safe {
+		t.Fatalf("expected unbounded SAFE, got %v (%s)", res.Verdict, res.Detail)
+	}
+}
+
+// TestProvesLoopingProgram: the analysis needs no unroll bound — a
+// spinloop program is proved as-is, which no bounded engine can do.
+func TestProvesLoopingProgram(t *testing.T) {
+	p := &lang.Program{
+		Name: "spin-safe",
+		Vars: []string{"flag", "data"},
+		Procs: []*lang.Proc{
+			{Name: "P0", Body: []lang.Stmt{
+				lang.Write{Var: "data", Val: lang.C(7)},
+				lang.Write{Var: "flag", Val: lang.C(1)},
+			}},
+			{Name: "P1", Regs: []string{"f", "d"}, Body: []lang.Stmt{
+				lang.While{Cond: lang.Eq(lang.R("f"), lang.C(0)), Body: []lang.Stmt{
+					lang.Read{Reg: "f", Var: "flag"},
+				}},
+				lang.Read{Reg: "d", Var: "data"},
+				lang.Assert{Cond: lang.Or(lang.Eq(lang.R("d"), lang.C(0)), lang.Eq(lang.R("d"), lang.C(7)))},
+			}},
+		},
+	}
+	res := tmai.Analyze(p, tmai.Options{})
+	if res.Verdict != tmai.Safe {
+		t.Fatalf("expected unbounded SAFE on looping program, got %v (%s)", res.Verdict, res.Detail)
+	}
+}
+
+// TestFlowSensitiveShapeIsUnknown: message passing's assertion needs
+// order, which the interference abstraction deliberately forgets; the
+// verdict must be Unknown, never a false SAFE and never an UNSAFE.
+func TestFlowSensitiveShapeIsUnknown(t *testing.T) {
+	for _, lt := range litmus.Classic() {
+		if lt.Name != "MP" {
+			continue
+		}
+		res := tmai.Analyze(lt.Prog, tmai.Options{})
+		if res.Verdict != tmai.Unknown {
+			t.Fatalf("MP: expected Unknown, got %v", res.Verdict)
+		}
+	}
+}
+
+// TestSoundOnCorpus is the property test: over every classic litmus
+// shape and a slice of the generated corpus, a tmai SAFE must agree
+// with the exhaustive RA oracle (no false SAFE on any unsafe program),
+// and at least one corpus program must be proved — the unbounded tier
+// has to actually fire.
+func TestSoundOnCorpus(t *testing.T) {
+	tests := litmus.Classic()
+	gen := litmus.Generated(3)
+	if testing.Short() {
+		gen = gen[:min(200, len(gen))]
+	}
+	tests = append(tests, gen...)
+	proved := 0
+	for _, lt := range tests {
+		res := tmai.Analyze(lt.Prog, tmai.Options{})
+		if res.Verdict != tmai.Safe {
+			continue
+		}
+		proved++
+		if litmus.Oracle(lt) {
+			t.Fatalf("%s: tmai claimed unbounded SAFE but the RA oracle finds a violation", lt.Name)
+		}
+	}
+	if proved == 0 {
+		t.Error("tmai proved nothing on the litmus corpus; the unbounded tier would never fire")
+	}
+	t.Logf("tmai proved %d/%d corpus programs", proved, len(tests))
+}
+
+// TestAgreesWithVBMC cross-checks a proved program against the full
+// pipeline at a concrete K, the same direct-vs-cached discipline the
+// cache property test uses.
+func TestAgreesWithVBMC(t *testing.T) {
+	tests := append(litmus.Classic(), litmus.Generated(3)[:50]...)
+	for _, lt := range tests {
+		res := tmai.Analyze(lt.Prog, tmai.Options{})
+		if res.Verdict != tmai.Safe {
+			continue
+		}
+		got, err := core.Run(lt.Prog, core.Options{K: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", lt.Name, err)
+		}
+		if got.Verdict != core.Safe {
+			t.Fatalf("%s: tmai SAFE but core.Run(K=2) says %v", lt.Name, got.Verdict)
+		}
+		t.Logf("%s: tmai SAFE agrees with core.Run(K=2)", lt.Name)
+		return
+	}
+	t.Skip("no corpus shape proved by tmai")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -42,6 +42,7 @@ import (
 	"ravbmc/internal/ra"
 	"ravbmc/internal/robust"
 	"ravbmc/internal/smc"
+	"ravbmc/internal/tmai"
 	"ravbmc/internal/trace"
 )
 
@@ -156,6 +157,28 @@ func ExploreRA(p *Program, opts ExploreOptions) (ExploreResult, error) {
 // SMC runs one of the stateless-model-checking baselines on the program
 // directly under RA.
 func SMC(p *Program, opts SMCOptions) (SMCResult, error) { return smc.Check(p, opts) }
+
+// Thread-modular abstract interpretation types (internal/tmai).
+type (
+	// TMAIOptions configures the thread-modular analysis.
+	TMAIOptions = tmai.Options
+	// TMAIResult carries the unbounded verdict: Safe holds for every
+	// K/L/context budget; Unknown means only that the abstraction gave
+	// up, never that a bug exists.
+	TMAIResult = tmai.Result
+)
+
+// TMAI verdicts.
+const (
+	TMAISafe    = tmai.Safe
+	TMAIUnknown = tmai.Unknown
+)
+
+// TMAI runs the thread-modular abstract interpretation: a sound
+// over-approximation of RA whose SAFE verdicts hold unbounded — for
+// every view bound K — at a cost polynomial in the program size. It
+// never reports UNSAFE; pair it with VBMC for the refutation side.
+func TMAI(p *Program, opts TMAIOptions) TMAIResult { return tmai.Analyze(p, opts) }
 
 // Unroll rewrites every loop into at most bound unrolled iterations with
 // a final unwinding assumption, as the bounded backends require.

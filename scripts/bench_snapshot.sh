@@ -21,6 +21,11 @@
 # flush a handful of atomics per kilostep and the sampler polls them
 # from its own goroutine.
 #
+# A reduction sweep then pairs plain and -reduce runs over an
+# UNSAFE/SAFE benchmark mix and appends a "reduce" entry per SAFE
+# benchmark with the full/reduced sc.states counts and their ratio —
+# the source-DPOR reduction factor on the recording machine.
+#
 # After the per-benchmark reports, the quick Tables 1-4 sweep is run
 # twice through cmd/ratables — once serial (-jobs 1), once with one
 # worker per CPU (-jobs 0) — and both wall-clock times are appended as
@@ -122,6 +127,33 @@ EOF
   for w in 0 1 2 4 8; do
     echo ','
     /tmp/vbmc-bench -json -k 2 -l 2 -timeout "$timeout" -bench peterson_4 -workers "$w" || true
+  done
+  # Source-DPOR reduction sweep: each benchmark once plainly and once
+  # with -reduce (the -reduce reports carry config.reduce = "enabled").
+  # tbar and peterson_4 are SAFE, so both searches exhaust the bounded
+  # space and the sc.states ratio between the paired reports IS the
+  # reduction factor (~5x and ~6x across the driver's deepening
+  # rounds); the unfenced UNSAFE pair stops at its first violation,
+  # where only the verdict is comparable, so no factor is recorded. An
+  # explicit "reduce" entry records each factor so the trajectory can
+  # be read without re-deriving the ratios.
+  for b in peterson_0 tbar peterson_4; do
+    for r in '' '-reduce'; do
+      echo ','
+      # shellcheck disable=SC2086 — $r is intentionally word-split
+      /tmp/vbmc-bench -json -k 2 -l 2 -timeout "$timeout" -bench "$b" $r \
+        >"$tracedir/red-$r-${b//[^a-z0-9_]/_}.json" || true
+      cat "$tracedir/red-$r-${b//[^a-z0-9_]/_}.json"
+    done
+    full=$(sed -n 's/^ *"sc.states": \([0-9]*\).*/\1/p' "$tracedir/red--${b//[^a-z0-9_]/_}.json" | head -1)
+    red=$(sed -n 's/^ *"sc.states": \([0-9]*\).*/\1/p' "$tracedir/red--reduce-${b//[^a-z0-9_]/_}.json" | head -1)
+    verdict=$(sed -n 's/^ *"verdict": "\([A-Z]*\)".*/\1/p' "$tracedir/red--${b//[^a-z0-9_]/_}.json" | head -1)
+    if [ "$verdict" = SAFE ] && [ -n "$full" ] && [ -n "$red" ] && [ "$red" -gt 0 ]; then
+      echo ','
+      awk -v b="$b" -v f="$full" -v r="$red" 'BEGIN {
+        printf "{\"tool\": \"reduce\", \"bench\": \"%s\", \"full_states\": %s, \"reduced_states\": %s, \"factor\": %.2f}\n", b, f, r, f / r
+      }'
+    fi
   done
   for jobs in 1 0; do
     secs="$(table_sweep "$jobs")"
