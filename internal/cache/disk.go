@@ -155,12 +155,12 @@ func (c *Cache) installRecord(rec record) {
 		c.diskCorrupt.Add(1)
 		return
 	}
-	d, err := parseDigest(rec.Digest)
+	d, err := ParseDigest(rec.Digest)
 	if err != nil {
 		c.diskCorrupt.Add(1)
 		return
 	}
-	g, err := parseDigest(rec.Group)
+	g, err := ParseDigest(rec.Group)
 	if err != nil {
 		c.diskCorrupt.Add(1)
 		return

@@ -107,8 +107,9 @@ type Digest [sha256.Size]byte
 // Hex returns the lowercase hex encoding.
 func (d Digest) Hex() string { return hex.EncodeToString(d[:]) }
 
-// parseDigest decodes a hex digest (disk-store records).
-func parseDigest(s string) (Digest, error) {
+// ParseDigest decodes a hex digest (disk-store records, the peer
+// cache-fill endpoint's URL key).
+func ParseDigest(s string) (Digest, error) {
 	var d Digest
 	b, err := hex.DecodeString(s)
 	if err != nil {
@@ -119,6 +120,18 @@ func parseDigest(s string) (Digest, error) {
 	}
 	copy(d[:], b)
 	return d, nil
+}
+
+// Key returns the content address the request's entry is (or would
+// be) stored under: SHA-256 over the canonicalized program, mode,
+// mode-relevant bounds and toolchain version. Every node running the
+// same binary derives the same digest for the same query, which makes
+// it the cluster's routing key — consistent hashing over it gives each
+// request exactly one owner shard. Works on the nil cache too (the
+// disabled cache still has a well-defined key).
+func (c *Cache) Key(r Request) Digest {
+	nr := r.normalized()
+	return digest(lang.Canon(nr.Prog), nr, c.Version(), false)
 }
 
 // groupK is the K placeholder in group keys: the group digest

@@ -1,0 +1,276 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"ravbmc/internal/cache"
+)
+
+// PeerState is a peer's health as this node sees it. States feed the
+// forwarding decision in internal/serve: only an Up owner is forwarded
+// to; a Draining owner still serves cache reads (peer fill) but no new
+// verification work; a Down owner is not contacted at all.
+type PeerState int32
+
+const (
+	// StateUp: the peer answers /readyz with 200. The optimistic
+	// initial state — a freshly started cluster forwards immediately
+	// and demotes on the first failed probe or forward.
+	StateUp PeerState = iota
+	// StateDraining: the peer answers /readyz with 503 — it received
+	// SIGTERM and is finishing in-flight work. New verifications go
+	// elsewhere; its cache remains readable until the process exits.
+	StateDraining
+	// StateDown: probes (or forwards) to the peer fail outright.
+	StateDown
+)
+
+func (s PeerState) String() string {
+	switch s {
+	case StateUp:
+		return "up"
+	case StateDraining:
+		return "draining"
+	case StateDown:
+		return "down"
+	}
+	return fmt.Sprintf("PeerState(%d)", int32(s))
+}
+
+// Peer names one cluster member.
+type Peer struct {
+	ID  string
+	URL string
+}
+
+// ParsePeers parses a `-peers` flag value: a comma-separated list of
+// id=url entries, e.g. "n1=http://10.0.0.1:8080,n2=http://10.0.0.2:8080".
+func ParsePeers(s string) ([]Peer, error) {
+	var peers []Peer
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("cluster: peer %q is not id=url", part)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", id)
+		}
+		seen[id] = true
+		peers = append(peers, Peer{ID: id, URL: strings.TrimRight(url, "/")})
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	return peers, nil
+}
+
+// peer is the live record of one remote member.
+type peer struct {
+	id, url string
+	state   atomic.Int32
+	// failures counts consecutive failed probes; reaching the down
+	// threshold demotes the peer, any success resets it.
+	failures atomic.Int32
+}
+
+// Stats is a point-in-time snapshot of the cluster counters; the
+// serving layer increments them and /metrics renders them as the
+// ravbmc_cluster_* families.
+type Stats struct {
+	// Forwards counts requests routed to their owner; ForwardRetries
+	// the 429-backoff retries inside those; ForwardFallbacks the
+	// requests that fell back to local execution because the owner was
+	// down, draining or persistently busy.
+	Forwards, ForwardRetries, ForwardFallbacks int64
+	// PeerFillHits/Misses count owner-cache reads before a local cold
+	// compute; PeerFillServed counts reads this node answered for
+	// others.
+	PeerFillHits, PeerFillMisses, PeerFillServed int64
+	// Probes and ProbeFailures count health probes sent and failed.
+	Probes, ProbeFailures int64
+}
+
+// PeerStatus is one row of Cluster.Peers: a peer and its current state.
+type PeerStatus struct {
+	ID    string    `json:"id"`
+	URL   string    `json:"url"`
+	State PeerState `json:"-"`
+	// StateName mirrors State for JSON consumers (/healthz).
+	StateName string `json:"state"`
+	Self      bool   `json:"self,omitempty"`
+}
+
+// Config configures a Cluster.
+type Config struct {
+	// Self is this node's ID; it must appear in Peers.
+	Self string
+	// Peers is the full static membership, this node included. Every
+	// node must be started with the same list (order irrelevant) or the
+	// rings disagree and requests are forwarded in circles — the
+	// forwarded-request marker stops actual loops, but ownership would
+	// no longer be unique.
+	Peers []Peer
+	// Replicas is the virtual-node count per peer (<=0 selects 128).
+	Replicas int
+	// Probe configures the health prober; see those fields' docs.
+	Probe ProbeConfig
+}
+
+// Cluster is this node's view of the cluster: the shared ring plus
+// locally observed peer health and counters. Construct with New, start
+// the prober with Start, stop it with Stop.
+type Cluster struct {
+	self  string
+	ring  *Ring
+	peers map[string]*peer
+	order []string // peer IDs sorted, self included — stable iteration
+	urls  map[string]string
+
+	prober *prober
+
+	forwards, forwardRetries, forwardFallbacks atomic.Int64
+	fillHits, fillMisses, fillServed           atomic.Int64
+	probes, probeFailures                      atomic.Int64
+}
+
+// New validates the membership and builds the ring. The prober is not
+// started; call Start (and Stop on shutdown).
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Peers) < 2 {
+		return nil, fmt.Errorf("cluster: need at least 2 peers, got %d", len(cfg.Peers))
+	}
+	c := &Cluster{
+		self:  cfg.Self,
+		peers: map[string]*peer{},
+		urls:  map[string]string{},
+	}
+	nodes := make([]string, 0, len(cfg.Peers))
+	selfFound := false
+	for _, p := range cfg.Peers {
+		nodes = append(nodes, p.ID)
+		c.urls[p.ID] = p.URL
+		if p.ID == cfg.Self {
+			selfFound = true
+			continue
+		}
+		c.peers[p.ID] = &peer{id: p.ID, url: p.URL}
+	}
+	if !selfFound {
+		return nil, fmt.Errorf("cluster: self %q not in the peer list", cfg.Self)
+	}
+	sort.Strings(nodes)
+	c.order = nodes
+	c.ring = NewRing(nodes, cfg.Replicas)
+	c.prober = newProber(c, cfg.Probe)
+	return c, nil
+}
+
+// Self returns this node's ID.
+func (c *Cluster) Self() string { return c.self }
+
+// Owner maps a cache digest to its owning node; self reports whether
+// that is this node.
+func (c *Cluster) Owner(d cache.Digest) (id string, self bool) {
+	id = c.ring.Owner(d)
+	return id, id == c.self
+}
+
+// PeerURL returns the base URL of a member (self included); empty for
+// unknown IDs.
+func (c *Cluster) PeerURL(id string) string { return c.urls[id] }
+
+// State returns a peer's health as this node sees it. Self is always
+// Up; unknown IDs are Down.
+func (c *Cluster) State(id string) PeerState {
+	if id == c.self {
+		return StateUp
+	}
+	p, ok := c.peers[id]
+	if !ok {
+		return StateDown
+	}
+	return PeerState(p.state.Load())
+}
+
+// setState transitions a peer; no-op for self/unknown.
+func (c *Cluster) setState(id string, s PeerState) {
+	if p, ok := c.peers[id]; ok {
+		p.state.Store(int32(s))
+	}
+}
+
+// MarkDown demotes a peer after a failed forward or fill — the passive
+// half of health detection, so one dead connection sheds traffic
+// immediately instead of waiting for the next probe cycle. The prober
+// promotes the peer again on its next successful probe.
+func (c *Cluster) MarkDown(id string) {
+	if p, ok := c.peers[id]; ok {
+		p.failures.Store(int32(c.prober.cfg.DownAfter))
+		p.state.Store(int32(StateDown))
+	}
+}
+
+// MarkDraining records a 503-draining reply from a peer.
+func (c *Cluster) MarkDraining(id string) { c.setState(id, StateDraining) }
+
+// Peers lists every member (self included) with its current state,
+// sorted by ID — the /healthz cluster block and the per-peer metrics.
+func (c *Cluster) Peers() []PeerStatus {
+	out := make([]PeerStatus, 0, len(c.order))
+	for _, id := range c.order {
+		st := c.State(id)
+		out = append(out, PeerStatus{
+			ID: id, URL: c.urls[id], State: st, StateName: st.String(), Self: id == c.self,
+		})
+	}
+	return out
+}
+
+// Start launches the background health prober. Safe to call once.
+func (c *Cluster) Start() { c.prober.start() }
+
+// Stop halts the prober and waits for its goroutines.
+func (c *Cluster) Stop() { c.prober.stop() }
+
+// Stats snapshots the cluster counters.
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		Forwards:         c.forwards.Load(),
+		ForwardRetries:   c.forwardRetries.Load(),
+		ForwardFallbacks: c.forwardFallbacks.Load(),
+		PeerFillHits:     c.fillHits.Load(),
+		PeerFillMisses:   c.fillMisses.Load(),
+		PeerFillServed:   c.fillServed.Load(),
+		Probes:           c.probes.Load(),
+		ProbeFailures:    c.probeFailures.Load(),
+	}
+}
+
+// The serving layer records its routing decisions through these; they
+// surface in Stats and /metrics.
+
+// CountForward records a request forwarded to its owner.
+func (c *Cluster) CountForward() { c.forwards.Add(1) }
+
+// CountForwardRetry records one backoff retry inside a forward.
+func (c *Cluster) CountForwardRetry() { c.forwardRetries.Add(1) }
+
+// CountForwardFallback records a forward abandoned for local execution.
+func (c *Cluster) CountForwardFallback() { c.forwardFallbacks.Add(1) }
+
+// CountFillHit records an owner-cache read that answered a local miss.
+func (c *Cluster) CountFillHit() { c.fillHits.Add(1) }
+
+// CountFillMiss records an owner-cache read that found nothing.
+func (c *Cluster) CountFillMiss() { c.fillMisses.Add(1) }
+
+// CountFillServed records a cache read this node served for a peer.
+func (c *Cluster) CountFillServed() { c.fillServed.Add(1) }

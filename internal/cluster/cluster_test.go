@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("n1=http://a:1/, n2=http://b:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Peer{{ID: "n1", URL: "http://a:1"}, {ID: "n2", URL: "http://b:2"}}
+	if len(peers) != 2 || peers[0] != want[0] || peers[1] != want[1] {
+		t.Errorf("ParsePeers = %+v", peers)
+	}
+	for _, bad := range []string{"", "n1", "=http://a", "n1=", "n1=http://a,n1=http://b"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNewValidatesMembership(t *testing.T) {
+	peers := []Peer{{ID: "n1", URL: "http://a"}, {ID: "n2", URL: "http://b"}}
+	if _, err := New(Config{Self: "nx", Peers: peers}); err == nil {
+		t.Error("New accepted a self outside the peer list")
+	}
+	if _, err := New(Config{Self: "n1", Peers: peers[:1]}); err == nil {
+		t.Error("New accepted a single-node cluster")
+	}
+	c, err := New(Config{Self: "n1", Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Self() != "n1" || c.PeerURL("n2") != "http://b" || c.PeerURL("nx") != "" {
+		t.Error("basic accessors wrong")
+	}
+	if c.State("n1") != StateUp || c.State("n2") != StateUp || c.State("nx") != StateDown {
+		t.Error("initial states wrong")
+	}
+}
+
+func TestOwnerAgreesAcrossNodes(t *testing.T) {
+	peers := []Peer{{ID: "n1", URL: "u1"}, {ID: "n2", URL: "u2"}, {ID: "n3", URL: "u3"}}
+	c1, _ := New(Config{Self: "n1", Peers: peers})
+	c2, _ := New(Config{Self: "n2", Peers: []Peer{peers[2], peers[0], peers[1]}})
+	selfSeen := false
+	for i := 0; i < 300; i++ {
+		d := testDigest(i)
+		id1, self1 := c1.Owner(d)
+		id2, _ := c2.Owner(d)
+		if id1 != id2 {
+			t.Fatalf("nodes disagree on owner of key %d: %s vs %s", i, id1, id2)
+		}
+		if self1 != (id1 == "n1") {
+			t.Fatalf("self flag wrong for key %d", i)
+		}
+		if self1 {
+			selfSeen = true
+		}
+	}
+	if !selfSeen {
+		t.Error("n1 owns none of 300 keys")
+	}
+}
+
+func TestMarkDownAndDraining(t *testing.T) {
+	peers := []Peer{{ID: "n1", URL: "u1"}, {ID: "n2", URL: "u2"}}
+	c, _ := New(Config{Self: "n1", Peers: peers})
+	c.MarkDraining("n2")
+	if c.State("n2") != StateDraining {
+		t.Error("MarkDraining did not stick")
+	}
+	c.MarkDown("n2")
+	if c.State("n2") != StateDown {
+		t.Error("MarkDown did not stick")
+	}
+	c.MarkDown("n1") // self: no-op
+	if c.State("n1") != StateUp {
+		t.Error("self state mutated")
+	}
+	st := c.Peers()
+	if len(st) != 2 || st[0].ID != "n1" || !st[0].Self || st[1].StateName != "down" {
+		t.Errorf("Peers = %+v", st)
+	}
+}
+
+func TestProberStateMachine(t *testing.T) {
+	// status holds the HTTP code the fake peer answers with; 0 means
+	// refuse the connection (server closed).
+	var status atomic.Int32
+	status.Store(http.StatusOK)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			t.Errorf("probe hit %s", r.URL.Path)
+		}
+		w.WriteHeader(int(status.Load()))
+	}))
+	defer srv.Close()
+
+	peers := []Peer{{ID: "self", URL: "http://invalid.invalid"}, {ID: "p", URL: srv.URL}}
+	c, err := New(Config{Self: "self", Peers: peers, Probe: ProbeConfig{
+		Interval: 10 * time.Millisecond, Timeout: 200 * time.Millisecond, DownAfter: 2,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+
+	waitState := func(want PeerState) {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(deadline) {
+			if c.State("p") == want {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("peer never reached %v (now %v)", want, c.State("p"))
+	}
+
+	waitState(StateUp)
+	status.Store(http.StatusServiceUnavailable)
+	waitState(StateDraining)
+	status.Store(http.StatusOK)
+	waitState(StateUp)
+	// Passive demotion, then active recovery by the next probe.
+	c.MarkDown("p")
+	waitState(StateUp)
+	// Errors demote only after DownAfter consecutive failures.
+	status.Store(http.StatusTeapot)
+	waitState(StateDown)
+	s := c.Stats()
+	if s.Probes == 0 || s.ProbeFailures == 0 {
+		t.Errorf("probe counters not advancing: %+v", s)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	peers := []Peer{{ID: "n1", URL: "u1"}, {ID: "n2", URL: "u2"}}
+	c, _ := New(Config{Self: "n1", Peers: peers})
+	c.CountForward()
+	c.CountForward()
+	c.CountForwardRetry()
+	c.CountForwardFallback()
+	c.CountFillHit()
+	c.CountFillMiss()
+	c.CountFillServed()
+	s := c.Stats()
+	if s.Forwards != 2 || s.ForwardRetries != 1 || s.ForwardFallbacks != 1 ||
+		s.PeerFillHits != 1 || s.PeerFillMisses != 1 || s.PeerFillServed != 1 {
+		t.Errorf("Stats = %+v", s)
+	}
+}

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ProbeConfig tunes the background health prober.
+type ProbeConfig struct {
+	// Interval between probe rounds (<=0 selects 2s).
+	Interval time.Duration
+	// Timeout for a single probe request (<=0 selects 1s).
+	Timeout time.Duration
+	// DownAfter is how many consecutive failed probes demote a peer to
+	// Down (<=0 selects 2 — one failure can be a blip; two in a row at
+	// the default cadence means multiple seconds of silence).
+	DownAfter int
+	// Client overrides the HTTP client (tests); nil uses a dedicated
+	// client with the probe timeout.
+	Client *http.Client
+}
+
+func (c ProbeConfig) withDefaults() ProbeConfig {
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = time.Second
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 2
+	}
+	return c
+}
+
+// prober periodically GETs every peer's /readyz and drives the peer
+// state machine: 200 → Up, 503 → Draining, anything else (including
+// connection errors) counts toward the Down threshold. Probing is
+// active recovery as much as detection — a peer passively marked Down
+// after a failed forward is promoted again by its next good probe.
+type prober struct {
+	cluster *Cluster
+	cfg     ProbeConfig
+	client  *http.Client
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+func newProber(c *Cluster, cfg ProbeConfig) *prober {
+	cfg = cfg.withDefaults()
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Timeout}
+	}
+	return &prober{cluster: c, cfg: cfg, client: client, done: make(chan struct{})}
+}
+
+func (p *prober) start() {
+	p.startOnce.Do(func() {
+		p.wg.Add(1)
+		go p.loop()
+	})
+}
+
+func (p *prober) stop() {
+	p.stopOnce.Do(func() { close(p.done) })
+	p.wg.Wait()
+}
+
+func (p *prober) loop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.cfg.Interval)
+	defer t.Stop()
+	p.round() // probe immediately so a dead peer is noticed at startup
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-t.C:
+			p.round()
+		}
+	}
+}
+
+// round probes all peers concurrently and waits for the stragglers, so
+// one slow peer cannot delay detection of the others.
+func (p *prober) round() {
+	var wg sync.WaitGroup
+	for _, pr := range p.cluster.peers {
+		wg.Add(1)
+		go func(pr *peer) {
+			defer wg.Done()
+			p.probe(pr)
+		}(pr)
+	}
+	wg.Wait()
+}
+
+func (p *prober) probe(pr *peer) {
+	p.cluster.probes.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, pr.url+"/readyz", nil)
+	if err != nil {
+		p.fail(pr)
+		return
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.fail(pr)
+		return
+	}
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		pr.failures.Store(0)
+		pr.state.Store(int32(StateUp))
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		pr.failures.Store(0)
+		pr.state.Store(int32(StateDraining))
+	default:
+		p.fail(pr)
+	}
+}
+
+func (p *prober) fail(pr *peer) {
+	p.cluster.probeFailures.Add(1)
+	if int(pr.failures.Add(1)) >= p.cfg.DownAfter {
+		pr.state.Store(int32(StateDown))
+	}
+}

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"ravbmc/internal/cache"
+)
+
+func testDigest(i int) cache.Digest {
+	return cache.Digest(sha256.Sum256([]byte(fmt.Sprintf("key-%d", i))))
+}
+
+func TestRingDeterministicAcrossOrder(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3"}, 0)
+	b := NewRing([]string{"n3", "n1", "n2"}, 0)
+	for i := 0; i < 500; i++ {
+		d := testDigest(i)
+		if a.Owner(d) != b.Owner(d) {
+			t.Fatalf("ownership depends on peer-list order for key %d", i)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"}, 0)
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(testDigest(i))]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d of 3 nodes own keys: %v", len(counts), counts)
+	}
+	for node, c := range counts {
+		// Perfectly even would be n/3; accept a generous ±50% band —
+		// the test guards against gross skew, not statistical drift.
+		if c < n/6 || c > n/2 {
+			t.Errorf("node %s owns %d of %d keys — ring badly skewed: %v", node, c, n, counts)
+		}
+	}
+}
+
+func TestRingStableUnderMembershipChange(t *testing.T) {
+	// Consistent hashing's point: removing one node of three must only
+	// move the keys that node owned.
+	full := NewRing([]string{"n1", "n2", "n3"}, 0)
+	reduced := NewRing([]string{"n1", "n2"}, 0)
+	moved := 0
+	const n = 3000
+	for i := 0; i < n; i++ {
+		d := testDigest(i)
+		was, now := full.Owner(d), reduced.Owner(d)
+		if was != "n3" && was != now {
+			t.Fatalf("key %d moved from surviving node %s to %s", i, was, now)
+		}
+		if was == "n3" {
+			moved++
+		}
+	}
+	if moved == 0 || moved == n {
+		t.Fatalf("implausible reassignment count %d of %d", moved, n)
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := (&Ring{}).Owner(testDigest(0)); got != "" {
+		t.Errorf("empty ring owner = %q", got)
+	}
+	one := NewRing([]string{"solo"}, 4)
+	for i := 0; i < 50; i++ {
+		if got := one.Owner(testDigest(i)); got != "solo" {
+			t.Fatalf("single-node ring owner = %q", got)
+		}
+	}
+}

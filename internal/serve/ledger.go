@@ -23,6 +23,13 @@ type RunRecord struct {
 	// Endpoint is "verify" or "mink"; Mode is the cache mode requested.
 	Endpoint string `json:"endpoint"`
 	Mode     string `json:"mode,omitempty"`
+	// Node is the cluster node that served the run: this node's own ID
+	// for local executions, the owner's ID when the run was forwarded,
+	// "" on a solo daemon.
+	Node string `json:"node,omitempty"`
+	// Batch is the batch ID when this run was one item of a /v1/batch
+	// fan-out, "" for direct requests.
+	Batch string `json:"batch,omitempty"`
 	// Program is the bench name or parsed program name; ProgramSHA is
 	// the SHA-256 of its canonical form — the content part of the cache
 	// key, so identical sources share a hash across runs.
@@ -132,6 +139,17 @@ func (l *Ledger) NewID() string {
 	l.mu.Lock()
 	l.seq++
 	id := fmt.Sprintf("r-%s-%06d", l.prefix, l.seq)
+	l.mu.Unlock()
+	return id
+}
+
+// NewBatchID mints a batch ID from the same prefix and sequence space
+// as run IDs, "b-"-marked so a grep tells the two apart; every item of
+// the batch carries it in its RunRecord.Batch.
+func (l *Ledger) NewBatchID() string {
+	l.mu.Lock()
+	l.seq++
+	id := fmt.Sprintf("b-%s-%06d", l.prefix, l.seq)
 	l.mu.Unlock()
 	return id
 }

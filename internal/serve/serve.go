@@ -2,8 +2,6 @@ package serve
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,6 +13,7 @@ import (
 	"time"
 
 	"ravbmc/internal/cache"
+	"ravbmc/internal/cluster"
 	"ravbmc/internal/lang"
 	"ravbmc/internal/obs"
 )
@@ -75,6 +74,17 @@ type Config struct {
 	// event stream live and lands a ravbmc.search/v1 series in its
 	// ledger entry.
 	SampleInterval time.Duration
+	// Cluster, when non-nil, makes this node one shard of a
+	// horizontally scaled service: requests owned by other live nodes
+	// are forwarded there, local cold misses consult the owner's cache
+	// first, and /metrics grows the ravbmc_cluster_* families. Nil runs
+	// the classic single-node daemon.
+	Cluster *cluster.Cluster
+	// BatchWorkers bounds how many /v1/batch items are in flight at
+	// once on this coordinator (<=0 selects 4*Workers: forwarded items
+	// spend their life waiting on peers, so the fan-out runs wider than
+	// the local worker pool).
+	BatchWorkers int
 }
 
 // Server handles the verification API. Construct with New, expose
@@ -112,6 +122,13 @@ type Server struct {
 	// hRequest and hQueueWait are standalone (recorder-independent)
 	// histograms so their /metrics families exist on every server.
 	hRequest, hQueueWait *obs.Histogram
+
+	// peerHTTP carries cluster traffic (forwards, cache fills); no
+	// client timeout — the per-call context governs.
+	peerHTTP *http.Client
+	// batchSem bounds concurrent /v1/batch items on this coordinator.
+	batchSem                            chan struct{}
+	batches, batchItems, batchItemFails *obs.Counter
 }
 
 // New builds a Server.
@@ -130,6 +147,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.BatchWorkers <= 0 {
+		cfg.BatchWorkers = 4 * cfg.Workers
 	}
 	log := cfg.Log
 	if log == nil {
@@ -155,6 +175,12 @@ func New(cfg Config) *Server {
 		gActive:    cfg.Obs.Gauge("serve.active"),
 		hRequest:   obs.NewHistogram("serve.request_seconds", obs.DurationBuckets),
 		hQueueWait: obs.NewHistogram("serve.queue_wait_seconds", obs.DurationBuckets),
+
+		peerHTTP:       &http.Client{},
+		batchSem:       make(chan struct{}, cfg.BatchWorkers),
+		batches:        cfg.Obs.Counter("serve.batches"),
+		batchItems:     cfg.Obs.Counter("serve.batch_items"),
+		batchItemFails: cfg.Obs.Counter("serve.batch_item_failures"),
 	}
 	return s
 }
@@ -163,10 +189,13 @@ func New(cfg Config) *Server {
 //
 //	POST /v1/verify    — one verification at the request's bounds
 //	POST /v1/mink      — smallest K in [K, MaxK] with an UNSAFE verdict
+//	POST /v1/batch     — a whole corpus in one call (SSE or JSON reply)
 //	GET  /v1/runs      — recent run-ledger entries, newest first
 //	GET  /v1/runs/{id} — one run in full detail (span tree included)
 //	GET  /v1/runs/{id}/events — SSE search-telemetry stream (live or replay)
-//	GET  /healthz      — liveness + drain state
+//	GET  /v1/cache/{key} — internal: peer cache-fill read by digest
+//	GET  /healthz      — liveness (always 200 while the process runs)
+//	GET  /readyz       — readiness (503 while draining)
 //	GET  /v1/version   — toolchain version
 //	GET  /metrics      — Prometheus text metrics (HELP/TYPE, histograms)
 func (s *Server) Handler() http.Handler {
@@ -177,10 +206,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/mink", func(w http.ResponseWriter, r *http.Request) {
 		s.handleVerify(w, r, true)
 	})
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/runs", s.handleRuns)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleRunDetail)
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleRunEvents)
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -237,14 +269,25 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// admitRequest performs the two-stage admission: an immediate token
-// (429 when the queue is full) and then a worker slot (waiting counts
-// as queued). The returned release function gives both back.
-func (s *Server) admitRequest(ctx context.Context) (release func(), err error) {
-	select {
-	case s.admit <- struct{}{}:
-	default:
-		return nil, errBusy
+// admitRequest performs the two-stage admission: an admission token
+// and then a worker slot (waiting counts as queued). With wait false a
+// full queue rejects immediately (errBusy → 429, backpressure not
+// buffering); with wait true the caller blocks for a token too — batch
+// items, whose backpressure is the batch taking longer. The returned
+// release function gives both back.
+func (s *Server) admitRequest(ctx context.Context, wait bool) (release func(), err error) {
+	if wait {
+		select {
+		case s.admit <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	} else {
+		select {
+		case s.admit <- struct{}{}:
+		default:
+			return nil, errBusy
+		}
 	}
 	s.gQueued.Set(int64(len(s.admit) - len(s.work)))
 	select {
@@ -275,92 +318,20 @@ func endpointName(mink bool) string {
 }
 
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request, mink bool) {
-	started := time.Now()
 	s.reqs.Inc()
 
 	// Every request gets a run ID and a private tracing recorder whose
 	// counters mirror into the process-wide one: the span tree is this
 	// request's alone, /metrics keeps aggregating.
-	runID := s.ledger.NewID()
-	rec := s.obs.Child()
-	root := rec.StartPhase("request")
-	record := &RunRecord{
-		ID: runID, Start: started, Endpoint: endpointName(mink), Status: "running",
-	}
-	s.ledger.Add(record)
-	s.log.Debug("request start", "run_id", runID, "endpoint", record.Endpoint)
-
-	// Every run gets a search-telemetry sampler, registered so the SSE
-	// endpoint can subscribe to it while the run is in flight.
-	smp := obs.NewSampler(rec, s.cfg.SampleInterval)
-	s.watchMu.Lock()
-	s.watches[runID] = smp
-	s.watchMu.Unlock()
-
-	// finish seals the span tree, the telemetry series and the ledger
-	// entry and logs the request, whatever path ended it.
-	finish := func(status int, verdict, cacheDisp string, states int, errMsg string) {
-		root.End()
-		// Stop the sampler before sealing: its final sample carries the
-		// engine's closing totals, and stopping closes every SSE
-		// subscription so streams see the run end.
-		smp.Stop()
-		series := smp.Series()
-		s.watchMu.Lock()
-		delete(s.watches, runID)
-		s.watchMu.Unlock()
-		spans := rec.Spans()
-		total := time.Since(started).Seconds()
-		s.hRequest.Observe(total)
-		queueWait := obs.SpanSeconds(spans, "queue_wait")
-		cacheSecs := obs.SpanSeconds(spans, "cache")
-		engine := obs.SpanSeconds(spans, "engine")
-		replay := obs.SpanSeconds(spans, "replay")
-		lookup := cacheSecs - engine
-		if lookup < 0 {
-			lookup = 0
-		}
-		state := "done"
-		switch {
-		case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
-			state = "rejected"
-		case status != http.StatusOK:
-			state = "error"
-		}
-		s.ledger.Update(runID, func(rr *RunRecord) {
-			rr.Status = state
-			rr.HTTPStatus = status
-			rr.Verdict = verdict
-			rr.Cache = cacheDisp
-			rr.States = states
-			rr.Error = errMsg
-			rr.QueueWaitSeconds = queueWait
-			rr.CacheLookupSeconds = lookup
-			rr.EngineSeconds = engine
-			rr.ReplaySeconds = replay
-			rr.TotalSeconds = total
-			rr.Spans = spans
-			rr.Search = series
-		})
-		s.ledger.auditLine("run", runID)
-		s.log.Info("request done",
-			"run_id", runID, "endpoint", record.Endpoint, "status", status,
-			"verdict", verdict, "cache", cacheDisp, "seconds", total,
-			"queue_wait_s", queueWait, "engine_s", engine, "err", errMsg)
-	}
-	fail := func(status int, format string, args ...any) {
-		msg := fmt.Sprintf(format, args...)
-		writeError(w, status, "%s", msg)
-		finish(status, "", "", 0, msg)
-	}
+	rc := s.newRun(endpointName(mink), "")
 
 	if s.Draining() {
-		fail(http.StatusServiceUnavailable, "server is draining")
+		writeRunResult(w, rc.fail(http.StatusServiceUnavailable, drainRetryAfter, "server is draining"))
 		return
 	}
 
 	var req VerifyRequest
-	span := rec.StartPhase("decode")
+	span := rc.rec.StartPhase("decode")
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	err := dec.Decode(&req)
@@ -377,24 +348,14 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request, mink bool)
 		if prog == nil && req.Mode == "" {
 			status = http.StatusBadRequest
 		}
-		fail(status, "%v", err)
+		writeRunResult(w, rc.fail(status, "", "%v", err))
 		return
 	}
-	progSHA := sha256.Sum256([]byte(lang.Canon(prog)))
-	s.ledger.Update(runID, func(rr *RunRecord) {
-		rr.Mode = req.Mode
-		rr.Program = prog.Name
-		rr.ProgramSHA = hex.EncodeToString(progSHA[:])
-		rr.K, rr.MaxK, rr.Unroll = req.K, req.MaxK, req.Unroll
-	})
+	rc.setRequest(req, prog)
 	// Bind the caller's alias as soon as the request is readable: a
 	// client that minted a ref can open the SSE stream now, before the
 	// verify response delivers the run ID.
-	s.ledger.Alias(req.ClientRef, runID)
-	root.SetAttr("run_id", runID)
-	root.SetAttr("mode", req.Mode)
-	root.SetAttr("program", prog.Name)
-	root.SetAttrInt("k", int64(req.K))
+	s.ledger.Alias(req.ClientRef, rc.id)
 
 	// The request context ends when the client disconnects; the server
 	// hard-stop (Close) ends it too. The compute deadline applies on
@@ -403,87 +364,27 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request, mink bool)
 	defer cancel()
 	stop := context.AfterFunc(s.base, cancel)
 	defer stop()
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutSeconds > 0 {
-		timeout = time.Duration(req.TimeoutSeconds * float64(time.Second))
-	}
-	if timeout > s.cfg.MaxTimeout {
-		timeout = s.cfg.MaxTimeout
-	}
-	deadline := time.Now().Add(timeout)
+	deadline := s.deadline(req)
 	ctx, cancelDeadline := context.WithDeadline(ctx, deadline)
 	defer cancelDeadline()
 
-	span = rec.StartPhase("queue_wait")
-	release, err := s.admitRequest(ctx)
-	span.End()
-	s.hQueueWait.ObserveSince(started)
-	if err == errBusy {
-		s.rejected.Inc()
-		w.Header().Set("Retry-After", "1")
-		fail(http.StatusTooManyRequests, "verification queue is full")
-		return
-	}
-	if err != nil {
-		s.failed.Inc()
-		fail(http.StatusServiceUnavailable, "request expired while queued: %v", err)
-		return
-	}
-	s.inflight.Add(1)
-	defer s.inflight.Done()
-	defer release()
-
-	if s.Draining() {
-		// Drain may have begun while this request queued; refuse rather
-		// than start a run the process is about to abandon.
-		fail(http.StatusServiceUnavailable, "server is draining")
-		return
-	}
-
-	// Flight recorder: if the run is still going past the threshold,
-	// capture its live span tree and counters into the ledger — the
-	// would-be post-mortem of a timeout, taken pre-mortem.
-	if thr := s.cfg.SlowRunThreshold; thr > 0 {
-		timer := time.AfterFunc(thr, func() { s.dumpSlowRun(runID, rec, thr) })
-		defer timer.Stop()
-	}
-
-	xc := cache.ExecConfig{
-		Timeout: time.Until(deadline), Jobs: s.cfg.Jobs, SearchWorkers: s.cfg.SearchWorkers,
-		Reduce: s.cfg.Reduce, TMAI: s.cfg.TMAI, Obs: rec,
-	}
-	var (
-		out  cache.Outcome
-		minK *int
-	)
-	span = rec.StartPhase("cache")
-	if mink {
-		out, minK, err = s.runMinK(ctx, req, prog, deadline, xc)
-	} else {
-		out, err = s.cfg.Cache.Verify(ctx, req.cacheRequest(prog), xc)
-	}
-	span.End()
-	if err != nil {
-		s.failed.Inc()
-		status := http.StatusInternalServerError
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			// The client is gone or the deadline passed; 504 for the log's
-			// benefit (the client may never see it).
-			status = http.StatusGatewayTimeout
+	// Cluster routing: a request another live node owns is forwarded
+	// there and its reply relayed byte-for-byte; a failed forward falls
+	// back to local execution below.
+	forwarded := r.Header.Get(forwardedHeader) != ""
+	if owner, ok := s.forwardTarget(req, prog, forwarded); ok {
+		if res, body, done := s.forwardRun(ctx, rc, owner, endpointPath(mink), req); done {
+			if res.retryAfter != "" {
+				w.Header().Set("Retry-After", res.retryAfter)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(res.status)
+			w.Write(body)
+			return
 		}
-		fail(status, "%v", err)
-		return
 	}
-	resp := VerifyResponse{
-		Outcome:        out,
-		Witness:        string(out.WitnessJSONL),
-		MinK:           minK,
-		RunID:          runID,
-		Version:        s.cfg.Cache.Version(),
-		ElapsedSeconds: time.Since(started).Seconds(),
-	}
-	writeJSON(w, http.StatusOK, resp)
-	finish(http.StatusOK, out.Verdict, cacheDisposition(out), out.States, "")
+
+	writeRunResult(w, s.runLocal(ctx, rc, req, prog, mink, deadline, false))
 }
 
 // cacheDisposition names how the outcome was obtained, for the ledger
@@ -531,34 +432,38 @@ const defaultMaxK = 8
 // cached at a smaller bound or a SAFE cached at a larger one short-
 // circuits whole prefixes of the search. Returns the first UNSAFE
 // outcome with its K, the final SAFE outcome with minK = -1, or the
-// first non-conclusive outcome as-is.
-func (s *Server) runMinK(ctx context.Context, req VerifyRequest, prog *lang.Program, deadline time.Time, xc cache.ExecConfig) (cache.Outcome, *int, error) {
+// first non-conclusive outcome as-is. filled reports that at least one
+// probe was answered by a peer's cache.
+func (s *Server) runMinK(ctx context.Context, req VerifyRequest, prog *lang.Program, deadline time.Time, xc cache.ExecConfig) (cache.Outcome, *int, bool, error) {
 	maxK := req.MaxK
 	if maxK == 0 {
 		maxK = defaultMaxK
 	}
 	if maxK < req.K {
-		return cache.Outcome{}, nil, fmt.Errorf("max_k %d below starting k %d", maxK, req.K)
+		return cache.Outcome{}, nil, false, fmt.Errorf("max_k %d below starting k %d", maxK, req.K)
 	}
 	var out cache.Outcome
+	filled := false
 	for k := req.K; k <= maxK; k++ {
 		cr := req.cacheRequest(prog)
 		cr.K = k
 		xc.Timeout = time.Until(deadline)
 		var err error
-		out, err = s.cfg.Cache.Verify(ctx, cr, xc)
+		var f bool
+		out, f, err = s.verifyFill(ctx, cr, xc)
+		filled = filled || f
 		if err != nil {
-			return cache.Outcome{}, nil, err
+			return cache.Outcome{}, nil, filled, err
 		}
 		if out.Verdict == cache.VerdictUnsafe {
-			return out, &k, nil
+			return out, &k, filled, nil
 		}
 		if out.Verdict != cache.VerdictSafe {
 			// Inconclusive or disagreement: report it at this bound
 			// rather than pretending larger bounds would be sound.
-			return out, nil, nil
+			return out, nil, filled, nil
 		}
 	}
 	minK := -1
-	return out, &minK, nil
+	return out, &minK, filled, nil
 }
